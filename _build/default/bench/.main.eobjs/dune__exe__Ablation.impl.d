@@ -1,0 +1,1 @@
+bench/ablation.ml: Accum Array Darpe Domain Float Galgos Gsql Ldbc List Pathsem Pgraph Printf Util

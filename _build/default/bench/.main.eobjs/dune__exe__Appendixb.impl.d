@@ -1,0 +1,1 @@
+bench/appendixb.ml: Accum Array Ldbc List Pgraph Printf Sqlagg Util

@@ -1,0 +1,1 @@
+bench/examples_tbl.ml: Darpe List Pathsem Pgraph Printf Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Appendixb Array Examples_tbl Micro Printf Snb_bench Sys Table1 Unix Util

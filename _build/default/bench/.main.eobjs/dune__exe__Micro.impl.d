@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Appendixb Bechamel Benchmark Darpe Hashtbl Instance Lazy Ldbc List Measure Pathsem Printf Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/snb_bench.ml: Ldbc List Pathsem Printf Util

@@ -1,0 +1,1 @@
+bench/table1.ml: Darpe Gsql List Pathsem Pgraph Printf Util

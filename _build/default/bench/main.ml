@@ -1,0 +1,41 @@
+(* Benchmark harness entry point.
+
+   Reproduces every table in the paper's evaluation:
+     table1    — §7.1 Table 1 (diamond-chain Q_n, counting vs enumeration)
+     snb       — §7.1 SNB IC table (hops × scale × semantics)
+     appendixb — Appendix B table (Q_gs vs Q_acc vs SQL grouping sets)
+     examples  — §6 worked examples (multiplicity checks, E4)
+     ablation  — design-choice ablations (E5)
+     micro     — Bechamel per-kernel estimates (one Test.make per table)
+
+   Usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]
+   Environment: DIAMOND_MAX_ENUM bounds the enumerated columns of table1
+   (default 18; the paper ran to n=25 before timing out at 10 minutes). *)
+
+let usage () =
+  prerr_endline "usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]";
+  exit 2
+
+let run_table1 () =
+  let max_n_enum = Util.getenv_int "DIAMOND_MAX_ENUM" 18 in
+  Table1.run ~max_n:(max 20 max_n_enum) ~max_n_enum
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+   | "table1" -> run_table1 ()
+   | "snb" -> Snb_bench.run ()
+   | "appendixb" -> Appendixb.run ()
+   | "examples" -> Examples_tbl.run ()
+   | "ablation" -> Ablation.run ()
+   | "micro" -> Micro.run ()
+   | "all" ->
+     Examples_tbl.run ();
+     run_table1 ();
+     Snb_bench.run ();
+     Appendixb.run ();
+     Ablation.run ();
+     Micro.run ()
+   | _ -> usage ());
+  Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

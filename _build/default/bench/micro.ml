@@ -1,0 +1,77 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table, measuring the
+   table's characteristic kernel with OLS-estimated per-run time.  The
+   wall-clock tables (Table1/Snb_bench/Appendixb) reproduce the paper's
+   rows; these give statistically robust single-kernel numbers. *)
+
+open Bechamel
+open Toolkit
+
+let diamond = lazy (Pathsem.Toygraphs.diamond_chain 16)
+let snb = lazy (Ldbc.Snb.generate ~sf:0.15 ())
+let snb_rows = lazy (Appendixb.extract_rows (Lazy.force snb))
+
+let test_table1_counting =
+  Test.make ~name:"table1/count-ASP (n=16)"
+    (Staged.stage (fun () ->
+         let { Pathsem.Toygraphs.g; vertex } = Lazy.force diamond in
+         Pathsem.Engine.count_single_pair g (Darpe.Parse.parse "E>*")
+           Pathsem.Semantics.All_shortest ~src:(vertex "v0") ~dst:(vertex "v16")))
+
+let test_table1_enumeration =
+  Test.make ~name:"table1/enum-NRE (n=10)"
+    (Staged.stage (fun () ->
+         let { Pathsem.Toygraphs.g; vertex } = Lazy.force diamond in
+         Pathsem.Engine.count_single_pair g (Darpe.Parse.parse "E>*")
+           Pathsem.Semantics.Non_repeated_edge ~src:(vertex "v0") ~dst:(vertex "v10")))
+
+let test_snb_counting =
+  Test.make ~name:"snb/ic3-hops3-ASP"
+    (Staged.stage (fun () ->
+         Ldbc.Ic.run (Lazy.force snb) ~hops:3 ~seed:42 Ldbc.Ic.Ic3))
+
+let test_snb_enumeration =
+  Test.make ~name:"snb/ic3-hops3-NRE"
+    (Staged.stage (fun () ->
+         Ldbc.Ic.run (Lazy.force snb) ~semantics:Pathsem.Semantics.Non_repeated_edge ~hops:3
+           ~seed:42 Ldbc.Ic.Ic3))
+
+let test_appendixb_acc =
+  Test.make ~name:"appendixB/Q_acc"
+    (Staged.stage (fun () -> Appendixb.run_acc (Lazy.force snb_rows)))
+
+let test_appendixb_gs =
+  Test.make ~name:"appendixB/Q_gs"
+    (Staged.stage (fun () -> Appendixb.run_gs (Lazy.force snb_rows)))
+
+let test_appendixb_sql =
+  Test.make ~name:"appendixB/Q_sql"
+    (Staged.stage (fun () -> Appendixb.run_sql (Lazy.force snb_rows)))
+
+let all_tests =
+  Test.make_grouped ~name:"gsql-repro"
+    [ test_table1_counting; test_table1_enumeration; test_snb_counting; test_snb_enumeration;
+      test_appendixb_acc; test_appendixb_gs; test_appendixb_sql ]
+
+let run () =
+  print_endline "\n== Bechamel micro-benchmarks (OLS per-run estimates) ==";
+  (* Force fixtures outside the measured region. *)
+  ignore (Lazy.force diamond);
+  ignore (Lazy.force snb);
+  ignore (Lazy.force snb_rows);
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] all_tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let est =
+          match Analyze.OLS.estimates res with
+          | Some [ e ] -> Printf.sprintf "%.3f ms/run" (e /. 1e6)
+          | _ -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Util.print_table ~title:"kernel estimates" [ "benchmark"; "time" ] rows

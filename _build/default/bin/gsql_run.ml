@@ -1,0 +1,201 @@
+(* gsql_run — command-line GSQL runner.
+
+   Loads one of the built-in graphs (the SNB-like generator or the paper's
+   example graphs), then executes a GSQL query from a file, the command
+   line, or an interactive prompt, under a selectable path-legality
+   semantics.
+
+   Examples:
+     gsql_run --graph diamond:12 --query-string "
+       SumAccum<int> @pathCount;
+       R = SELECT t FROM V:s -(E>*)- V:t
+           WHERE s.name = 'v0' AND t.name = 'v12'
+           ACCUM t.@pathCount += 1;
+       PRINT R[R.name, R.@pathCount];"
+     gsql_run --graph snb:0.2 --stats
+     gsql_run --graph snb:0.2 --ic ic3 --hops 3 --semantics non-repeated-edge
+     gsql_run --graph g1 --repl *)
+
+open Cmdliner
+
+let load_graph spec =
+  match String.split_on_char ':' spec with
+  | [ "snb" ] -> (Ldbc.Snb.generate ~sf:0.1 ()).Ldbc.Snb.graph
+  | [ "snb"; sf ] -> (Ldbc.Snb.generate ~sf:(float_of_string sf) ()).Ldbc.Snb.graph
+  | [ "diamond"; n ] -> (Pathsem.Toygraphs.diamond_chain (int_of_string n)).Pathsem.Toygraphs.g
+  | [ "g1" ] -> (Pathsem.Toygraphs.g1 ()).Pathsem.Toygraphs.g
+  | [ "g2" ] -> (Pathsem.Toygraphs.g2 ()).Pathsem.Toygraphs.g
+  | [ "cycle" ] -> (Pathsem.Toygraphs.triangle_cycle ()).Pathsem.Toygraphs.g
+  | _ ->
+    prerr_endline
+      "unknown graph (expected snb[:sf], diamond:N, g1, g2 or cycle)";
+    exit 2
+
+let parse_param graph s =
+  match String.index_opt s '=' with
+  | None ->
+    prerr_endline ("bad --param (expected name=value): " ^ s);
+    exit 2
+  | Some i ->
+    let name = String.sub s 0 i in
+    let raw = String.sub s (i + 1) (String.length s - i - 1) in
+    let value =
+      match int_of_string_opt raw with
+      | Some n -> Pgraph.Value.Int n
+      | None ->
+        (match float_of_string_opt raw with
+         | Some f -> Pgraph.Value.Float f
+         | None ->
+           (match raw with
+            | "true" -> Pgraph.Value.Bool true
+            | "false" -> Pgraph.Value.Bool false
+            | _ ->
+              (* vertex:Type:attr:value looks a vertex up by attribute. *)
+              (match String.split_on_char ':' raw with
+               | [ "vertex"; ty; attr; v ] ->
+                 (match Pgraph.Graph.find_vertex_by_attr graph ty attr (Pgraph.Value.Str v) with
+                  | Some vid -> Pgraph.Value.Vertex vid
+                  | None ->
+                    prerr_endline (Printf.sprintf "no %s with %s = %s" ty attr v);
+                    exit 2)
+               | _ -> Pgraph.Value.Str raw)))
+    in
+    (name, value)
+
+let print_result (r : Gsql.Eval.result) =
+  if r.Gsql.Eval.r_printed <> "" then print_string r.Gsql.Eval.r_printed;
+  List.iter
+    (fun (name, tbl) ->
+      Printf.printf "table %s (%d rows):\n%s\n" name (Gsql.Table.n_rows tbl)
+        (Gsql.Table.to_string tbl))
+    r.Gsql.Eval.r_tables;
+  (match r.Gsql.Eval.r_return with
+   | Some (Gsql.Eval.R_scalar v) -> Printf.printf "returned: %s\n" (Pgraph.Value.to_string v)
+   | Some (Gsql.Eval.R_vset vs) -> Printf.printf "returned: vertex set of %d\n" (Array.length vs)
+   | Some (Gsql.Eval.R_table t) -> Printf.printf "returned table:\n%s" (Gsql.Table.to_string t)
+   | None -> ())
+
+let explain_one src =
+  (match Gsql.Parser.parse_query src with
+   | q -> print_string (Gsql.Explain.query q)
+   | exception Gsql.Parser.Error _ ->
+     (match Gsql.Parser.parse_block src with
+      | stmts -> print_string (Gsql.Explain.block stmts)
+      | exception Gsql.Parser.Error msg -> Printf.eprintf "%s\n%!" msg))
+
+let run_one graph semantics params src =
+  match Gsql.Eval.run_source graph ?semantics ~params src with
+  | result -> print_result result
+  | exception Gsql.Eval.Runtime_error msg -> Printf.eprintf "runtime error: %s\n%!" msg
+  | exception Gsql.Parser.Error msg -> Printf.eprintf "%s\n%!" msg
+
+let repl graph semantics params =
+  print_endline "GSQL repl — terminate a query with a line containing only ';;', ctrl-d to quit.";
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       print_string (if Buffer.length buf = 0 then "gsql> " else "....> ");
+       flush stdout;
+       let line = input_line stdin in
+       if String.trim line = ";;" then begin
+         run_one graph semantics params (Buffer.contents buf);
+         Buffer.clear buf
+       end
+       else begin
+         Buffer.add_string buf line;
+         Buffer.add_char buf '\n'
+       end
+     done
+   with End_of_file -> print_newline ())
+
+let main graph_spec query_file query_string param_specs semantics_name stats ic_name hops seed
+    use_repl explain =
+  let graph = load_graph graph_spec in
+  let semantics =
+    match semantics_name with
+    | None -> None
+    | Some s ->
+      (match Pathsem.Semantics.of_string s with
+       | Some sem -> Some sem
+       | None ->
+         prerr_endline ("unknown semantics: " ^ s);
+         exit 2)
+  in
+  let params = List.map (parse_param graph) param_specs in
+  if stats then
+    Printf.printf "graph: %d vertices, %d edges\n" (Pgraph.Graph.n_vertices graph)
+      (Pgraph.Graph.n_edges graph);
+  (match ic_name with
+   | Some name ->
+     let ic =
+       match List.find_opt (fun q -> Ldbc.Ic.name_to_string q = name) Ldbc.Ic.all with
+       | Some q -> q
+       | None ->
+         prerr_endline ("unknown IC query: " ^ name);
+         exit 2
+     in
+     (* IC queries need the generator handles; regenerate with same spec. *)
+     let t =
+       match String.split_on_char ':' graph_spec with
+       | [ "snb" ] -> Ldbc.Snb.generate ~sf:0.1 ()
+       | [ "snb"; sf ] -> Ldbc.Snb.generate ~sf:(float_of_string sf) ()
+       | _ ->
+         prerr_endline "--ic requires --graph snb[:sf]";
+         exit 2
+     in
+     print_result (Ldbc.Ic.run t ?semantics ~hops ~seed ic)
+   | None -> ());
+  let handle = if explain then fun src -> explain_one src else run_one graph semantics params in
+  (match query_file with
+   | Some path ->
+     let ic = open_in path in
+     let n = in_channel_length ic in
+     let src = really_input_string ic n in
+     close_in ic;
+     handle src
+   | None -> ());
+  (match query_string with
+   | Some src -> handle src
+   | None -> ());
+  if use_repl then repl graph semantics params;
+  if (not stats) && ic_name = None && query_file = None && query_string = None && not use_repl
+  then prerr_endline "nothing to do (pass --query, --query-string, --ic, --stats or --repl)"
+
+let graph_arg =
+  Arg.(value & opt string "snb:0.1" & info [ "graph"; "g" ] ~doc:"Graph to load: snb[:sf], diamond:N, g1, g2, cycle.")
+
+let query_arg =
+  Arg.(value & opt (some file) None & info [ "query"; "q" ] ~doc:"GSQL file to execute.")
+
+let query_string_arg =
+  Arg.(value & opt (some string) None & info [ "query-string"; "e" ] ~doc:"GSQL text to execute.")
+
+let param_arg =
+  Arg.(value & opt_all string [] & info [ "param"; "p" ] ~doc:"Query parameter name=value (value may be int, float, bool, string or vertex:Type:attr:value).")
+
+let semantics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "semantics"; "s" ]
+           ~doc:"Path-legality semantics: all-shortest (default), shortest-enumerated, non-repeated-edge, non-repeated-vertex, existential, unrestricted:N.")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print graph size.")
+
+let ic_arg =
+  Arg.(value & opt (some string) None & info [ "ic" ] ~doc:"Run a built-in LDBC IC query (ic1, ic2, ic3, ic5, ic6, ic9, ic11).")
+
+let hops_arg = Arg.(value & opt int 2 & info [ "hops" ] ~doc:"KNOWS hops for --ic.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Parameter seed for --ic.")
+let repl_arg = Arg.(value & flag & info [ "repl" ] ~doc:"Interactive prompt.")
+
+let explain_arg =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Print the query plan instead of executing.")
+
+let cmd =
+  let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in
+  Cmd.v
+    (Cmd.info "gsql_run" ~doc)
+    Term.(
+      const main $ graph_arg $ query_arg $ query_string_arg $ param_arg $ semantics_arg
+      $ stats_arg $ ic_arg $ hops_arg $ seed_arg $ repl_arg $ explain_arg)
+
+let () = exit (Cmd.eval cmd)

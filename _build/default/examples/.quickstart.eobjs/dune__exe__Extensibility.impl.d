@@ -1,0 +1,1 @@
+examples/extensibility.ml: Accum Float Gsql Option Pgraph String

@@ -1,0 +1,1 @@
+examples/hr_join.ml: Gsql List Option Pgraph Printf

@@ -1,0 +1,1 @@
+examples/hr_join.mli:

@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Galgos Gsql Pgraph Printf

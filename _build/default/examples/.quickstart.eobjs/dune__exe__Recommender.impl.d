@@ -1,0 +1,1 @@
+examples/recommender.ml: Gsql List Pgraph Printf

@@ -1,0 +1,1 @@
+examples/recommender.mli:

@@ -1,0 +1,1 @@
+examples/sales_multi_agg.ml: Gsql Pgraph

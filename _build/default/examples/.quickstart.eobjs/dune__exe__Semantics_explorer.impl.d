@@ -1,0 +1,1 @@
+examples/semantics_explorer.ml: Darpe Gsql List Pathsem Pgraph Printf

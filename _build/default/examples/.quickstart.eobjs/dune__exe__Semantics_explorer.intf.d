@@ -1,0 +1,1 @@
+examples/semantics_explorer.mli:

@@ -1,0 +1,1 @@
+examples/snb_analytics.ml: Array Galgos Gsql Hashtbl Ldbc List Pathsem Pgraph Printf Unix

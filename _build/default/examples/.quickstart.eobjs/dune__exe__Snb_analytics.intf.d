@@ -1,0 +1,1 @@
+examples/snb_analytics.mli:

@@ -1,0 +1,1 @@
+lib/accum/acc.ml: Array Custom Hashtbl List Pgraph Printf Spec

@@ -1,0 +1,1 @@
+lib/accum/acc.mli: Format Pgraph Spec

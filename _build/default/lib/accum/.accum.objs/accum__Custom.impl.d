@@ -1,0 +1,1 @@
+lib/accum/custom.ml: Hashtbl List Pgraph Printf String

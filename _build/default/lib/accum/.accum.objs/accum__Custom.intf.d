@@ -1,0 +1,1 @@
+lib/accum/custom.mli: Pgraph

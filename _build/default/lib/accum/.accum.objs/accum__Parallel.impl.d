@@ -1,0 +1,1 @@
+lib/accum/parallel.ml: Acc Array Domain List Spec

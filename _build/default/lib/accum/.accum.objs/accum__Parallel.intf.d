@@ -1,0 +1,1 @@
+lib/accum/parallel.mli: Acc Spec

@@ -1,0 +1,1 @@
+lib/accum/spec.ml: Custom Format List Pgraph Printf String

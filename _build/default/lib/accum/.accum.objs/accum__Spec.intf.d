@@ -1,0 +1,1 @@
+lib/accum/spec.mli: Format Pgraph

@@ -1,0 +1,1 @@
+lib/accum/store.ml: Acc Hashtbl List Pgraph Spec

@@ -1,0 +1,1 @@
+lib/accum/store.mli: Acc Pgraph Spec

@@ -1,0 +1,1 @@
+lib/accum/sugar.ml: Acc Array List Pgraph

@@ -1,0 +1,1 @@
+lib/accum/sugar.mli: Acc Pgraph

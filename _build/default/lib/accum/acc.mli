@@ -1,0 +1,65 @@
+(** Accumulator instances: mutable state plus the ⊕ combiner (paper §3).
+
+    An accumulator stores an internal value and aggregates inputs into it
+    with a binary combiner.  Two assignment operators exist: [input] is the
+    GSQL [+=] (aggregate via ⊕) and [assign] is [=] (overwrite).
+
+    Input encoding for composite accumulators:
+    - [MapAccum]:   [Vtuple [| key; nested_input |]]
+    - [HeapAccum]:  [Vtuple fields] (the tuple to insert)
+    - [GroupByAccum (k, nested)]:
+      [Vtuple [| Vtuple keys(k); Vtuple inputs(|nested|) |]] — one input per
+      nested accumulator, [Null] meaning "no input for this one". *)
+
+type t
+
+val create : Spec.t -> t
+val spec : t -> Spec.t
+
+val input : t -> Pgraph.Value.t -> unit
+(** [input a v] is [a += v].  Raises {!Pgraph.Value.Type_error} when [v]
+    does not fit the accumulator's input type. *)
+
+val input_mult : t -> Pgraph.Value.t -> Pgraph.Bignat.t -> unit
+(** [input_mult a v µ] aggregates [µ] copies of [v] in O(1) big-number work
+    where possible — the Theorem 7.1 shortcut: sums scale ([µ·v]), averages
+    weight, bags bump counts by [µ], heaps insert [min µ capacity] copies,
+    multiplicity-insensitive accumulators input once, and the
+    order-dependent types (List/Array/[SumAccum<string>]) fall back to [µ]
+    repetitions — raising [Invalid_argument] when [µ] exceeds native-integer
+    range, since such queries are outside the tractable class. *)
+
+val assign : t -> Pgraph.Value.t -> unit
+(** [assign a v] is [a = v]: replace the internal value.  Collection
+    accumulators accept a [Vlist]; [Avg] accepts a number (count resets
+    to 1); [Map]/[GroupBy] accept [Vlist []] (clear) only. *)
+
+val read : t -> Pgraph.Value.t
+(** Current internal value.  Collections read as sorted [Vlist] (insertion
+    order for List/Array); maps as a key-sorted [Vlist] of
+    [Vtuple [|key; value|]]; group-bys as a key-sorted [Vlist] of flat
+    [Vtuple [|k1..kn; v1..vm|]]. *)
+
+val map_find : t -> Pgraph.Value.t -> Pgraph.Value.t
+(** [map_find m k] reads the nested accumulator at key [k] of a [MapAccum]
+    ([Null] when absent).  Raises [Invalid_argument] on other kinds. *)
+
+val size : t -> int
+(** Number of elements for collections/maps/heaps/group-bys, count of inputs
+    for [Avg]; raises [Invalid_argument] for scalar accumulators. *)
+
+val copy : t -> t
+(** Deep copy — snapshot for the [@acc'] previous-value operator. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into a] folds [a]'s state into [into] (same spec required):
+    the parallel-aggregation combine step (paper §4.3 "potential for
+    parallelization").  Raises [Invalid_argument] on spec mismatch. *)
+
+val reset : t -> unit
+(** Restore the freshly-created state. *)
+
+val equal : t -> t -> bool
+(** State equality via {!read}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module V = Pgraph.Value
+
+type def = {
+  name : string;
+  init : V.t;
+  combine : V.t -> V.t -> V.t;
+  finish : (V.t -> V.t) option;
+}
+
+let builtins =
+  [ "SumAccum"; "MinAccum"; "MaxAccum"; "AvgAccum"; "OrAccum"; "AndAccum"; "SetAccum";
+    "BagAccum"; "ListAccum"; "ArrayAccum"; "MapAccum"; "HeapAccum"; "GroupByAccum" ]
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 8
+
+let ends_with_accum name =
+  String.length name > 5 && String.sub name (String.length name - 5) 5 = "Accum"
+
+let register def =
+  if not (ends_with_accum def.name) then
+    invalid_arg "Custom.register: accumulator names must end in \"Accum\"";
+  if List.mem def.name builtins then
+    invalid_arg (Printf.sprintf "Custom.register: %s shadows a built-in accumulator" def.name);
+  if Hashtbl.mem registry def.name then
+    invalid_arg (Printf.sprintf "Custom.register: %s is already registered" def.name);
+  Hashtbl.replace registry def.name def
+
+let unregister name = Hashtbl.remove registry name
+let find name = Hashtbl.find_opt registry name
+let is_registered name = Hashtbl.mem registry name
+
+let registered () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+
+let check_laws def ~samples =
+  let combine = def.combine in
+  let pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) samples) samples in
+  let commutative =
+    List.for_all
+      (fun (a, b) ->
+        V.equal (combine (combine def.init a) b) (combine (combine def.init b) a))
+      pairs
+  in
+  if not commutative then Error "combiner is not commutative on the samples"
+  else begin
+    let associative =
+      List.for_all
+        (fun (a, b) ->
+          List.for_all
+            (fun c ->
+              V.equal
+                (combine (combine (combine def.init a) b) c)
+                (combine (combine (combine def.init b) c) a))
+            samples)
+        pairs
+    in
+    if associative then Ok () else Error "combiner is not associative on the samples"
+  end

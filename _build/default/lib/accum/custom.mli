@@ -1,0 +1,44 @@
+(** User-defined accumulators (paper §3, "Extensible Accumulator Library").
+
+    The paper: "GSQL allows users to define their own accumulators by
+    implementing a simple C++ interface that declares the binary combiner
+    operation ⊕ used for aggregation of inputs into the stored value.  This
+    facilitates the development of accumulator libraries towards an
+    extensible query language."
+
+    Here the interface is OCaml: a named definition supplies the initial
+    value and the combiner (plus an optional finisher for read-time
+    transformation).  Definitions register in a global registry; GSQL
+    queries then declare them by name like any built-in:
+
+    {v
+      Custom.register { name = "ProductAccum"; init = Int 1;
+                        combine = Value.mul; finish = None }
+      ...  ProductAccum @@p;   @@p += 3;  @@p += 4;   -- reads 12
+    v}
+
+    A custom combiner should be commutative and associative for
+    deterministic snapshot-phase results (paper §4.3) — {!check_laws} spot
+    checks this on sample inputs. *)
+
+type def = {
+  name : string;  (** declaration keyword; must end in ["Accum"] *)
+  init : Pgraph.Value.t;
+  combine : Pgraph.Value.t -> Pgraph.Value.t -> Pgraph.Value.t;
+      (** [combine state input] — the ⊕ of paper §3 *)
+  finish : (Pgraph.Value.t -> Pgraph.Value.t) option;
+      (** optional read-time projection of the internal state *)
+}
+
+val register : def -> unit
+(** Raises [Invalid_argument] on a name that does not end in ["Accum"],
+    shadows a built-in accumulator type, or is already registered. *)
+
+val unregister : string -> unit
+val find : string -> def option
+val is_registered : string -> bool
+val registered : unit -> string list
+
+val check_laws : def -> samples:Pgraph.Value.t list -> (unit, string) result
+(** Checks commutativity/associativity of [combine] over the sample inputs
+    (order-invariance of the reduce phase, paper §4.3). *)

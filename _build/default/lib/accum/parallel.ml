@@ -1,0 +1,41 @@
+let default_workers n_items =
+  let d = Domain.recommended_domain_count () in
+  max 1 (min d n_items)
+
+let slices n_items workers =
+  (* Contiguous balanced slices: [(offset, length)] per worker. *)
+  let base = n_items / workers and extra = n_items mod workers in
+  let rec go i offset acc =
+    if i = workers then List.rev acc
+    else
+      let len = base + if i < extra then 1 else 0 in
+      go (i + 1) (offset + len) ((offset, len) :: acc)
+  in
+  go 0 0 []
+
+let map_reduce_many ?workers (specs : Spec.t list) (items : 'a array)
+    ~(feed : Acc.t array -> 'a -> unit) : Acc.t array =
+  let n = Array.length items in
+  let workers = match workers with Some w -> max 1 w | None -> default_workers n in
+  let run_slice (offset, len) =
+    let accs = Array.of_list (List.map Acc.create specs) in
+    for i = offset to offset + len - 1 do
+      feed accs items.(i)
+    done;
+    accs
+  in
+  match slices n workers with
+  | [] -> Array.of_list (List.map Acc.create specs)
+  | first :: rest ->
+    let domains = List.map (fun slice -> Domain.spawn (fun () -> run_slice slice)) rest in
+    (* The current domain handles the first slice while the others run. *)
+    let result = run_slice first in
+    List.iter
+      (fun d ->
+        let partial = Domain.join d in
+        Array.iteri (fun i acc -> Acc.merge ~into:result.(i) acc) partial)
+      domains;
+    result
+
+let map_reduce ?workers spec items ~feed =
+  (map_reduce_many ?workers [ spec ] items ~feed:(fun accs item -> feed accs.(0) item)).(0)

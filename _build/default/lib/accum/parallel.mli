@@ -1,0 +1,26 @@
+(** Parallel aggregation (paper §1, §4.3).
+
+    The paper argues accumulator-based aggregation "is particularly
+    well-suited to parallel graph processing, enabling several graph
+    traversal threads to proceed in parallel, synchronizing via the
+    accumulators", with snapshot semantics making BSP execution
+    deterministic for order-invariant accumulators.
+
+    This module realizes that claim on OCaml 5 domains: the input is
+    partitioned across workers, each worker folds its slice into a private
+    accumulator instance (no synchronization), and the partial states are
+    combined with {!Acc.merge} — the homomorphism the property suite
+    verifies.  For order-invariant accumulator types the result equals the
+    sequential fold regardless of partitioning. *)
+
+val map_reduce :
+  ?workers:int -> Spec.t -> 'a array -> feed:(Acc.t -> 'a -> unit) -> Acc.t
+(** [map_reduce spec items ~feed] folds every item into a fresh accumulator
+    of type [spec], in parallel.  [workers] defaults to
+    [Domain.recommended_domain_count ()], capped by the item count. *)
+
+val map_reduce_many :
+  ?workers:int -> Spec.t list -> 'a array -> feed:(Acc.t array -> 'a -> unit) -> Acc.t array
+(** Multi-accumulator variant: each worker owns one private instance {e per
+    spec} and [feed] deposits into any of them — the single-pass
+    multi-aggregation of paper Example 4, parallelized. *)

@@ -1,0 +1,36 @@
+module V = Pgraph.Value
+
+let masked_input ~keys ~values retain =
+  let n = Array.length keys in
+  let masked = Array.make n V.Null in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Sugar: grouping-set position out of range";
+      masked.(i) <- keys.(i))
+    retain;
+  V.Vtuple [| V.Vtuple masked; V.Vtuple values |]
+
+let grouping_set_inputs ~keys ~values ~sets =
+  List.map (masked_input ~keys ~values) sets
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    List.map (fun sub -> x :: sub) s @ s
+
+let cube_inputs ~keys ~values =
+  let positions = List.init (Array.length keys) (fun i -> i) in
+  grouping_set_inputs ~keys ~values ~sets:(subsets positions)
+
+let rollup_inputs ~keys ~values =
+  let n = Array.length keys in
+  let prefixes = List.init (n + 1) (fun len -> List.init len (fun i -> i)) in
+  (* Widest first, grand total last — matches SQL's conventional output. *)
+  grouping_set_inputs ~keys ~values ~sets:(List.rev prefixes)
+
+let feed_grouping_sets acc ~keys ~values ~sets =
+  List.iter (Acc.input acc) (grouping_set_inputs ~keys ~values ~sets)
+
+let feed_cube acc ~keys ~values = List.iter (Acc.input acc) (cube_inputs ~keys ~values)
+let feed_rollup acc ~keys ~values = List.iter (Acc.input acc) (rollup_inputs ~keys ~values)

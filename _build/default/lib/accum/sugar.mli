@@ -1,0 +1,38 @@
+(** Multi-grouping syntactic sugar over GroupByAccum (paper §8, Example 12).
+
+    The paper shows that SQL's GROUPING SETS / CUBE / ROLLUP extensions "are
+    eminently expressible using accumulators ... as syntactic sugar that
+    preserves the intended single-pass execution": each grouping set becomes
+    one input with the unused key positions nulled.  This module implements
+    exactly that expansion, so one logical row feeds an entire CUBE in a
+    single accumulator pass.
+
+    All functions take the full key tuple and the nested-aggregate input
+    tuple of a [Group_by (n, aggs)] accumulator whose keys are the grouping
+    columns; they return the ready-to-[input] values.  A [Null] key marks
+    "not grouped by this column" — the same convention as SQL's outer
+    union. *)
+
+val grouping_set_inputs :
+  keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> sets:int list list ->
+  Pgraph.Value.t list
+(** [grouping_set_inputs ~keys ~values ~sets] — one input per grouping set;
+    [sets] lists the key positions each set retains (as in
+    [GROUP BY GROUPING SETS ((k1,k2),(k3))] → [[0;1];[2]]).  Raises
+    [Invalid_argument] on an out-of-range position. *)
+
+val cube_inputs :
+  keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> Pgraph.Value.t list
+(** All [2^n] subsets — [CUBE (k1..kn)].  The paper's "8 accumulator
+    assignments" for a 3-key cube. *)
+
+val rollup_inputs :
+  keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> Pgraph.Value.t list
+(** The [n+1] prefixes — [ROLLUP (k1..kn)]. *)
+
+val feed_grouping_sets :
+  Acc.t -> keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> sets:int list list -> unit
+(** Convenience: input every grouping-set row into the accumulator. *)
+
+val feed_cube : Acc.t -> keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> unit
+val feed_rollup : Acc.t -> keys:Pgraph.Value.t array -> values:Pgraph.Value.t array -> unit

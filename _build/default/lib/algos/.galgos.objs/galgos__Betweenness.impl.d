@@ -1,0 +1,1 @@
+lib/algos/betweenness.ml: Accum Array List Pgraph

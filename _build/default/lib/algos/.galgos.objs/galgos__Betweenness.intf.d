@@ -1,0 +1,1 @@
+lib/algos/betweenness.mli: Pgraph

@@ -1,0 +1,1 @@
+lib/algos/centrality.ml: Accum Array Darpe List Pathsem Pgraph Printf

@@ -1,0 +1,1 @@
+lib/algos/centrality.mli: Pgraph

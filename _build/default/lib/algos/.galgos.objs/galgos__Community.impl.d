@@ -1,0 +1,1 @@
+lib/algos/community.ml: Accum Array Hashtbl List Pgraph

@@ -1,0 +1,1 @@
+lib/algos/community.mli: Hashtbl Pgraph

@@ -1,0 +1,1 @@
+lib/algos/kcore.ml: Array Hashtbl Pgraph Queue

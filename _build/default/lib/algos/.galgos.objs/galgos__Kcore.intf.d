@@ -1,0 +1,1 @@
+lib/algos/kcore.mli: Pgraph

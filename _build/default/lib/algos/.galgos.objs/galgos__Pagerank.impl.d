@@ -1,0 +1,1 @@
+lib/algos/pagerank.ml: Accum Array Float Gsql List Pgraph Printf

@@ -1,0 +1,1 @@
+lib/algos/pagerank.mli: Pgraph

@@ -1,0 +1,1 @@
+lib/algos/sssp.ml: Accum Array Darpe Pathsem Pgraph Printf

@@ -1,0 +1,1 @@
+lib/algos/sssp.mli: Pgraph

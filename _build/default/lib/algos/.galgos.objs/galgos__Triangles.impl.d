@@ -1,0 +1,1 @@
+lib/algos/triangles.ml: Accum Array Hashtbl List Pgraph

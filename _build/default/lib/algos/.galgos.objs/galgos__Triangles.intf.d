@@ -1,0 +1,1 @@
+lib/algos/triangles.mli: Pgraph

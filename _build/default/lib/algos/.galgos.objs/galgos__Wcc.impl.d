@@ -1,0 +1,1 @@
+lib/algos/wcc.ml: Accum Array Hashtbl List Pgraph

@@ -1,0 +1,1 @@
+lib/algos/wcc.mli: Pgraph

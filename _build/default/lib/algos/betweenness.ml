@@ -1,0 +1,83 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+
+let edge_ok g = function
+  | None -> fun _ -> true
+  | Some name ->
+    (match Pgraph.Schema.find_edge_type (G.schema g) name with
+     | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+     | None -> invalid_arg ("Betweenness: unknown edge type " ^ name))
+
+(* Brandes (2001): one BFS per source; path counts sigma accumulate forward,
+   dependencies delta accumulate backward over the shortest-path DAG. *)
+let run g ?edge_type ?(normalize = false) () =
+  let n = G.n_vertices g in
+  let e_ok = edge_ok g edge_type in
+  let bc = Array.make n 0.0 in
+  let sigma = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  for s = 0 to n - 1 do
+    Array.fill sigma 0 n 0.0;
+    Array.fill dist 0 n (-1);
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    sigma.(s) <- 1.0;
+    dist.(s) <- 0;
+    let order = ref [] in
+    let frontier = ref [ s ] in
+    let d = ref 0 in
+    while !frontier <> [] do
+      let next = ref [] in
+      List.iter
+        (fun v ->
+          order := v :: !order;
+          G.iter_adjacent g v (fun h ->
+              if (h.G.h_rel = G.Out || h.G.h_rel = G.Und) && e_ok h.G.h_edge then begin
+                let w = h.G.h_other in
+                if dist.(w) = -1 then begin
+                  dist.(w) <- !d + 1;
+                  next := w :: !next
+                end;
+                if dist.(w) = !d + 1 then begin
+                  sigma.(w) <- sigma.(w) +. sigma.(v);
+                  preds.(w) <- v :: preds.(w)
+                end
+              end))
+        !frontier;
+      frontier := !next;
+      incr d
+    done;
+    (* Backward pass: vertices in reverse BFS order. *)
+    List.iter
+      (fun w ->
+        List.iter
+          (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+          preds.(w);
+        if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+      !order
+  done;
+  if normalize && n > 2 then begin
+    let scale = 1.0 /. (float_of_int (n - 1) *. float_of_int (n - 2)) in
+    Array.map (fun x -> x *. scale) bc
+  end
+  else bc
+
+let top_k g ?edge_type ~k () =
+  let scores = run g ?edge_type () in
+  let heap =
+    Accum.Acc.create
+      (Accum.Spec.Heap_acc { Accum.Spec.h_capacity = k; h_fields = [ (1, Accum.Spec.Desc) ] })
+  in
+  Array.iteri
+    (fun v score -> Accum.Acc.input heap (V.Vtuple [| V.Int v; V.Float score |]))
+    scores;
+  match Accum.Acc.read heap with
+  | V.Vlist rows ->
+    List.map
+      (function
+        | V.Vtuple [| V.Int v; V.Float s |] -> (v, s)
+        | _ -> assert false)
+      rows
+  | _ -> []

@@ -1,0 +1,17 @@
+(** Betweenness centrality (Brandes' algorithm) on top of shortest-path
+    counting.
+
+    Betweenness is the canonical consumer of the quantity Theorem 6.1 makes
+    cheap: the {e number} of shortest paths through each vertex.  Brandes'
+    dependency accumulation uses exactly the per-level path counts the SDMC
+    BFS computes, so this sits naturally on the counting substrate.
+
+    Unweighted, treating directed edges forwards and undirected edges both
+    ways (pass [edge_type] to restrict). *)
+
+val run : Pgraph.Graph.t -> ?edge_type:string -> ?normalize:bool -> unit -> float array
+(** [run g ()] — betweenness score per vertex.  [normalize] (default false)
+    divides by [(n-1)(n-2)] (directed convention). *)
+
+val top_k : Pgraph.Graph.t -> ?edge_type:string -> k:int -> unit -> (int * float) list
+(** Highest-betweenness vertices, best first (via a HeapAccum). *)

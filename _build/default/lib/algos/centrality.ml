@@ -1,0 +1,46 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+
+let dists g edge_type v =
+  let t = match edge_type with None -> "_" | Some t -> t in
+  let darpe = Darpe.Parse.parse (Printf.sprintf "(%s>|%s)*" t t) in
+  let dfa = Darpe.Dfa.compile (G.schema g) darpe in
+  (Pathsem.Count.single_source g dfa v).Pathsem.Count.sr_dist
+
+let closeness g ?edge_type v =
+  let d = dists g edge_type v in
+  let sum = ref 0 and reachable = ref 0 in
+  Array.iteri
+    (fun u du ->
+      if u <> v && du > 0 then begin
+        sum := !sum + du;
+        incr reachable
+      end)
+    d;
+  if !sum = 0 then 0.0 else float_of_int !reachable /. float_of_int !sum
+
+let harmonic g ?edge_type v =
+  let d = dists g edge_type v in
+  let sum = ref 0.0 in
+  Array.iteri (fun u du -> if u <> v && du > 0 then sum := !sum +. (1.0 /. float_of_int du)) d;
+  !sum
+
+let degree_centrality g v =
+  let n = G.n_vertices g in
+  if n <= 1 then 0.0 else float_of_int (G.degree g v) /. float_of_int (n - 1)
+
+let top_closeness g ?edge_type ~k () =
+  let heap =
+    Accum.Acc.create
+      (Accum.Spec.Heap_acc { Accum.Spec.h_capacity = k; h_fields = [ (1, Accum.Spec.Desc) ] })
+  in
+  G.iter_vertices g (fun v ->
+      Accum.Acc.input heap (V.Vtuple [| V.Int v; V.Float (closeness g ?edge_type v) |]));
+  match Accum.Acc.read heap with
+  | V.Vlist rows ->
+    List.map
+      (function
+        | V.Vtuple [| V.Int v; V.Float c |] -> (v, c)
+        | _ -> assert false)
+      rows
+  | _ -> []

@@ -1,0 +1,20 @@
+(** Centrality measures on top of the SDMC engine.
+
+    Closeness runs one counting-BFS per vertex; harmonic centrality is the
+    sum of inverse distances (robust to disconnected graphs); degree
+    centrality is a trivial accessor kept here for completeness of the
+    analytics toolkit. *)
+
+val closeness : Pgraph.Graph.t -> ?edge_type:string -> int -> float
+(** [closeness g v] = (reachable - 1) / (sum of distances to reachable
+    vertices); 0 when nothing is reachable. *)
+
+val harmonic : Pgraph.Graph.t -> ?edge_type:string -> int -> float
+(** Sum over other vertices of [1 / d(v, u)] (unreachable contributes 0). *)
+
+val degree_centrality : Pgraph.Graph.t -> int -> float
+(** Degree normalized by [|V| - 1]. *)
+
+val top_closeness : Pgraph.Graph.t -> ?edge_type:string -> k:int -> unit -> (int * float) list
+(** The [k] most central vertices, best first — computed with a
+    [HeapAccum], exercising the priority-queue accumulator end-to-end. *)

@@ -1,0 +1,72 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module B = Pgraph.Bignat
+module Store = Accum.Store
+module Spec = Accum.Spec
+
+let run g ?edge_type ?(max_iterations = 20) () =
+  let n = G.n_vertices g in
+  let e_ok =
+    match edge_type with
+    | None -> fun _ -> true
+    | Some name ->
+      (match Pgraph.Schema.find_edge_type (G.schema g) name with
+       | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+       | None -> invalid_arg ("Community: unknown edge type " ^ name))
+  in
+  let store = Store.create () in
+  Store.declare_vertex store "label" Spec.Min_acc ~n_vertices:n;
+  Store.declare_vertex store "votes" (Spec.Map_acc Spec.Sum_int) ~n_vertices:n;
+  Store.declare_global store "changed" Spec.Or_acc;
+  G.iter_vertices g (fun v -> Store.assign_now store (Store.Vertex_acc ("label", v)) (V.Int v));
+  let label v = V.to_int (Store.read store (Store.Vertex_acc ("label", v))) in
+  let iter = ref 0 in
+  let changed = ref true in
+  while !changed && !iter < max_iterations do
+    Store.assign_now store (Store.Global "changed") (V.Bool false);
+    (* Voting phase: neighbors deposit their labels. *)
+    let phase = Store.begin_phase store in
+    G.iter_vertices g (fun v ->
+        let lv = V.Int (label v) in
+        G.iter_adjacent g v (fun h ->
+            if e_ok h.G.h_edge then
+              Store.buffer_input phase
+                (Store.Vertex_acc ("votes", h.G.h_other))
+                (V.Vtuple [| lv; V.Int 1 |])
+                B.one));
+    Store.commit store phase;
+    (* Adoption phase: argmax vote, smallest label on ties. *)
+    let post = Store.begin_phase store in
+    G.iter_vertices g (fun v ->
+        match Store.read store (Store.Vertex_acc ("votes", v)) with
+        | V.Vlist pairs when pairs <> [] ->
+          let best =
+            List.fold_left
+              (fun acc pair ->
+                match pair, acc with
+                | V.Vtuple [| V.Int lbl; V.Int cnt |], None -> Some (lbl, cnt)
+                | V.Vtuple [| V.Int lbl; V.Int cnt |], Some (bl, bc) ->
+                  if cnt > bc || (cnt = bc && lbl < bl) then Some (lbl, cnt) else Some (bl, bc)
+                | _, acc -> acc)
+              None pairs
+          in
+          (match best with
+           | Some (lbl, _) when lbl <> label v ->
+             Store.buffer_assign post (Store.Vertex_acc ("label", v)) (V.Int lbl);
+             Store.buffer_input post (Store.Global "changed") (V.Bool true) B.one
+           | _ -> ());
+          Store.buffer_assign post (Store.Vertex_acc ("votes", v)) (V.Vlist [])
+        | _ -> ())
+      ;
+    Store.commit store post;
+    changed := V.to_bool (Store.read store (Store.Global "changed"));
+    incr iter
+  done;
+  Array.init n label
+
+let modularity_communities labels =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun v l -> Hashtbl.replace tbl l (v :: (try Hashtbl.find tbl l with Not_found -> [])))
+    labels;
+  tbl

@@ -1,0 +1,14 @@
+(** Label propagation community detection, built on [MapAccum] voting.
+
+    Each iteration, every vertex receives its neighbors' labels in a
+    vertex-attached [MapAccum<label, SumAccum<int>>] (one snapshot phase),
+    then adopts the most frequent label (smallest label winning ties, so the
+    algorithm is deterministic).  A global [OrAccum] drives termination.
+    This exercises nested accumulators in an iterative workload — the
+    composition pattern of paper §5. *)
+
+val run : Pgraph.Graph.t -> ?edge_type:string -> ?max_iterations:int -> unit -> int array
+(** [run g ()] assigns a community label (a vertex id) per vertex. *)
+
+val modularity_communities : int array -> (int, int list) Hashtbl.t
+(** Groups vertices by label (helper for tests and examples). *)

@@ -1,0 +1,79 @@
+module G = Pgraph.Graph
+
+let edge_ok g = function
+  | None -> fun _ -> true
+  | Some name ->
+    (match Pgraph.Schema.find_edge_type (G.schema g) name with
+     | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+     | None -> invalid_arg ("Kcore: unknown edge type " ^ name))
+
+(* Distinct-neighbour degrees in the undirected view (parallel edges and
+   self-loops do not inflate coreness). *)
+let neighbour_sets g e_ok =
+  let n = G.n_vertices g in
+  Array.init n (fun v ->
+      let tbl = Hashtbl.create 8 in
+      G.iter_adjacent g v (fun h ->
+          if e_ok h.G.h_edge && h.G.h_other <> v then Hashtbl.replace tbl h.G.h_other ());
+      tbl)
+
+let k_core g ?edge_type ~k () =
+  let e_ok = edge_ok g edge_type in
+  let nbrs = neighbour_sets g e_ok in
+  let n = G.n_vertices g in
+  let alive = Array.make n true in
+  let degree = Array.map Hashtbl.length nbrs in
+  (* Peel with a worklist: whenever a vertex drops below k, deactivate it
+     and decrement its surviving neighbours. *)
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if degree.(v) < k then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if alive.(v) then begin
+      alive.(v) <- false;
+      Hashtbl.iter
+        (fun u () ->
+          if alive.(u) then begin
+            degree.(u) <- degree.(u) - 1;
+            if degree.(u) < k then Queue.add u queue
+          end)
+        nbrs.(v)
+    end
+  done;
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    if alive.(v) then out := v :: !out
+  done;
+  Array.of_list !out
+
+let coreness g ?edge_type () =
+  let e_ok = edge_ok g edge_type in
+  let nbrs = neighbour_sets g e_ok in
+  let n = G.n_vertices g in
+  let degree = Array.map Hashtbl.length nbrs in
+  let core = Array.make n 0 in
+  let removed = Array.make n false in
+  (* Matula–Beck: repeatedly remove a minimum-degree vertex; its coreness is
+     the running maximum of the minimum degrees seen. *)
+  let remaining = ref n in
+  let current = ref 0 in
+  while !remaining > 0 do
+    (* Linear scan for the minimum-degree survivor — O(V²), fine at the
+       laptop scales this toolkit targets. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not removed.(v)) && (!best = -1 || degree.(v) < degree.(!best)) then best := v
+    done;
+    let v = !best in
+    current := max !current degree.(v);
+    core.(v) <- !current;
+    removed.(v) <- true;
+    decr remaining;
+    Hashtbl.iter (fun u () -> if not removed.(u) then degree.(u) <- degree.(u) - 1) nbrs.(v)
+  done;
+  core
+
+let degeneracy g ?edge_type () =
+  Array.fold_left max 0 (coreness g ?edge_type ())

@@ -1,0 +1,17 @@
+(** k-core decomposition by iterative peeling.
+
+    Another member of the iterative-algorithm class the paper argues GSQL
+    covers natively (§5): repeatedly deactivate vertices of degree < k in
+    the surviving subgraph, driven by an [OrAccum] "changed" flag — the
+    same loop shape as WCC and PageRank. *)
+
+val coreness : Pgraph.Graph.t -> ?edge_type:string -> unit -> int array
+(** [coreness g ()] — the largest [k] such that the vertex survives in the
+    [k]-core (0 for isolated vertices).  Undirected view of the graph. *)
+
+val k_core : Pgraph.Graph.t -> ?edge_type:string -> k:int -> unit -> int array
+(** Vertices of the [k]-core (every member has ≥ k neighbours inside the
+    core). *)
+
+val degeneracy : Pgraph.Graph.t -> ?edge_type:string -> unit -> int
+(** The maximum coreness — the graph's degeneracy. *)

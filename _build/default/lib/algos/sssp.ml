@@ -1,0 +1,69 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module B = Pgraph.Bignat
+module Store = Accum.Store
+module Spec = Accum.Spec
+
+let any_step_darpe _g edge_type =
+  (* "(T>|T)*": any number of edges of the type, crossing directed edges
+     forwards and undirected edges either way; wildcard when no type. *)
+  let t = match edge_type with None -> "_" | Some t -> t in
+  Darpe.Parse.parse (Printf.sprintf "(%s>|%s)*" t t)
+
+let bfs g ?edge_type ~src () =
+  let dfa = Darpe.Dfa.compile (G.schema g) (any_step_darpe g edge_type) in
+  (Pathsem.Count.single_source g dfa src).Pathsem.Count.sr_dist
+
+let bfs_darpe g ~darpe ~src =
+  let dfa = Darpe.Dfa.compile (G.schema g) (Darpe.Parse.parse darpe) in
+  (Pathsem.Count.single_source g dfa src).Pathsem.Count.sr_dist
+
+let path_counts g ?edge_type ~src () =
+  let dfa = Darpe.Dfa.compile (G.schema g) (any_step_darpe g edge_type) in
+  (Pathsem.Count.single_source g dfa src).Pathsem.Count.sr_count
+
+let edge_filter g = function
+  | None -> fun _ -> true
+  | Some name ->
+    (match Pgraph.Schema.find_edge_type (G.schema g) name with
+     | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+     | None -> invalid_arg ("Sssp: unknown edge type " ^ name))
+
+let weighted g ?edge_type ~weight_attr ~src () =
+  let n = G.n_vertices g in
+  let e_ok = edge_filter g edge_type in
+  let store = Store.create () in
+  Store.declare_vertex store "dist" Spec.Min_acc ~n_vertices:n;
+  Store.assign_now store (Store.Vertex_acc ("dist", src)) (V.Float 0.0);
+  let dist v =
+    match Store.read store (Store.Vertex_acc ("dist", v)) with
+    | V.Null -> infinity
+    | d -> V.to_float d
+  in
+  let relax () =
+    (* One snapshot round: every settled vertex offers dist+w to its
+       forward/undirected neighbors; MinAccum keeps the best. *)
+    let phase = Store.begin_phase store in
+    let any = ref false in
+    G.iter_vertices g (fun v ->
+        let dv = dist v in
+        if dv < infinity then
+          G.iter_adjacent g v (fun h ->
+              if (h.G.h_rel = G.Out || h.G.h_rel = G.Und) && e_ok h.G.h_edge then begin
+                let w = V.to_float (G.edge_attr g h.G.h_edge weight_attr) in
+                let candidate = dv +. w in
+                if candidate < dist h.G.h_other then begin
+                  Store.buffer_input phase (Store.Vertex_acc ("dist", h.G.h_other))
+                    (V.Float candidate) B.one;
+                  any := true
+                end
+              end));
+    Store.commit store phase;
+    !any
+  in
+  let rec rounds i =
+    if relax () then
+      if i >= n then failwith "Sssp.weighted: negative cycle" else rounds (i + 1)
+  in
+  rounds 1;
+  Array.init n dist

@@ -1,0 +1,29 @@
+(** Single-source shortest paths in the accumulator style (paper §5 cites
+    shortest paths among the iterative algorithms GSQL expresses natively).
+
+    Unweighted distances come straight from the SDMC counting engine (one
+    BFS over the graph×DFA product with a trivial automaton); weighted
+    distances run Bellman–Ford-style [MinAccum] relaxation rounds under
+    snapshot semantics, which also supplies the shortest-path DAG's edge
+    relaxation counts. *)
+
+val bfs : Pgraph.Graph.t -> ?edge_type:string -> src:int -> unit -> int array
+(** Hop distances from [src] following directed edges forwards and
+    undirected edges either way; [-1] = unreachable. *)
+
+val bfs_darpe : Pgraph.Graph.t -> darpe:string -> src:int -> int array
+(** Hop distances constrained to paths satisfying a DARPE (e.g.
+    ["KNOWS*"]); exposes the pattern-aware reachability the engine gives
+    for free. *)
+
+val weighted :
+  Pgraph.Graph.t -> ?edge_type:string -> weight_attr:string -> src:int -> unit ->
+  float array
+(** Bellman–Ford relaxation with edge weights read from [weight_attr]
+    (numeric, non-negative expected); [infinity] = unreachable.  Runs at
+    most |V| rounds; raises [Failure] on a negative cycle detected by a
+    relaxation in round |V|. *)
+
+val path_counts : Pgraph.Graph.t -> ?edge_type:string -> src:int -> unit -> Pgraph.Bignat.t array
+(** Number of shortest (hop-count) paths from [src] to each vertex —
+    single-source SDMC with a single-step-closure DARPE. *)

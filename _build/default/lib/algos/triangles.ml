@@ -1,0 +1,73 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module B = Pgraph.Bignat
+module Store = Accum.Store
+module Spec = Accum.Spec
+
+let edge_filter g = function
+  | None -> fun _ -> true
+  | Some name ->
+    (match Pgraph.Schema.find_edge_type (G.schema g) name with
+     | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+     | None -> invalid_arg ("Triangles: unknown edge type " ^ name))
+
+(* Distinct neighbors in the undirected view, via SetAccum. *)
+let neighborhoods g e_ok =
+  let n = G.n_vertices g in
+  let store = Store.create () in
+  Store.declare_vertex store "nbrs" Spec.Set_acc ~n_vertices:n;
+  let phase = Store.begin_phase store in
+  G.iter_vertices g (fun v ->
+      G.iter_adjacent g v (fun h ->
+          if e_ok h.G.h_edge && h.G.h_other <> v then
+            Store.buffer_input phase (Store.Vertex_acc ("nbrs", v)) (V.Int h.G.h_other) B.one));
+  Store.commit store phase;
+  Array.init n (fun v ->
+      match Store.read store (Store.Vertex_acc ("nbrs", v)) with
+      | V.Vlist l ->
+        let tbl = Hashtbl.create (List.length l) in
+        List.iter (fun x -> Hashtbl.replace tbl (V.to_int x) ()) l;
+        tbl
+      | _ -> Hashtbl.create 0)
+
+let per_vertex g ?edge_type () =
+  let e_ok = edge_filter g edge_type in
+  let nbrs = neighborhoods g e_ok in
+  let n = G.n_vertices g in
+  let counts = Array.make n 0 in
+  (* For each vertex v and each unordered neighbor pair (a, b) with an edge:
+     count once per corner via intersection sums over ordered pairs v<a. *)
+  for v = 0 to n - 1 do
+    Hashtbl.iter
+      (fun a () ->
+        if a > v then
+          Hashtbl.iter
+            (fun b () ->
+              if b > a && Hashtbl.mem nbrs.(v) b then begin
+                counts.(v) <- counts.(v) + 1;
+                counts.(a) <- counts.(a) + 1;
+                counts.(b) <- counts.(b) + 1
+              end)
+            nbrs.(a))
+      nbrs.(v)
+  done;
+  counts
+
+let count g ?edge_type () =
+  let per = per_vertex g ?edge_type () in
+  Array.fold_left ( + ) 0 per / 3
+
+let clustering_coefficient g ?edge_type v =
+  let e_ok = edge_filter g edge_type in
+  let nbrs = neighborhoods g e_ok in
+  let deg = Hashtbl.length nbrs.(v) in
+  if deg < 2 then 0.0
+  else begin
+    let closed = ref 0 in
+    Hashtbl.iter
+      (fun a () ->
+        Hashtbl.iter (fun b () -> if a < b && Hashtbl.mem nbrs.(a) b then incr closed)
+          nbrs.(v))
+      nbrs.(v);
+    2.0 *. float_of_int !closed /. float_of_int (deg * (deg - 1))
+  end

@@ -1,0 +1,15 @@
+(** Triangle counting with [SetAccum] neighborhoods.
+
+    Phase 1 collects each vertex's (undirected-view) neighborhood into a
+    vertex-attached [SetAccum]; phase 2 sums neighborhood intersections per
+    edge.  Each triangle is counted once. *)
+
+val count : Pgraph.Graph.t -> ?edge_type:string -> unit -> int
+(** Total number of triangles in the undirected view of the graph. *)
+
+val per_vertex : Pgraph.Graph.t -> ?edge_type:string -> unit -> int array
+(** Triangles through each vertex (each triangle appears at its three
+    corners). *)
+
+val clustering_coefficient : Pgraph.Graph.t -> ?edge_type:string -> int -> float
+(** Local clustering coefficient of a vertex (0 when degree < 2). *)

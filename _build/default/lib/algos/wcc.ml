@@ -1,0 +1,54 @@
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module B = Pgraph.Bignat
+module Store = Accum.Store
+module Spec = Accum.Spec
+
+let edge_filter g = function
+  | None -> fun _ -> true
+  | Some name ->
+    (match Pgraph.Schema.find_edge_type (G.schema g) name with
+     | Some et -> fun e -> G.edge_type_id g e = et.Pgraph.Schema.et_id
+     | None -> invalid_arg ("Wcc: unknown edge type " ^ name))
+
+let run g ?edge_type () =
+  let n = G.n_vertices g in
+  let e_ok = edge_filter g edge_type in
+  let store = Store.create () in
+  Store.declare_vertex store "cc" Spec.Min_acc ~n_vertices:n;
+  Store.declare_global store "changed" Spec.Or_acc;
+  (* Seed every vertex with its own id. *)
+  G.iter_vertices g (fun v -> Store.assign_now store (Store.Vertex_acc ("cc", v)) (V.Int v));
+  let label v = V.to_int (Store.read store (Store.Vertex_acc ("cc", v))) in
+  let changed = ref true in
+  while !changed do
+    Store.assign_now store (Store.Global "changed") (V.Bool false);
+    let phase = Store.begin_phase store in
+    G.iter_vertices g (fun v ->
+        let lv = label v in
+        G.iter_adjacent g v (fun h ->
+            (* Weak connectivity: cross edges in either orientation. *)
+            if e_ok h.G.h_edge && lv < label h.G.h_other then begin
+              Store.buffer_input phase (Store.Vertex_acc ("cc", h.G.h_other)) (V.Int lv) B.one;
+              Store.buffer_input phase (Store.Global "changed") (V.Bool true) B.one
+            end));
+    Store.commit store phase;
+    changed := V.to_bool (Store.read store (Store.Global "changed"))
+  done;
+  Array.init n label
+
+let count_components g ?edge_type () =
+  let labels = run g ?edge_type () in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace distinct l ()) labels;
+  Hashtbl.length distinct
+
+let components g ?edge_type () =
+  let labels = run g ?edge_type () in
+  let by_label = Hashtbl.create 16 in
+  Array.iteri
+    (fun v l ->
+      Hashtbl.replace by_label l (v :: (try Hashtbl.find by_label l with Not_found -> [])))
+    labels;
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_label []) in
+  Array.of_list (List.map (fun k -> List.rev (Hashtbl.find by_label k)) keys)

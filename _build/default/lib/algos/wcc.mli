@@ -1,0 +1,16 @@
+(** Weakly connected components via MinAccum label propagation — the classic
+    iterative-composition workload the paper cites alongside PageRank (§5).
+
+    Every vertex starts with its own id in a [MinAccum]; each iteration
+    propagates labels across edges (both directions, so directed graphs are
+    treated as undirected); a global [OrAccum] records whether anything
+    changed, terminating the loop. *)
+
+val run : Pgraph.Graph.t -> ?edge_type:string -> unit -> int array
+(** [run g ()] labels each vertex with the smallest vertex id in its weak
+    component. *)
+
+val count_components : Pgraph.Graph.t -> ?edge_type:string -> unit -> int
+
+val components : Pgraph.Graph.t -> ?edge_type:string -> unit -> int list array
+(** Vertices grouped by component, ordered by component label. *)

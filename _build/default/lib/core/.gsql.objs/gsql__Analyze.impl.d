@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Accum Ast Darpe List Option Printf String

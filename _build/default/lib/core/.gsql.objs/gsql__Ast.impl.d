@@ -1,0 +1,1 @@
+lib/core/ast.ml: Accum Darpe Format List Pathsem Printf String

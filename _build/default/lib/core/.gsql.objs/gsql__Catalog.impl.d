@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Analyze Ast Eval Hashtbl List Option Parser Pretty Printf String

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Accum Analyze Array Ast Buffer Darpe Float Hashtbl List Option Parser Pathsem Pgraph Printf String Table

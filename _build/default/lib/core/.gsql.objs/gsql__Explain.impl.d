@@ -1,0 +1,1 @@
+lib/core/explain.ml: Accum Analyze Ast Buffer Darpe List Pathsem Printf String

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Buffer Hashtbl List Printf String Token

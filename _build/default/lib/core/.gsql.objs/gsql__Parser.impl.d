@@ -1,0 +1,1 @@
+lib/core/parser.ml: Accum Array Ast Buffer Darpe Lexer List Pathsem Printf String Token

@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Accum Ast Buffer Darpe List Option Pathsem Printf String

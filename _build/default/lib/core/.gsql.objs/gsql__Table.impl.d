@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Buffer Format Hashtbl List Pgraph Printf String

@@ -1,0 +1,31 @@
+(** Static analysis of parsed queries.
+
+    Checks performed before evaluation:
+    - every accumulator reference resolves to a declaration of matching kind
+      (global [@@x] vs vertex [@x]);
+    - edge aliases only appear on single-step DARPEs (variables bound inside
+      Kleene scope are excluded from the paper's tractable class, §7);
+    - ACCUM/POST_ACCUM statements reference at most one vertex alias per
+      POST_ACCUM statement;
+    - primed reads ([@a']) reference declared accumulators.
+
+    Also classifies queries against the paper's tractable class
+    (Theorem 7.1). *)
+
+type info = {
+  errors : string list;          (** empty = query accepted *)
+  warnings : string list;
+  tractable : bool;
+      (** false when the query combines unbounded DARPEs with
+          order-dependent accumulators (List/Array/[SumAccum<string>]) or
+          edge variables — evaluation falls back to enumeration costs *)
+  primed : string list;
+      (** accumulator families read with the previous-value operator *)
+}
+
+val check_query : Ast.query -> info
+val check_block : Ast.stmt list -> info
+
+val post_accum_aliases : Ast.acc_stmt -> string list
+(** Vertex aliases a POST_ACCUM statement references (evaluator uses the
+    head alias to drive the per-distinct-vertex execution). *)

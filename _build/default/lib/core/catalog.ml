@@ -1,0 +1,60 @@
+exception Error of string
+
+type entry = {
+  query : Ast.query;
+  info : Analyze.info;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reverse installation order *)
+}
+
+let create () = { entries = Hashtbl.create 16; order = [] }
+
+let install_query cat (q : Ast.query) =
+  if Hashtbl.mem cat.entries q.Ast.q_name then
+    raise (Error (Printf.sprintf "query %s is already installed" q.Ast.q_name));
+  let info = Analyze.check_query q in
+  (match info.Analyze.errors with
+   | [] -> ()
+   | errs ->
+     raise
+       (Error (Printf.sprintf "query %s failed analysis: %s" q.Ast.q_name (String.concat "; " errs))));
+  Hashtbl.replace cat.entries q.Ast.q_name { query = q; info };
+  cat.order <- q.Ast.q_name :: cat.order
+
+let install cat source =
+  let program =
+    try Parser.parse_program source with Parser.Error msg -> raise (Error msg)
+  in
+  if program = [] then raise (Error "no CREATE QUERY definitions in source");
+  List.iter (install_query cat) program;
+  List.map (fun (q : Ast.query) -> q.Ast.q_name) program
+
+let names cat = List.rev cat.order
+
+let find cat name = Option.map (fun e -> e.query) (Hashtbl.find_opt cat.entries name)
+
+let mem cat name = Hashtbl.mem cat.entries name
+
+let drop cat name =
+  if Hashtbl.mem cat.entries name then begin
+    Hashtbl.remove cat.entries name;
+    cat.order <- List.filter (fun n -> n <> name) cat.order
+  end
+
+let get cat name =
+  match Hashtbl.find_opt cat.entries name with
+  | Some e -> e
+  | None -> raise (Error (Printf.sprintf "no installed query named %s" name))
+
+let run cat g ?semantics ~params name =
+  let e = get cat name in
+  try Eval.run_query g ?semantics ~params e.query
+  with Eval.Runtime_error msg -> raise (Error (Printf.sprintf "%s: %s" name msg))
+
+let source_of cat name = Pretty.query (get cat name).query
+
+let signature_of cat name =
+  List.map (fun (p : Ast.param) -> (p.Ast.p_name, p.Ast.p_ty)) (get cat name).query.Ast.q_params

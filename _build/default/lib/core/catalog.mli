@@ -1,0 +1,40 @@
+(** Query catalogs: named, pre-parsed and pre-analyzed GSQL queries.
+
+    Mirrors TigerGraph's install-then-call workflow ([CREATE QUERY] once,
+    invoke many times): installation parses and analyzes eagerly so calls
+    fail fast, and repeated runs skip re-parsing. *)
+
+type t
+
+exception Error of string
+
+val create : unit -> t
+
+val install : t -> string -> string list
+(** [install cat source] parses a program (one or more [CREATE QUERY]
+    definitions), analyzes each, and registers them by name.  Returns the
+    installed names in source order.  Raises {!Error} on parse/analysis
+    failure or a duplicate name. *)
+
+val install_query : t -> Ast.query -> unit
+(** Registers an already-parsed query. *)
+
+val names : t -> string list
+val find : t -> string -> Ast.query option
+val mem : t -> string -> bool
+
+val drop : t -> string -> unit
+(** Removes a query; silent when absent. *)
+
+val run :
+  t -> Pgraph.Graph.t -> ?semantics:Pathsem.Semantics.t ->
+  params:(string * Pgraph.Value.t) list -> string -> Eval.result
+(** [run cat g ~params name] executes the installed query.  Raises {!Error}
+    on an unknown name. *)
+
+val source_of : t -> string -> string
+(** The installed query re-rendered by {!Pretty.query}.  Raises {!Error} on
+    an unknown name. *)
+
+val signature_of : t -> string -> (string * Ast.param_ty) list
+(** Parameter names and types of an installed query. *)

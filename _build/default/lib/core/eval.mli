@@ -1,0 +1,55 @@
+(** The GSQL interpreter.
+
+    Implements the paper's declarative semantics (§4): the FROM clause
+    produces a {e compressed} binding table — one row per distinct binding of
+    the pattern variables, carrying the count of witnessing legal paths as a
+    multiplicity (Theorem 7.1) — WHERE filters it, ACCUM executes once per
+    row under snapshot semantics with multiplicity-aware accumulator inputs,
+    POST_ACCUM executes once per distinct vertex, and the (multi-output)
+    SELECT clause projects result tables.
+
+    The path-legality semantics defaults to all-shortest-paths and can be
+    overridden per query ([SEMANTICS "non-repeated-edge"] in the header) or
+    per call ([~semantics]) — the paper's benchmarks exercise exactly this
+    switch. *)
+
+exception Runtime_error of string
+
+(** A runtime binding: scalar value, vertex set, or result table. *)
+type rt_value =
+  | R_scalar of Pgraph.Value.t
+  | R_vset of int array
+  | R_table of Table.t
+
+type result = {
+  r_tables : (string * Table.t) list;  (** INTO tables, in creation order *)
+  r_printed : string;                  (** rendered PRINT output *)
+  r_return : rt_value option;          (** RETURN payload *)
+  r_vsets : (string * int array) list; (** final vertex-set variables *)
+}
+
+val run_query :
+  Pgraph.Graph.t -> ?semantics:Pathsem.Semantics.t ->
+  params:(string * Pgraph.Value.t) list -> Ast.query -> result
+(** Analyzes ({!Analyze.check_query}) and executes the query.  Raises
+    {!Runtime_error} on analysis errors, missing/ill-typed parameters, or
+    execution failures. *)
+
+val run_block :
+  Pgraph.Graph.t -> ?semantics:Pathsem.Semantics.t ->
+  ?params:(string * Pgraph.Value.t) list -> Ast.stmt list -> result
+(** Executes a bare statement block ("interpreted query"). *)
+
+val run_source :
+  Pgraph.Graph.t -> ?semantics:Pathsem.Semantics.t ->
+  ?params:(string * Pgraph.Value.t) list -> string -> result
+(** Parses a single [CREATE QUERY] definition (or, failing that, a bare
+    statement block) and runs it. *)
+
+val table : result -> string -> Table.t
+(** Looks up an INTO table by name; raises {!Runtime_error} when absent. *)
+
+val return_value : result -> Pgraph.Value.t
+(** The RETURN payload as a value ([Vlist] of vertices for a set, flattened
+    table rows for a table).  Raises {!Runtime_error} when the query did not
+    return. *)

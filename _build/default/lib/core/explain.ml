@@ -1,0 +1,144 @@
+let classify_darpe (d : Darpe.Ast.t) =
+  match d with
+  | Darpe.Ast.Step _ -> "single step -> direct adjacency scan (binds edge variables)"
+  | _ ->
+    (match Darpe.Ast.fixed_unique_length d, Darpe.Ast.max_path_length d with
+     | Some n, _ ->
+       Printf.sprintf
+         "fixed-unique-length (%d) -> product traversal; all-shortest = unrestricted semantics" n
+     | None, Some m ->
+       Printf.sprintf "bounded repetition (max %d) -> graph x DFA product traversal" m
+     | None, None ->
+       "unbounded Kleene -> graph x DFA product; counting engine polynomial, enumeration \
+        engines exponential in matching paths")
+
+(* A WHERE conjunct pushes down when it touches exactly one vertex alias of
+   the pattern (mirrors Eval.split_where). *)
+let rec and_conjuncts (e : Ast.expr) =
+  match e with
+  | Ast.E_binop (Ast.And, a, b) -> and_conjuncts a @ and_conjuncts b
+  | other -> [ other ]
+
+let rec expr_vars (e : Ast.expr) =
+  match e with
+  | Ast.E_var v | Ast.E_attr (v, _) | Ast.E_vacc (v, _) | Ast.E_vacc_prev (v, _) -> [ v ]
+  | Ast.E_binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Ast.E_unop (_, a) -> expr_vars a
+  | Ast.E_call (_, args) | Ast.E_tuple args -> List.concat_map expr_vars args
+  | Ast.E_method (base, _, args) -> expr_vars base @ List.concat_map expr_vars args
+  | Ast.E_arrow (ks, vs) -> List.concat_map expr_vars (ks @ vs)
+  | Ast.E_int _ | Ast.E_float _ | Ast.E_string _ | Ast.E_bool _ | Ast.E_null | Ast.E_gacc _
+  | Ast.E_gacc_prev _ -> []
+
+let rec acc_targets (s : Ast.acc_stmt) =
+  match s with
+  | Ast.A_input (t, _) | Ast.A_assign (t, _) -> [ Ast.target_to_string t ]
+  | Ast.A_local _ -> []
+  | Ast.A_attr_assign (v, a, _) -> [ Printf.sprintf "%s.%s (attribute)" v a ]
+  | Ast.A_if (_, th, el) -> List.concat_map acc_targets th @ List.concat_map acc_targets el
+
+let endpoint_alias (ep : Ast.endpoint) =
+  match ep.Ast.ep_alias with Some a -> a | None -> ep.Ast.ep_set
+
+let explain_select buf (b : Ast.select_block) =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let pattern_aliases =
+    List.concat_map
+      (fun (c : Ast.conjunct) -> [ endpoint_alias c.Ast.c_src; endpoint_alias c.Ast.c_dst ])
+      b.Ast.s_from
+    |> List.sort_uniq compare
+  in
+  List.iteri
+    (fun i (c : Ast.conjunct) ->
+      add "  pattern %d: %s -(%s)- %s\n" (i + 1) (endpoint_alias c.Ast.c_src)
+        (Darpe.Ast.to_string c.Ast.c_darpe)
+        (endpoint_alias c.Ast.c_dst);
+      add "    %s\n" (classify_darpe c.Ast.c_darpe))
+    b.Ast.s_from;
+  if List.length b.Ast.s_from > 1 then
+    add "  join: %d conjuncts hash-joined on shared aliases {%s}\n" (List.length b.Ast.s_from)
+      (String.concat ", " pattern_aliases);
+  (match b.Ast.s_where with
+   | None -> ()
+   | Some w ->
+     let parts = and_conjuncts w in
+     let pushed, residual =
+       List.partition
+         (fun p ->
+           match List.sort_uniq compare (List.filter (fun v -> List.mem v pattern_aliases) (expr_vars p)) with
+           | [ _ ] -> true
+           | _ -> false)
+         parts
+     in
+     List.iter (fun p -> add "  where (pushed to seed filter): %s\n" (Ast.expr_to_string p)) pushed;
+     List.iter (fun p -> add "  where (residual row filter):  %s\n" (Ast.expr_to_string p)) residual);
+  let accum_targets = List.sort_uniq compare (List.concat_map acc_targets b.Ast.s_accum) in
+  if accum_targets <> [] then
+    add "  accum: one execution per binding row (multiplicity-weighted) -> {%s}\n"
+      (String.concat ", " accum_targets);
+  let post_targets = List.sort_uniq compare (List.concat_map acc_targets b.Ast.s_post_accum) in
+  if post_targets <> [] then
+    add "  post_accum: once per distinct vertex -> {%s}\n" (String.concat ", " post_targets);
+  if b.Ast.s_group_by <> [] then
+    add "  group by: %s (aggregates fold multiplicities; bag semantics)\n"
+      (String.concat ", " (List.map Ast.expr_to_string b.Ast.s_group_by));
+  (match b.Ast.s_order_by, b.Ast.s_limit with
+   | [], None -> ()
+   | keys, limit ->
+     add "  order/limit: %s%s\n"
+       (String.concat ", "
+          (List.map (fun (e, d) -> Ast.expr_to_string e ^ if d then " DESC" else " ASC") keys))
+       (match limit with Some l -> " limit " ^ Ast.expr_to_string l | None -> ""))
+
+let rec explain_stmt buf depth (s : Ast.stmt) =
+  let indent = String.make (depth * 2) ' ' in
+  let add fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (indent ^ str)) fmt in
+  match s with
+  | Ast.S_select (binding, b) ->
+    add "SELECT block%s:\n" (match binding with Some x -> Printf.sprintf " (binds %s)" x | None -> "");
+    explain_select buf b
+  | Ast.S_while (c, limit, body) ->
+    add "WHILE %s%s: accumulators carry state across iterations\n" (Ast.expr_to_string c)
+      (match limit with Some l -> " (limit " ^ Ast.expr_to_string l ^ ")" | None -> "");
+    List.iter (explain_stmt buf (depth + 1)) body
+  | Ast.S_if (_, th, el) ->
+    add "IF/ELSE:\n";
+    List.iter (explain_stmt buf (depth + 1)) th;
+    List.iter (explain_stmt buf (depth + 1)) el
+  | Ast.S_foreach (x, e, body) ->
+    add "FOREACH %s IN %s:\n" x (Ast.expr_to_string e);
+    List.iter (explain_stmt buf (depth + 1)) body
+  | Ast.S_acc_decl d ->
+    add "declare %s: %s\n"
+      (String.concat ", " (List.map (fun (g, n) -> (if g then "@@" else "@") ^ n) d.Ast.d_names))
+      (Accum.Spec.to_string d.Ast.d_spec)
+  | Ast.S_set_assign (x, _) -> add "vertex set %s\n" x
+  | Ast.S_insert (ty, _, _) -> add "INSERT INTO %s\n" ty
+  | Ast.S_gacc_assign _ | Ast.S_let _ | Ast.S_print _ | Ast.S_return _ -> ()
+
+let block stmts =
+  let buf = Buffer.create 512 in
+  let info = Analyze.check_block stmts in
+  List.iter (explain_stmt buf 0) stmts;
+  (match info.Analyze.errors with
+   | [] -> ()
+   | errs ->
+     Buffer.add_string buf "analysis errors:\n";
+     List.iter (fun e -> Buffer.add_string buf ("  ! " ^ e ^ "\n")) errs);
+  List.iter (fun w -> Buffer.add_string buf ("warning: " ^ w ^ "\n")) info.Analyze.warnings;
+  Buffer.add_string buf
+    (if info.Analyze.tractable then
+       "tractable class (Theorem 7.1): yes — polynomial-time evaluation under \
+        all-shortest-paths semantics\n"
+     else "tractable class (Theorem 7.1): NO — evaluation may be exponential\n");
+  Buffer.contents buf
+
+let query (q : Ast.query) =
+  let buf = Buffer.create 512 in
+  Printf.ksprintf (Buffer.add_string buf) "query %s(%s)%s\n" q.Ast.q_name
+    (String.concat ", " (List.map (fun (p : Ast.param) -> p.Ast.p_name) q.Ast.q_params))
+    (match q.Ast.q_semantics with
+     | Some sem -> Printf.sprintf " [semantics: %s]" (Pathsem.Semantics.to_string sem)
+     | None -> " [semantics: all-shortest (default)]");
+  Buffer.add_string buf (block q.Ast.q_body);
+  Buffer.contents buf

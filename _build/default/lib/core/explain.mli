@@ -1,0 +1,12 @@
+(** Query plans, explained.
+
+    Renders how the evaluator will treat a query: per-pattern DARPE
+    classification (single step → adjacency scan; bounded/unbounded Kleene →
+    graph×DFA product under the counting or enumeration engine), which WHERE
+    conjuncts push into the pattern match as seed filters, which accumulators
+    each clause touches, and the tractable-class verdict of Theorem 7.1 —
+    the reasoning §7 walks through, per query. *)
+
+val query : Ast.query -> string
+val block : Ast.stmt list -> string
+(** Raises nothing; analysis errors are embedded in the report. *)

@@ -1,0 +1,209 @@
+exception Error of string
+
+let fail line col msg = raise (Error (Printf.sprintf "lex error at %d:%d: %s" line col msg))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_set =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) Token.keywords;
+  tbl
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let col pos = pos - !bol + 1 in
+  let emit tok pos = toks := { Token.tok; line = !line; col = col pos } :: !toks in
+  let prev_is_acc () =
+    match !toks with
+    | { Token.tok = Token.VACC _ | Token.GACC _; _ } :: _ -> true
+    | _ -> false
+  in
+  let newline pos =
+    incr line;
+    bol := pos + 1
+  in
+  let read_ident pos =
+    let j = ref pos in
+    while !j < n && is_ident_char src.[!j] do incr j done;
+    let word = String.sub src pos (!j - pos) in
+    i := !j;
+    word
+  in
+  let read_number pos =
+    let j = ref pos in
+    while !j < n && is_digit src.[!j] do incr j done;
+    (* A '.' starts a fraction only when followed by a digit — avoids eating
+       the DOT in range syntax or qualified names. *)
+    if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+      incr j;
+      while !j < n && is_digit src.[!j] do incr j done;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        incr j;
+        if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+        while !j < n && is_digit src.[!j] do incr j done
+      end;
+      let text = String.sub src pos (!j - pos) in
+      i := !j;
+      Token.FLOAT (float_of_string text)
+    end
+    else begin
+      let text = String.sub src pos (!j - pos) in
+      i := !j;
+      Token.INT (int_of_string text)
+    end
+  in
+  let read_string pos quote =
+    let buf = Buffer.create 16 in
+    let j = ref (pos + 1) in
+    let rec go () =
+      if !j >= n then fail !line (col pos) "unterminated string literal"
+      else
+        let c = src.[!j] in
+        if c = quote then begin
+          i := !j + 1;
+          Buffer.contents buf
+        end
+        else if c = '\\' && !j + 1 < n then begin
+          (match src.[!j + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | c -> Buffer.add_char buf c);
+          j := !j + 2;
+          go ()
+        end
+        else begin
+          if c = '\n' then newline !j;
+          Buffer.add_char buf c;
+          incr j;
+          go ()
+        end
+    in
+    go ()
+  in
+  while !i < n do
+    let pos = !i in
+    let c = src.[pos] in
+    match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      newline pos;
+      incr i
+    | '#' ->
+      while !i < n && src.[!i] <> '\n' do incr i done
+    | '/' when pos + 1 < n && src.[pos + 1] = '/' ->
+      while !i < n && src.[!i] <> '\n' do incr i done
+    | '/' when pos + 1 < n && src.[pos + 1] = '*' ->
+      let j = ref (pos + 2) in
+      let rec skip () =
+        if !j + 1 >= n then fail !line (col pos) "unterminated block comment"
+        else if src.[!j] = '*' && src.[!j + 1] = '/' then i := !j + 2
+        else begin
+          if src.[!j] = '\n' then newline !j;
+          incr j;
+          skip ()
+        end
+      in
+      skip ()
+    | '(' -> emit Token.LPAREN pos; incr i
+    | ')' -> emit Token.RPAREN pos; incr i
+    | '{' -> emit Token.LBRACE pos; incr i
+    | '}' -> emit Token.RBRACE pos; incr i
+    | '[' -> emit Token.LBRACKET pos; incr i
+    | ']' -> emit Token.RBRACKET pos; incr i
+    | ',' -> emit Token.COMMA pos; incr i
+    | ';' -> emit Token.SEMI pos; incr i
+    | '.' -> emit Token.DOT pos; incr i
+    | ':' -> emit Token.COLON pos; incr i
+    | '*' -> emit Token.STAR pos; incr i
+    | '/' -> emit Token.SLASH pos; incr i
+    | '%' -> emit Token.PERCENT pos; incr i
+    | '+' ->
+      if pos + 1 < n && src.[pos + 1] = '=' then begin
+        emit Token.PLUSEQ pos;
+        i := pos + 2
+      end
+      else begin
+        emit Token.PLUS pos;
+        incr i
+      end
+    | '-' ->
+      if pos + 1 < n && src.[pos + 1] = '>' then begin
+        emit Token.ARROW pos;
+        i := pos + 2
+      end
+      else begin
+        emit Token.MINUS pos;
+        incr i
+      end
+    | '=' ->
+      if pos + 1 < n && src.[pos + 1] = '=' then begin
+        emit Token.EQ pos;
+        i := pos + 2
+      end
+      else begin
+        emit Token.EQ pos;
+        incr i
+      end
+    | '|' -> emit Token.PIPE pos; incr i
+    | '?' -> emit Token.QUESTION pos; incr i
+    | '!' ->
+      if pos + 1 < n && src.[pos + 1] = '=' then begin
+        emit Token.NEQ pos;
+        i := pos + 2
+      end
+      else fail !line (col pos) "unexpected '!'"
+    | '<' ->
+      if pos + 1 < n && src.[pos + 1] = '=' then begin
+        emit Token.LE pos;
+        i := pos + 2
+      end
+      else if pos + 1 < n && src.[pos + 1] = '>' then begin
+        emit Token.NEQ pos;
+        i := pos + 2
+      end
+      else begin
+        emit Token.LT pos;
+        incr i
+      end
+    | '>' ->
+      if pos + 1 < n && src.[pos + 1] = '=' then begin
+        emit Token.GE pos;
+        i := pos + 2
+      end
+      else begin
+        emit Token.GT pos;
+        incr i
+      end
+    | '@' ->
+      if pos + 1 < n && src.[pos + 1] = '@' then begin
+        i := pos + 2;
+        if !i < n && is_ident_start src.[!i] then emit (Token.GACC (read_ident !i)) pos
+        else fail !line (col pos) "expected name after @@"
+      end
+      else begin
+        i := pos + 1;
+        if !i < n && is_ident_start src.[!i] then emit (Token.VACC (read_ident !i)) pos
+        else fail !line (col pos) "expected name after @"
+      end
+    | '"' -> emit (Token.STRING (read_string pos '"')) pos
+    | '\'' ->
+      if prev_is_acc () then begin
+        emit Token.PRIME pos;
+        incr i
+      end
+      else emit (Token.STRING (read_string pos '\'')) pos
+    | c when is_digit c -> emit (read_number pos) pos
+    | c when is_ident_start c ->
+      let word = read_ident pos in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (Token.KW upper) pos
+      else emit (Token.IDENT word) pos
+    | c -> fail !line (col pos) (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit Token.EOF n;
+  List.rev !toks

@@ -1,0 +1,16 @@
+(** Hand-written lexer for GSQL source text.
+
+    Conventions:
+    - keywords are case-insensitive ([select] ≡ [SELECT]) and normalized to
+      uppercase {!Token.KW}s; everything else alphanumeric is an [IDENT];
+    - [@name] / [@@name] lex to accumulator reference tokens;
+    - an apostrophe directly after an accumulator token is the
+      previous-value {!Token.PRIME}; elsewhere it delimits a string literal
+      (both ['...'] and ["..."] are accepted, as in the paper's listings);
+    - [//] and [#] start line comments, [/* ... */] block comments. *)
+
+exception Error of string
+(** Message includes line/column. *)
+
+val tokenize : string -> Token.located list
+(** Ends with an [EOF] token. *)

@@ -1,0 +1,180 @@
+let expr = Ast.expr_to_string
+
+let rec spec (s : Accum.Spec.t) =
+  match s with
+  | Accum.Spec.Sum_int -> "SumAccum<int>"
+  | Accum.Spec.Sum_float -> "SumAccum<float>"
+  | Accum.Spec.Sum_string -> "SumAccum<string>"
+  | Accum.Spec.Min_acc -> "MinAccum"
+  | Accum.Spec.Max_acc -> "MaxAccum"
+  | Accum.Spec.Avg_acc -> "AvgAccum"
+  | Accum.Spec.Or_acc -> "OrAccum"
+  | Accum.Spec.And_acc -> "AndAccum"
+  | Accum.Spec.Set_acc -> "SetAccum"
+  | Accum.Spec.Bag_acc -> "BagAccum"
+  | Accum.Spec.List_acc -> "ListAccum"
+  | Accum.Spec.Array_acc -> "ArrayAccum"
+  | Accum.Spec.Map_acc nested -> Printf.sprintf "MapAccum<string, %s>" (spec nested)
+  | Accum.Spec.Heap_acc { Accum.Spec.h_capacity; h_fields } ->
+    Printf.sprintf "HeapAccum(%d%s)" h_capacity
+      (String.concat ""
+         (List.map
+            (fun (i, o) ->
+              Printf.sprintf ", %d %s" i
+                (match o with Accum.Spec.Asc -> "ASC" | Accum.Spec.Desc -> "DESC"))
+            h_fields))
+  | Accum.Spec.Group_by (nkeys, nested) ->
+    Printf.sprintf "GroupByAccum<%s, %s>"
+      (String.concat ", " (List.init nkeys (fun i -> Printf.sprintf "string k%d" i)))
+      (String.concat ", " (List.map spec nested))
+  | Accum.Spec.Custom name -> name
+
+let rec acc_stmt (s : Ast.acc_stmt) =
+  match s with
+  | Ast.A_input (t, e) -> Printf.sprintf "%s += %s" (Ast.target_to_string t) (expr e)
+  | Ast.A_assign (t, e) -> Printf.sprintf "%s = %s" (Ast.target_to_string t) (expr e)
+  | Ast.A_local (x, e) -> Printf.sprintf "%s = %s" x (expr e)
+  | Ast.A_attr_assign (v, a, e) -> Printf.sprintf "%s.%s = %s" v a (expr e)
+  | Ast.A_if (c, th, el) ->
+    let branch stmts = String.concat ", " (List.map acc_stmt stmts) in
+    if el = [] then Printf.sprintf "IF %s THEN %s END" (expr c) (branch th)
+    else Printf.sprintf "IF %s THEN %s ELSE %s END" (expr c) (branch th) (branch el)
+
+let endpoint (ep : Ast.endpoint) =
+  match ep.Ast.ep_alias with
+  | Some a -> Printf.sprintf "%s:%s" ep.Ast.ep_set a
+  | None -> ep.Ast.ep_set
+
+let conjunct (c : Ast.conjunct) =
+  let darpe = Darpe.Ast.to_string c.Ast.c_darpe in
+  let pat =
+    match c.Ast.c_edge_alias with
+    | Some e -> Printf.sprintf "-(%s:%s)-" darpe e
+    | None -> Printf.sprintf "-(%s)-" darpe
+  in
+  Printf.sprintf "%s %s %s" (endpoint c.Ast.c_src) pat (endpoint c.Ast.c_dst)
+
+let projection (e, alias) =
+  match alias with
+  | Some a -> Printf.sprintf "%s AS %s" (expr e) a
+  | None -> expr e
+
+let select_block (b : Ast.select_block) =
+  let buf = Buffer.create 256 in
+  let head =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices (distinct, alias, into) ->
+      Printf.sprintf "SELECT %s%s%s"
+        (if distinct then "DISTINCT " else "")
+        alias
+        (match into with Some t -> " INTO " ^ t | None -> "")
+    | Ast.Sel_outputs outputs ->
+      "SELECT "
+      ^ String.concat ";\n       "
+          (List.map
+             (fun (o : Ast.output_spec) ->
+               Printf.sprintf "%s%s INTO %s"
+                 (if o.Ast.o_distinct then "DISTINCT " else "")
+                 (String.concat ", " (List.map projection o.Ast.o_exprs))
+                 o.Ast.o_into)
+             outputs)
+  in
+  Buffer.add_string buf head;
+  Buffer.add_string buf
+    ("\nFROM " ^ String.concat ", " (List.map conjunct b.Ast.s_from));
+  Option.iter (fun w -> Buffer.add_string buf ("\nWHERE " ^ expr w)) b.Ast.s_where;
+  if b.Ast.s_accum <> [] then
+    Buffer.add_string buf
+      ("\nACCUM " ^ String.concat ",\n      " (List.map acc_stmt b.Ast.s_accum));
+  if b.Ast.s_post_accum <> [] then
+    Buffer.add_string buf
+      ("\nPOST_ACCUM " ^ String.concat ",\n           " (List.map acc_stmt b.Ast.s_post_accum));
+  if b.Ast.s_group_by <> [] then
+    Buffer.add_string buf
+      ("\nGROUP BY " ^ String.concat ", " (List.map expr b.Ast.s_group_by));
+  Option.iter (fun h -> Buffer.add_string buf ("\nHAVING " ^ expr h)) b.Ast.s_having;
+  if b.Ast.s_order_by <> [] then
+    Buffer.add_string buf
+      ("\nORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (e, desc) -> expr e ^ (if desc then " DESC" else " ASC"))
+             b.Ast.s_order_by));
+  Option.iter (fun l -> Buffer.add_string buf ("\nLIMIT " ^ expr l)) b.Ast.s_limit;
+  Buffer.contents buf
+
+let rec stmt (s : Ast.stmt) =
+  match s with
+  | Ast.S_acc_decl d ->
+    Printf.sprintf "%s %s%s;" (spec d.Ast.d_spec)
+      (String.concat ", "
+         (List.map (fun (g, n) -> (if g then "@@" else "@") ^ n) d.Ast.d_names))
+      (match d.Ast.d_init with Some e -> " = " ^ expr e | None -> "")
+  | Ast.S_set_assign (x, Ast.Set_types [ "*" ]) -> Printf.sprintf "%s = {ANY};" x
+  | Ast.S_set_assign (x, Ast.Set_types types) ->
+    Printf.sprintf "%s = {%s};" x (String.concat ", " (List.map (fun t -> t ^ ".*") types))
+  | Ast.S_set_assign (x, Ast.Set_copy y) -> Printf.sprintf "%s = %s;" x y
+  | Ast.S_set_assign (x, Ast.Set_op (op, a, b)) ->
+    Printf.sprintf "%s = %s %s %s;" x a
+      (match op with Ast.Op_union -> "UNION" | Ast.Op_intersect -> "INTERSECT" | Ast.Op_minus -> "MINUS")
+      b
+  | Ast.S_select (binding, b) ->
+    let prefix = match binding with Some x -> x ^ " = " | None -> "" in
+    prefix ^ select_block b ^ ";"
+  | Ast.S_gacc_assign (name, is_input, e) ->
+    Printf.sprintf "@@%s %s %s;" name (if is_input then "+=" else "=") (expr e)
+  | Ast.S_let (x, e) -> Printf.sprintf "%s = %s;" x (expr e)
+  | Ast.S_while (c, limit, body) ->
+    Printf.sprintf "WHILE %s%s DO\n%s\nEND;" (expr c)
+      (match limit with Some l -> " LIMIT " ^ expr l | None -> "")
+      (String.concat "\n" (List.map stmt body))
+  | Ast.S_if (c, th, el) ->
+    if el = [] then
+      Printf.sprintf "IF %s THEN\n%s\nEND;" (expr c) (String.concat "\n" (List.map stmt th))
+    else
+      Printf.sprintf "IF %s THEN\n%s\nELSE\n%s\nEND;" (expr c)
+        (String.concat "\n" (List.map stmt th))
+        (String.concat "\n" (List.map stmt el))
+  | Ast.S_foreach (x, e, body) ->
+    Printf.sprintf "FOREACH %s IN %s DO\n%s\nEND;" x (expr e)
+      (String.concat "\n" (List.map stmt body))
+  | Ast.S_print items ->
+    "PRINT "
+    ^ String.concat ", "
+        (List.map
+           (function
+             | Ast.P_expr (e, Some a) -> expr e ^ " AS " ^ a
+             | Ast.P_expr (e, None) -> expr e
+             | Ast.P_proj (set, es) ->
+               Printf.sprintf "%s[%s]" set (String.concat ", " (List.map expr es)))
+           items)
+    ^ ";"
+  | Ast.S_return e -> Printf.sprintf "RETURN %s;" (expr e)
+  | Ast.S_insert (ty, attrs, values) ->
+    Printf.sprintf "INSERT INTO %s%s VALUES (%s);" ty
+      (if attrs = [] then "" else " (" ^ String.concat ", " attrs ^ ")")
+      (String.concat ", " (List.map expr values))
+
+let param (p : Ast.param) =
+  let ty =
+    match p.Ast.p_ty with
+    | Ast.Ty_int -> "int"
+    | Ast.Ty_float -> "float"
+    | Ast.Ty_string -> "string"
+    | Ast.Ty_bool -> "bool"
+    | Ast.Ty_datetime -> "datetime"
+    | Ast.Ty_vertex None -> "vertex"
+    | Ast.Ty_vertex (Some t) -> Printf.sprintf "vertex<%s>" t
+  in
+  Printf.sprintf "%s %s" ty p.Ast.p_name
+
+let query (q : Ast.query) =
+  Printf.sprintf "CREATE QUERY %s (%s)%s%s {\n%s\n}" q.Ast.q_name
+    (String.concat ", " (List.map param q.Ast.q_params))
+    (match q.Ast.q_graph with Some g -> " FOR GRAPH " ^ g | None -> "")
+    (match q.Ast.q_semantics with
+     | Some sem -> Printf.sprintf " SEMANTICS '%s'" (Pathsem.Semantics.to_string sem)
+     | None -> "")
+    (String.concat "\n" (List.map stmt q.Ast.q_body))
+
+let program qs = String.concat "\n\n" (List.map query qs)

@@ -1,0 +1,15 @@
+(** Rendering GSQL ASTs back to concrete syntax.
+
+    [Parser.parse_query (Pretty.query q)] re-reads to an equal AST — the
+    round-trip law the property suite checks.  Also the basis for query
+    logging and for the CLI's query echo. *)
+
+val expr : Ast.expr -> string
+val acc_stmt : Ast.acc_stmt -> string
+val select_block : Ast.select_block -> string
+val stmt : Ast.stmt -> string
+val query : Ast.query -> string
+val program : Ast.program -> string
+val spec : Accum.Spec.t -> string
+(** Accumulator type in declaration syntax (e.g.
+    ["MapAccum<string, SumAccum<int>>"]). *)

@@ -1,0 +1,79 @@
+module V = Pgraph.Value
+
+type t = {
+  cols : string list;
+  rows : V.t array list;
+}
+
+let create cols rows =
+  let width = List.length cols in
+  List.iter
+    (fun row ->
+      if Array.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Table.create: row width %d does not match %d columns"
+             (Array.length row) width))
+    rows;
+  { cols; rows }
+
+let empty cols = { cols; rows = [] }
+
+let n_rows t = List.length t.rows
+let n_cols t = List.length t.cols
+
+let sort_by cmp t = { t with rows = List.stable_sort cmp t.rows }
+
+let limit n t = { t with rows = List.filteri (fun i _ -> i < n) t.rows }
+
+let distinct t =
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter
+      (fun row ->
+        let key = V.Vtuple row in
+        let h = V.hash key in
+        let bucket = try Hashtbl.find seen h with Not_found -> [] in
+        if List.exists (fun r -> V.equal (V.Vtuple r) key) bucket then false
+        else begin
+          Hashtbl.replace seen h (row :: bucket);
+          true
+        end)
+      t.rows
+  in
+  { t with rows }
+
+let column t name =
+  let rec index i = function
+    | [] -> raise Not_found
+    | c :: _ when c = name -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  let i = index 0 t.cols in
+  List.map (fun row -> row.(i)) t.rows
+
+let to_string t =
+  let headers = Array.of_list t.cols in
+  let rendered = List.map (fun row -> Array.map V.to_string row) t.rows in
+  let widths = Array.map String.length headers in
+  List.iter (Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))) rendered;
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells =
+    Buffer.add_string buf "| ";
+    Array.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell widths.(i));
+        Buffer.add_string buf " | ")
+      cells;
+    (* Drop the trailing space for tidy rows. *)
+    let len = Buffer.length buf in
+    Buffer.truncate buf (len - 1);
+    Buffer.add_char buf '\n'
+  in
+  line headers;
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "|\n");
+  List.iter (fun row -> line row) rendered;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

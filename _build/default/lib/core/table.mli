@@ -1,0 +1,30 @@
+(** Result tables produced by SELECT ... INTO and PRINT.
+
+    Plain value matrices with named columns — the "relational skin" of the
+    query results (multi-output SELECT populates several of these from one
+    query body, paper Example 5). *)
+
+type t = {
+  cols : string list;
+  rows : Pgraph.Value.t array list;
+}
+
+val create : string list -> Pgraph.Value.t array list -> t
+(** Raises [Invalid_argument] when a row's width differs from the header. *)
+
+val empty : string list -> t
+val n_rows : t -> int
+val n_cols : t -> int
+
+val sort_by : (Pgraph.Value.t array -> Pgraph.Value.t array -> int) -> t -> t
+val limit : int -> t -> t
+val distinct : t -> t
+(** Removes duplicate rows, preserving first occurrence order. *)
+
+val column : t -> string -> Pgraph.Value.t list
+(** Raises [Not_found] on an unknown column. *)
+
+val to_string : t -> string
+(** ASCII rendering with aligned columns. *)
+
+val pp : Format.formatter -> t -> unit

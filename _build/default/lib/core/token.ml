@@ -1,0 +1,55 @@
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | VACC of string
+  | GACC of string
+  | KW of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | DOT | COLON | PRIME
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ
+  | PLUSEQ
+  | NEQ
+  | LT | LE | GT | GE
+  | ARROW
+  | PIPE
+  | QUESTION
+  | EOF
+
+let keywords =
+  [ "CREATE"; "QUERY"; "FOR"; "GRAPH"; "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "ACCUM";
+    "POST_ACCUM"; "POST-ACCUM"; "HAVING"; "ORDER"; "BY"; "GROUP"; "LIMIT"; "ASC"; "DESC";
+    "INTO"; "AS"; "WHILE"; "DO"; "END"; "IF"; "THEN"; "ELSE"; "FOREACH"; "IN"; "PRINT";
+    "RETURN"; "INSERT"; "VALUES"; "UNION"; "INTERSECT"; "MINUS"; "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "VERTEX"; "EDGE"; "INT"; "UINT";
+    "FLOAT"; "DOUBLE"; "STRING"; "BOOL"; "DATETIME"; "ANY"; "SET"; "BAG"; "LIST"; "MAP";
+    "SEMANTICS" ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | VACC s -> "@" ^ s
+  | GACC s -> "@@" ^ s
+  | KW s -> s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | DOT -> "." | COLON -> ":" | PRIME -> "'"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "=" | PLUSEQ -> "+="
+  | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ARROW -> "->"
+  | PIPE -> "|"
+  | QUESTION -> "?"
+  | EOF -> "<eof>"
+
+type located = {
+  tok : t;
+  line : int;
+  col : int;
+}

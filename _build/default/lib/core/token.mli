@@ -1,0 +1,34 @@
+(** Lexical tokens of the GSQL fragment this reproduction implements. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string        (** bare identifier: [Person], [revenue], ... *)
+  | VACC of string         (** [@name] — vertex accumulator reference *)
+  | GACC of string         (** [@@name] — global accumulator reference *)
+  | KW of string           (** uppercased keyword: [SELECT], [FROM], ... *)
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | DOT | COLON | PRIME
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ                      (** [=] (assignment or comparison by context) *)
+  | PLUSEQ                  (** [+=] *)
+  | NEQ                     (** [!=] or [<>] *)
+  | LT | LE | GT | GE
+  | ARROW                   (** [->] *)
+  | PIPE                    (** [|] — DARPE disjunction inside patterns *)
+  | QUESTION                (** [?] — DARPE any-direction adornment *)
+  | EOF
+
+val keywords : string list
+(** Words lexed as [KW] (case-insensitive in source, stored uppercase). *)
+
+val to_string : t -> string
+
+type located = {
+  tok : t;
+  line : int;
+  col : int;
+}

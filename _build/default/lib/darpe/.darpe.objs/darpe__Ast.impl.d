@@ -1,0 +1,1 @@
+lib/darpe/ast.ml: Format List Printf

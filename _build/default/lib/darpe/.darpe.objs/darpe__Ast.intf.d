@@ -1,0 +1,1 @@
+lib/darpe/ast.mli: Format

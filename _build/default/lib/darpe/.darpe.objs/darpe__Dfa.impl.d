@@ -1,0 +1,1 @@
+lib/darpe/dfa.ml: Array Ast Hashtbl List Nfa Pgraph Queue

@@ -1,0 +1,1 @@
+lib/darpe/dfa.mli: Ast Pgraph

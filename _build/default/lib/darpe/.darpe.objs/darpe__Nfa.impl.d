@@ -1,0 +1,1 @@
+lib/darpe/nfa.ml: Array Ast List Pgraph

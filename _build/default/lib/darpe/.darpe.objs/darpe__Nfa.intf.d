@@ -1,0 +1,1 @@
+lib/darpe/nfa.mli: Ast

@@ -1,0 +1,1 @@
+lib/darpe/parse.ml: Ast List Printf String

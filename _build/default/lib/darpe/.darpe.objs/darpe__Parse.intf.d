@@ -1,0 +1,1 @@
+lib/darpe/parse.mli: Ast

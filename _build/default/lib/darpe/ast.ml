@@ -1,0 +1,98 @@
+type adir = Fwd | Rev | Undir | Any
+
+type t =
+  | Step of string option * adir
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t * int * int option
+  | Epsilon
+
+let star r = Star (r, 0, None)
+
+let seq_all = function
+  | [] -> invalid_arg "Ast.seq_all: empty"
+  | r :: rest -> List.fold_left (fun acc x -> Seq (acc, x)) r rest
+
+let alt_all = function
+  | [] -> invalid_arg "Ast.alt_all: empty"
+  | r :: rest -> List.fold_left (fun acc x -> Alt (acc, x)) r rest
+
+let rec equal a b =
+  match a, b with
+  | Step (t1, d1), Step (t2, d2) -> t1 = t2 && d1 = d2
+  | Seq (a1, a2), Seq (b1, b2) | Alt (a1, a2), Alt (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Star (r1, lo1, hi1), Star (r2, lo2, hi2) -> equal r1 r2 && lo1 = lo2 && hi1 = hi2
+  | Epsilon, Epsilon -> true
+  | (Step _ | Seq _ | Alt _ | Star _ | Epsilon), _ -> false
+
+let rec min_path_length = function
+  | Step _ -> 1
+  | Epsilon -> 0
+  | Seq (a, b) -> min_path_length a + min_path_length b
+  | Alt (a, b) -> min (min_path_length a) (min_path_length b)
+  | Star (r, lo, _) -> lo * min_path_length r
+
+let rec max_path_length = function
+  | Step _ -> Some 1
+  | Epsilon -> Some 0
+  | Seq (a, b) ->
+    (match max_path_length a, max_path_length b with
+     | Some x, Some y -> Some (x + y)
+     | _ -> None)
+  | Alt (a, b) ->
+    (match max_path_length a, max_path_length b with
+     | Some x, Some y -> Some (max x y)
+     | _ -> None)
+  | Star (r, _, hi) ->
+    (match hi, max_path_length r with
+     | Some h, Some m -> Some (h * m)
+     | Some _, None | None, _ ->
+       (* Unbounded star of a non-empty body is unbounded; star of an
+          epsilon-only body still has length 0. *)
+       (match max_path_length r with
+        | Some 0 -> Some 0
+        | _ -> None))
+
+(* Fixed-unique-length (paper §6.1): every accepted word has the same
+   length.  We compute (min, max) and additionally require disjunction
+   branches to agree, which the min=max test captures. *)
+let fixed_unique_length r =
+  match max_path_length r with
+  | None -> None
+  | Some mx -> if min_path_length r = mx then Some mx else None
+
+let rec mentions_wildcard = function
+  | Step (None, _) -> true
+  | Step (Some _, _) | Epsilon -> false
+  | Seq (a, b) | Alt (a, b) -> mentions_wildcard a || mentions_wildcard b
+  | Star (r, _, _) -> mentions_wildcard r
+
+let step_to_string ty d =
+  let name = match ty with None -> "_" | Some n -> n in
+  match d with
+  | Fwd -> name ^ ">"
+  | Rev -> "<" ^ name
+  | Undir -> name
+  | Any -> name ^ "?"
+
+let rec to_string = function
+  | Step (ty, d) -> step_to_string ty d
+  | Epsilon -> "()"
+  | Seq (a, b) -> paren_alt a ^ "." ^ paren_alt b
+  | Alt (a, b) -> to_string a ^ "|" ^ to_string b
+  | Star (r, 0, None) -> paren_composite r ^ "*"
+  | Star (r, lo, None) -> Printf.sprintf "%s*%d.." (paren_composite r) lo
+  | Star (r, 0, Some hi) -> Printf.sprintf "%s*..%d" (paren_composite r) hi
+  | Star (r, lo, Some hi) -> Printf.sprintf "%s*%d..%d" (paren_composite r) lo hi
+
+and paren_alt r =
+  match r with
+  | Alt _ -> "(" ^ to_string r ^ ")"
+  | _ -> to_string r
+
+and paren_composite r =
+  match r with
+  | Alt _ | Seq _ | Star _ -> "(" ^ to_string r ^ ")"
+  | _ -> to_string r
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,114 @@
+type t = {
+  n_states : int;
+  start : int;
+  accepting : bool array;
+  trans : int array array;
+  n_symbols : int;
+  live : bool array;
+}
+
+let n_rels = 3
+
+let rel_code : Pgraph.Graph.dir_rel -> int = function
+  | Pgraph.Graph.Out -> 0
+  | Pgraph.Graph.In -> 1
+  | Pgraph.Graph.Und -> 2
+
+let sym ~etype ~rel = (etype * n_rels) + rel_code rel
+
+(* Does a symbolic NFA label match a concrete (etype, rel) symbol? *)
+let label_matches schema (lbl : Nfa.sym) etype rel =
+  let type_ok =
+    match lbl.Nfa.s_type with
+    | None -> true
+    | Some name ->
+      (match Pgraph.Schema.find_edge_type schema name with
+       | Some et -> et.Pgraph.Schema.et_id = etype
+       | None -> false)
+  in
+  type_ok
+  &&
+  match lbl.Nfa.s_dir, rel with
+  | Ast.Fwd, 0 | Ast.Rev, 1 | Ast.Undir, 2 | Ast.Any, _ -> true
+  | (Ast.Fwd | Ast.Rev | Ast.Undir), _ -> false
+
+let compile schema (r : Ast.t) =
+  let nfa = Nfa.of_darpe r in
+  let n_etypes = Pgraph.Schema.n_edge_types schema in
+  let n_symbols = max 1 (n_etypes * n_rels) in
+  let state_ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let states = Pgraph.Vec.create () in
+  let trans_rows = Pgraph.Vec.create () in
+  let intern set =
+    match Hashtbl.find_opt state_ids set with
+    | Some id -> id
+    | None ->
+      let id = Pgraph.Vec.length states in
+      Hashtbl.add state_ids set id;
+      Pgraph.Vec.push states set;
+      Pgraph.Vec.push trans_rows (Array.make n_symbols (-1));
+      id
+  in
+  let start = intern (Nfa.eps_closure nfa [ nfa.Nfa.start ]) in
+  let work = Queue.create () in
+  Queue.add start work;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty work) do
+    let q = Queue.pop work in
+    if not (Hashtbl.mem processed q) then begin
+      Hashtbl.add processed q ();
+      let set = Pgraph.Vec.get states q in
+      let row = Pgraph.Vec.get trans_rows q in
+      for etype = 0 to n_etypes - 1 do
+        for rel = 0 to n_rels - 1 do
+          let targets =
+            List.concat_map
+              (fun s ->
+                List.filter_map
+                  (fun (lbl, t) -> if label_matches schema lbl etype rel then Some t else None)
+                  nfa.Nfa.trans.(s))
+              set
+          in
+          if targets <> [] then begin
+            let succ = intern (Nfa.eps_closure nfa targets) in
+            row.((etype * n_rels) + rel) <- succ;
+            if not (Hashtbl.mem processed succ) then Queue.add succ work
+          end
+        done
+      done
+    end
+  done;
+  let n_states = Pgraph.Vec.length states in
+  let accepting =
+    Array.init n_states (fun q -> List.mem nfa.Nfa.accept (Pgraph.Vec.get states q))
+  in
+  let trans = Pgraph.Vec.to_array trans_rows in
+  (* Liveness: reverse reachability from accepting states. *)
+  let preds = Array.make n_states [] in
+  Array.iteri
+    (fun q row -> Array.iter (fun succ -> if succ >= 0 then preds.(succ) <- q :: preds.(succ)) row)
+    trans;
+  let live = Array.make n_states false in
+  let rec mark q =
+    if not live.(q) then begin
+      live.(q) <- true;
+      List.iter mark preds.(q)
+    end
+  in
+  Array.iteri (fun q acc -> if acc then mark q) accepting;
+  { n_states; start; accepting; trans; n_symbols; live }
+
+let step dfa q ~etype ~rel =
+  let s = sym ~etype ~rel in
+  if s < dfa.n_symbols then dfa.trans.(q).(s) else -1
+
+let accepts_empty dfa = dfa.accepting.(dfa.start)
+
+let matches_word dfa word =
+  let rec go q = function
+    | [] -> q >= 0 && dfa.accepting.(q)
+    | (etype, rel) :: rest ->
+      if q < 0 then false
+      else go (step dfa q ~etype ~rel) rest
+  in
+  go dfa.start word

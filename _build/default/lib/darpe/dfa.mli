@@ -1,0 +1,43 @@
+(** Determinization of DARPE NFAs against a concrete schema.
+
+    The tractability result (paper Theorem 6.1) needs shortest {e paths} to
+    be counted, not automaton {e runs}: a single graph path can witness many
+    runs of a nondeterministic automaton, which would inflate counts.  After
+    subset construction every path induces exactly one DFA run, so BFS-level
+    counting over the graph×DFA product counts paths exactly.
+
+    The concrete alphabet is [edge-type id × traversal relation], with the
+    relation encoded as 0 = [Out], 1 = [In], 2 = [Und] (see
+    {!Pgraph.Graph.dir_rel}). *)
+
+type t = {
+  n_states : int;
+  start : int;
+  accepting : bool array;
+  trans : int array array;
+      (** [trans.(q).(sym)] is the successor state or [-1] when undefined. *)
+  n_symbols : int;  (** [3 × n_edge_types] *)
+  live : bool array;
+      (** [live.(q)] iff an accepting state is reachable from [q]; dead
+          states let traversals prune early. *)
+}
+
+val n_rels : int
+(** Number of traversal relations (3). *)
+
+val sym : etype:int -> rel:Pgraph.Graph.dir_rel -> int
+(** Concrete symbol id for an edge-type id and traversal relation. *)
+
+val compile : Pgraph.Schema.t -> Ast.t -> t
+(** Subset construction.  Wildcards and [Any] adornments are expanded against
+    the schema's declared edge types. *)
+
+val step : t -> int -> etype:int -> rel:Pgraph.Graph.dir_rel -> int
+(** [step dfa q ~etype ~rel] is the successor state, or [-1] when the symbol
+    is not accepted from [q]. *)
+
+val accepts_empty : t -> bool
+
+val matches_word : t -> (int * Pgraph.Graph.dir_rel) list -> bool
+(** [matches_word dfa w] runs the DFA over an explicit adorned word — used by
+    tests and by the enumeration engines to validate candidate paths. *)

@@ -1,0 +1,111 @@
+type sym = {
+  s_type : string option;
+  s_dir : Ast.adir;
+}
+
+type t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  eps : int list array;
+  trans : (sym * int) list array;
+}
+
+type builder = {
+  mutable next : int;
+  b_eps : (int * int) Pgraph.Vec.t;
+  b_trans : (int * sym * int) Pgraph.Vec.t;
+}
+
+let new_state b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_eps b s t = Pgraph.Vec.push b.b_eps (s, t)
+let add_trans b s sym t = Pgraph.Vec.push b.b_trans (s, sym, t)
+
+(* Returns (entry, exit) state pair for the fragment. *)
+let rec build b (r : Ast.t) : int * int =
+  match r with
+  | Ast.Epsilon ->
+    let s = new_state b in
+    (s, s)
+  | Ast.Step (ty, d) ->
+    let s = new_state b and t = new_state b in
+    add_trans b s { s_type = ty; s_dir = d } t;
+    (s, t)
+  | Ast.Seq (r1, r2) ->
+    let s1, t1 = build b r1 in
+    let s2, t2 = build b r2 in
+    add_eps b t1 s2;
+    (s1, t2)
+  | Ast.Alt (r1, r2) ->
+    let s = new_state b and t = new_state b in
+    let s1, t1 = build b r1 in
+    let s2, t2 = build b r2 in
+    add_eps b s s1;
+    add_eps b s s2;
+    add_eps b t1 t;
+    add_eps b t2 t;
+    (s, t)
+  | Ast.Star (body, lo, hi) ->
+    (* Expand r*lo..hi as lo mandatory copies followed by either an
+       unbounded loop (hi = None) or (hi - lo) optional copies. *)
+    let chain_mandatory entry =
+      let cur = ref entry in
+      for _ = 1 to lo do
+        let s, t = build b body in
+        add_eps b !cur s;
+        cur := t
+      done;
+      !cur
+    in
+    let entry = new_state b in
+    let after_mandatory = chain_mandatory entry in
+    (match hi with
+     | None ->
+       let exit_state = new_state b in
+       let s, t = build b body in
+       add_eps b after_mandatory s;
+       add_eps b t s;           (* loop *)
+       add_eps b t exit_state;
+       add_eps b after_mandatory exit_state;  (* zero extra iterations *)
+       (entry, exit_state)
+     | Some hi ->
+       let exit_state = new_state b in
+       let cur = ref after_mandatory in
+       add_eps b !cur exit_state;
+       for _ = lo + 1 to hi do
+         let s, t = build b body in
+         add_eps b !cur s;
+         add_eps b t exit_state;
+         cur := t
+       done;
+       (entry, exit_state))
+
+let of_darpe r =
+  let b = { next = 0; b_eps = Pgraph.Vec.create (); b_trans = Pgraph.Vec.create () } in
+  let start, accept = build b r in
+  let eps = Array.make b.next [] in
+  let trans = Array.make b.next [] in
+  Pgraph.Vec.iter (fun (s, t) -> eps.(s) <- t :: eps.(s)) b.b_eps;
+  Pgraph.Vec.iter (fun (s, sym, t) -> trans.(s) <- (sym, t) :: trans.(s)) b.b_trans;
+  { n_states = b.next; start; accept; eps; trans }
+
+let eps_closure nfa states =
+  let seen = Array.make nfa.n_states false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter visit nfa.eps.(s)
+    end
+  in
+  List.iter visit states;
+  let out = ref [] in
+  for s = nfa.n_states - 1 downto 0 do
+    if seen.(s) then out := s :: !out
+  done;
+  !out
+
+let accepts_empty nfa = List.mem nfa.accept (eps_closure nfa [ nfa.start ])

@@ -1,0 +1,29 @@
+(** Thompson construction of NFAs from DARPEs.
+
+    Transitions carry symbolic labels (edge-type name or wildcard, plus
+    direction adornment); they are grounded against a concrete schema only
+    during determinization ({!Dfa}). *)
+
+type sym = {
+  s_type : string option;  (** [None] = wildcard *)
+  s_dir : Ast.adir;
+}
+
+type t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  eps : int list array;            (** epsilon transitions per state *)
+  trans : (sym * int) list array;  (** labelled transitions per state *)
+}
+
+val of_darpe : Ast.t -> t
+(** Builds the Thompson NFA.  Bounded repetitions [r*lo..hi] are expanded by
+    duplication, so the automaton size is linear in the expression size times
+    the bound. *)
+
+val eps_closure : t -> int list -> int list
+(** Sorted, deduplicated epsilon closure of a state set. *)
+
+val accepts_empty : t -> bool
+(** Whether the empty path matches (start in the closure of accept). *)

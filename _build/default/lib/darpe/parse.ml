@@ -1,0 +1,169 @@
+exception Error of string
+
+type token =
+  | Tname of string
+  | Tunderscore
+  | Tlt       (* < *)
+  | Tgt       (* > *)
+  | Tquestion
+  | Tlparen
+  | Trparen
+  | Tstar
+  | Tdot
+  | Tbar
+  | Tdotdot
+  | Tnum of int
+  | Teof
+
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    (match c with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | '<' -> emit Tlt pos; incr i
+     | '>' -> emit Tgt pos; incr i
+     | '?' -> emit Tquestion pos; incr i
+     | '(' -> emit Tlparen pos; incr i
+     | ')' -> emit Trparen pos; incr i
+     | '*' -> emit Tstar pos; incr i
+     | '|' -> emit Tbar pos; incr i
+     | '.' ->
+       if pos + 1 < n && s.[pos + 1] = '.' then begin
+         emit Tdotdot pos;
+         i := pos + 2
+       end else begin
+         emit Tdot pos;
+         incr i
+       end
+     | '0' .. '9' ->
+       let j = ref pos in
+       while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+       emit (Tnum (int_of_string (String.sub s pos (!j - pos)))) pos;
+       i := !j
+     | c when is_ident_char c ->
+       let j = ref pos in
+       while !j < n && is_ident_char s.[!j] do incr j done;
+       let word = String.sub s pos (!j - pos) in
+       if word = "_" then emit Tunderscore pos else emit (Tname word) pos;
+       i := !j
+     | c -> raise (Error (Printf.sprintf "DARPE: unexpected character %C at position %d" c pos)))
+  done;
+  List.rev ((Teof, n) :: !toks)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (Teof, -1) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st
+  else raise (Error (Printf.sprintf "DARPE: expected %s at position %d" what pos))
+
+let parse_name st =
+  match peek st with
+  | Tname n, _ -> advance st; Some n
+  | Tunderscore, _ -> advance st; None
+  | _, pos -> raise (Error (Printf.sprintf "DARPE: expected edge type name at position %d" pos))
+
+(* step ::= '<' name | name ('>' | '?')? *)
+let parse_step st =
+  match peek st with
+  | Tlt, _ ->
+    advance st;
+    let name = parse_name st in
+    Ast.Step (name, Ast.Rev)
+  | (Tname _ | Tunderscore), _ ->
+    let name = parse_name st in
+    (match peek st with
+     | Tgt, _ -> advance st; Ast.Step (name, Ast.Fwd)
+     | Tquestion, _ -> advance st; Ast.Step (name, Ast.Any)
+     | _ -> Ast.Step (name, Ast.Undir))
+  | _, pos -> raise (Error (Printf.sprintf "DARPE: expected step at position %d" pos))
+
+let parse_bounds st =
+  (* Called after '*'.  Recognizes N..M | N.. | ..M | N | nothing. *)
+  match peek st with
+  | Tnum lo, _ ->
+    advance st;
+    (match peek st with
+     | Tdotdot, _ ->
+       advance st;
+       (match peek st with
+        | Tnum hi, pos ->
+          advance st;
+          if hi < lo then raise (Error (Printf.sprintf "DARPE: bounds %d..%d are empty (position %d)" lo hi pos));
+          (lo, Some hi)
+        | _ -> (lo, None))
+     | _ -> (lo, Some lo))
+  | Tdotdot, _ ->
+    advance st;
+    (match peek st with
+     | Tnum hi, _ -> advance st; (0, Some hi)
+     | _, pos -> raise (Error (Printf.sprintf "DARPE: expected upper bound at position %d" pos)))
+  | _ -> (0, None)
+
+let rec parse_alt st =
+  let first = parse_seq st in
+  let rec more acc =
+    match peek st with
+    | Tbar, _ ->
+      advance st;
+      more (Ast.Alt (acc, parse_seq st))
+    | _ -> acc
+  in
+  more first
+
+and parse_seq st =
+  let first = parse_rep st in
+  let rec more acc =
+    match peek st with
+    | Tdot, _ ->
+      advance st;
+      more (Ast.Seq (acc, parse_rep st))
+    | (Tname _ | Tunderscore | Tlt | Tlparen), _ ->
+      (* Juxtaposition also concatenates, e.g. "E> F>". *)
+      more (Ast.Seq (acc, parse_rep st))
+    | _ -> acc
+  in
+  more first
+
+and parse_rep st =
+  let atom = parse_atom st in
+  match peek st with
+  | Tstar, _ ->
+    advance st;
+    let lo, hi = parse_bounds st in
+    if lo = 0 && hi = Some 0 then Ast.Epsilon else Ast.Star (atom, lo, hi)
+  | _ -> atom
+
+and parse_atom st =
+  match peek st with
+  | Tlparen, _ ->
+    advance st;
+    (match peek st with
+     | Trparen, _ -> advance st; Ast.Epsilon
+     | _ ->
+       let r = parse_alt st in
+       expect st Trparen "')'";
+       r)
+  | _ -> parse_step st
+
+let parse s =
+  let st = { toks = tokenize s } in
+  let r = parse_alt st in
+  (match peek st with
+   | Teof, _ -> ()
+   | _, pos -> raise (Error (Printf.sprintf "DARPE: trailing input at position %d" pos)));
+  r
+
+let parse_opt s = try Some (parse s) with Error _ -> None

@@ -1,0 +1,22 @@
+(** Concrete-syntax parser for DARPEs.
+
+    Grammar (paper §2, extended with explicit bounds):
+    {v
+      darpe  ::= seq ('|' seq)*
+      seq    ::= rep ('.' rep)*
+      rep    ::= atom ('*' bounds?)?
+      atom   ::= '(' darpe ')' | step
+      step   ::= '<' name | name '>' | name '?' | name
+      name   ::= identifier | '_'
+      bounds ::= N '..' N | N '..' | '..' N | N
+    v}
+    [E>] crosses a directed E-edge forwards, [<E] backwards, bare [E] an
+    undirected E-edge, and [E?] any of the three (an extension used by
+    schema-agnostic analytics).  Whitespace is insignificant. *)
+
+exception Error of string
+(** Raised with a human-readable message (position included) on malformed
+    input. *)
+
+val parse : string -> Ast.t
+val parse_opt : string -> Ast.t option

@@ -1,0 +1,1 @@
+lib/graph/bignat.ml: Array Buffer Char Format List Printf Stdlib String

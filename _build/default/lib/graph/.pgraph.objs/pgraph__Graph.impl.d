@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array List Printf Schema Value Vec

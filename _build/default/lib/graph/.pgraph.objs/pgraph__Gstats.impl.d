@@ -1,0 +1,1 @@
+lib/graph/gstats.ml: Array Buffer Graph Hashtbl List Printf Schema

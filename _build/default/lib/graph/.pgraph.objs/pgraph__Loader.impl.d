@@ -1,0 +1,1 @@
+lib/graph/loader.ml: Array Buffer Fun Graph List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/graph/loader.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/prng.ml: Array Float Int64

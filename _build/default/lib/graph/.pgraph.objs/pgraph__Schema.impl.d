@@ -1,0 +1,1 @@
+lib/graph/schema.ml: Array Hashtbl List Printf Value

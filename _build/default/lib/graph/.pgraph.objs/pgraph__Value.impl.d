@@ -1,0 +1,1 @@
+lib/graph/value.ml: Array Float Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,179 @@
+(* Little-endian limbs in base 2^30.  Base 2^30 keeps every intermediate
+   product of two limbs plus a carry within the 63-bit native int range
+   (30 + 30 + few carry bits), so no Int64 boxing is needed. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = int array
+(* Invariant: no trailing zero limbs; zero is the empty array. *)
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero (x : t) = Array.length x = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec limbs acc n = if n = 0 then List.rev acc else limbs ((n land base_mask) :: acc) (n lsr base_bits) in
+    Array.of_list (limbs [] n)
+  end
+
+let add (x : t) (y : t) : t =
+  let lx = Array.length x and ly = Array.length y in
+  let n = max lx ly in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < lx then x.(i) else 0) + (if i < ly then y.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let rec mul_int (x : t) (k : int) : t =
+  if k < 0 then invalid_arg "Bignat.mul_int: negative";
+  if k = 0 || is_zero x then zero
+  else if k < base then begin
+    let n = Array.length x in
+    let r = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (x.(i) * k) + !carry in
+      r.(i) <- p land base_mask;
+      carry := p lsr base_bits
+    done;
+    r.(n) <- !carry;
+    normalize r
+  end else
+    (* Split k into limbs and fall back to full multiplication. *)
+    let rec go acc shift k =
+      if k = 0 then acc
+      else
+        let limb = k land base_mask in
+        let part =
+          if limb = 0 then zero
+          else begin
+            let scaled = mul_int x limb in
+            if is_zero scaled then zero
+            else Array.append (Array.make shift 0) scaled
+          end
+        in
+        go (add acc part) (shift + 1) (k lsr base_bits)
+    in
+    go zero 0 k
+
+let mul (x : t) (y : t) : t =
+  if is_zero x || is_zero y then zero
+  else begin
+    let lx = Array.length x and ly = Array.length y in
+    let r = Array.make (lx + ly) 0 in
+    for i = 0 to lx - 1 do
+      let carry = ref 0 in
+      let xi = x.(i) in
+      for j = 0 to ly - 1 do
+        let p = (xi * y.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land base_mask;
+        carry := p lsr base_bits
+      done;
+      (* Propagate the final carry; r is wide enough that it terminates. *)
+      let k = ref (i + ly) in
+      while !carry <> 0 do
+        let p = r.(!k) + !carry in
+        r.(!k) <- p land base_mask;
+        carry := p lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let succ x = add x one
+
+let compare (x : t) (y : t) =
+  let lx = Array.length x and ly = Array.length y in
+  if lx <> ly then Stdlib.compare lx ly
+  else begin
+    let rec go i = if i < 0 then 0 else if x.(i) <> y.(i) then Stdlib.compare x.(i) y.(i) else go (i - 1) in
+    go (lx - 1)
+  end
+
+let equal x y = compare x y = 0
+
+let to_int_opt (x : t) =
+  (* max_int occupies ceil(62/30) = 3 limbs; anything longer overflows. *)
+  let n = Array.length x in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else begin
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        let limb = x.(i) in
+        if acc > (max_int - limb) lsr base_bits then None
+        else go (i - 1) ((acc lsl base_bits) lor limb)
+    in
+    go (n - 1) 0
+  end
+
+let to_float (x : t) =
+  let r = ref 0.0 in
+  for i = Array.length x - 1 downto 0 do
+    r := (!r *. float_of_int base) +. float_of_int x.(i)
+  done;
+  !r
+
+(* Decimal conversion: repeatedly divide the limb array by 10^9. *)
+let to_string (x : t) =
+  if is_zero x then "0"
+  else begin
+    let chunk = 1_000_000_000 in
+    let a = Array.copy x in
+    let len = ref (Array.length a) in
+    let buf = Buffer.create 32 in
+    let chunks = ref [] in
+    while !len > 0 do
+      let rem = ref 0 in
+      for i = !len - 1 downto 0 do
+        let cur = (!rem lsl base_bits) lor a.(i) in
+        a.(i) <- cur / chunk;
+        rem := cur mod chunk
+      done;
+      while !len > 0 && a.(!len - 1) = 0 do decr len done;
+      chunks := !rem :: !chunks
+    done;
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty";
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit";
+      r := add (mul_int !r 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !r
+
+let pow2 k =
+  if k < 0 then invalid_arg "Bignat.pow2: negative";
+  let limbs = (k / base_bits) + 1 in
+  let r = Array.make limbs 0 in
+  r.(k / base_bits) <- 1 lsl (k mod base_bits);
+  r
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

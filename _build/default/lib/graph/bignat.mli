@@ -1,0 +1,49 @@
+(** Arbitrary-precision natural numbers.
+
+    Shortest-path match counts (Theorem 6.1 of the paper) grow exponentially
+    with graph size — e.g. [2^n] paths through an [n]-diamond chain — so they
+    overflow native integers long before the counting algorithm itself becomes
+    expensive.  This module provides the minimal big-natural arithmetic the
+    counting engine needs (addition for BFS level merging, multiplication for
+    joining conjunct multiplicities, scalar scaling for accumulator inputs),
+    without adding an external dependency such as Zarith. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer.  Raises
+    [Invalid_argument] on negative input. *)
+
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val mul_int : t -> int -> t
+(** [mul_int x k] multiplies by a non-negative native integer. *)
+
+val succ : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_float : t -> float
+(** Best-effort float approximation; [infinity] when out of range. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal representation.  Raises [Invalid_argument] on anything
+    that is not a non-empty digit sequence. *)
+
+val pow2 : int -> t
+(** [pow2 k] is [2^k], used pervasively by diamond-chain tests. *)
+
+val pp : Format.formatter -> t -> unit

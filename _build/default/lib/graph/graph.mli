@@ -1,0 +1,97 @@
+(** In-memory property graphs with mixed directed/undirected edges.
+
+    The storage model is columnar: vertices and edges are dense integer ids
+    indexing type/attribute tables, and each vertex carries an adjacency list
+    of {e half-edges} annotated with the traversal relation
+    ([Out]/[In]/[Und]).  Pattern engines traverse half-edges so that a
+    direction-adorned step ([E>], [<E], [E]) is a single label test. *)
+
+type dir_rel =
+  | Out  (** edge is directed away from this vertex *)
+  | In   (** edge is directed into this vertex *)
+  | Und  (** edge is undirected *)
+
+type half = {
+  h_edge : int;   (** edge id *)
+  h_other : int;  (** the opposite endpoint *)
+  h_rel : dir_rel;
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+(** {1 Construction} *)
+
+val add_vertex : t -> string -> (string * Value.t) list -> int
+(** [add_vertex g type_name attrs] inserts a vertex and returns its id.
+    Attributes omitted from [attrs] default per {!Schema.attr_default}.
+    Raises [Invalid_argument] on unknown type, unknown attribute, or
+    ill-typed attribute value. *)
+
+val add_edge : t -> string -> int -> int -> (string * Value.t) list -> int
+(** [add_edge g type_name src dst attrs] inserts an edge and returns its id.
+    For undirected edge types the [src]/[dst] order is stored but carries no
+    semantic weight.  Endpoint vertex types are validated against the edge
+    type's declared signature. *)
+
+(** {1 Cardinalities} *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** {1 Vertex accessors} *)
+
+val vertex_type : t -> int -> Schema.vertex_type
+val vertex_type_id : t -> int -> int
+val vertex_attr : t -> int -> string -> Value.t
+(** Raises [Invalid_argument] on an attribute not in the vertex's type. *)
+
+val set_vertex_attr : t -> int -> string -> Value.t -> unit
+val vertex_attr_opt : t -> int -> string -> Value.t option
+
+(** {1 Edge accessors} *)
+
+val edge_type : t -> int -> Schema.edge_type
+val edge_type_id : t -> int -> int
+val edge_src : t -> int -> int
+val edge_dst : t -> int -> int
+val edge_attr : t -> int -> string -> Value.t
+val set_edge_attr : t -> int -> string -> Value.t -> unit
+val edge_other_endpoint : t -> int -> int -> int
+(** [edge_other_endpoint g e v] is the endpoint of [e] that is not [v]. *)
+
+(** {1 Traversal} *)
+
+val adjacency : t -> int -> half array
+(** All half-edges incident to a vertex (out, in, and undirected). *)
+
+val iter_adjacent : t -> int -> (half -> unit) -> unit
+
+val out_degree : t -> int -> int
+(** Count of outgoing directed plus undirected half-edges — matching GSQL's
+    [outdegree()] which treats undirected edges as traversable. *)
+
+val in_degree : t -> int
+  -> int
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> rel:dir_rel -> etype:int option -> int list
+(** [neighbors g v ~rel ~etype] lists opposite endpoints over half-edges
+    matching relation [rel] and (when [etype] is [Some id]) the edge type. *)
+
+(** {1 Iteration} *)
+
+val iter_vertices : t -> (int -> unit) -> unit
+val iter_vertices_of_type : t -> int -> (int -> unit) -> unit
+val vertices_of_type : t -> int -> int array
+val iter_edges : t -> (int -> unit) -> unit
+val fold_vertices : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {1 Lookup} *)
+
+val find_vertex_by_attr : t -> string -> string -> Value.t -> int option
+(** [find_vertex_by_attr g type_name attr v] scans the vertices of the type
+    for the first one whose attribute equals [v]. *)

@@ -1,0 +1,104 @@
+type summary = {
+  n_vertices : int;
+  n_edges : int;
+  n_directed_edges : int;
+  n_undirected_edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  density : float;
+  isolated : int;
+}
+
+let summary g =
+  let nv = Graph.n_vertices g and ne = Graph.n_edges g in
+  let directed = ref 0 in
+  Graph.iter_edges g (fun e ->
+      if (Graph.edge_type g e).Schema.et_directed then incr directed);
+  let min_d = ref max_int and max_d = ref 0 and total = ref 0 and isolated = ref 0 in
+  Graph.iter_vertices g (fun v ->
+      let d = Graph.degree g v in
+      if d < !min_d then min_d := d;
+      if d > !max_d then max_d := d;
+      if d = 0 then incr isolated;
+      total := !total + d);
+  { n_vertices = nv;
+    n_edges = ne;
+    n_directed_edges = !directed;
+    n_undirected_edges = ne - !directed;
+    min_degree = (if nv = 0 then 0 else !min_d);
+    max_degree = !max_d;
+    mean_degree = (if nv = 0 then 0.0 else float_of_int !total /. float_of_int nv);
+    density =
+      (if nv <= 1 then 0.0 else float_of_int ne /. (float_of_int nv *. float_of_int (nv - 1)));
+    isolated = !isolated }
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 32 in
+  Graph.iter_vertices g (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + try Hashtbl.find tbl d with Not_found -> 0));
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let out_degree_of_type g ~etype =
+  let et =
+    match Schema.find_edge_type (Graph.schema g) etype with
+    | Some et -> et
+    | None -> invalid_arg ("Gstats: unknown edge type " ^ etype)
+  in
+  Array.init (Graph.n_vertices g) (fun v ->
+      let d = ref 0 in
+      Graph.iter_adjacent g v (fun h ->
+          if (h.Graph.h_rel = Graph.Out || h.Graph.h_rel = Graph.Und)
+             && Graph.edge_type_id g h.Graph.h_edge = et.Schema.et_id
+          then incr d);
+      !d)
+
+let reciprocity g =
+  let pairs = Hashtbl.create 256 in
+  let directed = ref 0 in
+  Graph.iter_edges g (fun e ->
+      if (Graph.edge_type g e).Schema.et_directed then begin
+        incr directed;
+        Hashtbl.replace pairs (Graph.edge_src g e, Graph.edge_dst g e) ()
+      end);
+  if !directed = 0 then 0.0
+  else begin
+    let reciprocated = ref 0 in
+    Hashtbl.iter (fun (u, v) () -> if Hashtbl.mem pairs (v, u) then incr reciprocated) pairs;
+    float_of_int !reciprocated /. float_of_int !directed
+  end
+
+let per_type_counts g =
+  let schema = Graph.schema g in
+  let v_counts =
+    List.init (Schema.n_vertex_types schema) (fun i ->
+        let vt = Schema.vertex_type_of_id schema i in
+        (vt.Schema.vt_name, Array.length (Graph.vertices_of_type g i)))
+  in
+  let e_counts = Array.make (Schema.n_edge_types schema) 0 in
+  Graph.iter_edges g (fun e ->
+      let id = Graph.edge_type_id g e in
+      e_counts.(id) <- e_counts.(id) + 1);
+  let e_list =
+    List.init (Schema.n_edge_types schema) (fun i ->
+        ((Schema.edge_type_of_id schema i).Schema.et_name, e_counts.(i)))
+  in
+  (v_counts, e_list)
+
+let to_string g =
+  let s = summary g in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "vertices=%d edges=%d (directed=%d undirected=%d)\n\
+        degree: min=%d max=%d mean=%.2f isolated=%d density=%.5f reciprocity=%.3f\n"
+       s.n_vertices s.n_edges s.n_directed_edges s.n_undirected_edges s.min_degree s.max_degree
+       s.mean_degree s.isolated s.density (reciprocity g));
+  let v_counts, e_counts = per_type_counts g in
+  Buffer.add_string buf "vertex types: ";
+  List.iter (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "%s=%d " n c)) v_counts;
+  Buffer.add_string buf "\nedge types: ";
+  List.iter (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "%s=%d " n c)) e_counts;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

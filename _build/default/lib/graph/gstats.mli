@@ -1,0 +1,37 @@
+(** Descriptive statistics over property graphs.
+
+    Support tooling for the workload generator and the experiment reports:
+    degree distributions (to confirm the SNB generator's heavy tails),
+    density/reciprocity, and per-type cardinalities. *)
+
+type summary = {
+  n_vertices : int;
+  n_edges : int;
+  n_directed_edges : int;
+  n_undirected_edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  density : float;       (** edges / (V·(V−1)) over the undirected view *)
+  isolated : int;        (** degree-0 vertices *)
+}
+
+val summary : Graph.t -> summary
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, vertex count)] pairs, ascending by degree. *)
+
+val out_degree_of_type : Graph.t -> etype:string -> int array
+(** Per-vertex out-degree restricted to one edge type (directed +
+    undirected halves).  Raises [Invalid_argument] on unknown types. *)
+
+val reciprocity : Graph.t -> float
+(** Fraction of directed edges (u,v) whose reverse (v,u) also exists;
+    0 when the graph has no directed edges. *)
+
+val per_type_counts : Graph.t -> (string * int) list * (string * int) list
+(** Vertex counts per vertex type and edge counts per edge type (schema
+    order). *)
+
+val to_string : Graph.t -> string
+(** Multi-line human-readable report. *)

@@ -1,0 +1,219 @@
+exception Parse_error of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '=' -> Buffer.add_string buf "\\e"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'e' -> Buffer.add_char buf '='
+        | c -> Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let attr_type_name = function
+  | Schema.T_bool -> "bool"
+  | Schema.T_int -> "int"
+  | Schema.T_float -> "float"
+  | Schema.T_string -> "string"
+  | Schema.T_datetime -> "datetime"
+
+let attr_type_of_name = function
+  | "bool" -> Schema.T_bool
+  | "int" -> Schema.T_int
+  | "float" -> Schema.T_float
+  | "string" -> Schema.T_string
+  | "datetime" -> Schema.T_datetime
+  | other -> raise (Parse_error ("unknown attribute type " ^ other))
+
+let value_to_cell (v : Value.t) =
+  match v with
+  | Value.Null -> "?"
+  | Value.Bool b -> Printf.sprintf "b%b" b
+  | Value.Int n -> Printf.sprintf "i%d" n
+  | Value.Float f -> Printf.sprintf "f%h" f
+  | Value.Str s -> "s" ^ escape s
+  | Value.Datetime d -> Printf.sprintf "d%d" d
+  | Value.Vertex _ | Value.Edge _ | Value.Vlist _ | Value.Vtuple _ ->
+    invalid_arg "Loader: only scalar attribute values are serializable"
+
+let cell_to_value cell =
+  if cell = "?" then Value.Null
+  else begin
+    let tag = cell.[0] in
+    let body = String.sub cell 1 (String.length cell - 1) in
+    match tag with
+    | 'b' -> Value.Bool (bool_of_string body)
+    | 'i' -> Value.Int (int_of_string body)
+    | 'f' -> Value.Float (float_of_string body)
+    | 's' -> Value.Str (unescape body)
+    | 'd' -> Value.Datetime (int_of_string body)
+    | _ -> raise (Parse_error ("bad value cell " ^ cell))
+  end
+
+let attr_sig attrs =
+  String.concat "\t"
+    (Array.to_list
+       (Array.map (fun (name, ty) -> Printf.sprintf "%s:%s" (escape name) (attr_type_name ty)) attrs))
+
+let write g output_string =
+  let schema = Graph.schema g in
+  output_string "# gsql-repro graph v1\n";
+  for i = 0 to Schema.n_vertex_types schema - 1 do
+    let vt = Schema.vertex_type_of_id schema i in
+    output_string
+      (Printf.sprintf "vtype\t%s%s\n" (escape vt.Schema.vt_name)
+         (let s = attr_sig vt.Schema.vt_attrs in
+          if s = "" then "" else "\t" ^ s))
+  done;
+  for i = 0 to Schema.n_edge_types schema - 1 do
+    let et = Schema.edge_type_of_id schema i in
+    let endpoint = function
+      | None -> "*"
+      | Some id -> escape (Schema.vertex_type_of_id schema id).Schema.vt_name
+    in
+    output_string
+      (Printf.sprintf "etype\t%s\t%s\t%s\t%s%s\n" (escape et.Schema.et_name)
+         (if et.Schema.et_directed then "directed" else "undirected")
+         (endpoint et.Schema.et_src) (endpoint et.Schema.et_dst)
+         (let s = attr_sig et.Schema.et_attrs in
+          if s = "" then "" else "\t" ^ s))
+  done;
+  let attr_cells row = Array.to_list (Array.map value_to_cell row) in
+  Graph.iter_vertices g (fun v ->
+      let vt = Graph.vertex_type g v in
+      let row =
+        Array.map (fun (name, _) -> Graph.vertex_attr g v name) vt.Schema.vt_attrs
+      in
+      output_string
+        (String.concat "\t" (("v" :: escape vt.Schema.vt_name :: attr_cells row)) ^ "\n"));
+  Graph.iter_edges g (fun e ->
+      let et = Graph.edge_type g e in
+      let row = Array.map (fun (name, _) -> Graph.edge_attr g e name) et.Schema.et_attrs in
+      output_string
+        (String.concat "\t"
+           ("e" :: escape et.Schema.et_name
+            :: string_of_int (Graph.edge_src g e)
+            :: string_of_int (Graph.edge_dst g e)
+            :: attr_cells row)
+        ^ "\n"))
+
+let save g out = write g (output_string out)
+
+let save_file g path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> save g out)
+
+let parse_attr_sig cells =
+  List.map
+    (fun cell ->
+      match String.rindex_opt cell ':' with
+      | Some i ->
+        ( unescape (String.sub cell 0 i),
+          attr_type_of_name (String.sub cell (i + 1) (String.length cell - i - 1)) )
+      | None -> raise (Parse_error ("bad attribute signature " ^ cell)))
+    cells
+
+let load_lines next_line =
+  let schema = Schema.create () in
+  let g = ref None in
+  let graph () =
+    match !g with
+    | Some gr -> gr
+    | None ->
+      let gr = Graph.create schema in
+      g := Some gr;
+      gr
+  in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = next_line () in
+       incr lineno;
+       if line <> "" && line.[0] <> '#' then begin
+         match String.split_on_char '\t' line with
+         | "vtype" :: name :: attrs ->
+           ignore (Schema.add_vertex_type schema (unescape name) (parse_attr_sig attrs))
+         | "etype" :: name :: dir :: src :: dst :: attrs ->
+           let opt s = if s = "*" then None else Some (unescape s) in
+           ignore
+             (Schema.add_edge_type schema (unescape name)
+                ~directed:(dir = "directed")
+                ?src:(opt src) ?dst:(opt dst)
+                (parse_attr_sig attrs))
+         | "v" :: tyname :: cells ->
+           let ty = unescape tyname in
+           let vt =
+             try Schema.vertex_type_of_name schema ty
+             with Not_found -> raise (Parse_error ("unknown vertex type " ^ ty))
+           in
+           let attrs =
+             List.mapi (fun i cell -> (fst vt.Schema.vt_attrs.(i), cell_to_value cell)) cells
+           in
+           ignore (Graph.add_vertex (graph ()) ty attrs)
+         | "e" :: tyname :: src :: dst :: cells ->
+           let ty = unescape tyname in
+           let et =
+             try Schema.edge_type_of_name schema ty
+             with Not_found -> raise (Parse_error ("unknown edge type " ^ ty))
+           in
+           let attrs =
+             List.mapi (fun i cell -> (fst et.Schema.et_attrs.(i), cell_to_value cell)) cells
+           in
+           ignore (Graph.add_edge (graph ()) ty (int_of_string src) (int_of_string dst) attrs)
+         | _ -> raise (Parse_error (Printf.sprintf "line %d: unrecognized record" !lineno))
+       end
+     done
+   with
+   | End_of_file -> ()
+   | Parse_error msg -> raise (Parse_error (Printf.sprintf "line %d: %s" !lineno msg))
+   | Invalid_argument msg -> raise (Parse_error (Printf.sprintf "line %d: %s" !lineno msg))
+   | Failure msg -> raise (Parse_error (Printf.sprintf "line %d: %s" !lineno msg)));
+  graph ()
+
+let load inc = load_lines (fun () -> input_line inc)
+
+let load_file path =
+  let inc = open_in path in
+  Fun.protect ~finally:(fun () -> close_in inc) (fun () -> load inc)
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  write g (Buffer.add_string buf);
+  Buffer.contents buf
+
+let of_string s =
+  (* Reuse the channel reader by splitting lines ourselves. *)
+  let lines = String.split_on_char '\n' s in
+  let remaining = ref lines in
+  let fake_input () =
+    match !remaining with
+    | [] -> raise End_of_file
+    | l :: rest ->
+      remaining := rest;
+      l
+  in
+  load_lines fake_input

@@ -1,0 +1,20 @@
+(** Text serialization of schemas and graphs.
+
+    A single self-describing tab-separated format: schema declarations
+    first ([vtype]/[etype] lines), then one [v]/[e] line per element.
+    Attribute cells are [name=value] pairs with tab/newline/backslash
+    escaping, so arbitrary strings round-trip.  Vertex and edge ids are
+    preserved (lines appear in id order), which keeps external id
+    references stable across save/load. *)
+
+val save : Graph.t -> out_channel -> unit
+val save_file : Graph.t -> string -> unit
+
+exception Parse_error of string
+(** Raised with line number and reason on malformed input. *)
+
+val load : in_channel -> Graph.t
+val load_file : string -> Graph.t
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t

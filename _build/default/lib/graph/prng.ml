@@ -1,0 +1,81 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent statistical
+   quality for simulation workloads, trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative 62-bit value, safe to use as an OCaml int. *)
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next_nonneg g mod bound
+
+let int_in_range g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. mantissa /. 9007199254740992.0 (* 2^53 *)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Rejection sampler for the Zipf distribution (Devroye 1986, ch. X.6).
+   Avoids precomputing the full harmonic table for every distinct n. *)
+let zipf g n s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if n = 1 then 1
+  else begin
+    let nf = float_of_int n in
+    let draw () =
+      (* Inverse-transform on the bounded Pareto envelope, then accept with
+         the ratio of the Zipf pmf to the envelope density. *)
+      let u = float g 1.0 in
+      let x = ((nf +. 1.0) ** (1.0 -. s) *. u +. (1.0 -. u)) ** (1.0 /. (1.0 -. s)) in
+      let k = int_of_float x in
+      let k = if k < 1 then 1 else if k > n then n else k in
+      let accept =
+        let kf = float_of_int k in
+        let envelope = (kf ** (1.0 -. s) -. (kf +. 1.0) ** (1.0 -. s)) /. (s -. 1.0) in
+        let pmf = kf ** (-.s) in
+        float g 1.0 <= pmf /. (envelope *. (s -. 1.0) +. pmf)
+      in
+      if accept then Some k else None
+    in
+    if Float.abs (s -. 1.0) < 1e-9 then 1 + int g n
+    else begin
+      let rec attempt i = if i = 0 then 1 + int g n else match draw () with Some k -> k | None -> attempt (i - 1) in
+      attempt 100
+    end
+  end
+
+let split g =
+  let seed = Int64.to_int (next_int64 g) in
+  create seed

@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    The LDBC-style data generator and the property-based test suites must be
+    reproducible run-to-run, so all randomness in this repository flows
+    through explicitly seeded generators rather than [Stdlib.Random]
+    self-seeding. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator stream. *)
+
+val copy : t -> t
+(** [copy g] snapshots the generator state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val int_in_range : t -> int -> int -> int
+(** [int_in_range g lo hi] draws uniformly from the inclusive range
+    [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float g bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val zipf : t -> int -> float -> int
+(** [zipf g n s] draws from a Zipf distribution over [1..n] with exponent
+    [s], via inverse-CDF on a precomputed table-free rejection loop.  Used to
+    give the social-network generator realistic heavy-tailed degrees. *)
+
+val split : t -> t
+(** [split g] derives an independent child stream (advances [g]). *)

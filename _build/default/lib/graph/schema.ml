@@ -1,0 +1,102 @@
+type attr_type = T_bool | T_int | T_float | T_string | T_datetime
+
+type vertex_type = {
+  vt_id : int;
+  vt_name : string;
+  vt_attrs : (string * attr_type) array;
+}
+
+type edge_type = {
+  et_id : int;
+  et_name : string;
+  et_directed : bool;
+  et_src : int option;
+  et_dst : int option;
+  et_attrs : (string * attr_type) array;
+}
+
+type t = {
+  mutable vertex_types : vertex_type array;
+  mutable edge_types : edge_type array;
+  vt_by_name : (string, vertex_type) Hashtbl.t;
+  et_by_name : (string, edge_type) Hashtbl.t;
+}
+
+let create () =
+  { vertex_types = [||];
+    edge_types = [||];
+    vt_by_name = Hashtbl.create 16;
+    et_by_name = Hashtbl.create 16 }
+
+let check_unique_attrs kind name attrs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then
+        invalid_arg (Printf.sprintf "Schema: duplicate attribute %s on %s %s" a kind name);
+      Hashtbl.add seen a ())
+    attrs
+
+let add_vertex_type s name attrs =
+  if Hashtbl.mem s.vt_by_name name then invalid_arg ("Schema: duplicate vertex type " ^ name);
+  check_unique_attrs "vertex type" name attrs;
+  let vt = { vt_id = Array.length s.vertex_types; vt_name = name; vt_attrs = Array.of_list attrs } in
+  s.vertex_types <- Array.append s.vertex_types [| vt |];
+  Hashtbl.add s.vt_by_name name vt;
+  vt
+
+let add_edge_type s name ~directed ?src ?dst attrs =
+  if Hashtbl.mem s.et_by_name name then invalid_arg ("Schema: duplicate edge type " ^ name);
+  check_unique_attrs "edge type" name attrs;
+  let resolve = function
+    | None -> None
+    | Some n ->
+      (match Hashtbl.find_opt s.vt_by_name n with
+       | Some vt -> Some vt.vt_id
+       | None -> invalid_arg ("Schema: unknown vertex type " ^ n))
+  in
+  let et =
+    { et_id = Array.length s.edge_types;
+      et_name = name;
+      et_directed = directed;
+      et_src = resolve src;
+      et_dst = resolve dst;
+      et_attrs = Array.of_list attrs }
+  in
+  s.edge_types <- Array.append s.edge_types [| et |];
+  Hashtbl.add s.et_by_name name et;
+  et
+
+let vertex_type_of_name s name = Hashtbl.find s.vt_by_name name
+let edge_type_of_name s name = Hashtbl.find s.et_by_name name
+let find_vertex_type s name = Hashtbl.find_opt s.vt_by_name name
+let find_edge_type s name = Hashtbl.find_opt s.et_by_name name
+let vertex_type_of_id s id = s.vertex_types.(id)
+let edge_type_of_id s id = s.edge_types.(id)
+let n_vertex_types s = Array.length s.vertex_types
+let n_edge_types s = Array.length s.edge_types
+
+let attr_index attrs name =
+  let n = Array.length attrs in
+  let rec go i = if i = n then raise Not_found else if fst attrs.(i) = name then i else go (i + 1) in
+  go 0
+
+let vertex_attr_index vt name = attr_index vt.vt_attrs name
+let edge_attr_index et name = attr_index et.et_attrs name
+
+let attr_default = function
+  | T_bool -> Value.Bool false
+  | T_int -> Value.Int 0
+  | T_float -> Value.Float 0.0
+  | T_string -> Value.Str ""
+  | T_datetime -> Value.Datetime 0
+
+let check_attr ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true
+  | T_bool, Value.Bool _ -> true
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Float _ | Value.Int _) -> true
+  | T_string, Value.Str _ -> true
+  | T_datetime, Value.Datetime _ -> true
+  | _ -> false

@@ -1,0 +1,64 @@
+(** Property-graph schemas.
+
+    A schema declares the vertex types, edge types (each directed or
+    undirected — the paper's data model mixes both kinds), and the attribute
+    signature of each type.  Graphs ({!Graph}) are created against a schema
+    and validate vertex/edge insertion against it. *)
+
+type attr_type = T_bool | T_int | T_float | T_string | T_datetime
+
+type vertex_type = private {
+  vt_id : int;            (** dense id, index into the schema's tables *)
+  vt_name : string;
+  vt_attrs : (string * attr_type) array;
+}
+
+type edge_type = private {
+  et_id : int;
+  et_name : string;
+  et_directed : bool;
+  et_src : int option;    (** required source vertex-type id; [None] = any *)
+  et_dst : int option;    (** required target vertex-type id; [None] = any.
+                              For undirected edges src/dst are endpoint
+                              constraints in either order. *)
+  et_attrs : (string * attr_type) array;
+}
+
+type t
+
+val create : unit -> t
+
+val add_vertex_type : t -> string -> (string * attr_type) list -> vertex_type
+(** Declares a vertex type.  Raises [Invalid_argument] on duplicate names. *)
+
+val add_edge_type :
+  t -> string -> directed:bool -> ?src:string -> ?dst:string ->
+  (string * attr_type) list -> edge_type
+(** Declares an edge type; [src]/[dst] name previously declared vertex
+    types. *)
+
+val vertex_type_of_name : t -> string -> vertex_type
+(** Raises [Not_found]. *)
+
+val edge_type_of_name : t -> string -> edge_type
+(** Raises [Not_found]. *)
+
+val find_vertex_type : t -> string -> vertex_type option
+val find_edge_type : t -> string -> edge_type option
+
+val vertex_type_of_id : t -> int -> vertex_type
+val edge_type_of_id : t -> int -> edge_type
+
+val n_vertex_types : t -> int
+val n_edge_types : t -> int
+
+val vertex_attr_index : vertex_type -> string -> int
+(** Position of an attribute in the type's signature; raises [Not_found]. *)
+
+val edge_attr_index : edge_type -> string -> int
+
+val attr_default : attr_type -> Value.t
+(** Value stored for attributes omitted at insertion time. *)
+
+val check_attr : attr_type -> Value.t -> bool
+(** [check_attr ty v] is true when [v] inhabits [ty] (or is [Null]). *)

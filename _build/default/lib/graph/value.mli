@@ -1,0 +1,85 @@
+(** Dynamically typed attribute and query values.
+
+    GSQL is dynamically checked in this reproduction: vertex/edge attributes,
+    query parameters, accumulator inputs and SELECT outputs are all [Value.t].
+    The module provides total ordering (needed by Min/Max/Heap accumulators,
+    ORDER BY, and set/map keys), numeric promotion (int op float = float) and
+    rendering. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Datetime of int  (** seconds since epoch; enough for SNB-style filters *)
+  | Vertex of int    (** vertex id in the enclosing graph *)
+  | Edge of int      (** edge id in the enclosing graph *)
+  | Vlist of t list
+  | Vtuple of t array
+
+exception Type_error of string
+(** Raised when an operation is applied to values of the wrong shape, e.g.
+    adding a string to a vertex. *)
+
+val compare : t -> t -> int
+(** Total order.  Numeric values compare by magnitude across [Int]/[Float];
+    values of different shapes compare by constructor rank; [Null] sorts
+    first. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val type_error : string -> 'a
+(** [type_error msg] raises {!Type_error}. *)
+
+(** {1 Coercions} *)
+
+val to_bool : t -> bool
+(** [to_bool v] requires [Bool]; raises {!Type_error} otherwise. *)
+
+val to_int : t -> int
+(** Accepts [Int]; raises otherwise. *)
+
+val to_float : t -> float
+(** Accepts [Int] and [Float]. *)
+
+val to_string_exn : t -> string
+(** Accepts [Str]. *)
+
+val vertex_id : t -> int
+(** Accepts [Vertex]. *)
+
+val edge_id : t -> int
+(** Accepts [Edge]. *)
+
+val is_null : t -> bool
+
+(** {1 Arithmetic with numeric promotion} *)
+
+val add : t -> t -> t
+(** Numeric addition, string concatenation, or list concatenation. *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div] always produces a [Float] when either side is a float; integer
+    division on two ints.  Raises {!Type_error} on division by zero. *)
+
+val neg : t -> t
+val modulo : t -> t -> t
+
+(** {1 Rendering} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Date helpers} *)
+
+val datetime_of_ymd : int -> int -> int -> t
+(** [datetime_of_ymd y m d] builds a [Datetime] at midnight UTC.  Simplified
+    proleptic-Gregorian conversion (as used by the SNB generator). *)
+
+val year_of_datetime : t -> int
+val month_of_datetime : t -> int

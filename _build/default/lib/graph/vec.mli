@@ -1,0 +1,34 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used throughout the storage layer for vertex/edge tables and adjacency
+    lists, and by the accumulator library for Bag/List state. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element; raises [Invalid_argument] when
+    empty. *)
+
+val clear : 'a t -> unit
+val is_empty : 'a t -> bool
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort. *)
+
+val copy : 'a t -> 'a t

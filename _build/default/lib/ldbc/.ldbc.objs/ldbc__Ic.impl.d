@@ -1,0 +1,1 @@
+lib/ldbc/ic.ml: Gsql List Pgraph Printf Snb

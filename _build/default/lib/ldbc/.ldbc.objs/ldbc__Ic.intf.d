@@ -1,0 +1,1 @@
+lib/ldbc/ic.mli: Gsql Pathsem Pgraph Snb

@@ -1,0 +1,1 @@
+lib/ldbc/is.ml: Array Gsql List Pgraph Snb

@@ -1,0 +1,1 @@
+lib/ldbc/is.mli: Gsql Pathsem Pgraph Snb

@@ -1,0 +1,1 @@
+lib/ldbc/snb.ml: Array Hashtbl Pgraph Printf

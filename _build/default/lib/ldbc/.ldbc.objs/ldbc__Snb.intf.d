@@ -1,0 +1,1 @@
+lib/ldbc/snb.mli: Pgraph

@@ -1,0 +1,32 @@
+(** LDBC SNB Interactive Short reads, in GSQL.
+
+    The lookup-style counterpart to the {!Ic} complex reads: single-seed
+    queries touching a small neighbourhood.  They exercise the language
+    surface the paper's examples use (single-step joins, edge attributes,
+    ORDER BY / LIMIT) plus one genuinely DARPE-shaped hop — [is6] reaches a
+    comment's forum through [REPLY_OF>*.<CONTAINER_OF].
+
+    - [is1]: a person's profile (name, gender, birthday, browser, city);
+    - [is2]: a person's 10 most recent messages;
+    - [is3]: a person's friends with the friendship date;
+    - [is4]: a message's creation date and length;
+    - [is5]: a message's creator;
+    - [is6]: the forum containing a message (posts directly, comments via
+      the reply chain) and the forum's members count;
+    - [is7]: replies to a message, with their authors. *)
+
+type name = Is1 | Is2 | Is3 | Is4 | Is5 | Is6 | Is7
+
+val all : name list
+val name_to_string : name -> string
+
+val source : name -> string
+
+val default_params : Snb.t -> seed:int -> name -> (string * Pgraph.Value.t) list
+(** Deterministic seed entity pick (a person for is1–is3, a comment for
+    is4–is7). *)
+
+val run :
+  Snb.t -> ?semantics:Pathsem.Semantics.t -> seed:int -> name -> Gsql.Eval.result
+
+val result_rows : Gsql.Eval.result -> int

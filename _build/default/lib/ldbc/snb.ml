@@ -1,0 +1,242 @@
+module S = Pgraph.Schema
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module R = Pgraph.Prng
+
+type t = {
+  graph : G.t;
+  persons : int array;
+  cities : int array;
+  countries : int array;
+  forums : int array;
+  posts : int array;
+  comments : int array;
+  tags : int array;
+  companies : int array;
+}
+
+let schema () =
+  let s = S.create () in
+  let _ =
+    S.add_vertex_type s "Person"
+      [ ("firstName", S.T_string); ("lastName", S.T_string); ("gender", S.T_string);
+        ("birthday", S.T_datetime); ("browserUsed", S.T_string) ]
+  in
+  let _ = S.add_vertex_type s "City" [ ("name", S.T_string) ] in
+  let _ = S.add_vertex_type s "Country" [ ("name", S.T_string) ] in
+  let _ = S.add_vertex_type s "Forum" [ ("title", S.T_string) ] in
+  let _ =
+    S.add_vertex_type s "Post"
+      [ ("creationDate", S.T_datetime); ("length", S.T_int); ("browserUsed", S.T_string) ]
+  in
+  let _ =
+    S.add_vertex_type s "Comment"
+      [ ("creationDate", S.T_datetime); ("length", S.T_int); ("browserUsed", S.T_string) ]
+  in
+  let _ = S.add_vertex_type s "Tag" [ ("name", S.T_string) ] in
+  let _ = S.add_vertex_type s "Company" [ ("name", S.T_string) ] in
+  (* KNOWS is undirected — the mixed directed/undirected data model the
+     paper emphasizes (§2). *)
+  let _ = S.add_edge_type s "KNOWS" ~directed:false ~src:"Person" ~dst:"Person"
+      [ ("since", S.T_datetime) ] in
+  let _ = S.add_edge_type s "IS_LOCATED_IN" ~directed:true [] in
+  let _ = S.add_edge_type s "IS_PART_OF" ~directed:true ~src:"City" ~dst:"Country" [] in
+  let _ =
+    S.add_edge_type s "WORK_AT" ~directed:true ~src:"Person" ~dst:"Company"
+      [ ("workFrom", S.T_int) ]
+  in
+  let _ = S.add_edge_type s "HAS_CREATOR" ~directed:true [] in
+  let _ = S.add_edge_type s "LIKES" ~directed:true [ ("creationDate", S.T_datetime) ] in
+  let _ = S.add_edge_type s "CONTAINER_OF" ~directed:true ~src:"Forum" ~dst:"Post" [] in
+  let _ =
+    S.add_edge_type s "HAS_MEMBER" ~directed:true ~src:"Forum" ~dst:"Person"
+      [ ("joinDate", S.T_datetime) ]
+  in
+  let _ = S.add_edge_type s "REPLY_OF" ~directed:true [] in
+  let _ = S.add_edge_type s "HAS_TAG" ~directed:true [] in
+  s
+
+let browsers = [| "Chrome"; "Firefox"; "Safari"; "InternetExplorer"; "Opera" |]
+let genders = [| "male"; "female" |]
+
+let first_names =
+  [| "Jan"; "Maria"; "Chen"; "Amit"; "Lena"; "Omar"; "Ana"; "Kofi"; "Yuki"; "Ivan";
+     "Sara"; "Liam"; "Nina"; "Paul"; "Ada"; "Hugo" |]
+
+let last_names =
+  [| "Smith"; "Garcia"; "Wang"; "Kumar"; "Novak"; "Hassan"; "Silva"; "Mensah"; "Tanaka";
+     "Petrov"; "Larsen"; "Brown"; "Rossi"; "Dubois"; "Okafor"; "Kim" |]
+
+let country_names =
+  [| "India"; "China"; "Germany"; "France"; "Brazil"; "Ghana"; "Japan"; "Russia"; "Norway";
+     "Mexico" |]
+
+let tag_names =
+  Array.init 50 (fun i -> Printf.sprintf "tag_%02d" i)
+
+let company_names = Array.init 20 (fun i -> Printf.sprintf "company_%02d" i)
+
+(* Random datetime within [2010-01-01, 2013-01-01). *)
+let random_date rng =
+  let lo = match V.datetime_of_ymd 2010 1 1 with V.Datetime d -> d | _ -> assert false in
+  let hi = match V.datetime_of_ymd 2013 1 1 with V.Datetime d -> d | _ -> assert false in
+  V.Datetime (R.int_in_range rng lo (hi - 1))
+
+let generate ?(seed = 20200614) ~sf () =
+  if sf <= 0.0 then invalid_arg "Snb.generate: scale factor must be positive";
+  let rng = R.create seed in
+  let g = G.create (schema ()) in
+  let n_persons = max 12 (int_of_float (300.0 *. sf)) in
+  let n_countries = Array.length country_names in
+  let n_cities = n_countries * 3 in
+  let n_forums = max 4 (n_persons / 4) in
+  let n_tags = Array.length tag_names in
+
+  (* Places. *)
+  let countries =
+    Array.map (fun name -> G.add_vertex g "Country" [ ("name", V.Str name) ]) country_names
+  in
+  let cities =
+    Array.init n_cities (fun i ->
+        let c = G.add_vertex g "City" [ ("name", V.Str (Printf.sprintf "city_%02d" i)) ] in
+        ignore (G.add_edge g "IS_PART_OF" c countries.(i mod n_countries) []);
+        c)
+  in
+  let companies =
+    Array.map (fun name -> G.add_vertex g "Company" [ ("name", V.Str name) ]) company_names
+  in
+  Array.iter
+    (fun comp -> ignore (G.add_edge g "IS_LOCATED_IN" comp (R.choose rng countries) []))
+    companies;
+  let tags = Array.map (fun name -> G.add_vertex g "Tag" [ ("name", V.Str name) ]) tag_names in
+
+  (* Persons. *)
+  let persons =
+    Array.init n_persons (fun _ ->
+        let birth_year = R.int_in_range rng 1950 1998 in
+        let p =
+          G.add_vertex g "Person"
+            [ ("firstName", V.Str (R.choose rng first_names));
+              ("lastName", V.Str (R.choose rng last_names));
+              ("gender", V.Str (R.choose rng genders));
+              ("birthday",
+               V.datetime_of_ymd birth_year (R.int_in_range rng 1 12) (R.int_in_range rng 1 28));
+              ("browserUsed", V.Str (R.choose rng browsers)) ]
+        in
+        ignore (G.add_edge g "IS_LOCATED_IN" p (R.choose rng cities) []);
+        (* 0–2 jobs. *)
+        for _ = 1 to R.int rng 3 do
+          ignore
+            (G.add_edge g "WORK_AT" p (R.choose rng companies)
+               [ ("workFrom", V.Int (R.int_in_range rng 1995 2012)) ])
+        done;
+        p)
+  in
+
+  (* KNOWS: Watts–Strogatz-style small world (ring lattice with rewiring)
+     plus zipf-skewed hub edges.  The average degree (~12-14) matters for
+     the §7.1 experiment: the non-repeated-edge baseline enumerates about
+     degree^hops paths per seed, so hop-exponential behaviour needs the
+     realistic fan-out LDBC SNB has. *)
+  let k_neighbors = 5 in
+  let knows_seen = Hashtbl.create (n_persons * 4) in
+  let add_knows a b =
+    if a <> b then begin
+      let key = (min a b, max a b) in
+      if not (Hashtbl.mem knows_seen key) then begin
+        Hashtbl.add knows_seen key ();
+        ignore (G.add_edge g "KNOWS" persons.(a) persons.(b) [ ("since", random_date rng) ])
+      end
+    end
+  in
+  for i = 0 to n_persons - 1 do
+    for j = 1 to k_neighbors do
+      if R.bernoulli rng 0.2 then add_knows i (R.int rng n_persons)
+      else add_knows i ((i + j) mod n_persons)
+    done;
+    (* Hub edges: popular people accumulate friends. *)
+    for _ = 1 to 2 do
+      add_knows i (R.zipf rng n_persons 1.3 - 1)
+    done
+  done;
+
+  (* Forums with zipf-skewed memberships. *)
+  let forums =
+    Array.init n_forums (fun i ->
+        let f = G.add_vertex g "Forum" [ ("title", V.Str (Printf.sprintf "forum_%03d" i)) ] in
+        let n_members = 2 + R.zipf rng (max 2 (n_persons / 2)) 1.4 in
+        for _ = 1 to n_members do
+          let p = persons.(R.int rng n_persons) in
+          ignore (G.add_edge g "HAS_MEMBER" f p [ ("joinDate", random_date rng) ])
+        done;
+        f)
+  in
+
+  (* Posts: zipf over authors, contained in forums, tagged. *)
+  let n_posts = max 10 (int_of_float (900.0 *. sf)) in
+  let posts =
+    Array.init n_posts (fun _ ->
+        let p =
+          G.add_vertex g "Post"
+            [ ("creationDate", random_date rng);
+              ("length", V.Int (R.int_in_range rng 10 500));
+              ("browserUsed", V.Str (R.choose rng browsers)) ]
+        in
+        let author = persons.(R.zipf rng n_persons 1.3 - 1) in
+        ignore (G.add_edge g "HAS_CREATOR" p author []);
+        ignore (G.add_edge g "CONTAINER_OF" forums.(R.int rng n_forums) p []);
+        for _ = 1 to 1 + R.int rng 3 do
+          ignore (G.add_edge g "HAS_TAG" p tags.(R.zipf rng n_tags 1.2 - 1) [])
+        done;
+        p)
+  in
+
+  (* Comments: replies to posts or earlier comments. *)
+  let n_comments = max 20 (int_of_float (2400.0 *. sf)) in
+  let comments = Array.make n_comments (-1) in
+  for i = 0 to n_comments - 1 do
+    let c =
+      G.add_vertex g "Comment"
+        [ ("creationDate", random_date rng);
+          ("length", V.Int (R.int_in_range rng 1 200));
+          ("browserUsed", V.Str (R.choose rng browsers)) ]
+    in
+    comments.(i) <- c;
+    let author = persons.(R.zipf rng n_persons 1.3 - 1) in
+    ignore (G.add_edge g "HAS_CREATOR" c author []);
+    let parent =
+      if i > 0 && R.bernoulli rng 0.4 then comments.(R.int rng i)
+      else posts.(R.int rng n_posts)
+    in
+    ignore (G.add_edge g "REPLY_OF" c parent []);
+    if R.bernoulli rng 0.5 then
+      ignore (G.add_edge g "HAS_TAG" c tags.(R.zipf rng n_tags 1.2 - 1) [])
+  done;
+
+  (* Likes: persons like zipf-popular posts and comments (half each — the
+     Appendix B workload aggregates over liked comments specifically). *)
+  Array.iter
+    (fun p ->
+      let n_likes = R.int rng 14 in
+      for _ = 1 to n_likes do
+        let target =
+          if R.bernoulli rng 0.5 then posts.(R.zipf rng n_posts 1.2 - 1)
+          else comments.(R.zipf rng n_comments 1.2 - 1)
+        in
+        ignore (G.add_edge g "LIKES" p target [ ("creationDate", random_date rng) ])
+      done)
+    persons;
+
+  { graph = g; persons; cities; countries; forums; posts; comments; tags; companies }
+
+let stats t =
+  Printf.sprintf
+    "persons=%d cities=%d countries=%d forums=%d posts=%d comments=%d tags=%d companies=%d |V|=%d |E|=%d"
+    (Array.length t.persons) (Array.length t.cities) (Array.length t.countries)
+    (Array.length t.forums) (Array.length t.posts) (Array.length t.comments)
+    (Array.length t.tags) (Array.length t.companies)
+    (G.n_vertices t.graph) (G.n_edges t.graph)
+
+let random_person t rng = t.persons.(Pgraph.Prng.int rng (Array.length t.persons))
+let random_country t rng = t.countries.(Pgraph.Prng.int rng (Array.length t.countries))
+let random_tag t rng = t.tags.(Pgraph.Prng.int rng (Array.length t.tags))

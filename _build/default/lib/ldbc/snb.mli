@@ -1,0 +1,42 @@
+(** LDBC Social Network Benchmark-like graphs (paper §7.1, §8, Appendix B).
+
+    The paper's large-scale experiments run on LDBC SNB data at scale
+    factors 1–1000 (1 GB–1 TB).  This module generates laptop-scale graphs
+    with the same {e shape}: a small-world KNOWS network among persons,
+    zipf-skewed content creation and likes, attribute-rich comments (length,
+    browser, creation date in 2010–2012), places, forums, tags and
+    companies.  The experiments depend on the network's structure (hop
+    growth of friend neighbourhoods, like fan-out), not on absolute size, so
+    trends reproduce at these scales.
+
+    Determinism: generation is a pure function of [sf] and [seed]. *)
+
+type t = {
+  graph : Pgraph.Graph.t;
+  persons : int array;
+  cities : int array;
+  countries : int array;
+  forums : int array;
+  posts : int array;
+  comments : int array;
+  tags : int array;
+  companies : int array;
+}
+
+val schema : unit -> Pgraph.Schema.t
+(** The SNB-subset schema: Person, City, Country, Forum, Post, Comment,
+    Tag, Company vertices; KNOWS (undirected), IS_LOCATED_IN, IS_PART_OF,
+    WORK_AT, HAS_CREATOR, LIKES, CONTAINER_OF, HAS_MEMBER, REPLY_OF,
+    HAS_TAG edges. *)
+
+val generate : ?seed:int -> sf:float -> unit -> t
+(** [generate ~sf ()] builds a graph with roughly [300·sf] persons and
+    proportional content.  [sf = 1.0] is the repository's stand-in for the
+    paper's SF-1. *)
+
+val stats : t -> string
+(** One-line size summary (vertices/edges per type). *)
+
+val random_person : t -> Pgraph.Prng.t -> int
+val random_country : t -> Pgraph.Prng.t -> int
+val random_tag : t -> Pgraph.Prng.t -> int

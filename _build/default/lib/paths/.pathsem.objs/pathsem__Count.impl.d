@@ -1,0 +1,1 @@
+lib/paths/count.ml: Array Darpe List Pgraph

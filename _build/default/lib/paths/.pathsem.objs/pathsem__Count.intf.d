@@ -1,0 +1,1 @@
+lib/paths/count.mli: Darpe Pgraph

@@ -1,0 +1,1 @@
+lib/paths/engine.ml: Array Count Darpe Enumerate Hashtbl Pgraph Semantics

@@ -1,0 +1,1 @@
+lib/paths/engine.mli: Darpe Pgraph Semantics

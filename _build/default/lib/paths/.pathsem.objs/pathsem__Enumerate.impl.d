@@ -1,0 +1,1 @@
+lib/paths/enumerate.ml: Array Count Darpe Hashtbl List Pgraph Semantics

@@ -1,0 +1,1 @@
+lib/paths/enumerate.mli: Darpe Pgraph Semantics

@@ -1,0 +1,1 @@
+lib/paths/toygraphs.ml: Hashtbl List Pgraph Printf

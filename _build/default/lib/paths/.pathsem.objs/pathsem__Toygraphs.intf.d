@@ -1,0 +1,1 @@
+lib/paths/toygraphs.mli: Pgraph

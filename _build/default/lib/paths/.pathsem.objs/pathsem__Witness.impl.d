@@ -1,0 +1,1 @@
+lib/paths/witness.ml: Array Enumerate List Pgraph Semantics

@@ -1,0 +1,1 @@
+lib/paths/witness.mli: Darpe Enumerate Pgraph

@@ -1,0 +1,78 @@
+module G = Pgraph.Graph
+module B = Pgraph.Bignat
+
+type source_result = {
+  sr_src : int;
+  sr_dist : int array;
+  sr_count : B.t array;
+}
+
+(* Product-state indexing: pid = v * |Q| + q. *)
+let single_source g (dfa : Darpe.Dfa.t) src =
+  let nq = dfa.Darpe.Dfa.n_states in
+  let nv = G.n_vertices g in
+  let n = nv * nq in
+  let dist = Array.make n (-1) in
+  let count = Array.make n B.zero in
+  let pid v q = (v * nq) + q in
+  let start = pid src dfa.Darpe.Dfa.start in
+  dist.(start) <- 0;
+  count.(start) <- B.one;
+  let frontier = ref [ start ] in
+  let level = ref 0 in
+  while !frontier <> [] do
+    let next = ref [] in
+    let d = !level in
+    List.iter
+      (fun p ->
+        let v = p / nq and q = p mod nq in
+        let c = count.(p) in
+        G.iter_adjacent g v (fun h ->
+            let etype = G.edge_type_id g h.G.h_edge in
+            let q' = Darpe.Dfa.step dfa q ~etype ~rel:h.G.h_rel in
+            if q' >= 0 && dfa.Darpe.Dfa.live.(q') then begin
+              let p' = pid h.G.h_other q' in
+              if dist.(p') = -1 then begin
+                dist.(p') <- d + 1;
+                count.(p') <- c;
+                next := p' :: !next
+              end
+              else if dist.(p') = d + 1 then count.(p') <- B.add count.(p') c
+            end))
+      !frontier;
+    frontier := !next;
+    incr level
+  done;
+  (* Collapse product states to per-vertex results over accepting DFA
+     states: the shortest satisfying path length is the min over accepting
+     states, and its count sums the accepting states at that distance
+     (disjoint path sets, by DFA determinism). *)
+  let sr_dist = Array.make nv (-1) in
+  let sr_count = Array.make nv B.zero in
+  for v = 0 to nv - 1 do
+    for q = 0 to nq - 1 do
+      if dfa.Darpe.Dfa.accepting.(q) then begin
+        let dq = dist.(pid v q) in
+        if dq >= 0 then
+          if sr_dist.(v) = -1 || dq < sr_dist.(v) then begin
+            sr_dist.(v) <- dq;
+            sr_count.(v) <- count.(pid v q)
+          end
+          else if dq = sr_dist.(v) then sr_count.(v) <- B.add sr_count.(v) count.(pid v q)
+      end
+    done
+  done;
+  { sr_src = src; sr_dist; sr_count }
+
+let single_pair g dfa s t =
+  let r = single_source g dfa s in
+  if r.sr_dist.(t) = -1 then None else Some (r.sr_dist.(t), r.sr_count.(t))
+
+let all_pairs g dfa ~sources f =
+  Array.iter
+    (fun s ->
+      let r = single_source g dfa s in
+      Array.iteri (fun t d -> if d >= 0 then f s t d r.sr_count.(t)) r.sr_dist)
+    sources
+
+let exists_path g dfa s t = single_pair g dfa s t <> None

@@ -1,0 +1,45 @@
+(** Shortest DARPE Match Counting (SDMC) — paper Theorem 6.1.
+
+    BFS over the product of the graph with the DARPE's DFA.  Because the
+    automaton is deterministic, every graph path induces exactly one product
+    path, so per-level count propagation counts {e paths}, not runs.  Counts
+    are {!Pgraph.Bignat.t} because they can be exponential in the graph size
+    (the whole point of the theorem is that they are nevertheless computed in
+    polynomial time).
+
+    Caveat shared with the paper's formal model: a directed self-loop crossed
+    by both an [E>] and an [<E] branch of the same DARPE yields two adorned
+    words over the same edge sequence and is counted once per adornment. *)
+
+type source_result = {
+  sr_src : int;
+  sr_dist : int array;
+      (** [sr_dist.(t)] — edge count of the shortest satisfying path from the
+          source to [t]; [-1] when no satisfying path exists. *)
+  sr_count : Pgraph.Bignat.t array;
+      (** [sr_count.(t)] — number of shortest satisfying paths (0 when
+          unreachable). *)
+}
+
+val single_source : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> source_result
+(** [single_source g dfa s] solves the single-source SDMC flavor: counts of
+    shortest satisfying paths from [s] to every vertex.
+    Complexity O((|V| + |E|)·|DFA|) BFS steps plus big-number additions. *)
+
+val single_pair : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> int -> (int * Pgraph.Bignat.t) option
+(** [single_pair g dfa s t] is [Some (length, count)] for the shortest
+    satisfying paths from [s] to [t], or [None] when no path satisfies the
+    DARPE.  The zero-length path [s = t] counts when the DARPE accepts the
+    empty word. *)
+
+val all_pairs :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> sources:int array ->
+  (int -> int -> int -> Pgraph.Bignat.t -> unit) -> unit
+(** [all_pairs g dfa ~sources f] runs {!single_source} for each source and
+    calls [f src dst dist count] for every reachable pair.  This is the
+    all-paths SDMC flavor restricted to the given sources (pass every vertex
+    for the unrestricted flavor). *)
+
+val exists_path : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> int -> bool
+(** SparQL-style reachability: is there any satisfying path?  Reduces to
+    [single_pair <> None] as in the paper (SDMC > 0). *)

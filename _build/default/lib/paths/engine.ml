@@ -1,0 +1,92 @@
+module G = Pgraph.Graph
+module B = Pgraph.Bignat
+
+type binding = {
+  b_src : int;
+  b_dst : int;
+  b_mult : B.t;
+  b_dist : int;
+}
+
+(* DFA compilation is memoized on (schema physical identity, DARPE syntax):
+   iterative GSQL queries re-evaluate the same pattern every loop
+   iteration. *)
+let cache : (string, Darpe.Dfa.t) Hashtbl.t = Hashtbl.create 32
+let cache_schema : Pgraph.Schema.t option ref = ref None
+
+let compile g ast =
+  let schema = G.schema g in
+  (match !cache_schema with
+   | Some s when s == schema -> ()
+   | _ ->
+     Hashtbl.reset cache;
+     cache_schema := Some schema);
+  let key = Darpe.Ast.to_string ast in
+  match Hashtbl.find_opt cache key with
+  | Some dfa -> dfa
+  | None ->
+    let dfa = Darpe.Dfa.compile schema ast in
+    Hashtbl.add cache key dfa;
+    dfa
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  cache_schema := None
+
+let match_pairs g ast sem ~sources ~dst_ok =
+  let dfa = compile g ast in
+  let out = ref [] in
+  (match (sem : Semantics.t) with
+   | Semantics.All_shortest ->
+     Array.iter
+       (fun src ->
+         let r = Count.single_source g dfa src in
+         Array.iteri
+           (fun dst d ->
+             if d >= 0 && dst_ok dst then
+               out := { b_src = src; b_dst = dst; b_mult = r.Count.sr_count.(dst); b_dist = d } :: !out)
+           r.Count.sr_dist)
+       sources
+   | Semantics.Existential ->
+     Array.iter
+       (fun src ->
+         let r = Count.single_source g dfa src in
+         Array.iteri
+           (fun dst d ->
+             if d >= 0 && dst_ok dst then
+               out := { b_src = src; b_dst = dst; b_mult = B.one; b_dist = d } :: !out)
+           r.Count.sr_dist)
+       sources
+   | Semantics.Shortest_enumerated
+   | Semantics.Non_repeated_edge
+   | Semantics.Non_repeated_vertex
+   | Semantics.Unrestricted_bounded _ ->
+     Array.iter
+       (fun src ->
+         (* Per-destination multiplicity accumulated by materializing every
+            legal path — the exponential baseline. *)
+         let counts : (int, B.t ref) Hashtbl.t = Hashtbl.create 64 in
+         Enumerate.iter_paths g dfa sem ~src ~dst:None (fun p ->
+             let dst = p.Enumerate.p_vertices.(Array.length p.Enumerate.p_vertices - 1) in
+             if dst_ok dst then
+               match Hashtbl.find_opt counts dst with
+               | Some r -> r := B.succ !r
+               | None -> Hashtbl.add counts dst (ref B.one));
+         Hashtbl.iter
+           (fun dst r -> out := { b_src = src; b_dst = dst; b_mult = !r; b_dist = -1 } :: !out)
+           counts)
+       sources);
+  !out
+
+let count_single_pair g ast sem ~src ~dst =
+  let dfa = compile g ast in
+  match (sem : Semantics.t) with
+  | Semantics.All_shortest ->
+    (match Count.single_pair g dfa src dst with
+     | Some (_, c) -> c
+     | None -> B.zero)
+  | Semantics.Existential -> if Count.exists_path g dfa src dst then B.one else B.zero
+  | Semantics.Shortest_enumerated
+  | Semantics.Non_repeated_edge
+  | Semantics.Non_repeated_vertex
+  | Semantics.Unrestricted_bounded _ -> Enumerate.count_paths g dfa sem ~src ~dst

@@ -1,0 +1,181 @@
+module G = Pgraph.Graph
+module B = Pgraph.Bignat
+
+type path = {
+  p_vertices : int array;
+  p_edges : int array;
+}
+
+(* Reconstruct a path from the reversed [(edge, vertex)] trail plus source. *)
+let path_of_trail src rev_trail =
+  let trail = List.rev rev_trail in
+  let n = List.length trail in
+  let p_vertices = Array.make (n + 1) src in
+  let p_edges = Array.make n (-1) in
+  List.iteri
+    (fun i (e, v) ->
+      p_edges.(i) <- e;
+      p_vertices.(i + 1) <- v)
+    trail;
+  { p_vertices; p_edges }
+
+let flip_rel = function
+  | G.Out -> G.In
+  | G.In -> G.Out
+  | G.Und -> G.Und
+
+(* Shortest distance from every product state to (dst, accepting), via
+   backward BFS using an inverted DFA transition index. *)
+let backward_product_dists g (dfa : Darpe.Dfa.t) ~dst =
+  let nq = dfa.Darpe.Dfa.n_states in
+  let nv = G.n_vertices g in
+  let bdist = Array.make (nv * nq) (-1) in
+  (* preds_by_sym.(sym) = DFA states p with trans.(p).(sym) = q, per q. *)
+  let preds_by_sym = Array.make dfa.Darpe.Dfa.n_symbols [||] in
+  for s = 0 to dfa.Darpe.Dfa.n_symbols - 1 do
+    let buckets = Array.make nq [] in
+    for p = 0 to nq - 1 do
+      let q = dfa.Darpe.Dfa.trans.(p).(s) in
+      if q >= 0 then buckets.(q) <- p :: buckets.(q)
+    done;
+    preds_by_sym.(s) <- buckets
+  done;
+  let frontier = ref [] in
+  for q = 0 to nq - 1 do
+    if dfa.Darpe.Dfa.accepting.(q) then begin
+      bdist.((dst * nq) + q) <- 0;
+      frontier := ((dst * nq) + q) :: !frontier
+    end
+  done;
+  let level = ref 0 in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun pid ->
+        let v = pid / nq and q = pid mod nq in
+        (* A predecessor u crossed a half-edge into v; from v's adjacency,
+           that edge appears with the flipped relation. *)
+        G.iter_adjacent g v (fun h ->
+            let u = h.G.h_other in
+            let sym =
+              Darpe.Dfa.sym ~etype:(G.edge_type_id g h.G.h_edge) ~rel:(flip_rel h.G.h_rel)
+            in
+            List.iter
+              (fun p ->
+                let upid = (u * nq) + p in
+                if bdist.(upid) = -1 then begin
+                  bdist.(upid) <- !level + 1;
+                  next := upid :: !next
+                end)
+              preds_by_sym.(sym).(q)))
+      !frontier;
+    frontier := !next;
+    incr level
+  done;
+  bdist
+
+(* Generic DFS product-walk enumeration.  [admit] filters candidate half-edge
+   extensions given the current trail bookkeeping; [enter]/[leave] maintain
+   that bookkeeping.  When the target is known, expansions are pruned to
+   product states from which it stays reachable — the pruning any real
+   engine performs; cost then tracks the number of legal paths to the
+   target (exponential where they are exponential), not the whole graph. *)
+let dfs_enumerate g (dfa : Darpe.Dfa.t) ~src ~dst ~max_len ~admit ~enter ~leave f =
+  let nq = dfa.Darpe.Dfa.n_states in
+  let viable =
+    match dst with
+    | None -> fun _ _ -> true
+    | Some t ->
+      let bdist = backward_product_dists g dfa ~dst:t in
+      fun v q -> bdist.((v * nq) + q) >= 0
+  in
+  let emit v q rev_trail =
+    if dfa.Darpe.Dfa.accepting.(q) && (match dst with None -> true | Some t -> t = v) then
+      f (path_of_trail src rev_trail)
+  in
+  let rec go v q depth rev_trail =
+    emit v q rev_trail;
+    if (match max_len with None -> true | Some m -> depth < m) then
+      G.iter_adjacent g v (fun h ->
+          let q' =
+            Darpe.Dfa.step dfa q ~etype:(G.edge_type_id g h.G.h_edge) ~rel:h.G.h_rel
+          in
+          if q' >= 0 && dfa.Darpe.Dfa.live.(q') && viable h.G.h_other q' && admit h depth then begin
+            enter h;
+            go h.G.h_other q' (depth + 1) ((h.G.h_edge, h.G.h_other) :: rev_trail);
+            leave h
+          end)
+  in
+  if viable src dfa.Darpe.Dfa.start then go src dfa.Darpe.Dfa.start 0 []
+
+let iter_non_repeated_edge g dfa ~src ~dst f =
+  let used = Hashtbl.create 64 in
+  dfs_enumerate g dfa ~src ~dst ~max_len:None
+    ~admit:(fun h _ -> not (Hashtbl.mem used h.G.h_edge))
+    ~enter:(fun h -> Hashtbl.add used h.G.h_edge ())
+    ~leave:(fun h -> Hashtbl.remove used h.G.h_edge)
+    f
+
+let iter_non_repeated_vertex g dfa ~src ~dst f =
+  let visited = Hashtbl.create 64 in
+  Hashtbl.add visited src ();
+  dfs_enumerate g dfa ~src ~dst ~max_len:None
+    ~admit:(fun h _ -> not (Hashtbl.mem visited h.G.h_other))
+    ~enter:(fun h -> Hashtbl.add visited h.G.h_other ())
+    ~leave:(fun h -> Hashtbl.remove visited h.G.h_other)
+    f
+
+let iter_bounded g dfa ~src ~dst ~bound f =
+  dfs_enumerate g dfa ~src ~dst ~max_len:(Some bound)
+    ~admit:(fun _ _ -> true)
+    ~enter:(fun _ -> ())
+    ~leave:(fun _ -> ())
+    f
+
+(* Enumerate exactly the shortest satisfying src→t paths: DFS through the
+   product pruned so that every prefix stays on some shortest path (depth +
+   backward distance = total shortest length).  Work is proportional to the
+   number of shortest paths — deliberately exponential where there are
+   exponentially many, modelling Neo4j's allShortestPaths evaluation. *)
+let iter_shortest_to g (dfa : Darpe.Dfa.t) ~src ~dst f =
+  let nq = dfa.Darpe.Dfa.n_states in
+  let bdist = backward_product_dists g dfa ~dst in
+  let start_pid = (src * nq) + dfa.Darpe.Dfa.start in
+  let total = bdist.(start_pid) in
+  if total >= 0 then begin
+    let rec go v q depth rev_trail =
+      if depth = total then begin
+        if dfa.Darpe.Dfa.accepting.(q) && v = dst then f (path_of_trail src rev_trail)
+      end
+      else
+        G.iter_adjacent g v (fun h ->
+            let q' =
+              Darpe.Dfa.step dfa q ~etype:(G.edge_type_id g h.G.h_edge) ~rel:h.G.h_rel
+            in
+            if q' >= 0 && bdist.((h.G.h_other * nq) + q') = total - depth - 1 then
+              go h.G.h_other q' (depth + 1) ((h.G.h_edge, h.G.h_other) :: rev_trail))
+    in
+    go src dfa.Darpe.Dfa.start 0 []
+  end
+
+let iter_shortest g dfa ~src ~dst f =
+  match dst with
+  | Some t -> iter_shortest_to g dfa ~src ~dst:t f
+  | None ->
+    (* Enumerate shortest paths to every reachable target. *)
+    let r = Count.single_source g dfa src in
+    Array.iteri (fun t d -> if d >= 0 then iter_shortest_to g dfa ~src ~dst:t f) r.Count.sr_dist
+
+let iter_paths g dfa sem ~src ~dst f =
+  match (sem : Semantics.t) with
+  | Semantics.Non_repeated_edge -> iter_non_repeated_edge g dfa ~src ~dst f
+  | Semantics.Non_repeated_vertex -> iter_non_repeated_vertex g dfa ~src ~dst f
+  | Semantics.Unrestricted_bounded n -> iter_bounded g dfa ~src ~dst ~bound:n f
+  | Semantics.Shortest_enumerated -> iter_shortest g dfa ~src ~dst f
+  | Semantics.All_shortest | Semantics.Existential ->
+    invalid_arg "Enumerate.iter_paths: semantics is non-enumerative (use Count)"
+
+let count_paths g dfa sem ~src ~dst =
+  let n = ref B.zero in
+  iter_paths g dfa sem ~src ~dst:(Some dst) (fun _ -> n := B.succ !n);
+  !n

@@ -1,0 +1,34 @@
+(** Path enumeration engines — the baselines the paper measures against.
+
+    These engines {e materialize} every legal path, which is exactly why the
+    non-repeated-edge (Cypher default), non-repeated-vertex (Gremlin
+    tutorial) and enumerated all-shortest-paths (Neo4j [allShortestPaths])
+    semantics run in exponential time on graphs with exponentially many legal
+    paths (paper §7.1, Table 1), while the counting engine ({!Count}) stays
+    polynomial. *)
+
+type path = {
+  p_vertices : int array;  (** [length = edges + 1]; starts at the source *)
+  p_edges : int array;
+}
+
+val iter_paths :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> Semantics.t ->
+  src:int -> dst:int option -> (path -> unit) -> unit
+(** [iter_paths g dfa sem ~src ~dst f] calls [f] once per legal satisfying
+    path from [src] (to [dst] when given, to any vertex otherwise).
+
+    Raises [Invalid_argument] when [sem] is [All_shortest] or [Existential]
+    — those are non-enumerative by design; use {!Count}. *)
+
+val count_paths :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> Semantics.t ->
+  src:int -> dst:int -> Pgraph.Bignat.t
+(** Number of legal satisfying paths between the pair, by enumeration. *)
+
+val backward_product_dists :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> dst:int -> int array
+(** [backward_product_dists g dfa ~dst] — for every product state
+    [(v, q)] (indexed [v * n_states + q]), the length of the shortest
+    suffix leading from it to [dst] in an accepting DFA state; [-1] when none
+    exists.  Exposed for the shortest-path enumerator and for tests. *)

@@ -1,0 +1,33 @@
+type t =
+  | All_shortest
+  | Shortest_enumerated
+  | Non_repeated_edge
+  | Non_repeated_vertex
+  | Unrestricted_bounded of int
+  | Existential
+
+let to_string = function
+  | All_shortest -> "all-shortest"
+  | Shortest_enumerated -> "shortest-enumerated"
+  | Non_repeated_edge -> "non-repeated-edge"
+  | Non_repeated_vertex -> "non-repeated-vertex"
+  | Unrestricted_bounded n -> Printf.sprintf "unrestricted:%d" n
+  | Existential -> "existential"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let is_enumerative = function
+  | All_shortest | Existential -> false
+  | Shortest_enumerated | Non_repeated_edge | Non_repeated_vertex | Unrestricted_bounded _ -> true
+
+let of_string s =
+  match s with
+  | "all-shortest" -> Some All_shortest
+  | "shortest-enumerated" -> Some Shortest_enumerated
+  | "non-repeated-edge" -> Some Non_repeated_edge
+  | "non-repeated-vertex" -> Some Non_repeated_vertex
+  | "existential" -> Some Existential
+  | _ ->
+    (match String.split_on_char ':' s with
+     | [ "unrestricted"; n ] -> (try Some (Unrestricted_bounded (int_of_string n)) with Failure _ -> None)
+     | _ -> None)

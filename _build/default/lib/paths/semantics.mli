@@ -1,0 +1,42 @@
+(** Path-legality semantics (paper §6.1).
+
+    A Kleene-starred pattern can match infinitely many paths in a cyclic
+    graph; every engine in circulation restricts the legal paths to a finite
+    set.  The paper surveys four flavors and argues for all-shortest-paths;
+    this module names them so every other component (pattern engines, GSQL
+    evaluator, benches) can select one per query. *)
+
+type t =
+  | All_shortest
+      (** GSQL default: among the satisfying paths between a vertex pair,
+          exactly the ones of minimal edge count are legal.  Evaluated by
+          {e counting} (polynomial, Theorem 6.1) — paths are never
+          materialized. *)
+  | Shortest_enumerated
+      (** Same legal-path set as {!All_shortest} but evaluated by
+          materializing every shortest path (how Neo4j's [allShortestPaths]
+          behaves in the paper's §7.1 experiment) — exponential when
+          exponentially many shortest paths exist. *)
+  | Non_repeated_edge
+      (** Cypher's default: paths may not repeat an edge.  NP-hard to check
+          existence in general; evaluated by enumeration. *)
+  | Non_repeated_vertex
+      (** Gremlin-tutorial style ([simplePath]): paths may not repeat a
+          vertex. *)
+  | Unrestricted_bounded of int
+      (** All paths up to the given length — the only way to make Gremlin's
+          default unrestricted semantics terminate on cyclic graphs. *)
+  | Existential
+      (** SparQL 1.1: Kleene-starred patterns are reachability tests; any
+          matched pair has multiplicity exactly 1. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_enumerative : t -> bool
+(** True for the semantics that must materialize paths (everything except
+    {!All_shortest} and {!Existential}). *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [Unrestricted_bounded n] reads as
+    ["unrestricted:<n>"]. *)

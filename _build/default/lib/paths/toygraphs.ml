@@ -1,0 +1,80 @@
+module G = Pgraph.Graph
+module S = Pgraph.Schema
+
+type labelled = {
+  g : G.t;
+  vertex : string -> int;
+}
+
+let make_labelled ?(edge_types = [ ("E", true) ]) vertices edges =
+  let schema = S.create () in
+  let _vt = S.add_vertex_type schema "V" [ ("name", S.T_string) ] in
+  List.iter (fun (name, directed) -> ignore (S.add_edge_type schema name ~directed [])) edge_types;
+  let g = G.create schema in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      let id = G.add_vertex g "V" [ ("name", Pgraph.Value.Str name) ] in
+      Hashtbl.add tbl name id)
+    vertices;
+  List.iter
+    (fun (ty, src, dst) ->
+      ignore (G.add_edge g ty (Hashtbl.find tbl src) (Hashtbl.find tbl dst) []))
+    edges;
+  { g; vertex = (fun name -> Hashtbl.find tbl name) }
+
+let diamond_chain n =
+  if n < 0 then invalid_arg "Toygraphs.diamond_chain: negative size";
+  let vertices = ref [] in
+  let edges = ref [] in
+  for i = 0 to n do
+    vertices := Printf.sprintf "v%d" i :: !vertices
+  done;
+  for i = 0 to n - 1 do
+    let vi = Printf.sprintf "v%d" i and vj = Printf.sprintf "v%d" (i + 1) in
+    let a = Printf.sprintf "a%d" i and b = Printf.sprintf "b%d" i in
+    vertices := a :: b :: !vertices;
+    edges :=
+      ("E", vi, a) :: ("E", a, vj) :: ("E", vi, b) :: ("E", b, vj) :: !edges
+  done;
+  make_labelled (List.rev !vertices) (List.rev !edges)
+
+(* Figure 5: source 1, target 5; branches 1-2-{3,6,9..12}-4-5 plus the
+   3-7-8-3 cycle.  Reproduces the paper's path inventory exactly. *)
+let g1 () =
+  let v = List.init 12 (fun i -> string_of_int (i + 1)) in
+  make_labelled v
+    [ ("E", "1", "2");
+      ("E", "2", "3");
+      ("E", "3", "4");
+      ("E", "4", "5");
+      ("E", "2", "6");
+      ("E", "6", "4");
+      ("E", "2", "9");
+      ("E", "9", "10");
+      ("E", "10", "11");
+      ("E", "11", "12");
+      ("E", "12", "4");
+      ("E", "3", "7");
+      ("E", "7", "8");
+      ("E", "8", "3") ]
+
+(* Figure 6: 1 -E-> 2 -E-> 3 -E-> 4, with 3 -F-> 5 -E-> 6 -E-> 2.  The only
+   path from 1 to 4 whose word is in E>*.F>.E>* is 1-2-3-5-6-2-3-4, which
+   repeats vertices 2,3 and the edge 2->3. *)
+let g2 () =
+  make_labelled
+    ~edge_types:[ ("E", true); ("F", true) ]
+    [ "1"; "2"; "3"; "4"; "5"; "6" ]
+    [ ("E", "1", "2");
+      ("E", "2", "3");
+      ("E", "3", "4");
+      ("F", "3", "5");
+      ("E", "5", "6");
+      ("E", "6", "2") ]
+
+let triangle_cycle () =
+  make_labelled
+    ~edge_types:[ ("A", true); ("B", true); ("C", true); ("D", true) ]
+    [ "v"; "u"; "w" ]
+    [ ("A", "v", "u"); ("B", "u", "w"); ("C", "w", "v") ]

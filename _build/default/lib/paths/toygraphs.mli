@@ -1,0 +1,32 @@
+(** The paper's example graphs, as reusable fixtures.
+
+    Tests assert the exact multiplicities the paper reports on these graphs
+    (Examples 9, 10, 11 and §6.1's fixed-unique-length cycle), and the
+    benches reuse the diamond chain for the Table 1 experiment. *)
+
+type labelled = {
+  g : Pgraph.Graph.t;
+  vertex : string -> int;  (** look a vertex up by its [name] attribute;
+                               raises [Not_found] *)
+}
+
+val diamond_chain : int -> labelled
+(** [diamond_chain n] — Figure 7: vertices [v0 .. vn] where consecutive
+    [vi], [vi+1] are connected by two parallel length-2 directed [E] paths
+    (through intermediates [ai] and [bi]).  There are [2^k] directed paths
+    from [v0] to [vk].  Vertex names: ["v0"].. ["vn"], ["a0"].., ["b0"]... *)
+
+val g1 : unit -> labelled
+(** Figure 5 (Example 9): 12 vertices named ["1"].. ["12"], all edges
+    directed type [E].  From 1 to 5 under [E>*]: 3 non-repeated-vertex
+    paths, 4 non-repeated-edge paths, 2 shortest paths. *)
+
+val g2 : unit -> labelled
+(** Figure 6 (Example 10): 6 vertices, edge types [E] and [F]; the pattern
+    [E>*.F>.E>*] matches 1→4 only under shortest-path semantics. *)
+
+val triangle_cycle : unit -> labelled
+(** §6.1's fixed-unique-length example: the 3-cycle
+    [v -A-> u -B-> w -C-> v].  The pattern [A>.(B>|D>)._>.A>] matches
+    (v,u) under all-shortest-paths but under neither non-repeating
+    semantics. *)

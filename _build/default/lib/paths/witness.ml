@@ -1,0 +1,31 @@
+module V = Pgraph.Value
+
+exception Done
+
+let k_shortest g dfa ~src ~dst ~k =
+  if k <= 0 then []
+  else begin
+    let found = ref [] in
+    let n = ref 0 in
+    (try
+       Enumerate.iter_paths g dfa Semantics.Shortest_enumerated ~src ~dst:(Some dst) (fun p ->
+           found := p :: !found;
+           incr n;
+           if !n >= k then raise Done)
+     with Done -> ());
+    List.rev !found
+  end
+
+let shortest g dfa ~src ~dst =
+  match k_shortest g dfa ~src ~dst ~k:1 with
+  | p :: _ -> Some p
+  | [] -> None
+
+let to_value (p : Enumerate.path) =
+  let items = ref [] in
+  let nv = Array.length p.Enumerate.p_vertices in
+  for i = nv - 1 downto 0 do
+    if i < nv - 1 then items := V.Edge p.Enumerate.p_edges.(i) :: !items;
+    items := V.Vertex p.Enumerate.p_vertices.(i) :: !items
+  done;
+  V.Vlist !items

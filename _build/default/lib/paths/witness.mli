@@ -1,0 +1,22 @@
+(** Shortest-path witnesses.
+
+    The paper notes (§4.3) that applications often want {e some} path as a
+    proof of connectivity, and (§7) that List/Array accumulators can
+    simulate path variables when paths must be surfaced.  This module
+    extracts witnesses without paying full enumeration: the product-graph
+    distances prune the walk so producing [k] witnesses costs O(k · length),
+    even when exponentially many shortest paths exist. *)
+
+val shortest :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> src:int -> dst:int -> Enumerate.path option
+(** One shortest satisfying path, or [None] when the pattern has no match
+    between the pair. *)
+
+val k_shortest :
+  Pgraph.Graph.t -> Darpe.Dfa.t -> src:int -> dst:int -> k:int -> Enumerate.path list
+(** Up to [k] distinct shortest satisfying paths (all the same minimal
+    length).  Deterministic order (adjacency order). *)
+
+val to_value : Enumerate.path -> Pgraph.Value.t
+(** Render a path as the alternating vertex/edge [Vlist] a [ListAccum]
+    would hold — the paper's accumulator simulation of path variables. *)

@@ -1,0 +1,177 @@
+module V = Pgraph.Value
+
+type agg_fun =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Top_k of int * bool
+
+type column = int
+
+type agg_spec = {
+  a_fun : agg_fun;
+  a_col : column;
+}
+
+type grouping_set = column list
+
+type request = {
+  sets : grouping_set list;
+  aggs : agg_spec list;
+}
+
+type match_table = V.t array list
+
+(* Mutable aggregation state for one (group, aggregate) cell. *)
+type cell =
+  | C_count of int ref
+  | C_sum of float ref
+  | C_minmax of bool * V.t option ref  (* is_max *)
+  | C_avg of (float * int) ref
+  | C_topk of int * bool * V.t list ref  (* capacity, desc, sorted list *)
+
+let cell_of_spec (s : agg_spec) =
+  match s.a_fun with
+  | Count -> C_count (ref 0)
+  | Sum -> C_sum (ref 0.0)
+  | Min -> C_minmax (false, ref None)
+  | Max -> C_minmax (true, ref None)
+  | Avg -> C_avg (ref (0.0, 0))
+  | Top_k (k, desc) -> C_topk (k, desc, ref [])
+
+let feed_cell cell v =
+  match cell with
+  | C_count r -> incr r
+  | C_sum r -> r := !r +. V.to_float v
+  | C_minmax (is_max, r) ->
+    (match !r with
+     | None -> r := Some v
+     | Some old ->
+       let c = V.compare v old in
+       if (is_max && c > 0) || ((not is_max) && c < 0) then r := Some v)
+  | C_avg r ->
+    let sum, n = !r in
+    r := (sum +. V.to_float v, n + 1)
+  | C_topk (k, desc, r) ->
+    (* Keep the list sorted best-first and truncated to k. *)
+    let better a b = if desc then V.compare a b > 0 else V.compare a b < 0 in
+    let rec insert = function
+      | [] -> [ v ]
+      | x :: rest -> if better v x then v :: x :: rest else x :: insert rest
+    in
+    let l = insert !r in
+    r := List.filteri (fun i _ -> i < k) l
+
+let read_cell = function
+  | C_count r -> V.Int !r
+  | C_sum r -> V.Float !r
+  | C_minmax (_, r) -> (match !r with Some v -> v | None -> V.Null)
+  | C_avg r ->
+    let sum, n = !r in
+    if n = 0 then V.Null else V.Float (sum /. float_of_int n)
+  | C_topk (_, _, r) -> V.Vlist !r
+
+module VH = Hashtbl.Make (struct
+  type t = V.t
+
+  let equal = V.equal
+  let hash = V.hash
+end)
+
+let group_by (table : match_table) ~key ~aggs =
+  let groups : cell array VH.t = VH.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = V.Vtuple (Array.of_list (List.map (fun c -> row.(c)) key)) in
+      let cells =
+        match VH.find_opt groups k with
+        | Some cells -> cells
+        | None ->
+          let cells = Array.of_list (List.map cell_of_spec aggs) in
+          VH.add groups k cells;
+          order := k :: !order;
+          cells
+      in
+      List.iteri (fun i spec -> feed_cell cells.(i) row.(spec.a_col)) aggs)
+    table;
+  let keys = List.sort V.compare (List.rev !order) in
+  List.map
+    (fun k ->
+      let cells = VH.find groups k in
+      let key_vals = match k with V.Vtuple a -> a | _ -> assert false in
+      Array.append key_vals (Array.map read_cell cells))
+    keys
+
+let grouping_sets (table : match_table) (req : request) =
+  (* Faithful SQL semantics: one full aggregation per grouping set, every
+     aggregate computed for every set, results outer-unioned with the key
+     columns of absent sets padded with NULL. *)
+  let all_key_cols =
+    List.sort_uniq compare (List.concat req.sets)
+  in
+  let n_keys = List.length all_key_cols in
+  let col_position c =
+    let rec go i = function
+      | [] -> assert false
+      | x :: rest -> if x = c then i else go (i + 1) rest
+    in
+    go 0 all_key_cols
+  in
+  List.concat
+    (List.mapi
+       (fun set_id set ->
+         let rows = group_by table ~key:set ~aggs:req.aggs in
+         List.map
+           (fun row ->
+             let key_width = List.length set in
+             let padded = Array.make n_keys V.Null in
+             List.iteri (fun i c -> padded.(col_position c) <- row.(i)) set;
+             let aggs = Array.sub row key_width (Array.length row - key_width) in
+             Array.concat [ [| V.Int set_id |]; padded; aggs ])
+           rows)
+       req.sets)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    List.map (fun sub -> x :: sub) s @ s
+
+let cube table ~columns ~aggs = grouping_sets table { sets = subsets columns; aggs }
+
+let rollup table ~columns ~aggs =
+  let rec prefixes = function
+    | [] -> [ [] ]
+    | x :: rest -> (x :: rest) :: prefixes rest
+  in
+  (* ROLLUP (a,b,c) = {(a,b,c), (a,b), (a), ()}. *)
+  let sets = List.map List.rev (prefixes (List.rev columns)) in
+  let sets = List.sort (fun a b -> compare (List.length b) (List.length a)) sets in
+  grouping_sets table { sets; aggs }
+
+let split_outer_union ~n_keys rows =
+  ignore n_keys;
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let set_id = V.to_int row.(0) in
+      let rest = Array.sub row 1 (Array.length row - 1) in
+      (match Hashtbl.find_opt tbl set_id with
+       | Some rows_ref -> rows_ref := rest :: !rows_ref
+       | None ->
+         Hashtbl.add tbl set_id (ref [ rest ]);
+         order := set_id :: !order))
+    rows;
+  List.rev_map (fun id -> (id, List.rev !(Hashtbl.find tbl id))) !order
+
+let agg_fun_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+  | Top_k (k, desc) -> Printf.sprintf "top%d_%s" k (if desc then "desc" else "asc")

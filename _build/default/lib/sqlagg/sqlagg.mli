@@ -1,0 +1,70 @@
+(** SQL-style grouped aggregation — the baseline of paper §8 / Appendix B.
+
+    This module deliberately implements the {e conventional} evaluation
+    strategy so the accumulator-based strategy can be measured against it:
+
+    - the pattern match is materialized into a full match table (one row per
+      match, no compressed multiplicities);
+    - [GROUP BY] / [GROUPING SETS] / [CUBE] / [ROLLUP] aggregate that table,
+      and — faithfully to SQL semantics — every grouping set computes
+      {e every} requested aggregate, wanted or not (the waste Example 13
+      quantifies);
+    - the result is a single outer-union table (grouping-set id + nullable
+      key columns), which callers must split with a further pass
+      ({!split_outer_union}) to obtain per-grouping-set tables, unlike
+      GSQL's direct multi-accumulator targeting. *)
+
+(** Aggregate functions available to the baseline. *)
+type agg_fun =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+  | Top_k of int * bool
+      (** [Top_k (k, desc)]: the k extreme values — models the per-year
+          heap aggregations of the Appendix B query in SQL style. *)
+
+type column = int
+(** Index into the match-table row. *)
+
+type agg_spec = {
+  a_fun : agg_fun;
+  a_col : column;
+}
+
+type grouping_set = column list
+(** Key columns of one grouping set (empty = grand total). *)
+
+type request = {
+  sets : grouping_set list;
+  aggs : agg_spec list;  (** computed for {e every} grouping set *)
+}
+
+(** A materialized match table: rows of values. *)
+type match_table = Pgraph.Value.t array list
+
+val group_by :
+  match_table -> key:grouping_set -> aggs:agg_spec list -> Pgraph.Value.t array list
+(** Plain single-set GROUP BY: each output row is
+    [key values ... aggregate values ...], ordered by key. *)
+
+val grouping_sets : match_table -> request -> Pgraph.Value.t array list
+(** SQL GROUPING SETS: one aggregation pass per set over the full match
+    table, all aggregates computed per set; output rows are
+    [set-id; nullable key columns ...; aggregate values ...] — the outer
+    union. *)
+
+val cube : match_table -> columns:column list -> aggs:agg_spec list -> Pgraph.Value.t array list
+(** [CUBE (c1..cn)] = grouping sets over all [2^n] subsets. *)
+
+val rollup : match_table -> columns:column list -> aggs:agg_spec list -> Pgraph.Value.t array list
+(** [ROLLUP (c1..cn)] = the [n+1] prefix grouping sets. *)
+
+val split_outer_union :
+  n_keys:int -> Pgraph.Value.t array list -> (int * Pgraph.Value.t array list) list
+(** The post-processing pass the paper calls out: partitions outer-union
+    rows back into per-grouping-set tables (keyed by set id), dropping the
+    set-id column.  [n_keys] is the width of the nullable key prefix. *)
+
+val agg_fun_name : agg_fun -> string

@@ -1,0 +1,1 @@
+test/test_accum.ml: Accum Alcotest Array Fun Gsql List Pgraph QCheck QCheck_alcotest Testkit

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Array Darpe Float Galgos Hashtbl List Pathsem Pgraph Printf QCheck QCheck_alcotest String Testkit

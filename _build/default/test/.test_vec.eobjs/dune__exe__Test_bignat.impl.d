@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest List Pgraph Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_darpe.ml: Alcotest Darpe List Pgraph Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest List Pgraph QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gsql_edge.ml: Alcotest Array Gsql List Pathsem Pgraph Printf Testkit

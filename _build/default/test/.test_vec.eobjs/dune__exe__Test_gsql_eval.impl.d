@@ -1,0 +1,1 @@
+test/test_gsql_eval.ml: Alcotest Array Float Gsql List Option Pathsem Pgraph Printf Testkit

@@ -1,0 +1,1 @@
+test/test_gsql_features.ml: Accum Alcotest Array Gsql List Option Pathsem Pgraph Sqlagg String Testkit

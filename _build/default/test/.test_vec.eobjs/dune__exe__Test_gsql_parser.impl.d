@@ -1,0 +1,1 @@
+test/test_gsql_parser.ml: Accum Alcotest Gsql List Pathsem Printf

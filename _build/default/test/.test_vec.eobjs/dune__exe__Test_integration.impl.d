@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Darpe Galgos Gsql Ldbc List Option Pathsem Pgraph Printf QCheck QCheck_alcotest Testkit

@@ -1,0 +1,1 @@
+test/test_ldbc.ml: Alcotest Array Darpe Gsql Ldbc List Pathsem Pgraph Printf String Testkit

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Array Darpe Ldbc Pathsem Pgraph QCheck QCheck_alcotest Testkit

@@ -1,0 +1,1 @@
+test/test_pathsem.ml: Alcotest Array Darpe List Pathsem Pgraph Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Accum Alcotest Gsql List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sqlagg.ml: Accum Alcotest Array List Option Pgraph QCheck QCheck_alcotest Sqlagg

@@ -1,0 +1,1 @@
+test/kit/fixtures.ml: Array Hashtbl List Pgraph

@@ -1,0 +1,1 @@
+test/kit/snb_cache.ml: Lazy Ldbc

@@ -1,0 +1,6 @@
+(* One shared small SNB instance per test process — generation is the
+   expensive part of the LDBC suites. *)
+
+let cached = lazy (Ldbc.Snb.generate ~sf:0.1 ())
+
+let get () = Lazy.force cached

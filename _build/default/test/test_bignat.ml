@@ -1,0 +1,125 @@
+(* Unit and property tests for the big-natural arithmetic used by the SDMC
+   counting engine. *)
+
+module B = Pgraph.Bignat
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_basics () =
+  check_string "zero" "0" (B.to_string B.zero);
+  check_string "one" "1" (B.to_string B.one);
+  check_string "of_int" "123456789" (B.to_string (B.of_int 123456789));
+  check_bool "is_zero zero" true (B.is_zero B.zero);
+  check_bool "is_zero one" false (B.is_zero B.one)
+
+let test_add () =
+  let a = B.of_int 999_999_999 and b = B.of_int 1 in
+  check_string "carry across chunk" "1000000000" (B.to_string (B.add a b));
+  check_string "add zero left" "42" (B.to_string (B.add B.zero (B.of_int 42)));
+  check_string "add zero right" "42" (B.to_string (B.add (B.of_int 42) B.zero));
+  check_string "max_int + max_int"
+    (Printf.sprintf "%s" "18446744073709551614")
+    (B.to_string (B.add (B.of_string "9223372036854775807") (B.of_string "9223372036854775807")))
+
+let test_mul () =
+  check_string "small" "56088" (B.to_string (B.mul (B.of_int 123) (B.of_int 456)));
+  check_string "by zero" "0" (B.to_string (B.mul (B.of_int 123) B.zero));
+  check_string "big square"
+    "85070591730234615847396907784232501249"
+    (B.to_string (B.mul (B.of_string "9223372036854775807") (B.of_string "9223372036854775807")))
+
+let test_mul_int () =
+  check_string "mul_int small" "24690" (B.to_string (B.mul_int (B.of_int 12345) 2));
+  check_string "mul_int big factor"
+    (B.to_string (B.mul (B.of_int 12345) (B.of_int (1 lsl 40))))
+    (B.to_string (B.mul_int (B.of_int 12345) (1 lsl 40)));
+  check_string "mul_int zero" "0" (B.to_string (B.mul_int (B.of_int 5) 0))
+
+let test_pow2 () =
+  check_string "2^0" "1" (B.to_string (B.pow2 0));
+  check_string "2^10" "1024" (B.to_string (B.pow2 10));
+  check_string "2^30" "1073741824" (B.to_string (B.pow2 30));
+  check_string "2^100" "1267650600228229401496703205376" (B.to_string (B.pow2 100))
+
+let test_compare () =
+  check_int "eq" 0 (B.compare (B.of_int 7) (B.of_int 7));
+  check_bool "lt" true (B.compare (B.of_int 7) (B.of_int 8) < 0);
+  check_bool "longer is greater" true (B.compare (B.pow2 100) (B.pow2 99) > 0);
+  check_bool "equal" true (B.equal (B.of_string "123456789012345678901234567890")
+                             (B.of_string "123456789012345678901234567890"))
+
+let test_to_int_opt () =
+  Alcotest.(check (option int)) "roundtrip" (Some 123456) (B.to_int_opt (B.of_int 123456));
+  Alcotest.(check (option int)) "max_int" (Some max_int) (B.to_int_opt (B.of_int max_int));
+  Alcotest.(check (option int)) "overflow" None (B.to_int_opt (B.pow2 80));
+  Alcotest.(check (option int)) "zero" (Some 0) (B.to_int_opt B.zero)
+
+let test_to_float () =
+  Alcotest.(check (float 0.001)) "small" 12345.0 (B.to_float (B.of_int 12345));
+  Alcotest.(check (float 1e15)) "2^70" (2.0 ** 70.0) (B.to_float (B.pow2 70))
+
+let test_of_string_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bignat.of_string: empty") (fun () ->
+      ignore (B.of_string ""));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Bignat.of_string: not a digit") (fun () ->
+      ignore (B.of_string "12a3"));
+  Alcotest.check_raises "negative of_int" (Invalid_argument "Bignat.of_int: negative") (fun () ->
+      ignore (B.of_int (-1)))
+
+(* Properties over the int-representable range, cross-checked against native
+   arithmetic. *)
+let small_nat = QCheck.map abs QCheck.small_int
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches native int" ~count:500
+    (QCheck.pair small_nat small_nat)
+    (fun (a, b) -> B.to_string (B.add (B.of_int a) (B.of_int b)) = string_of_int (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches native int" ~count:500
+    (QCheck.pair small_nat small_nat)
+    (fun (a, b) -> B.to_string (B.mul (B.of_int a) (B.of_int b)) = string_of_int (a * b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 40) (QCheck.int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let canonical = B.to_string (B.of_string s) in
+      (* Canonical form drops leading zeros. *)
+      B.to_string (B.of_string canonical) = canonical
+      && B.equal (B.of_string s) (B.of_string canonical))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative on random bignats" ~count:300
+    (QCheck.pair (QCheck.int_range 0 200) (QCheck.int_range 0 200))
+    (fun (i, j) -> B.equal (B.add (B.pow2 i) (B.pow2 j)) (B.add (B.pow2 j) (B.pow2 i)))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    (QCheck.triple small_nat small_nat (QCheck.int_range 0 64))
+    (fun (a, b, k) ->
+      let a = B.of_int a and b = B.of_int b and c = B.pow2 k in
+      B.equal (B.mul c (B.add a b)) (B.add (B.mul c a) (B.mul c b)))
+
+let () =
+  Alcotest.run "bignat"
+    [ ( "unit",
+        [ Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "mul_int" `Quick test_mul_int;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_int_opt" `Quick test_to_int_opt;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_string_roundtrip;
+            prop_add_commutative;
+            prop_mul_distributes ] ) ]

@@ -1,0 +1,240 @@
+(* DARPE parsing, classification, and automaton construction. *)
+
+module A = Darpe.Ast
+module P = Darpe.Parse
+
+let darpe = Alcotest.testable A.pp A.equal
+
+let test_parse_steps () =
+  Alcotest.check darpe "forward" (A.Step (Some "E", A.Fwd)) (P.parse "E>");
+  Alcotest.check darpe "reverse" (A.Step (Some "E", A.Rev)) (P.parse "<E");
+  Alcotest.check darpe "undirected" (A.Step (Some "E", A.Undir)) (P.parse "E");
+  Alcotest.check darpe "any" (A.Step (Some "E", A.Any)) (P.parse "E?");
+  Alcotest.check darpe "wildcard fwd" (A.Step (None, A.Fwd)) (P.parse "_>");
+  Alcotest.check darpe "wildcard rev" (A.Step (None, A.Rev)) (P.parse "<_");
+  Alcotest.check darpe "wildcard undirected" (A.Step (None, A.Undir)) (P.parse "_")
+
+let test_parse_composite () =
+  Alcotest.check darpe "seq"
+    (A.Seq (A.Step (Some "E", A.Fwd), A.Step (Some "F", A.Rev)))
+    (P.parse "E> . <F");
+  Alcotest.check darpe "juxtaposition concatenates"
+    (A.Seq (A.Step (Some "E", A.Fwd), A.Step (Some "F", A.Fwd)))
+    (P.parse "E> F>");
+  Alcotest.check darpe "alt"
+    (A.Alt (A.Step (Some "E", A.Fwd), A.Step (Some "F", A.Fwd)))
+    (P.parse "E> | F>");
+  Alcotest.check darpe "star" (A.Star (A.Step (Some "E", A.Fwd), 0, None)) (P.parse "E>*");
+  (* The paper's Example 2: E>.(F>|<G)*.H.<J *)
+  Alcotest.check darpe "example 2"
+    (A.Seq
+       ( A.Seq
+           ( A.Seq
+               ( A.Step (Some "E", A.Fwd),
+                 A.Star (A.Alt (A.Step (Some "F", A.Fwd), A.Step (Some "G", A.Rev)), 0, None) ),
+             A.Step (Some "H", A.Undir) ),
+         A.Step (Some "J", A.Rev) ))
+    (P.parse "E> . (F> | <G)* . H . <J")
+
+let test_parse_bounds () =
+  Alcotest.check darpe "lo..hi" (A.Star (A.Step (Some "E", A.Fwd), 2, Some 4)) (P.parse "E>*2..4");
+  Alcotest.check darpe "lo.." (A.Star (A.Step (Some "E", A.Fwd), 2, None)) (P.parse "E>*2..");
+  Alcotest.check darpe "..hi" (A.Star (A.Step (Some "E", A.Fwd), 0, Some 4)) (P.parse "E>*..4");
+  Alcotest.check darpe "exact" (A.Star (A.Step (Some "E", A.Fwd), 3, Some 3)) (P.parse "E>*3");
+  Alcotest.check darpe "zero reps collapses" A.Epsilon (P.parse "E>*0..0")
+
+let test_parse_errors () =
+  let expect_error s =
+    match P.parse s with
+    | exception P.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" s)
+  in
+  List.iter expect_error [ ""; "E> |"; "(E>"; "E> )"; "E>*4..2"; "<"; "E>*.."; "E> $" ];
+  Alcotest.(check bool) "parse_opt None" true (P.parse_opt "(((" = None);
+  Alcotest.(check bool) "parse_opt Some" true (P.parse_opt "E>*" <> None)
+
+let test_roundtrip () =
+  let exprs = [ "E>"; "<E"; "E"; "_>"; "E>.(F>|<G)*.H.<J"; "E>*2..4"; "(E>|F)*"; "E?*" ] in
+  List.iter
+    (fun s ->
+      let ast = P.parse s in
+      Alcotest.check darpe (Printf.sprintf "roundtrip %s" s) ast (P.parse (A.to_string ast)))
+    exprs
+
+let test_lengths () =
+  Alcotest.(check int) "min of star" 0 (A.min_path_length (P.parse "E>*"));
+  Alcotest.(check int) "min of bounded" 2 (A.min_path_length (P.parse "E>*2..5"));
+  Alcotest.(check int) "min of seq" 3 (A.min_path_length (P.parse "E>.F>.G>"));
+  Alcotest.(check int) "min of alt" 1 (A.min_path_length (P.parse "E> | F>.G>"));
+  Alcotest.(check (option int)) "max unbounded" None (A.max_path_length (P.parse "E>*"));
+  Alcotest.(check (option int)) "max bounded" (Some 5) (A.max_path_length (P.parse "E>*2..5"));
+  Alcotest.(check (option int)) "max alt" (Some 2) (A.max_path_length (P.parse "E> | F>.G>"))
+
+let test_fixed_unique_length () =
+  (* §6.1: built by concatenation, with disjunction only between
+     equal-length branches. *)
+  Alcotest.(check (option int)) "single step" (Some 1) (A.fixed_unique_length (P.parse "E>"));
+  Alcotest.(check (option int)) "paper pattern" (Some 4)
+    (A.fixed_unique_length (P.parse "A>.(B>|D>)._>.A>"));
+  Alcotest.(check (option int)) "uneven alt" None (A.fixed_unique_length (P.parse "E> | F>.G>"));
+  Alcotest.(check (option int)) "star excluded" None (A.fixed_unique_length (P.parse "E>*"));
+  Alcotest.(check (option int)) "bounded star same lo hi ok" (Some 3)
+    (A.fixed_unique_length (P.parse "E>*3"))
+
+let test_mentions_wildcard () =
+  Alcotest.(check bool) "yes" true (A.mentions_wildcard (P.parse "A>._>.B>"));
+  Alcotest.(check bool) "no" false (A.mentions_wildcard (P.parse "A>.B>*"))
+
+(* --- Automaton behaviour, checked against a brute-force regex matcher. --- *)
+
+let schema_abc () =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "V" [] in
+  let _ = Pgraph.Schema.add_edge_type s "A" ~directed:true [] in
+  let _ = Pgraph.Schema.add_edge_type s "B" ~directed:true [] in
+  let _ = Pgraph.Schema.add_edge_type s "C" ~directed:false [] in
+  s
+
+(* Reference matcher: does the adorned word belong to the DARPE language?
+   Direct recursive interpretation, independent of the NFA/DFA pipeline. *)
+let rec ref_match (r : A.t) (w : (string * A.adir) list) : bool =
+  match r with
+  | A.Epsilon -> w = []
+  | A.Step (ty, d) ->
+    (match w with
+     | [ (wt, wd) ] ->
+       (match ty with None -> true | Some t -> t = wt)
+       && (d = A.Any || d = wd)
+     | _ -> false)
+  | A.Seq (r1, r2) ->
+    let n = List.length w in
+    let rec split i =
+      if i > n then false
+      else
+        let left = List.filteri (fun j _ -> j < i) w in
+        let right = List.filteri (fun j _ -> j >= i) w in
+        (ref_match r1 left && ref_match r2 right) || split (i + 1)
+    in
+    split 0
+  | A.Alt (r1, r2) -> ref_match r1 w || ref_match r2 w
+  | A.Star (body, lo, hi) ->
+    let n = List.length w in
+    let rec reps k prefix_done rest =
+      (* try to match [rest] as k' >= max(lo-k,0) further copies *)
+      ignore prefix_done;
+      if rest = [] then
+        (match hi with None -> true | Some h -> k <= h)
+        && (k >= lo || ref_match body [])
+      else if (match hi with Some h -> k >= h | None -> false) then false
+      else
+        (* choose a non-empty prefix of rest matching body *)
+        let rec cut i =
+          if i > List.length rest then false
+          else
+            let left = List.filteri (fun j _ -> j < i) rest in
+            let right = List.filteri (fun j _ -> j >= i) rest in
+            (ref_match body left && reps (k + 1) true right) || cut (i + 1)
+        in
+        cut 1
+    in
+    ignore n;
+    reps 0 false w
+
+let gen_word =
+  QCheck.Gen.(
+    list_size (int_range 0 5)
+      (pair (oneofl [ "A"; "B"; "C" ]) (oneofl [ A.Fwd; A.Rev; A.Undir ])))
+
+let gen_darpe =
+  let open QCheck.Gen in
+  let step = map2 (fun t d -> A.Step (t, d))
+      (oneofl [ Some "A"; Some "B"; Some "C"; None ])
+      (oneofl [ A.Fwd; A.Rev; A.Undir; A.Any ])
+  in
+  sized_size (int_range 0 4) @@ fix (fun self n ->
+      if n = 0 then step
+      else
+        frequency
+          [ (2, step);
+            (2, map2 (fun a b -> A.Seq (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map2 (fun a b -> A.Alt (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> A.Star (a, 0, None)) (self (n - 1)));
+            (1, map (fun a -> A.Star (a, 1, Some 2)) (self (n - 1))) ])
+
+(* Words use only concrete adornments (Fwd/Rev/Undir); the graph edge kind
+   constrains which are realizable, but the automaton must agree with the
+   reference matcher on all of them. *)
+let prop_dfa_agrees_with_reference =
+  QCheck.Test.make ~name:"DFA agrees with reference matcher" ~count:800
+    (QCheck.make QCheck.Gen.(pair gen_darpe gen_word))
+    (fun (r, w) ->
+      let schema = schema_abc () in
+      let dfa = Darpe.Dfa.compile schema r in
+      let word =
+        List.map
+          (fun (t, d) ->
+            let et = (Pgraph.Schema.edge_type_of_name schema t).Pgraph.Schema.et_id in
+            let rel =
+              match d with
+              | A.Fwd -> Pgraph.Graph.Out
+              | A.Rev -> Pgraph.Graph.In
+              | A.Undir | A.Any -> Pgraph.Graph.Und
+            in
+            (et, rel))
+          w
+      in
+      let w' = List.map (fun (t, d) -> (t, (match d with A.Any -> A.Undir | d -> d))) w in
+      Darpe.Dfa.matches_word dfa word = ref_match r w')
+
+let test_dfa_basic () =
+  let schema = schema_abc () in
+  let et name = (Pgraph.Schema.edge_type_of_name schema name).Pgraph.Schema.et_id in
+  let dfa = Darpe.Dfa.compile schema (P.parse "A>.B>") in
+  Alcotest.(check bool) "accepts AB" true
+    (Darpe.Dfa.matches_word dfa [ (et "A", Pgraph.Graph.Out); (et "B", Pgraph.Graph.Out) ]);
+  Alcotest.(check bool) "rejects BA" false
+    (Darpe.Dfa.matches_word dfa [ (et "B", Pgraph.Graph.Out); (et "A", Pgraph.Graph.Out) ]);
+  Alcotest.(check bool) "rejects reversed A" false
+    (Darpe.Dfa.matches_word dfa [ (et "A", Pgraph.Graph.In); (et "B", Pgraph.Graph.Out) ]);
+  Alcotest.(check bool) "rejects empty" false (Darpe.Dfa.matches_word dfa []);
+  let star = Darpe.Dfa.compile schema (P.parse "A>*") in
+  Alcotest.(check bool) "star accepts empty" true (Darpe.Dfa.accepts_empty star);
+  Alcotest.(check bool) "star accepts AAA" true
+    (Darpe.Dfa.matches_word star
+       [ (et "A", Pgraph.Graph.Out); (et "A", Pgraph.Graph.Out); (et "A", Pgraph.Graph.Out) ])
+
+let test_dfa_any_adornment () =
+  let schema = schema_abc () in
+  let et name = (Pgraph.Schema.edge_type_of_name schema name).Pgraph.Schema.et_id in
+  let dfa = Darpe.Dfa.compile schema (P.parse "A?") in
+  List.iter
+    (fun rel ->
+      Alcotest.(check bool) "A? accepts all relations" true
+        (Darpe.Dfa.matches_word dfa [ (et "A", rel) ]))
+    [ Pgraph.Graph.Out; Pgraph.Graph.In; Pgraph.Graph.Und ];
+  Alcotest.(check bool) "A? rejects B" false
+    (Darpe.Dfa.matches_word dfa [ (et "B", Pgraph.Graph.Out) ])
+
+let test_nfa_accepts_empty () =
+  Alcotest.(check bool) "star" true (Darpe.Nfa.accepts_empty (Darpe.Nfa.of_darpe (P.parse "E>*")));
+  Alcotest.(check bool) "step" false (Darpe.Nfa.accepts_empty (Darpe.Nfa.of_darpe (P.parse "E>")));
+  Alcotest.(check bool) "mandatory rep" false
+    (Darpe.Nfa.accepts_empty (Darpe.Nfa.of_darpe (P.parse "E>*1..")))
+
+let () =
+  Alcotest.run "darpe"
+    [ ( "parser",
+        [ Alcotest.test_case "steps" `Quick test_parse_steps;
+          Alcotest.test_case "composite" `Quick test_parse_composite;
+          Alcotest.test_case "bounds" `Quick test_parse_bounds;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip ] );
+      ( "analysis",
+        [ Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "fixed-unique-length" `Quick test_fixed_unique_length;
+          Alcotest.test_case "wildcard" `Quick test_mentions_wildcard ] );
+      ( "automata",
+        [ Alcotest.test_case "dfa basic" `Quick test_dfa_basic;
+          Alcotest.test_case "dfa any adornment" `Quick test_dfa_any_adornment;
+          Alcotest.test_case "nfa accepts empty" `Quick test_nfa_accepts_empty;
+          QCheck_alcotest.to_alcotest prop_dfa_agrees_with_reference ] ) ]

@@ -1,0 +1,203 @@
+(* Schema validation and graph storage/traversal behaviour. *)
+
+module S = Pgraph.Schema
+module G = Pgraph.Graph
+module V = Pgraph.Value
+
+let sales_schema () =
+  let s = S.create () in
+  let _ = S.add_vertex_type s "Customer" [ ("name", S.T_string); ("age", S.T_int) ] in
+  let _ = S.add_vertex_type s "Product" [ ("name", S.T_string); ("listPrice", S.T_float); ("category", S.T_string) ] in
+  let _ =
+    S.add_edge_type s "Bought" ~directed:true ~src:"Customer" ~dst:"Product"
+      [ ("quantity", S.T_int); ("discount", S.T_float) ]
+  in
+  let _ = S.add_edge_type s "Connected" ~directed:false ~src:"Customer" ~dst:"Customer" [] in
+  s
+
+let test_schema_declarations () =
+  let s = sales_schema () in
+  Alcotest.(check int) "two vertex types" 2 (S.n_vertex_types s);
+  Alcotest.(check int) "two edge types" 2 (S.n_edge_types s);
+  let c = S.vertex_type_of_name s "Customer" in
+  Alcotest.(check string) "name" "Customer" c.S.vt_name;
+  Alcotest.(check int) "attr index" 1 (S.vertex_attr_index c "age");
+  let b = S.edge_type_of_name s "Bought" in
+  Alcotest.(check bool) "directed" true b.S.et_directed;
+  let k = S.edge_type_of_name s "Connected" in
+  Alcotest.(check bool) "undirected" false k.S.et_directed
+
+let test_schema_duplicates () =
+  let s = sales_schema () in
+  Alcotest.check_raises "dup vertex type" (Invalid_argument "Schema: duplicate vertex type Customer")
+    (fun () -> ignore (S.add_vertex_type s "Customer" []));
+  Alcotest.check_raises "dup edge type" (Invalid_argument "Schema: duplicate edge type Bought")
+    (fun () -> ignore (S.add_edge_type s "Bought" ~directed:true []));
+  Alcotest.check_raises "dup attribute"
+    (Invalid_argument "Schema: duplicate attribute x on vertex type T")
+    (fun () -> ignore (S.add_vertex_type s "T" [ ("x", S.T_int); ("x", S.T_int) ]))
+
+let test_vertex_crud () =
+  let g = G.create (sales_schema ()) in
+  let alice = G.add_vertex g "Customer" [ ("name", V.Str "alice"); ("age", V.Int 31) ] in
+  let bob = G.add_vertex g "Customer" [ ("name", V.Str "bob") ] in
+  Alcotest.(check int) "two vertices" 2 (G.n_vertices g);
+  Alcotest.(check string) "attr read" "alice" (V.to_string_exn (G.vertex_attr g alice "name"));
+  Alcotest.(check int) "default attr" 0 (V.to_int (G.vertex_attr g bob "age"));
+  G.set_vertex_attr g bob "age" (V.Int 55);
+  Alcotest.(check int) "attr write" 55 (V.to_int (G.vertex_attr g bob "age"));
+  Alcotest.(check (option int)) "find by attr" (Some bob)
+    (G.find_vertex_by_attr g "Customer" "name" (V.Str "bob"));
+  Alcotest.(check (option int)) "find miss" None
+    (G.find_vertex_by_attr g "Customer" "name" (V.Str "carol"))
+
+let test_vertex_errors () =
+  let g = G.create (sales_schema ()) in
+  Alcotest.check_raises "unknown type" (Invalid_argument "Graph: unknown vertex type Nope")
+    (fun () -> ignore (G.add_vertex g "Nope" []));
+  Alcotest.check_raises "unknown attribute"
+    (Invalid_argument "Graph: unknown attribute salary on Customer")
+    (fun () -> ignore (G.add_vertex g "Customer" [ ("salary", V.Int 3) ]));
+  Alcotest.check_raises "ill-typed attribute"
+    (Invalid_argument "Graph: ill-typed value for attribute age on Customer")
+    (fun () -> ignore (G.add_vertex g "Customer" [ ("age", V.Str "old") ]))
+
+let test_directed_edges () =
+  let g = G.create (sales_schema ()) in
+  let c = G.add_vertex g "Customer" [ ("name", V.Str "c") ] in
+  let p = G.add_vertex g "Product" [ ("name", V.Str "p"); ("listPrice", V.Float 9.5) ] in
+  let e = G.add_edge g "Bought" c p [ ("quantity", V.Int 3) ] in
+  Alcotest.(check int) "src" c (G.edge_src g e);
+  Alcotest.(check int) "dst" p (G.edge_dst g e);
+  Alcotest.(check int) "quantity" 3 (V.to_int (G.edge_attr g e "quantity"));
+  Alcotest.(check int) "out degree c" 1 (G.out_degree g c);
+  Alcotest.(check int) "in degree p" 1 (G.in_degree g p);
+  Alcotest.(check int) "out degree p" 0 (G.out_degree g p);
+  Alcotest.(check (list int)) "neighbors out" [ p ] (G.neighbors g c ~rel:G.Out ~etype:None);
+  Alcotest.(check (list int)) "neighbors in" [ c ] (G.neighbors g p ~rel:G.In ~etype:None);
+  Alcotest.(check int) "other endpoint" p (G.edge_other_endpoint g e c)
+
+let test_directed_edge_type_check () =
+  let g = G.create (sales_schema ()) in
+  let c = G.add_vertex g "Customer" [] in
+  let p = G.add_vertex g "Product" [] in
+  Alcotest.check_raises "reversed endpoints rejected"
+    (Invalid_argument "Graph: edge endpoint src has wrong vertex type")
+    (fun () -> ignore (G.add_edge g "Bought" p c []))
+
+let test_undirected_edges () =
+  let g = G.create (sales_schema ()) in
+  let a = G.add_vertex g "Customer" [] in
+  let b = G.add_vertex g "Customer" [] in
+  let _ = G.add_edge g "Connected" a b [] in
+  (* Both endpoints see the edge as undirected. *)
+  Alcotest.(check (list int)) "a sees b" [ b ] (G.neighbors g a ~rel:G.Und ~etype:None);
+  Alcotest.(check (list int)) "b sees a" [ a ] (G.neighbors g b ~rel:G.Und ~etype:None);
+  (* Undirected halves count in both out- and in-degree (GSQL outdegree()). *)
+  Alcotest.(check int) "out_degree counts undirected" 1 (G.out_degree g a);
+  Alcotest.(check int) "in_degree counts undirected" 1 (G.in_degree g a)
+
+let test_self_loop () =
+  let g = G.create (sales_schema ()) in
+  let a = G.add_vertex g "Customer" [] in
+  let _ = G.add_edge g "Connected" a a [] in
+  (* An undirected self-loop appears once in the adjacency, not twice. *)
+  Alcotest.(check int) "self loop degree" 1 (G.degree g a)
+
+let test_vertices_of_type () =
+  let g = G.create (sales_schema ()) in
+  let c1 = G.add_vertex g "Customer" [] in
+  let _p = G.add_vertex g "Product" [] in
+  let c2 = G.add_vertex g "Customer" [] in
+  let c_ty = (S.vertex_type_of_name (G.schema g) "Customer").S.vt_id in
+  Alcotest.(check (array int)) "customers" [| c1; c2 |] (G.vertices_of_type g c_ty);
+  let n = ref 0 in
+  G.iter_vertices_of_type g c_ty (fun _ -> incr n);
+  Alcotest.(check int) "iter count" 2 !n
+
+let test_etype_filtered_neighbors () =
+  let s = S.create () in
+  let _ = S.add_vertex_type s "V" [] in
+  let _ = S.add_edge_type s "A" ~directed:true [] in
+  let _ = S.add_edge_type s "B" ~directed:true [] in
+  let g = G.create s in
+  let x = G.add_vertex g "V" [] and y = G.add_vertex g "V" [] and z = G.add_vertex g "V" [] in
+  let _ = G.add_edge g "A" x y [] in
+  let _ = G.add_edge g "B" x z [] in
+  let a_ty = (S.edge_type_of_name s "A").S.et_id in
+  Alcotest.(check (list int)) "A neighbors only" [ y ] (G.neighbors g x ~rel:G.Out ~etype:(Some a_ty))
+
+
+(* --- Graph statistics --- *)
+
+let test_gstats_summary () =
+  let g = G.create (sales_schema ()) in
+  let a = G.add_vertex g "Customer" [] in
+  let b = G.add_vertex g "Customer" [] in
+  let _lonely = G.add_vertex g "Customer" [] in
+  let p = G.add_vertex g "Product" [] in
+  let _ = G.add_edge g "Bought" a p [] in
+  let _ = G.add_edge g "Connected" a b [] in
+  let s = Pgraph.Gstats.summary g in
+  Alcotest.(check int) "vertices" 4 s.Pgraph.Gstats.n_vertices;
+  Alcotest.(check int) "edges" 2 s.Pgraph.Gstats.n_edges;
+  Alcotest.(check int) "directed" 1 s.Pgraph.Gstats.n_directed_edges;
+  Alcotest.(check int) "undirected" 1 s.Pgraph.Gstats.n_undirected_edges;
+  Alcotest.(check int) "isolated" 1 s.Pgraph.Gstats.isolated;
+  Alcotest.(check int) "max degree" 2 s.Pgraph.Gstats.max_degree;
+  let hist = Pgraph.Gstats.degree_histogram g in
+  Alcotest.(check (list (pair int int))) "histogram" [ (0, 1); (1, 2); (2, 1) ] hist;
+  let v_counts, e_counts = Pgraph.Gstats.per_type_counts g in
+  Alcotest.(check (list (pair string int))) "vertex types"
+    [ ("Customer", 3); ("Product", 1) ] v_counts;
+  Alcotest.(check bool) "edge types include Bought=1" true (List.mem ("Bought", 1) e_counts)
+
+let test_gstats_reciprocity () =
+  let s = S.create () in
+  let _ = S.add_vertex_type s "V" [] in
+  let _ = S.add_edge_type s "E" ~directed:true [] in
+  let g = G.create s in
+  let a = G.add_vertex g "V" [] and b = G.add_vertex g "V" [] and c = G.add_vertex g "V" [] in
+  let _ = G.add_edge g "E" a b [] in
+  let _ = G.add_edge g "E" b a [] in
+  let _ = G.add_edge g "E" a c [] in
+  (* 2 of 3 directed edges reciprocated. *)
+  Alcotest.(check (float 1e-9)) "reciprocity" (2.0 /. 3.0) (Pgraph.Gstats.reciprocity g);
+  Alcotest.(check bool) "report mentions vertices" true
+    (String.length (Pgraph.Gstats.to_string g) > 0)
+
+let prop_degree_sum =
+  (* Handshake lemma on random directed graphs: sum of out-degrees = #edges. *)
+  QCheck.Test.make ~name:"sum of out-degrees = edge count" ~count:50
+    (QCheck.pair (QCheck.int_range 1 20) (QCheck.int_range 0 60))
+    (fun (nv, ne) ->
+      let s = S.create () in
+      let _ = S.add_vertex_type s "V" [] in
+      let _ = S.add_edge_type s "E" ~directed:true [] in
+      let g = G.create s in
+      for _ = 1 to nv do ignore (G.add_vertex g "V" []) done;
+      let rng = Pgraph.Prng.create (nv * 1000 + ne) in
+      for _ = 1 to ne do
+        ignore (G.add_edge g "E" (Pgraph.Prng.int rng nv) (Pgraph.Prng.int rng nv) [])
+      done;
+      let total = G.fold_vertices g ~init:0 ~f:(fun acc v -> acc + G.out_degree g v) in
+      total = ne)
+
+let () =
+  Alcotest.run "graph"
+    [ ( "schema",
+        [ Alcotest.test_case "declarations" `Quick test_schema_declarations;
+          Alcotest.test_case "duplicates" `Quick test_schema_duplicates ] );
+      ( "storage",
+        [ Alcotest.test_case "vertex crud" `Quick test_vertex_crud;
+          Alcotest.test_case "vertex errors" `Quick test_vertex_errors;
+          Alcotest.test_case "directed edges" `Quick test_directed_edges;
+          Alcotest.test_case "edge endpoint typecheck" `Quick test_directed_edge_type_check;
+          Alcotest.test_case "undirected edges" `Quick test_undirected_edges;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "vertices of type" `Quick test_vertices_of_type;
+          Alcotest.test_case "etype-filtered neighbors" `Quick test_etype_filtered_neighbors ] );
+      ( "stats",
+        [ Alcotest.test_case "summary" `Quick test_gstats_summary;
+          Alcotest.test_case "reciprocity" `Quick test_gstats_reciprocity ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_degree_sum ]) ]

@@ -1,0 +1,210 @@
+(* Evaluator edge cases and failure injection: empty results, degenerate
+   clauses, type errors surfacing as Runtime_error, parameter validation,
+   snapshot corner cases. *)
+
+module V = Pgraph.Value
+module G = Pgraph.Graph
+module E = Gsql.Eval
+module F = Testkit.Fixtures
+
+let value = Alcotest.testable V.pp V.equal
+
+let expect_error g src =
+  match E.run_source g src with
+  | exception E.Runtime_error _ -> ()
+  | _ -> Alcotest.fail ("expected Runtime_error for: " ^ src)
+
+let test_empty_results () =
+  let { F.g; _ } = F.sales_graph () in
+  (* WHERE always false: empty set, empty tables, no accumulation. *)
+  let src = {|
+    SumAccum<int> @@n;
+    S = SELECT c FROM Customer:c -(Bought>)- Product:p WHERE false ACCUM @@n += 1;
+    SELECT c.name AS name INTO Empty
+    FROM Customer:c -(Bought>)- Product:p
+    WHERE false
+    ORDER BY c.name ASC
+    LIMIT 5;
+    RETURN @@n;
+  |}
+  in
+  let r = E.run_source g src in
+  Alcotest.check value "no accumulation" (V.Int 0) (E.return_value r);
+  Alcotest.(check int) "empty table" 0 (Gsql.Table.n_rows (E.table r "Empty"));
+  (match List.assoc_opt "S" r.E.r_vsets with
+   | Some vs -> Alcotest.(check int) "empty vset" 0 (Array.length vs)
+   | None -> Alcotest.fail "S not bound")
+
+let test_limit_zero_and_overshoot () =
+  let { F.g; _ } = F.sales_graph () in
+  let run limit =
+    let src =
+      Printf.sprintf
+        "SELECT c.name AS n INTO T FROM Customer:c -(Bought>)- Product:p LIMIT %d;" limit
+    in
+    Gsql.Table.n_rows (E.table (E.run_source g src) "T")
+  in
+  Alcotest.(check int) "limit 0" 0 (run 0);
+  (* Output rows are per distinct alias combo (3 buying customers). *)
+  Alcotest.(check int) "limit beyond rows" 3 (run 1000)
+
+let test_nested_control_flow () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    SumAccum<int> @@acc;
+    i = 0;
+    WHILE @@acc < 100 LIMIT 5 DO
+      FOREACH step IN (1, 2) DO
+        IF step == 1 THEN
+          @@acc += 10;
+        ELSE
+          @@acc += 1;
+        END
+      END
+    END
+    RETURN @@acc;
+  |}
+  in
+  (* 5 iterations × 11 = 55 (never reaches 100; LIMIT stops it). *)
+  Alcotest.check value "nested loops" (V.Int 55) (E.return_value (E.run_source g src))
+
+let test_division_by_zero_is_runtime_error () =
+  let { F.g; _ } = F.sales_graph () in
+  expect_error g "RETURN 1 / 0;";
+  expect_error g "RETURN 1.0 / 0.0;";
+  expect_error g "RETURN 5 % 0;"
+
+let test_param_validation () =
+  let { F.g; customer; _ } = F.sales_graph () in
+  let q =
+    Gsql.Parser.parse_query
+      "CREATE QUERY q (vertex<Customer> c, int k) { RETURN k; }"
+  in
+  let run params = E.run_query g ~params q in
+  (match run [ ("c", V.Vertex (customer "alice")) ] with
+   | exception E.Runtime_error _ -> ()
+   | _ -> Alcotest.fail "missing parameter accepted");
+  (match run [ ("c", V.Str "alice"); ("k", V.Int 1) ] with
+   | exception E.Runtime_error _ -> ()
+   | _ -> Alcotest.fail "ill-typed parameter accepted");
+  (* Int accepted where float expected elsewhere, but vertex params are
+     strict. *)
+  let r = run [ ("c", V.Vertex (customer "alice")); ("k", V.Int 7) ] in
+  Alcotest.check value "ok" (V.Int 7) (E.return_value r)
+
+let test_prime_before_any_save () =
+  (* @acc' before any block ran: falls back to the declared initializer. *)
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    SumAccum<float> @score = 2.5;
+    SELECT c.@score' AS prev INTO T
+    FROM Customer:c -(Bought>)- Product:p
+    LIMIT 1;
+  |}
+  in
+  let t = E.table (E.run_source g src) "T" in
+  (match t.Gsql.Table.rows with
+   | [ [| prev |] ] -> Alcotest.check value "init as prev" (V.Float 2.5) prev
+   | _ -> Alcotest.fail "one row expected")
+
+let test_self_loop_pattern () =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "V" [] in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+  let g = G.create s in
+  let a = G.add_vertex g "V" [] in
+  ignore (G.add_edge g "E" a a []);
+  let src = {|
+    SumAccum<int> @@loops;
+    S = SELECT t FROM V:s -(E>)- V:t WHERE s == t ACCUM @@loops += 1;
+    RETURN @@loops;
+  |}
+  in
+  Alcotest.check value "self loop matched" (V.Int 1) (E.return_value (E.run_source g src))
+
+let test_existential_semantics_in_query () =
+  let { Pathsem.Toygraphs.g; _ } = Pathsem.Toygraphs.diamond_chain 6 in
+  let src = {|
+    SumAccum<int> @cnt;
+    R = SELECT t FROM V:s -(E>*1..)- V:t
+        WHERE s.name = 'v0' AND t.name = 'v6'
+        ACCUM t.@cnt += 1;
+    SELECT t.@cnt AS c INTO Out FROM V:t -(E>*0..0)- V:t2 WHERE t.name = 'v6';
+  |}
+  in
+  let run sem =
+    let t = E.table (E.run_source g ~semantics:sem src) "Out" in
+    match t.Gsql.Table.rows with
+    | [ [| c |] ] -> V.to_int c
+    | _ -> Alcotest.fail "one row"
+  in
+  Alcotest.(check int) "existential multiplicity 1" 1 (run Pathsem.Semantics.Existential);
+  Alcotest.(check int) "asp multiplicity 64" 64 (run Pathsem.Semantics.All_shortest)
+
+let test_order_by_mixed_directions () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    SELECT p.category AS cat, p.name AS name INTO T
+    FROM Customer:c -(Bought>)- Product:p
+    ORDER BY p.category ASC, p.name DESC;
+  |}
+  in
+  let t = E.table (E.run_source g src) "T" in
+  let names = List.map (fun r -> V.to_string r.(1)) t.Gsql.Table.rows in
+  (* Electronics first (laptop), then Toys descending by name. *)
+  (match names with
+   | "laptop" :: toys ->
+     Alcotest.(check (list string)) "toys desc" (List.sort (fun a b -> compare b a) toys) toys
+   | _ -> Alcotest.fail "laptop must sort first")
+
+let test_accum_reads_edge_and_both_vertices () =
+  let { F.g; _ } = F.sales_graph () in
+  (* One ACCUM statement touching the edge alias and both endpoints. *)
+  let src = {|
+    SumAccum<float> @@weighted;
+    S = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+        ACCUM @@weighted += c.age * b.quantity * p.listPrice;
+    RETURN @@weighted;
+  |}
+  in
+  (* alice(31): 2*10 + 1*20*? wait: 31*(2*10) + 31*(1*20) + 42*(3*20) + 27*(5*8) + 27*(1*1000)
+     = 620 + 620 + 2520 + 1080 + 27000 = 31840. *)
+  Alcotest.check value "three-way product" (V.Float 31840.0)
+    (E.return_value (E.run_source g src))
+
+let test_unknown_order_alias_errors () =
+  let { F.g; _ } = F.sales_graph () in
+  expect_error g
+    "SELECT c.name AS n INTO T FROM Customer:c -(Bought>)- Product:p ORDER BY zz.name ASC;"
+
+let test_return_table_and_set () =
+  let { F.g; _ } = F.sales_graph () in
+  let r1 = E.run_source g "S = SELECT c FROM Customer:c -(Bought>)- Product:p; RETURN S;" in
+  (match r1.E.r_return with
+   | Some (E.R_vset vs) -> Alcotest.(check int) "set return" 3 (Array.length vs)
+   | _ -> Alcotest.fail "expected set");
+  let r2 =
+    E.run_source g
+      "SELECT c.name AS n INTO T FROM Customer:c -(Bought>)- Product:p; RETURN T;"
+  in
+  (match r2.E.r_return with
+   | Some (E.R_table t) -> Alcotest.(check bool) "table return" true (Gsql.Table.n_rows t > 0)
+   | _ -> Alcotest.fail "expected table")
+
+let () =
+  Alcotest.run "gsql-edge"
+    [ ( "degenerate",
+        [ Alcotest.test_case "empty results" `Quick test_empty_results;
+          Alcotest.test_case "limit bounds" `Quick test_limit_zero_and_overshoot;
+          Alcotest.test_case "nested control flow" `Quick test_nested_control_flow;
+          Alcotest.test_case "self-loop pattern" `Quick test_self_loop_pattern;
+          Alcotest.test_case "prime before save" `Quick test_prime_before_any_save ] );
+      ( "failures",
+        [ Alcotest.test_case "division by zero" `Quick test_division_by_zero_is_runtime_error;
+          Alcotest.test_case "parameter validation" `Quick test_param_validation;
+          Alcotest.test_case "unknown order alias" `Quick test_unknown_order_alias_errors ] );
+      ( "semantics",
+        [ Alcotest.test_case "existential in query" `Quick test_existential_semantics_in_query;
+          Alcotest.test_case "order by mixed" `Quick test_order_by_mixed_directions;
+          Alcotest.test_case "edge + both endpoints" `Quick test_accum_reads_edge_and_both_vertices;
+          Alcotest.test_case "return kinds" `Quick test_return_table_and_set ] ) ]

@@ -1,0 +1,420 @@
+(* End-to-end evaluation of the paper's queries against hand-computed
+   results: Example 4 (single-pass multi-aggregation), Example 5
+   (multi-output SELECT), Figure 3 (two-pass recommender), Figure 4
+   (PageRank), the Qn path-counting query of §7.1, and the language's
+   control flow / output statements. *)
+
+module V = Pgraph.Value
+module E = Gsql.Eval
+module F = Testkit.Fixtures
+
+let value = Alcotest.testable V.pp V.equal
+let feq = Alcotest.(check (float 1e-9))
+
+let run ?semantics ?(params = []) g src = E.run_source g ?semantics ~params src
+
+let scalar = function
+  | E.R_scalar v -> v
+  | _ -> Alcotest.fail "expected scalar return"
+
+(* --- Example 4: three simultaneous aggregations in one pass. --- *)
+
+let example4_src = {|
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+  S = SELECT c
+      FROM   Customer:c -(Bought>:b)- Product:p
+      WHERE  p.category = 'Toys'
+      ACCUM  float salesPrice = b.quantity * p.listPrice * (100 - b.discountPercent) / 100.0,
+             c.@revenuePerCust += salesPrice,
+             p.@revenuePerToy  += salesPrice,
+             @@totalRevenue    += salesPrice;
+  SELECT c.name AS cust, c.@revenuePerCust AS rev INTO PerCust;
+         p.name AS toy, p.@revenuePerToy AS rev INTO PerToy;
+         @@totalRevenue AS rev INTO Total
+  FROM   Customer:c -(Bought>)- Product:p
+  WHERE  p.category = 'Toys';
+|}
+
+let lookup_rev table key_col key =
+  let t = table in
+  let rec find = function
+    | [] -> Alcotest.failf "no row with %s" key
+    | row :: rest ->
+      (match row with
+       | [| V.Str k; v |] when k = key -> v
+       | _ -> ignore key_col; find rest)
+  in
+  find t.Gsql.Table.rows
+
+let test_example4 () =
+  let { F.g; _ } = F.sales_graph () in
+  let result = run g example4_src in
+  let per_cust = E.table result "PerCust" in
+  let per_toy = E.table result "PerToy" in
+  let total = E.table result "Total" in
+  feq "alice revenue" 30.0 (V.to_float (lookup_rev per_cust "cust" "alice"));
+  feq "bob revenue" 60.0 (V.to_float (lookup_rev per_cust "cust" "bob"));
+  feq "carol revenue (toys only)" 32.0 (V.to_float (lookup_rev per_cust "cust" "carol"));
+  feq "ball revenue" 20.0 (V.to_float (lookup_rev per_toy "toy" "ball"));
+  feq "robot revenue" 70.0 (V.to_float (lookup_rev per_toy "toy" "robot"));
+  feq "puzzle revenue" 32.0 (V.to_float (lookup_rev per_toy "toy" "puzzle"));
+  (match total.Gsql.Table.rows with
+   | [ [| v |] ] -> feq "total" 122.0 (V.to_float v)
+   | _ -> Alcotest.fail "Total must have exactly one row");
+  (* dave bought nothing: no PerCust row. *)
+  Alcotest.(check int) "three customers" 3 (Gsql.Table.n_rows per_cust)
+
+(* --- Figure 3: recommender, hand-computed log-cosine ranks. --- *)
+
+let fig3_src = {|
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH SalesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c and t.category = 'Toys'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+
+  SELECT t.name AS name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category = 'Toys' and c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT  k;
+
+  RETURN Recommended;
+}
+|}
+
+let test_fig3_recommender () =
+  let { F.g; customer; _ } = F.sales_graph () in
+  let alice = customer "alice" in
+  let result =
+    run g fig3_src ~params:[ ("c", V.Vertex alice); ("k", V.Int 3) ]
+  in
+  let t = E.table result "Recommended" in
+  Alcotest.(check (list string)) "columns" [ "name"; "rank" ] t.Gsql.Table.cols;
+  (match t.Gsql.Table.rows with
+   | [ [| V.Str top; rank1 |]; [| V.Str _; rank2 |]; [| V.Str _; rank3 |] ] ->
+     Alcotest.(check string) "top recommendation" "robot" top;
+     feq "robot rank = log3 + log2" (Float.log 3.0 +. Float.log 2.0) (V.to_float rank1);
+     feq "second rank = log3" (Float.log 3.0) (V.to_float rank2);
+     feq "third rank = log3" (Float.log 3.0) (V.to_float rank3)
+   | rows -> Alcotest.failf "expected 3 rows, got %d" (List.length rows));
+  (* LIMIT k=1 returns only the top one. *)
+  let result1 = run g fig3_src ~params:[ ("c", V.Vertex alice); ("k", V.Int 1) ] in
+  Alcotest.(check int) "limit 1" 1 (Gsql.Table.n_rows (E.table result1 "Recommended"))
+
+(* --- Figure 4: PageRank against an independent reference. --- *)
+
+let fig4_src = {|
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999999.0;
+  SumAccum<float> @received_score;
+  SumAccum<float> @score = 1;
+
+  AllV = {Page.*};
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+    @@maxDifference = 0;
+    S = SELECT v
+        FROM AllV:v -(LinkTo>)- Page:n
+        ACCUM n.@received_score += v.@score / v.outdegree()
+        POST-ACCUM v.@score = 1 - dampingFactor + dampingFactor * v.@received_score,
+                   v.@received_score = 0,
+                   @@maxDifference += abs(v.@score - v.@score');
+  END;
+  PRINT AllV[AllV.url, AllV.@score];
+}
+|}
+
+let test_fig4_pagerank () =
+  let g, pages = F.web_graph () in
+  let iterations = 25 in
+  let reference = F.reference_pagerank g ~damping:0.8 ~iterations in
+  let result =
+    run g fig4_src
+      ~params:
+        [ ("maxChange", V.Float 0.0);
+          ("maxIteration", V.Int iterations);
+          ("dampingFactor", V.Float 0.8) ]
+  in
+  let t = E.table result "AllV" in
+  Alcotest.(check int) "four pages" 4 (Gsql.Table.n_rows t);
+  List.iter
+    (fun row ->
+      match row with
+      | [| V.Str url; score |] ->
+        let vid =
+          match url with
+          | "a" -> pages.(0)
+          | "b" -> pages.(1)
+          | "c" -> pages.(2)
+          | "d" -> pages.(3)
+          | _ -> Alcotest.fail "unknown page"
+        in
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "score of %s" url)
+          reference.(vid) (V.to_float score)
+      | _ -> Alcotest.fail "row shape")
+    t.Gsql.Table.rows;
+  (* Sanity: c is the rank sink in this topology. *)
+  let score_of url =
+    V.to_float (lookup_rev t "url" url)
+  in
+  Alcotest.(check bool) "c dominates" true
+    (score_of "c" > score_of "a" && score_of "c" > score_of "b" && score_of "c" > score_of "d")
+
+let test_pagerank_early_termination () =
+  let g, _ = F.web_graph () in
+  (* A large maxChange stops after one iteration; scores must equal the
+     reference after exactly 1 iteration. *)
+  let reference = F.reference_pagerank g ~damping:0.8 ~iterations:1 in
+  let result =
+    run g fig4_src
+      ~params:
+        [ ("maxChange", V.Float 1000.0); ("maxIteration", V.Int 50); ("dampingFactor", V.Float 0.8) ]
+  in
+  let t = E.table result "AllV" in
+  let sum_scores =
+    List.fold_left (fun acc row -> acc +. V.to_float row.(1)) 0.0 t.Gsql.Table.rows
+  in
+  let ref_sum = Array.fold_left ( +. ) 0.0 reference in
+  Alcotest.(check (float 1e-9)) "one iteration then stop" ref_sum sum_scores
+
+(* --- §7.1 Qn: counting exponentially many paths via one accumulator. --- *)
+
+let qn_src = {|
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM  V:s -(E>*)- V:t
+      WHERE s.name = srcName AND t.name = tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+|}
+
+let qn_count ?semantics g n =
+  let params =
+    [ ("srcName", V.Str "v0"); ("tgtName", V.Str (Printf.sprintf "v%d" n)) ]
+  in
+  let result = run ?semantics ~params g qn_src in
+  match result.E.r_tables with
+  | (_, t) :: _ ->
+    (match t.Gsql.Table.rows with
+     | [ [| _; V.Int c |] ] -> c
+     | _ -> Alcotest.fail "expected single count row")
+  | [] -> Alcotest.fail "no printed table"
+
+let test_qn_diamond () =
+  let { Pathsem.Toygraphs.g; _ } = Pathsem.Toygraphs.diamond_chain 10 in
+  Alcotest.(check int) "2^10 shortest paths" 1024 (qn_count g 10);
+  Alcotest.(check int) "2^6" 64 (qn_count g 6);
+  (* The same query under Cypher-style non-repeated-edge semantics gives the
+     same count on the diamond (Example 11: semantics coincide). *)
+  Alcotest.(check int) "NRE agrees on diamond" 64
+    (qn_count ~semantics:Pathsem.Semantics.Non_repeated_edge g 6)
+
+let test_qn_multiplicity_shortcut () =
+  (* 2^40 paths: enumeration is impossible, the multiplicity shortcut makes
+     it instant.  SumAccum<int> receives µ·1 with µ = 2^40. *)
+  let { Pathsem.Toygraphs.g; _ } = Pathsem.Toygraphs.diamond_chain 40 in
+  Alcotest.(check int) "2^40 via counting" (1 lsl 40) (qn_count g 40)
+
+(* --- Language features. --- *)
+
+let test_undirected_pattern () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    SumAccum<int> @conn;
+    S = SELECT p
+        FROM Customer:p -(Connected)- Customer:q
+        ACCUM p.@conn += 1;
+    SELECT p.name AS name, p.@conn AS degree INTO Conn
+    FROM Customer:p -(Connected)- Customer:q;
+  |}
+  in
+  let t = E.table (run g src) "Conn" in
+  feq "alice 1 connection" 1.0 (V.to_float (lookup_rev t "name" "alice"));
+  feq "bob 2 connections" 2.0 (V.to_float (lookup_rev t "name" "bob"));
+  feq "carol 1 connection" 1.0 (V.to_float (lookup_rev t "name" "carol"))
+
+let test_having_and_order () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    SumAccum<float> @rev;
+    S = SELECT c
+        FROM  Customer:c -(Bought>:b)- Product:p
+        ACCUM c.@rev += b.quantity * p.listPrice;
+    SELECT c.name AS name INTO BigSpenders
+    FROM  Customer:c -(Bought>)- Product:p
+    HAVING c.@rev >= 60.0
+    ORDER BY c.@rev DESC;
+  |}
+  in
+  let t = E.table (run g src) "BigSpenders" in
+  (* carol: 5*8 + 1*1000 = 1040; bob: 60; alice: 40 (below cutoff). *)
+  Alcotest.(check bool) "carol then bob" true
+    (List.map (fun r -> V.to_string r.(0)) t.Gsql.Table.rows = [ "carol"; "bob" ])
+
+let test_while_if_foreach_return () =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "V" [] in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+  let g = Pgraph.Graph.create s in
+  ignore (Pgraph.Graph.add_vertex g "V" []);
+  let src = {|
+    SumAccum<int> @@total;
+    i = 0;
+    WHILE @@total < 10 LIMIT 100 DO
+      @@total += 3;
+    END;
+    IF @@total == 12 THEN
+      @@total += 100;
+    ELSE
+      @@total += 1;
+    END;
+    FOREACH x IN (1, 2, 3) DO
+      @@total += x;
+    END;
+    RETURN @@total;
+  |}
+  in
+  (* 0 -> 12 (four increments of 3), then +100 (cond true), then +6. *)
+  Alcotest.check value "loop arithmetic" (V.Int 118) (scalar (Option.get (run g src).E.r_return))
+
+let test_group_by_accum_query () =
+  let { F.g; _ } = F.sales_graph () in
+  (* Example 12 flavour: group toy revenue by category and customer age. *)
+  let src = {|
+    GroupByAccum<string cat, SumAccum<float>, MaxAccum> @@byCat;
+    S = SELECT c
+        FROM  Customer:c -(Bought>:b)- Product:p
+        ACCUM @@byCat += (p.category -> b.quantity * p.listPrice, b.quantity);
+    RETURN @@byCat;
+  |}
+  in
+  match scalar (Option.get (run g src).E.r_return) with
+  | V.Vlist rows ->
+    let find cat =
+      List.find_map
+        (function
+          | V.Vtuple [| V.Str c; sum; mx |] when c = cat -> Some (V.to_float sum, mx)
+          | _ -> None)
+        rows
+      |> Option.get
+    in
+    let toys_sum, toys_max = find "Toys" in
+    feq "toys gross" 140.0 toys_sum;
+    Alcotest.check value "largest toy quantity" (V.Int 5) toys_max;
+    let elec_sum, _ = find "Electronics" in
+    feq "electronics gross" 1000.0 elec_sum
+  | v -> Alcotest.failf "unexpected return %s" (V.to_string v)
+
+let test_map_accum_query () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    MapAccum<string, SumAccum<int>> @@unitsPerCustomer;
+    S = SELECT c
+        FROM  Customer:c -(Bought>:b)- Product:p
+        ACCUM @@unitsPerCustomer += (c.name -> b.quantity);
+    RETURN @@unitsPerCustomer;
+  |}
+  in
+  match scalar (Option.get (run g src).E.r_return) with
+  | V.Vlist pairs ->
+    let find name =
+      List.find_map
+        (function
+          | V.Vtuple [| V.Str k; V.Int n |] when k = name -> Some n
+          | _ -> None)
+        pairs
+      |> Option.get
+    in
+    Alcotest.(check int) "alice units" 3 (find "alice");
+    Alcotest.(check int) "bob units" 3 (find "bob");
+    Alcotest.(check int) "carol units" 6 (find "carol")
+  | v -> Alcotest.failf "unexpected return %s" (V.to_string v)
+
+let test_heap_accum_query () =
+  let { F.g; _ } = F.sales_graph () in
+  let src = {|
+    HeapAccum(2, 1 DESC) @@priciest;
+    S = SELECT p
+        FROM  Customer:c -(Bought>)- Product:p
+        ACCUM @@priciest += (p.name, p.listPrice);
+    RETURN @@priciest;
+  |}
+  in
+  match scalar (Option.get (run g src).E.r_return) with
+  | V.Vlist [ V.Vtuple [| V.Str first; _ |]; V.Vtuple [| V.Str second; _ |] ] ->
+    Alcotest.(check string) "laptop first" "laptop" first;
+    Alcotest.(check string) "robot second" "robot" second
+  | v -> Alcotest.failf "unexpected return %s" (V.to_string v)
+
+let test_snapshot_semantics () =
+  (* All acc-executions read the same snapshot: swapping two vertex
+     accumulators across an edge must not cascade. *)
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "V" [ ("name", Pgraph.Schema.T_string) ] in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+  let g = Pgraph.Graph.create s in
+  let a = Pgraph.Graph.add_vertex g "V" [ ("name", V.Str "a") ] in
+  let b = Pgraph.Graph.add_vertex g "V" [ ("name", V.Str "b") ] in
+  let c = Pgraph.Graph.add_vertex g "V" [ ("name", V.Str "c") ] in
+  ignore (Pgraph.Graph.add_edge g "E" a b []);
+  ignore (Pgraph.Graph.add_edge g "E" b c []);
+  let src = {|
+    SumAccum<int> @x;
+    Init = SELECT v FROM V:v -(E>*0..0)- V:v2 ACCUM v.@x += 1;
+    S = SELECT t
+        FROM V:s -(E>)- V:t
+        ACCUM t.@x += s.@x;
+    SELECT v.name AS name, v.@x AS x INTO Out
+    FROM V:v -(E>*0..0)- V:v2;
+  |}
+  in
+  let t = E.table (run g src) "Out" in
+  (* After init everyone has 1.  The propagation reads the snapshot: b = 1+1,
+     c = 1+1 (NOT 1+2 — b's update must not be visible). *)
+  Alcotest.check value "a" (V.Int 1) (lookup_rev t "name" "a");
+  Alcotest.check value "b" (V.Int 2) (lookup_rev t "name" "b");
+  Alcotest.check value "c" (V.Int 2) (lookup_rev t "name" "c")
+
+let test_runtime_errors () =
+  let { F.g; _ } = F.sales_graph () in
+  let expect_error src =
+    match run g src with
+    | exception E.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected Runtime_error"
+  in
+  expect_error "S = SELECT t FROM Nope:s -(E>)- V:t;";
+  expect_error "SumAccum<int> @@x; @@x += 'text';";
+  expect_error "PRINT missingVar[missingVar.name];";
+  (* Analysis errors surface as Runtime_error too. *)
+  expect_error "S = SELECT t FROM Customer:s -(Bought>)- Product:t ACCUM t.@undeclared += 1;"
+
+let test_print_output () =
+  let { F.g; _ } = F.sales_graph () in
+  let result = run g "SumAccum<int> @@x; @@x += 41; @@x += 1; PRINT @@x AS answer;" in
+  Alcotest.(check string) "printed" "answer = 42\n" result.E.r_printed
+
+let () =
+  Alcotest.run "gsql-eval"
+    [ ( "paper-queries",
+        [ Alcotest.test_case "example 4 multi-aggregation" `Quick test_example4;
+          Alcotest.test_case "figure 3 recommender" `Quick test_fig3_recommender;
+          Alcotest.test_case "figure 4 pagerank" `Quick test_fig4_pagerank;
+          Alcotest.test_case "pagerank early stop" `Quick test_pagerank_early_termination;
+          Alcotest.test_case "Qn diamond counts" `Quick test_qn_diamond;
+          Alcotest.test_case "Qn multiplicity shortcut (2^40)" `Quick test_qn_multiplicity_shortcut ] );
+      ( "language",
+        [ Alcotest.test_case "undirected pattern" `Quick test_undirected_pattern;
+          Alcotest.test_case "having/order" `Quick test_having_and_order;
+          Alcotest.test_case "while/if/foreach/return" `Quick test_while_if_foreach_return;
+          Alcotest.test_case "group-by accumulator" `Quick test_group_by_accum_query;
+          Alcotest.test_case "map accumulator" `Quick test_map_accum_query;
+          Alcotest.test_case "heap accumulator" `Quick test_heap_accum_query;
+          Alcotest.test_case "snapshot semantics" `Quick test_snapshot_semantics;
+          Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+          Alcotest.test_case "print" `Quick test_print_output ] ) ]

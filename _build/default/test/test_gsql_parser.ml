@@ -1,0 +1,291 @@
+(* Lexer and parser coverage for the GSQL fragment, including the paper's
+   verbatim-style listings (Figures 2–4, the Qn query of §7.1). *)
+
+module P = Gsql.Parser
+module A = Gsql.Ast
+
+let parses src =
+  match P.parse_query src with
+  | _ -> true
+  | exception P.Error _ -> false
+
+let parse_error src =
+  match P.parse_query src with
+  | _ -> false
+  | exception P.Error _ -> true
+
+let check_bool = Alcotest.(check bool)
+
+let test_lexer_basics () =
+  let toks = Gsql.Lexer.tokenize "SELECT c.@rev += 1.5 <> 'str' @@g' // comment" in
+  let kinds = List.map (fun t -> t.Gsql.Token.tok) toks in
+  check_bool "has SELECT" true (List.mem (Gsql.Token.KW "SELECT") kinds);
+  check_bool "has VACC" true (List.mem (Gsql.Token.VACC "rev") kinds);
+  check_bool "has PLUSEQ" true (List.mem Gsql.Token.PLUSEQ kinds);
+  check_bool "has FLOAT" true (List.mem (Gsql.Token.FLOAT 1.5) kinds);
+  check_bool "has NEQ" true (List.mem Gsql.Token.NEQ kinds);
+  check_bool "has STRING" true (List.mem (Gsql.Token.STRING "str") kinds);
+  check_bool "prime after @@g" true (List.mem Gsql.Token.PRIME kinds)
+
+let test_lexer_comments_and_case () =
+  let toks = Gsql.Lexer.tokenize "select /* block\ncomment */ From # line\n where" in
+  let kinds = List.map (fun t -> t.Gsql.Token.tok) toks in
+  Alcotest.(check (list string))
+    "case-insensitive keywords, comments skipped"
+    [ "SELECT"; "FROM"; "WHERE" ]
+    (List.filter_map (function Gsql.Token.KW k -> Some k | _ -> None) kinds)
+
+let test_lexer_errors () =
+  check_bool "unterminated string" true
+    (match Gsql.Lexer.tokenize "'abc" with
+     | exception Gsql.Lexer.Error _ -> true
+     | _ -> false);
+  check_bool "stray char" true
+    (match Gsql.Lexer.tokenize "a $ b" with
+     | exception Gsql.Lexer.Error _ -> true
+     | _ -> false)
+
+let fig2_source = {|
+CREATE QUERY SalesRevenue () FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue, @revenuePerToy, @revenuePerCust;
+
+  SELECT c
+  FROM   Customer:c -(Bought>:b)- Product:p
+  WHERE  p.category = 'Toys'
+  ACCUM  float salesPrice = b.quantity * p.listPrice * (100 - b.discountPercent) / 100.0,
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy  += salesPrice,
+         @@totalRevenue    += salesPrice;
+}
+|}
+
+let fig3_source = {|
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH SalesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c and t.category = 'Toys'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log (1 + o.@inCommon);
+
+  SELECT t.name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category = 'Toys' and c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT  k;
+
+  RETURN Recommended;
+}
+|}
+
+let fig4_source = {|
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999999.0;
+  SumAccum<float> @received_score;
+  SumAccum<float> @score = 1;
+
+  AllV = {Page.*};
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+    @@maxDifference = 0;
+    S = SELECT v
+        FROM AllV:v -(LinkTo>)- Page:n
+        ACCUM n.@received_score += v.@score / v.outdegree()
+        POST-ACCUM v.@score = 1 - dampingFactor + dampingFactor * v.@received_score,
+                   v.@received_score = 0,
+                   @@maxDifference += abs(v.@score - v.@score');
+  END;
+}
+|}
+
+let qn_source = {|
+CREATE QUERY Qn (string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+
+  R = SELECT t
+      FROM  V:s -(E>*)- V:t
+      WHERE s.name = srcName AND t.name = tgtName
+      ACCUM t.@pathCount += 1;
+
+  PRINT R[R.name, R.@pathCount];
+}
+|}
+
+let test_paper_figures_parse () =
+  check_bool "figure 2" true (parses fig2_source);
+  check_bool "figure 3" true (parses fig3_source);
+  check_bool "figure 4" true (parses fig4_source);
+  check_bool "Qn" true (parses qn_source)
+
+let test_fig3_structure () =
+  let q = P.parse_query fig3_source in
+  Alcotest.(check string) "name" "TopKToys" q.A.q_name;
+  Alcotest.(check int) "params" 2 (List.length q.A.q_params);
+  Alcotest.(check (option string)) "graph" (Some "SalesGraph") q.A.q_graph;
+  (match q.A.q_body with
+   | [ A.S_acc_decl d; A.S_select (None, b1); A.S_select (None, b2); A.S_return _ ] ->
+     Alcotest.(check int) "three accumulators" 3 (List.length d.A.d_names);
+     (* The two-hop chain desugars into two conjuncts sharing alias t. *)
+     Alcotest.(check int) "block1 conjuncts" 2 (List.length b1.A.s_from);
+     (match b1.A.s_target with
+      | A.Sel_vertices (true, "o", Some "OthersWithCommonLikes") -> ()
+      | _ -> Alcotest.fail "block1 target");
+     (match b2.A.s_target with
+      | A.Sel_outputs [ o ] ->
+        Alcotest.(check string) "into" "Recommended" o.A.o_into;
+        Alcotest.(check int) "two projections" 2 (List.length o.A.o_exprs)
+      | _ -> Alcotest.fail "block2 target");
+     Alcotest.(check int) "order by" 1 (List.length b2.A.s_order_by);
+     check_bool "limit" true (b2.A.s_limit <> None)
+   | _ -> Alcotest.fail "unexpected body shape")
+
+let test_fig4_structure () =
+  let q = P.parse_query fig4_source in
+  match q.A.q_body with
+  | [ A.S_acc_decl _; A.S_acc_decl _; A.S_acc_decl d3; A.S_set_assign ("AllV", A.Set_types [ "Page" ]);
+      A.S_while (_, Some _, body) ] ->
+    check_bool "score initialized" true (d3.A.d_init <> None);
+    (match body with
+     | [ A.S_gacc_assign ("maxDifference", false, _); A.S_select (Some "S", b) ] ->
+       Alcotest.(check int) "one accum stmt" 1 (List.length b.A.s_accum);
+       Alcotest.(check int) "three post-accum stmts" 3 (List.length b.A.s_post_accum);
+       (* The primed read @score' must appear in POST_ACCUM. *)
+       let info = Gsql.Analyze.check_query q in
+       Alcotest.(check (list string)) "primed" [ "score" ] info.Gsql.Analyze.primed;
+       Alcotest.(check (list string)) "no errors" [] info.Gsql.Analyze.errors
+     | _ -> Alcotest.fail "loop body shape")
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_multi_output_select () =
+  let src = {|
+    SumAccum<float> @@totalRevenue, @revenuePerToy, @revenuePerCust;
+    SELECT c.name, c.@revenuePerCust INTO PerCust;
+           t.name, t.@revenuePerToy INTO PerToy;
+           @@totalRevenue AS rev INTO Total
+    FROM Customer:c -(Bought>)- Product:t;
+  |}
+  in
+  match P.parse_block src with
+  | [ A.S_acc_decl _; A.S_select (None, b) ] ->
+    (match b.A.s_target with
+     | A.Sel_outputs [ o1; o2; o3 ] ->
+       Alcotest.(check string) "t1" "PerCust" o1.A.o_into;
+       Alcotest.(check string) "t2" "PerToy" o2.A.o_into;
+       Alcotest.(check string) "t3" "Total" o3.A.o_into;
+       (match o3.A.o_exprs with
+        | [ (A.E_gacc "totalRevenue", Some "rev") ] -> ()
+        | _ -> Alcotest.fail "third output shape")
+     | _ -> Alcotest.fail "expected three outputs")
+  | _ -> Alcotest.fail "unexpected block shape"
+
+let test_accum_spec_parsing () =
+  let block spec = Printf.sprintf "%s @@x;" spec in
+  let decl_spec src =
+    match P.parse_block (block src) with
+    | [ A.S_acc_decl d ] -> d.A.d_spec
+    | _ -> Alcotest.fail "expected declaration"
+  in
+  Alcotest.(check bool) "sum int" true (decl_spec "SumAccum<int>" = Accum.Spec.Sum_int);
+  Alcotest.(check bool) "sum string" true (decl_spec "SumAccum<string>" = Accum.Spec.Sum_string);
+  Alcotest.(check bool) "min" true (decl_spec "MinAccum<float>" = Accum.Spec.Min_acc);
+  Alcotest.(check bool) "or" true (decl_spec "OrAccum" = Accum.Spec.Or_acc);
+  Alcotest.(check bool) "set" true (decl_spec "SetAccum<vertex>" = Accum.Spec.Set_acc);
+  Alcotest.(check bool) "map of sums" true
+    (decl_spec "MapAccum<string, SumAccum<int>>" = Accum.Spec.Map_acc Accum.Spec.Sum_int);
+  Alcotest.(check bool) "nested map" true
+    (decl_spec "MapAccum<string, MapAccum<int, SumAccum<float>>>"
+     = Accum.Spec.Map_acc (Accum.Spec.Map_acc Accum.Spec.Sum_float));
+  Alcotest.(check bool) "heap" true
+    (decl_spec "HeapAccum(10, 1 DESC, 0 ASC)"
+     = Accum.Spec.Heap_acc
+         { Accum.Spec.h_capacity = 10;
+           h_fields = [ (1, Accum.Spec.Desc); (0, Accum.Spec.Asc) ] });
+  Alcotest.(check bool) "group-by (Example 12)" true
+    (decl_spec "GroupByAccum<float k1, string k2, datetime k3, SumAccum<float>, MinAccum, AvgAccum>"
+     = Accum.Spec.Group_by (3, [ Accum.Spec.Sum_float; Accum.Spec.Min_acc; Accum.Spec.Avg_acc ]))
+
+let test_parse_errors () =
+  check_bool "missing FROM" true (parse_error "CREATE QUERY q() { SELECT v; }");
+  check_bool "bad accum op" true (parse_error "CREATE QUERY q() { SumAccum<int> @@x; @@x *= 3; }");
+  check_bool "multi-output without INTO" true
+    (parse_error "CREATE QUERY q() { SELECT a.name, b.name FROM T:a -(E>)- T:b; }");
+  check_bool "unknown accumulator type" true
+    (parse_error "CREATE QUERY q() { FooAccum<int> @@x; }");
+  check_bool "two queries rejected by parse_query" true
+    (parse_error "CREATE QUERY a() { } CREATE QUERY b() { }")
+
+let test_analyze_errors () =
+  let errors src =
+    let q = P.parse_query src in
+    (Gsql.Analyze.check_query q).Gsql.Analyze.errors
+  in
+  check_bool "undeclared global" true
+    (errors "CREATE QUERY q() { S = SELECT t FROM V:s -(E>)- V:t ACCUM @@x += 1; }" <> []);
+  check_bool "undeclared vertex acc" true
+    (errors "CREATE QUERY q() { S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@x += 1; }" <> []);
+  check_bool "kind mismatch" true
+    (errors
+       "CREATE QUERY q() { SumAccum<int> @@x; S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@x += 1; }"
+     <> []);
+  check_bool "edge alias under Kleene star" true
+    (errors
+       "CREATE QUERY q() { SumAccum<int> @@x; S = SELECT t FROM V:s -(E>*:e)- V:t ACCUM @@x += 1; }"
+     <> []);
+  check_bool "clean query has no errors" true (errors fig4_source = [])
+
+let test_analyze_tractability () =
+  let info src = Gsql.Analyze.check_query (P.parse_query src) in
+  check_bool "ListAccum + star is flagged" true
+    (not
+       (info
+          "CREATE QUERY q() { ListAccum<int> @@l; S = SELECT t FROM V:s -(E>*)- V:t ACCUM @@l += 1; }")
+         .Gsql.Analyze.tractable);
+  check_bool "ListAccum + single step is fine" true
+    (info "CREATE QUERY q() { ListAccum<int> @@l; S = SELECT t FROM V:s -(E>)- V:t ACCUM @@l += 1; }")
+      .Gsql.Analyze.tractable;
+  check_bool "SumAccum + star is tractable" true
+    (info qn_source).Gsql.Analyze.tractable
+
+let test_semantics_pragma () =
+  let q =
+    P.parse_query
+      "CREATE QUERY q() SEMANTICS 'non-repeated-edge' { SumAccum<int> @@x; S = SELECT t FROM V:s -(E>*)- V:t ACCUM @@x += 1; }"
+  in
+  check_bool "semantics recorded" true
+    (q.A.q_semantics = Some Pathsem.Semantics.Non_repeated_edge)
+
+let test_expression_parsing () =
+  let e = P.parse_expr "1 + 2 * 3" in
+  check_bool "precedence" true
+    (e = A.E_binop (A.Add, A.E_int 1, A.E_binop (A.Mul, A.E_int 2, A.E_int 3)));
+  let e = P.parse_expr "NOT a AND b" in
+  check_bool "not binds tighter" true
+    (e = A.E_binop (A.And, A.E_unop (A.Not, A.E_var "a"), A.E_var "b"));
+  let e = P.parse_expr "(k1, k2 -> a1, a2)" in
+  check_bool "arrow tuple" true
+    (e = A.E_arrow ([ A.E_var "k1"; A.E_var "k2" ], [ A.E_var "a1"; A.E_var "a2" ]));
+  let e = P.parse_expr "v.@score'" in
+  check_bool "primed vertex acc" true (e = A.E_vacc_prev ("v", "score"));
+  let e = P.parse_expr "log(1 + o.@inCommon)" in
+  check_bool "call" true
+    (e = A.E_call ("log", [ A.E_binop (A.Add, A.E_int 1, A.E_vacc ("o", "inCommon")) ]))
+
+let () =
+  Alcotest.run "gsql-parser"
+    [ ( "lexer",
+        [ Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments/case" `Quick test_lexer_comments_and_case;
+          Alcotest.test_case "errors" `Quick test_lexer_errors ] );
+      ( "parser",
+        [ Alcotest.test_case "paper figures" `Quick test_paper_figures_parse;
+          Alcotest.test_case "figure 3 structure" `Quick test_fig3_structure;
+          Alcotest.test_case "figure 4 structure" `Quick test_fig4_structure;
+          Alcotest.test_case "multi-output" `Quick test_multi_output_select;
+          Alcotest.test_case "accumulator specs" `Quick test_accum_spec_parsing;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "expressions" `Quick test_expression_parsing ] );
+      ( "analyzer",
+        [ Alcotest.test_case "errors" `Quick test_analyze_errors;
+          Alcotest.test_case "tractability" `Quick test_analyze_tractability;
+          Alcotest.test_case "semantics pragma" `Quick test_semantics_pragma ] ) ]

@@ -1,0 +1,243 @@
+(* Cross-library integration: GSQL queries validated against independent
+   host-level implementations, serialization transparency, and the
+   counting/enumeration equivalence end-to-end through the interpreter. *)
+
+module V = Pgraph.Value
+module G = Pgraph.Graph
+module B = Pgraph.Bignat
+module E = Gsql.Eval
+module Sem = Pathsem.Semantics
+
+(* --- Qn through GSQL == engine count == ground truth, across semantics --- *)
+
+let qn_src = {|
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM  V:s -(E>*)- V:t
+      WHERE s.name = srcName AND t.name = tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+|}
+
+let gsql_count ?semantics g ~src_name ~tgt_name =
+  let params = [ ("srcName", V.Str src_name); ("tgtName", V.Str tgt_name) ] in
+  let result = E.run_source g ?semantics ~params qn_src in
+  match result.E.r_tables with
+  | (_, t) :: _ ->
+    (match t.Gsql.Table.rows with
+     | [ [| _; V.Int c |] ] -> c
+     | [] -> 0
+     | _ -> Alcotest.fail "unexpected Qn rows")
+  | [] -> 0
+
+let test_qn_all_semantics_on_g1 () =
+  (* Example 9's multiplicities, but end-to-end through the interpreter. *)
+  let { Pathsem.Toygraphs.g; _ } = Pathsem.Toygraphs.g1 () in
+  let count sem = gsql_count ~semantics:sem g ~src_name:"1" ~tgt_name:"5" in
+  Alcotest.(check int) "ASP" 2 (count Sem.All_shortest);
+  Alcotest.(check int) "NRE" 4 (count Sem.Non_repeated_edge);
+  Alcotest.(check int) "NRV" 3 (count Sem.Non_repeated_vertex);
+  Alcotest.(check int) "existential" 1 (count Sem.Existential)
+
+let prop_qn_gsql_matches_engine =
+  QCheck.Test.make ~name:"GSQL Qn = engine count on random DAGs" ~count:30
+    (QCheck.pair QCheck.small_int (QCheck.int_range 3 9))
+    (fun (seed, nv) ->
+      let s = Pgraph.Schema.create () in
+      let _ = Pgraph.Schema.add_vertex_type s "V" [ ("name", Pgraph.Schema.T_string) ] in
+      let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+      let g = G.create s in
+      for i = 0 to nv - 1 do
+        ignore (G.add_vertex g "V" [ ("name", V.Str (Printf.sprintf "n%d" i)) ])
+      done;
+      let rng = Pgraph.Prng.create seed in
+      for _ = 1 to nv * 2 do
+        let i = Pgraph.Prng.int rng (nv - 1) in
+        let j = Pgraph.Prng.int_in_range rng (i + 1) (nv - 1) in
+        ignore (G.add_edge g "E" i j [])
+      done;
+      let ok = ref true in
+      for dst = 1 to nv - 1 do
+        let via_gsql = gsql_count g ~src_name:"n0" ~tgt_name:(Printf.sprintf "n%d" dst) in
+        let direct =
+          Pathsem.Engine.count_single_pair g (Darpe.Parse.parse "E>*") Sem.All_shortest ~src:0 ~dst
+        in
+        let direct_int = Option.value (B.to_int_opt direct) ~default:(-1) in
+        if via_gsql <> direct_int && not (direct_int = 0 && via_gsql = 0) then ok := false
+      done;
+      !ok)
+
+(* --- WCC written in GSQL vs the host-level implementation --- *)
+
+let wcc_gsql = {|
+  MinAccum<int> @cc;
+  OrAccum @@changed;
+
+  Init = SELECT v FROM V:v -(E>*0..0)- V:w ACCUM v.@cc = id(v);
+  @@changed = true;
+  WHILE @@changed LIMIT 200 DO
+    @@changed = false;
+    S = SELECT v
+        FROM V:v -(E?)- V:w
+        WHERE w.@cc > v.@cc
+        ACCUM w.@cc += v.@cc,
+              @@changed += true;
+  END;
+  SELECT v AS vid, v.@cc AS label INTO Labels
+  FROM V:v -(E>*0..0)- V:w;
+|}
+
+let random_graph seed nv ne =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "V" [ ("name", Pgraph.Schema.T_string) ] in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+  let g = G.create s in
+  for i = 0 to nv - 1 do
+    ignore (G.add_vertex g "V" [ ("name", V.Str (string_of_int i)) ])
+  done;
+  let rng = Pgraph.Prng.create seed in
+  for _ = 1 to ne do
+    let a = Pgraph.Prng.int rng nv and b = Pgraph.Prng.int rng nv in
+    if a <> b then ignore (G.add_edge g "E" a b [])
+  done;
+  g
+
+let prop_wcc_gsql_matches_library =
+  QCheck.Test.make ~name:"GSQL WCC = Galgos.Wcc on random graphs" ~count:25
+    (QCheck.pair QCheck.small_int (QCheck.int_range 2 14))
+    (fun (seed, nv) ->
+      let g = random_graph seed nv (nv * 3 / 2) in
+      let result = E.run_source g wcc_gsql in
+      let table = E.table result "Labels" in
+      let gsql_labels = Array.make nv (-1) in
+      List.iter
+        (fun row ->
+          match row with
+          | [| V.Vertex v; V.Int l |] -> gsql_labels.(v) <- l
+          | _ -> ())
+        table.Gsql.Table.rows;
+      let lib_labels = Galgos.Wcc.run g () in
+      gsql_labels = lib_labels)
+
+(* --- BFS distances via GSQL loop vs Sssp.bfs --- *)
+
+let bfs_gsql = {|
+  MinAccum<int> @dist;
+  OrAccum @@changed;
+
+  Init = SELECT v FROM V:v -(E>*0..0)- V:w
+         ACCUM IF v.name == srcName THEN v.@dist = 0 END;
+  @@changed = true;
+  WHILE @@changed LIMIT 200 DO
+    @@changed = false;
+    S = SELECT w
+        FROM V:v -(E>)- V:w
+        WHERE NOT (v.@dist == NULL) AND (w.@dist == NULL OR w.@dist > v.@dist + 1)
+        ACCUM w.@dist += v.@dist + 1,
+              @@changed += true;
+  END;
+  SELECT v AS vid, v.@dist AS dist INTO Dists
+  FROM V:v -(E>*0..0)- V:w;
+|}
+
+let prop_bfs_gsql_matches_library =
+  QCheck.Test.make ~name:"GSQL BFS = Sssp.bfs on random DAG-ish graphs" ~count:25
+    (QCheck.pair QCheck.small_int (QCheck.int_range 2 12))
+    (fun (seed, nv) ->
+      let g = random_graph (seed + 31) nv (nv * 2) in
+      let result = E.run_source g ~params:[ ("srcName", V.Str "0") ] bfs_gsql in
+      let table = E.table result "Dists" in
+      let gsql_dist = Array.make nv (-1) in
+      List.iter
+        (fun row ->
+          match row with
+          | [| V.Vertex v; V.Int d |] -> gsql_dist.(v) <- d
+          | [| V.Vertex v; V.Null |] -> gsql_dist.(v) <- -1
+          | _ -> ())
+        table.Gsql.Table.rows;
+      let lib_dist = Galgos.Sssp.bfs_darpe g ~darpe:"E>*" ~src:0 in
+      gsql_dist = lib_dist)
+
+(* --- Serialization transparency: save/load then run an IC query --- *)
+
+let test_serialized_graph_same_results () =
+  let t = Testkit.Snb_cache.get () in
+  let g = t.Ldbc.Snb.graph in
+  let g' = Pgraph.Loader.of_string (Pgraph.Loader.to_string g) in
+  let src = Ldbc.Ic.source Ldbc.Ic.Ic9 ~hops:2 in
+  let params = Ldbc.Ic.default_params t ~seed:5 Ldbc.Ic.Ic9 in
+  let r1 = E.run_source g ~params src in
+  let r2 = E.run_source g' ~params src in
+  let rows r = (E.table r "Result").Gsql.Table.rows in
+  Alcotest.(check int) "same row count" (List.length (rows r1)) (List.length (rows r2));
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same row" true (V.equal (V.Vtuple a) (V.Vtuple b)))
+    (rows r1) (rows r2)
+
+(* --- Pretty-printed query executes identically --- *)
+
+let test_pretty_printed_query_runs () =
+  let { Testkit.Fixtures.g; customer; _ } = Testkit.Fixtures.sales_graph () in
+  let src = {|
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH SalesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c and t.category = 'Toys'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+  SELECT t.name AS name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category = 'Toys' and c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT  k;
+  RETURN Recommended;
+}
+|}
+  in
+  let q = Gsql.Parser.parse_query src in
+  let q' = Gsql.Parser.parse_query (Gsql.Pretty.query q) in
+  let params = [ ("c", V.Vertex (customer "alice")); ("k", V.Int 3) ] in
+  let r1 = E.run_query g ~params q in
+  let r2 = E.run_query g ~params q' in
+  Alcotest.(check string) "same result table"
+    (Gsql.Table.to_string (E.table r1 "Recommended"))
+    (Gsql.Table.to_string (E.table r2 "Recommended"))
+
+(* --- Aggregation equivalence: GSQL vs direct fold --- *)
+
+let prop_sum_query_matches_fold =
+  QCheck.Test.make ~name:"GSQL per-vertex sums = direct fold" ~count:25
+    (QCheck.pair QCheck.small_int (QCheck.int_range 2 10))
+    (fun (seed, nv) ->
+      let g = random_graph (seed + 97) nv (nv * 2) in
+      let src = {|
+        SumAccum<int> @indeg;
+        S = SELECT w FROM V:v -(E>)- V:w ACCUM w.@indeg += 1;
+        SELECT w AS vid, w.@indeg AS n INTO Deg
+        FROM V:v -(E>)- V:w;
+      |}
+      in
+      let result = E.run_source g src in
+      let table = E.table result "Deg" in
+      List.for_all
+        (fun row ->
+          match row with
+          | [| V.Vertex v; V.Int n |] -> n = G.in_degree g v
+          | _ -> false)
+        table.Gsql.Table.rows)
+
+let () =
+  Alcotest.run "integration"
+    [ ( "qn",
+        [ Alcotest.test_case "all semantics on G1" `Quick test_qn_all_semantics_on_g1;
+          QCheck_alcotest.to_alcotest prop_qn_gsql_matches_engine ] );
+      ( "algorithms-in-gsql",
+        [ QCheck_alcotest.to_alcotest prop_wcc_gsql_matches_library;
+          QCheck_alcotest.to_alcotest prop_bfs_gsql_matches_library ] );
+      ( "pipelines",
+        [ Alcotest.test_case "serialized graph same results" `Quick test_serialized_graph_same_results;
+          Alcotest.test_case "pretty-printed query runs" `Quick test_pretty_printed_query_runs;
+          QCheck_alcotest.to_alcotest prop_sum_query_matches_fold ] ) ]

@@ -1,0 +1,163 @@
+(* SNB-like generator invariants and IC query behaviour across semantics. *)
+
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module Sem = Pathsem.Semantics
+
+let small () = Testkit.Snb_cache.get ()
+
+let test_determinism () =
+  let a = Ldbc.Snb.generate ~seed:7 ~sf:0.05 () in
+  let b = Ldbc.Snb.generate ~seed:7 ~sf:0.05 () in
+  Alcotest.(check int) "same vertex count" (G.n_vertices a.Ldbc.Snb.graph) (G.n_vertices b.Ldbc.Snb.graph);
+  Alcotest.(check int) "same edge count" (G.n_edges a.Ldbc.Snb.graph) (G.n_edges b.Ldbc.Snb.graph);
+  let c = Ldbc.Snb.generate ~seed:8 ~sf:0.05 () in
+  Alcotest.(check bool) "different seed differs" true
+    (G.n_edges a.Ldbc.Snb.graph <> G.n_edges c.Ldbc.Snb.graph
+     || G.n_vertices a.Ldbc.Snb.graph = G.n_vertices c.Ldbc.Snb.graph)
+
+let test_scaling () =
+  let small = Ldbc.Snb.generate ~sf:0.05 () in
+  let large = Ldbc.Snb.generate ~sf:0.2 () in
+  Alcotest.(check bool) "sf scales vertices" true
+    (G.n_vertices large.Ldbc.Snb.graph > G.n_vertices small.Ldbc.Snb.graph);
+  Alcotest.(check bool) "sf scales edges" true
+    (G.n_edges large.Ldbc.Snb.graph > G.n_edges small.Ldbc.Snb.graph)
+
+let test_structure () =
+  let t = small () in
+  let g = t.Ldbc.Snb.graph in
+  (* Every comment has exactly one creator and one REPLY_OF parent. *)
+  let creator_et = (Pgraph.Schema.edge_type_of_name (G.schema g) "HAS_CREATOR").Pgraph.Schema.et_id in
+  let reply_et = (Pgraph.Schema.edge_type_of_name (G.schema g) "REPLY_OF").Pgraph.Schema.et_id in
+  Array.iter
+    (fun c ->
+      let creators = G.neighbors g c ~rel:G.Out ~etype:(Some creator_et) in
+      let parents = G.neighbors g c ~rel:G.Out ~etype:(Some reply_et) in
+      Alcotest.(check int) "one creator" 1 (List.length creators);
+      Alcotest.(check int) "one parent" 1 (List.length parents))
+    t.Ldbc.Snb.comments;
+  (* Every city is part of exactly one country. *)
+  let part_et = (Pgraph.Schema.edge_type_of_name (G.schema g) "IS_PART_OF").Pgraph.Schema.et_id in
+  Array.iter
+    (fun c ->
+      Alcotest.(check int) "city in one country" 1
+        (List.length (G.neighbors g c ~rel:G.Out ~etype:(Some part_et))))
+    t.Ldbc.Snb.cities;
+  (* KNOWS is undirected: symmetric adjacency. *)
+  let knows_et = (Pgraph.Schema.edge_type_of_name (G.schema g) "KNOWS").Pgraph.Schema.et_id in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          Alcotest.(check bool) "knows symmetric" true
+            (List.mem p (G.neighbors g q ~rel:G.Und ~etype:(Some knows_et))))
+        (G.neighbors g p ~rel:G.Und ~etype:(Some knows_et)))
+    t.Ldbc.Snb.persons
+
+let test_knows_connectivity () =
+  (* The ring lattice guarantees a connected KNOWS graph: friends within
+     enough hops reach everyone. *)
+  let t = small () in
+  let g = t.Ldbc.Snb.graph in
+  let dfa = Pathsem.Engine.compile g (Darpe.Parse.parse "KNOWS*") in
+  let r = Pathsem.Count.single_source g dfa t.Ldbc.Snb.persons.(0) in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "reachable" true (r.Pathsem.Count.sr_dist.(p) >= 0))
+    t.Ldbc.Snb.persons
+
+let test_ic_queries_run () =
+  let t = small () in
+  List.iter
+    (fun name ->
+      let r = Ldbc.Ic.run t ~hops:2 ~seed:3 name in
+      (* The Result table must exist (possibly empty on a tiny graph). *)
+      Alcotest.(check bool)
+        (Ldbc.Ic.name_to_string name ^ " produced Result")
+        true
+        (List.mem_assoc "Result" r.Gsql.Eval.r_tables))
+    Ldbc.Ic.all
+
+let test_ic_hop_monotonicity () =
+  (* Wider KNOWS neighbourhoods can only add rows for ic3's friend set. *)
+  let t = small () in
+  let rows h = Ldbc.Ic.result_rows (Ldbc.Ic.run t ~hops:h ~seed:5 Ldbc.Ic.Ic3) in
+  let r2 = rows 2 and r3 = rows 3 in
+  Alcotest.(check bool) "rows grow with hops (capped at 20)" true (r3 >= r2 || r2 = 20)
+
+let test_ic_semantics_agree () =
+  (* On bounded-hop patterns the result *sets* coincide between
+     all-shortest-paths and non-repeated-edge semantics (paper §7.1: "the
+     results of the queries are the same under both semantics"): the legal
+     path sets differ, but the reachable (s,t) pairs are identical. *)
+  let t = small () in
+  List.iter
+    (fun name ->
+      let a = Ldbc.Ic.run t ~hops:2 ~seed:11 name in
+      let b = Ldbc.Ic.run t ~semantics:Sem.Non_repeated_edge ~hops:2 ~seed:11 name in
+      let rows r = (List.assoc "Result" r.Gsql.Eval.r_tables).Gsql.Table.rows in
+      Alcotest.(check int)
+        (Ldbc.Ic.name_to_string name ^ " same row count")
+        (List.length (rows a)) (List.length (rows b)))
+    [ Ldbc.Ic.Ic9; Ldbc.Ic.Ic11 ]
+
+
+let test_is_queries_run () =
+  let t = small () in
+  List.iter
+    (fun name ->
+      let r = Ldbc.Is.run t ~seed:9 name in
+      Alcotest.(check bool)
+        (Ldbc.Is.name_to_string name ^ " produced Result")
+        true
+        (List.mem_assoc "Result" r.Gsql.Eval.r_tables))
+    Ldbc.Is.all
+
+let test_is1_profile () =
+  let t = small () in
+  let r = Ldbc.Is.run t ~seed:9 Ldbc.Is.Is1 in
+  (* Exactly one profile row, with six columns. *)
+  let tbl = List.assoc "Result" r.Gsql.Eval.r_tables in
+  Alcotest.(check int) "one row" 1 (Gsql.Table.n_rows tbl);
+  Alcotest.(check int) "six columns" 6 (Gsql.Table.n_cols tbl)
+
+let test_is5_creator_unique () =
+  let t = small () in
+  let r = Ldbc.Is.run t ~seed:4 Ldbc.Is.Is5 in
+  Alcotest.(check int) "every message has exactly one creator" 1 (Ldbc.Is.result_rows r)
+
+let test_is6_reply_chain_reaches_forum () =
+  (* Every comment reaches exactly one forum through REPLY_OF*.<CONTAINER_OF
+     (reply chains terminate at a post, each post is in one forum). *)
+  let t = small () in
+  for seed = 1 to 10 do
+    let r = Ldbc.Is.run t ~seed Ldbc.Is.Is6 in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: one forum" seed)
+      1 (Ldbc.Is.result_rows r)
+  done
+
+let test_stats_string () =
+  let t = small () in
+  let s = Ldbc.Snb.stats t in
+  Alcotest.(check bool) "mentions persons" true
+    (String.length s > 0 && String.sub s 0 8 = "persons=")
+
+let () =
+  Alcotest.run "ldbc"
+    [ ( "generator",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "knows connectivity" `Quick test_knows_connectivity;
+          Alcotest.test_case "stats" `Quick test_stats_string ] );
+      ( "is-queries",
+        [ Alcotest.test_case "all run" `Quick test_is_queries_run;
+          Alcotest.test_case "is1 profile" `Quick test_is1_profile;
+          Alcotest.test_case "is5 creator" `Quick test_is5_creator_unique;
+          Alcotest.test_case "is6 reply chain" `Quick test_is6_reply_chain_reaches_forum ] );
+      ( "ic-queries",
+        [ Alcotest.test_case "all run" `Quick test_ic_queries_run;
+          Alcotest.test_case "hop monotonicity" `Quick test_ic_hop_monotonicity;
+          Alcotest.test_case "semantics agree on results" `Quick test_ic_semantics_agree ] ) ]

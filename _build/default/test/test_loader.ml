@@ -1,0 +1,134 @@
+(* Graph text serialization: save/load round trips, escaping, errors. *)
+
+module G = Pgraph.Graph
+module V = Pgraph.Value
+module L = Pgraph.Loader
+
+let graphs_equal a b =
+  G.n_vertices a = G.n_vertices b
+  && G.n_edges a = G.n_edges b
+  && (let ok = ref true in
+      G.iter_vertices a (fun v ->
+          let ta = G.vertex_type a v and tb = G.vertex_type b v in
+          if ta.Pgraph.Schema.vt_name <> tb.Pgraph.Schema.vt_name then ok := false
+          else
+            Array.iter
+              (fun (name, _) ->
+                if not (V.equal (G.vertex_attr a v name) (G.vertex_attr b v name)) then ok := false)
+              ta.Pgraph.Schema.vt_attrs);
+      G.iter_edges a (fun e ->
+          if G.edge_src a e <> G.edge_src b e || G.edge_dst a e <> G.edge_dst b e then ok := false;
+          let ta = G.edge_type a e in
+          if ta.Pgraph.Schema.et_name <> (G.edge_type b e).Pgraph.Schema.et_name then ok := false;
+          Array.iter
+            (fun (name, _) ->
+              if not (V.equal (G.edge_attr a e name) (G.edge_attr b e name)) then ok := false)
+            ta.Pgraph.Schema.et_attrs);
+      !ok)
+
+let test_roundtrip_sales () =
+  let { Testkit.Fixtures.g; _ } = Testkit.Fixtures.sales_graph () in
+  let g' = L.of_string (L.to_string g) in
+  Alcotest.(check bool) "sales graph round trip" true (graphs_equal g g')
+
+let test_roundtrip_snb () =
+  let t = Ldbc.Snb.generate ~sf:0.05 () in
+  let g = t.Ldbc.Snb.graph in
+  let g' = L.of_string (L.to_string g) in
+  Alcotest.(check bool) "snb graph round trip" true (graphs_equal g g');
+  (* Semantics preserved: the diamond of pattern counts agree. *)
+  let dfa_src = Darpe.Parse.parse "KNOWS*1..2" in
+  let p0 = t.Ldbc.Snb.persons.(0) in
+  Alcotest.(check string) "pattern counts survive serialization"
+    (Pgraph.Bignat.to_string
+       (Pathsem.Engine.count_single_pair g dfa_src Pathsem.Semantics.All_shortest ~src:p0
+          ~dst:t.Ldbc.Snb.persons.(1)))
+    (Pgraph.Bignat.to_string
+       (Pathsem.Engine.count_single_pair g' dfa_src Pathsem.Semantics.All_shortest ~src:p0
+          ~dst:t.Ldbc.Snb.persons.(1)))
+
+let test_escaping () =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "T" [ ("txt", Pgraph.Schema.T_string) ] in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:false [] in
+  let g = G.create s in
+  let nasty = "tab\there\nnewline=eq\\backslash" in
+  let v = G.add_vertex g "T" [ ("txt", V.Str nasty) ] in
+  let g' = L.of_string (L.to_string g) in
+  Alcotest.(check string) "nasty string survives" nasty
+    (V.to_string_exn (G.vertex_attr g' v "txt"))
+
+let test_null_and_all_types () =
+  let s = Pgraph.Schema.create () in
+  let _ =
+    Pgraph.Schema.add_vertex_type s "T"
+      [ ("b", Pgraph.Schema.T_bool); ("i", Pgraph.Schema.T_int); ("f", Pgraph.Schema.T_float);
+        ("s", Pgraph.Schema.T_string); ("d", Pgraph.Schema.T_datetime) ]
+  in
+  let g = G.create s in
+  let v =
+    G.add_vertex g "T"
+      [ ("b", V.Bool true); ("i", V.Int (-7)); ("f", V.Float 2.5); ("s", V.Null);
+        ("d", V.datetime_of_ymd 2012 2 29) ]
+  in
+  let g' = L.of_string (L.to_string g) in
+  Alcotest.(check bool) "bool" true (V.to_bool (G.vertex_attr g' v "b"));
+  Alcotest.(check int) "int" (-7) (V.to_int (G.vertex_attr g' v "i"));
+  Alcotest.(check (float 0.0)) "float exact (hex form)" 2.5 (V.to_float (G.vertex_attr g' v "f"));
+  Alcotest.(check bool) "null" true (V.is_null (G.vertex_attr g' v "s"));
+  Alcotest.(check int) "datetime year" 2012 (V.year_of_datetime (G.vertex_attr g' v "d"))
+
+let test_parse_errors () =
+  let expect_error s =
+    match L.of_string s with
+    | exception L.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected Parse_error for: " ^ s)
+  in
+  expect_error "junk\tline\n";
+  expect_error "vtype\tT\tbadsig\n";
+  expect_error "v\tUnknownType\n";
+  expect_error "vtype\tT\ne\tE\t0\t1\n";
+  (* Edge referencing missing vertices. *)
+  expect_error "vtype\tT\netype\tE\tdirected\t*\t*\ne\tE\t0\t1\n"
+
+let test_empty_graph () =
+  let s = Pgraph.Schema.create () in
+  let _ = Pgraph.Schema.add_vertex_type s "T" [] in
+  let g = G.create s in
+  let g' = L.of_string (L.to_string g) in
+  Alcotest.(check int) "no vertices" 0 (G.n_vertices g')
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"random graphs round trip" ~count:30
+    (QCheck.pair QCheck.small_int (QCheck.int_range 1 15))
+    (fun (seed, n) ->
+      let s = Pgraph.Schema.create () in
+      let _ = Pgraph.Schema.add_vertex_type s "A" [ ("x", Pgraph.Schema.T_int) ] in
+      let _ = Pgraph.Schema.add_vertex_type s "B" [ ("y", Pgraph.Schema.T_string) ] in
+      let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [ ("w", Pgraph.Schema.T_float) ] in
+      let _ = Pgraph.Schema.add_edge_type s "U" ~directed:false [] in
+      let g = G.create s in
+      let rng = Pgraph.Prng.create seed in
+      for i = 0 to n - 1 do
+        if Pgraph.Prng.bool rng then
+          ignore (G.add_vertex g "A" [ ("x", V.Int i) ])
+        else ignore (G.add_vertex g "B" [ ("y", V.Str (string_of_int i)) ])
+      done;
+      for _ = 1 to n * 2 do
+        let a = Pgraph.Prng.int rng n and b = Pgraph.Prng.int rng n in
+        if Pgraph.Prng.bool rng then
+          ignore (G.add_edge g "E" a b [ ("w", V.Float (Pgraph.Prng.float rng 10.0)) ])
+        else ignore (G.add_edge g "U" a b [])
+      done;
+      graphs_equal g (L.of_string (L.to_string g)))
+
+let () =
+  Alcotest.run "loader"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "sales graph" `Quick test_roundtrip_sales;
+          Alcotest.test_case "snb graph" `Quick test_roundtrip_snb;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "all value types" `Quick test_null_and_all_types;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph ] );
+      ("errors", [ Alcotest.test_case "parse errors" `Quick test_parse_errors ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_roundtrip ]) ]

@@ -1,0 +1,121 @@
+(* Determinism and distribution sanity for the SplitMix64 generator. *)
+
+module P = Pgraph.Prng
+
+let test_determinism () =
+  let g1 = P.create 42 and g2 = P.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (P.next_int64 g1) (P.next_int64 g2)
+  done
+
+let test_seeds_differ () =
+  let g1 = P.create 1 and g2 = P.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if P.next_int64 g1 = P.next_int64 g2 then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy () =
+  let g = P.create 7 in
+  ignore (P.next_int64 g);
+  let snapshot = P.copy g in
+  let a = P.next_int64 g in
+  let b = P.next_int64 snapshot in
+  Alcotest.(check int64) "copy resumes from snapshot" a b
+
+let test_int_bounds () =
+  let g = P.create 3 in
+  for _ = 1 to 1000 do
+    let x = P.int g 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (P.int g 0))
+
+let test_int_in_range () =
+  let g = P.create 5 in
+  for _ = 1 to 1000 do
+    let x = P.int_in_range g (-3) 9 in
+    Alcotest.(check bool) "in [-3,9]" true (x >= -3 && x <= 9)
+  done;
+  Alcotest.(check int) "singleton range" 4 (P.int_in_range g 4 4)
+
+let test_float_bounds () =
+  let g = P.create 11 in
+  for _ = 1 to 1000 do
+    let x = P.float g 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_uniformity () =
+  (* chi-square-ish check: 10 buckets over 10k draws should each hold
+     roughly 1000. *)
+  let g = P.create 1234 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let b = P.int g 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d near uniform" i) true (c > 800 && c < 1200))
+    buckets
+
+let test_bernoulli () =
+  let g = P.create 99 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if P.bernoulli g 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "p=0.3 frequency" true (!hits > 2700 && !hits < 3300)
+
+let test_shuffle_permutation () =
+  let g = P.create 21 in
+  let a = Array.init 50 (fun i -> i) in
+  P.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_zipf_bounds_and_skew () =
+  let g = P.create 77 in
+  let n = 100 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to 20_000 do
+    let k = P.zipf g n 1.5 in
+    Alcotest.(check bool) "zipf in range" true (k >= 1 && k <= n);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Heavy tail: rank 1 should dominate rank 50. *)
+  Alcotest.(check bool) "rank 1 beats rank 50" true (counts.(1) > counts.(50) * 3)
+
+let test_choose () =
+  let g = P.create 8 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let x = P.choose g arr in
+    Alcotest.(check bool) "choose from array" true (Array.exists (( = ) x) arr)
+  done
+
+let test_split_independent () =
+  let g = P.create 10 in
+  let child = P.split g in
+  let a = P.next_int64 g and b = P.next_int64 child in
+  Alcotest.(check bool) "parent/child streams differ" true (a <> b)
+
+let () =
+  Alcotest.run "prng"
+    [ ( "unit",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "zipf" `Quick test_zipf_bounds_and_skew;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "split" `Quick test_split_independent ] ) ]

@@ -1,0 +1,133 @@
+(* SQL-style aggregation baseline: GROUP BY, GROUPING SETS, CUBE, ROLLUP,
+   and equivalence with the accumulator-based strategy (paper §8). *)
+
+module V = Pgraph.Value
+module Q = Sqlagg
+
+let value = Alcotest.testable V.pp V.equal
+
+(* Match table: (region, product, amount). *)
+let table : Q.match_table =
+  [ [| V.Str "east"; V.Str "ball"; V.Int 10 |];
+    [| V.Str "east"; V.Str "robot"; V.Int 20 |];
+    [| V.Str "west"; V.Str "ball"; V.Int 5 |];
+    [| V.Str "east"; V.Str "ball"; V.Int 7 |];
+    [| V.Str "west"; V.Str "robot"; V.Int 3 |] ]
+
+let test_group_by_single () =
+  let rows = Q.group_by table ~key:[ 0 ] ~aggs:[ { Q.a_fun = Q.Sum; a_col = 2 } ] in
+  match rows with
+  | [ [| V.Str "east"; east |]; [| V.Str "west"; west |] ] ->
+    Alcotest.check value "east" (V.Float 37.0) east;
+    Alcotest.check value "west" (V.Float 8.0) west
+  | _ -> Alcotest.fail "unexpected grouping"
+
+let test_group_by_composite_key () =
+  let rows =
+    Q.group_by table ~key:[ 0; 1 ] ~aggs:[ { Q.a_fun = Q.Count; a_col = 2 } ]
+  in
+  Alcotest.(check int) "four groups" 4 (List.length rows);
+  let find r p =
+    List.find_map
+      (function
+        | [| V.Str r'; V.Str p'; c |] when r' = r && p' = p -> Some c
+        | _ -> None)
+      rows
+    |> Option.get
+  in
+  Alcotest.check value "east/ball count" (V.Int 2) (find "east" "ball");
+  Alcotest.check value "west/robot count" (V.Int 1) (find "west" "robot")
+
+let test_all_agg_functions () =
+  let aggs =
+    [ { Q.a_fun = Q.Count; a_col = 2 };
+      { Q.a_fun = Q.Sum; a_col = 2 };
+      { Q.a_fun = Q.Min; a_col = 2 };
+      { Q.a_fun = Q.Max; a_col = 2 };
+      { Q.a_fun = Q.Avg; a_col = 2 };
+      { Q.a_fun = Q.Top_k (2, true); a_col = 2 } ]
+  in
+  match Q.group_by table ~key:[] ~aggs with
+  | [ [| count; sum; mn; mx; avg; topk |] ] ->
+    Alcotest.check value "count" (V.Int 5) count;
+    Alcotest.check value "sum" (V.Float 45.0) sum;
+    Alcotest.check value "min" (V.Int 3) mn;
+    Alcotest.check value "max" (V.Int 20) mx;
+    Alcotest.check value "avg" (V.Float 9.0) avg;
+    Alcotest.check value "top2 desc" (V.Vlist [ V.Int 20; V.Int 10 ]) topk
+  | _ -> Alcotest.fail "grand total must be one row"
+
+let test_grouping_sets_outer_union () =
+  let req =
+    { Q.sets = [ [ 0 ]; [ 1 ]; [] ];
+      aggs = [ { Q.a_fun = Q.Sum; a_col = 2 } ] }
+  in
+  let rows = Q.grouping_sets table req in
+  (* 2 region rows + 2 product rows + 1 grand total. *)
+  Alcotest.(check int) "outer union size" 5 (List.length rows);
+  (* Key columns of other sets are NULL. *)
+  let region_rows = List.filter (fun r -> V.to_int r.(0) = 0) rows in
+  List.iter
+    (fun r -> Alcotest.check value "product key is null in region set" V.Null r.(2))
+    region_rows;
+  let split = Q.split_outer_union ~n_keys:2 rows in
+  Alcotest.(check int) "three tables" 3 (List.length split);
+  let grand = List.assoc 2 split in
+  (match grand with
+   | [ row ] -> Alcotest.check value "grand total" (V.Float 45.0) row.(Array.length row - 1)
+   | _ -> Alcotest.fail "grand total one row")
+
+let test_cube_and_rollup () =
+  let aggs = [ { Q.a_fun = Q.Count; a_col = 2 } ] in
+  let cube_rows = Q.cube table ~columns:[ 0; 1 ] ~aggs in
+  (* Sets: (0,1) → 4 rows, (0) → 2, (1) → 2, () → 1 = 9. *)
+  Alcotest.(check int) "cube rows" 9 (List.length cube_rows);
+  let rollup_rows = Q.rollup table ~columns:[ 0; 1 ] ~aggs in
+  (* Sets: (0,1) → 4, (0) → 2, () → 1 = 7. *)
+  Alcotest.(check int) "rollup rows" 7 (List.length rollup_rows)
+
+let test_empty_table () =
+  Alcotest.(check int) "group_by of empty" 0
+    (List.length (Q.group_by [] ~key:[ 0 ] ~aggs:[ { Q.a_fun = Q.Sum; a_col = 1 } ]));
+  Alcotest.(check int) "grouping_sets of empty" 0
+    (List.length
+       (Q.grouping_sets [] { Q.sets = [ [ 0 ]; [] ]; aggs = [ { Q.a_fun = Q.Count; a_col = 0 } ] }))
+
+(* Equivalence: SQL GROUP BY = GSQL GroupByAccum on the same match table
+   (the subsumption claim of paper Example 12). *)
+let prop_group_by_matches_accumulators =
+  QCheck.Test.make ~name:"SQL GROUP BY = GroupByAccum" ~count:100
+    QCheck.(list (pair (int_range 0 3) (int_range (-50) 50)))
+    (fun pairs ->
+      let table = List.map (fun (k, v) -> [| V.Int k; V.Int v |]) pairs in
+      let sql =
+        Q.group_by table ~key:[ 0 ]
+          ~aggs:[ { Q.a_fun = Q.Sum; a_col = 1 }; { Q.a_fun = Q.Min; a_col = 1 } ]
+      in
+      let acc = Accum.Acc.create (Accum.Spec.Group_by (1, [ Accum.Spec.Sum_float; Accum.Spec.Min_acc ])) in
+      List.iter
+        (fun (k, v) ->
+          Accum.Acc.input acc
+            (V.Vtuple [| V.Vtuple [| V.Int k |]; V.Vtuple [| V.Int v; V.Int v |] |]))
+        pairs;
+      let acc_rows = match Accum.Acc.read acc with V.Vlist l -> l | _ -> [] in
+      List.length sql = List.length acc_rows
+      && List.for_all2
+           (fun sql_row acc_row ->
+             match sql_row, acc_row with
+             | [| k1; s1; m1 |], V.Vtuple [| k2; s2; m2 |] ->
+               V.equal k1 k2 && V.equal s1 s2 && V.equal m1 m2
+             | _ -> false)
+           sql acc_rows)
+
+let () =
+  Alcotest.run "sqlagg"
+    [ ( "group-by",
+        [ Alcotest.test_case "single key" `Quick test_group_by_single;
+          Alcotest.test_case "composite key" `Quick test_group_by_composite_key;
+          Alcotest.test_case "all aggregate functions" `Quick test_all_agg_functions;
+          Alcotest.test_case "empty table" `Quick test_empty_table ] );
+      ( "grouping-sets",
+        [ Alcotest.test_case "outer union + split" `Quick test_grouping_sets_outer_union;
+          Alcotest.test_case "cube and rollup" `Quick test_cube_and_rollup ] );
+      ("equivalence", [ QCheck_alcotest.to_alcotest prop_group_by_matches_accumulators ]) ]

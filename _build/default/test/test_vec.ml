@@ -1,0 +1,93 @@
+(* Growable arrays — the storage primitive under graph tables, adjacency
+   lists and accumulator state. *)
+
+module Vec = Pgraph.Vec
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do Vec.push v (i * 2) done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 198 (Vec.get v 99);
+  Vec.set v 5 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 5)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "get negative" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+      Vec.set v 3 0);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop (Vec.create ())))
+
+let test_pop_clear () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  (* Reusable after clear. *)
+  Vec.push v 9;
+  Alcotest.(check (list int)) "reuse" [ 9 ] (Vec.to_list v)
+
+let test_iterators () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter" 6 !sum;
+  let idx_sum = ref 0 in
+  Vec.iteri (fun i x -> idx_sum := !idx_sum + (i * x)) v;
+  Alcotest.(check int) "iteri" 5 !idx_sum;
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (( = ) 1) v);
+  Alcotest.(check bool) "exists not" false (Vec.exists (( = ) 7) v);
+  Alcotest.(check (list int)) "map" [ 6; 2; 4 ] (Vec.to_list (Vec.map (( * ) 2) v));
+  Alcotest.(check (list int)) "filter" [ 3; 2 ] (Vec.to_list (Vec.filter (fun x -> x >= 2) v))
+
+let test_sort_copy () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  let c = Vec.copy v in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check (list int)) "copy unaffected" [ 3; 1; 2 ] (Vec.to_list c);
+  Alcotest.(check (array int)) "to_array" [| 1; 2; 3 |] (Vec.to_array v)
+
+let test_make () =
+  let v = Vec.make 4 'x' in
+  Alcotest.(check int) "length" 4 (Vec.length v);
+  Alcotest.(check char) "fill" 'x' (Vec.get v 3);
+  let e = Vec.make 0 'y' in
+  Alcotest.(check bool) "zero-length make" true (Vec.is_empty e);
+  Vec.push e 'z';
+  Alcotest.(check char) "push after zero make" 'z' (Vec.get e 0)
+
+let prop_to_list_roundtrip =
+  QCheck.Test.make ~name:"of_list . to_list = id" ~count:200 QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_push_pop_stack =
+  QCheck.Test.make ~name:"push then pop-all reverses" ~count:200 QCheck.(list int)
+    (fun l ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) l;
+      let out = ref [] in
+      while not (Vec.is_empty v) do
+        out := Vec.pop v :: !out
+      done;
+      !out = l)
+
+let () =
+  Alcotest.run "vec"
+    [ ( "unit",
+        [ Alcotest.test_case "push/get/set" `Quick test_push_get;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "pop/clear" `Quick test_pop_clear;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+          Alcotest.test_case "sort/copy" `Quick test_sort_copy;
+          Alcotest.test_case "make" `Quick test_make ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_to_list_roundtrip; prop_push_pop_stack ] ) ]
