@@ -10,7 +10,9 @@
 
    Usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]
    Environment: DIAMOND_MAX_ENUM bounds the enumerated columns of table1
-   (default 18; the paper ran to n=25 before timing out at 10 minutes). *)
+   (default 18; the paper ran to n=25 before timing out at 10 minutes);
+   BENCH_JSON=<dir> additionally writes a BENCH_<suite>.json metrics sidecar
+   per suite (schema: docs/OBSERVABILITY.md). *)
 
 let usage () =
   prerr_endline "usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]";
@@ -23,19 +25,20 @@ let run_table1 () =
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Unix.gettimeofday () in
+  let suite name f = Util.with_sidecar name f in
   (match which with
-   | "table1" -> run_table1 ()
-   | "snb" -> Snb_bench.run ()
-   | "appendixb" -> Appendixb.run ()
-   | "examples" -> Examples_tbl.run ()
-   | "ablation" -> Ablation.run ()
-   | "micro" -> Micro.run ()
+   | "table1" -> suite "table1" run_table1
+   | "snb" -> suite "snb" Snb_bench.run
+   | "appendixb" -> suite "appendixb" Appendixb.run
+   | "examples" -> suite "examples" Examples_tbl.run
+   | "ablation" -> suite "ablation" Ablation.run
+   | "micro" -> suite "micro" Micro.run
    | "all" ->
-     Examples_tbl.run ();
-     run_table1 ();
-     Snb_bench.run ();
-     Appendixb.run ();
-     Ablation.run ();
-     Micro.run ()
+     suite "examples" Examples_tbl.run;
+     suite "table1" run_table1;
+     suite "snb" Snb_bench.run;
+     suite "appendixb" Appendixb.run;
+     suite "ablation" Ablation.run;
+     suite "micro" Micro.run
    | _ -> usage ());
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

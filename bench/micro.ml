@@ -47,10 +47,46 @@ let test_appendixb_sql =
   Test.make ~name:"appendixB/Q_sql"
     (Staged.stage (fun () -> Appendixb.run_sql (Lazy.force snb_rows)))
 
+(* Observability overhead: the acceptance bar is that dormant instrumentation
+   costs one branch.  obs/counter-off measures the disabled path (the state
+   every engine hot loop pays unconditionally); obs/counter-on the enabled
+   one; obs/count-ASP-metrics the counting kernel with the full metrics
+   registry live, to compare against table1/count-ASP above. *)
+let obs_counter = Obs.Metrics.counter "bench.obs.noise"
+
+let test_obs_counter_off =
+  Test.make ~name:"obs/counter-off (x1000)"
+    (Staged.stage (fun () ->
+         Obs.Metrics.set_enabled false;
+         for _ = 1 to 1000 do
+           Obs.Metrics.incr obs_counter 1
+         done))
+
+let test_obs_counter_on =
+  Test.make ~name:"obs/counter-on (x1000)"
+    (Staged.stage (fun () ->
+         Obs.Metrics.set_enabled true;
+         for _ = 1 to 1000 do
+           Obs.Metrics.incr obs_counter 1
+         done;
+         Obs.Metrics.set_enabled false))
+
+let test_obs_count_asp =
+  Test.make ~name:"obs/count-ASP-metrics-on (n=16)"
+    (Staged.stage (fun () ->
+         let { Pathsem.Toygraphs.g; vertex } = Lazy.force diamond in
+         Obs.Metrics.set_enabled true;
+         Fun.protect
+           ~finally:(fun () -> Obs.Metrics.set_enabled false)
+           (fun () ->
+             Pathsem.Engine.count_single_pair g (Darpe.Parse.parse "E>*")
+               Pathsem.Semantics.All_shortest ~src:(vertex "v0") ~dst:(vertex "v16"))))
+
 let all_tests =
   Test.make_grouped ~name:"gsql-repro"
     [ test_table1_counting; test_table1_enumeration; test_snb_counting; test_snb_enumeration;
-      test_appendixb_acc; test_appendixb_gs; test_appendixb_sql ]
+      test_appendixb_acc; test_appendixb_gs; test_appendixb_sql; test_obs_counter_off;
+      test_obs_counter_on; test_obs_count_asp ]
 
 let run () =
   print_endline "\n== Bechamel micro-benchmarks (OLS per-run estimates) ==";

@@ -49,3 +49,33 @@ let getenv_int name default =
   | None -> default
 
 let getenv_flag name = Sys.getenv_opt name <> None
+
+(* Machine-readable sidecars: when BENCH_JSON names a directory, each suite
+   runs with the metrics registry on and writes BENCH_<suite>.json there —
+   wall time plus the Obs.Metrics dump (merge ops, BFS hops, product-state
+   expansions, ...), so runs can be diffed across commits without scraping
+   the human-readable tables. *)
+let with_sidecar name f =
+  match Sys.getenv_opt "BENCH_JSON" with
+  | None -> f ()
+  | Some dir ->
+    let was_enabled = Obs.Metrics.enabled () in
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    let result, ms =
+      time_once (fun () ->
+          Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled) f)
+    in
+    let doc =
+      Obs.Json.Obj
+        [ ("suite", Obs.Json.Str name);
+          ("wall_ms", Obs.Json.Float ms);
+          ("metrics", Obs.Metrics.dump ()) ]
+    in
+    let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+    let oc = open_out path in
+    output_string oc (Obs.Json.pretty doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "[sidecar] %s\n%!" path;
+    result

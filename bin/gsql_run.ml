@@ -26,9 +26,13 @@ let load_graph spec =
   | [ "g1" ] -> (Pathsem.Toygraphs.g1 ()).Pathsem.Toygraphs.g
   | [ "g2" ] -> (Pathsem.Toygraphs.g2 ()).Pathsem.Toygraphs.g
   | [ "cycle" ] -> (Pathsem.Toygraphs.triangle_cycle ()).Pathsem.Toygraphs.g
+  | [ "pages" ] -> (Pathsem.Toygraphs.web 64).Pathsem.Toygraphs.g
+  | [ "pages"; n ] -> (Pathsem.Toygraphs.web (int_of_string n)).Pathsem.Toygraphs.g
+  | [ "pages"; n; links ] ->
+    (Pathsem.Toygraphs.web ~links:(int_of_string links) (int_of_string n)).Pathsem.Toygraphs.g
   | _ ->
     prerr_endline
-      "unknown graph (expected snb[:sf], diamond:N, g1, g2 or cycle)";
+      "unknown graph (expected snb[:sf], diamond:N, pages[:N[:links]], g1, g2 or cycle)";
     exit 2
 
 let parse_param graph s =
@@ -83,14 +87,48 @@ let explain_one src =
       | stmts -> print_string (Gsql.Explain.block stmts)
       | exception Gsql.Parser.Error msg -> Printf.eprintf "%s\n%!" msg))
 
-let run_one graph semantics params src =
-  match Gsql.Eval.run_source graph ?semantics ~params src with
-  | result -> print_result result
+let write_trace path (a : Gsql.Explain.analysis) =
+  let doc = Obs.Json.Obj [ ("trace", a.Gsql.Explain.an_trace); ("metrics", a.Gsql.Explain.an_metrics) ] in
+  (match Obs.Trace.validate doc with
+   | Ok () -> ()
+   | Error msg -> Printf.eprintf "internal: trace failed schema check: %s\n%!" msg);
+  match open_out path with
+  | oc ->
+    output_string oc (Obs.Json.pretty doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "trace written to %s\n%!" path
+  | exception Sys_error msg -> Printf.eprintf "cannot write trace: %s\n%!" msg
+
+let analyze_one graph semantics params trace_file ~print_report src =
+  match Gsql.Explain.analyze_source graph ?semantics ~params src with
+  | a ->
+    if print_report then print_string a.Gsql.Explain.an_report;
+    print_result a.Gsql.Explain.an_result;
+    (match trace_file with Some path -> write_trace path a | None -> ())
   | exception Gsql.Eval.Runtime_error msg -> Printf.eprintf "runtime error: %s\n%!" msg
   | exception Gsql.Parser.Error msg -> Printf.eprintf "%s\n%!" msg
 
+let run_one graph semantics params ~explain ~analyze ~trace_file src =
+  (* A leading EXPLAIN / EXPLAIN ANALYZE keyword does the same as the
+     --explain / --analyze flags (handy in the repl). *)
+  let mode, src = Gsql.Explain.strip_explain src in
+  let mode = if analyze then `Analyze else if explain then `Explain else mode in
+  match mode, trace_file with
+  | `Explain, _ -> explain_one src
+  | `Analyze, _ -> analyze_one graph semantics params trace_file ~print_report:true src
+  | `Plain, Some _ ->
+    (* --trace without --analyze: execute under tracing, keep normal output. *)
+    analyze_one graph semantics params trace_file ~print_report:false src
+  | `Plain, None ->
+    (match Gsql.Eval.run_source graph ?semantics ~params src with
+     | result -> print_result result
+     | exception Gsql.Eval.Runtime_error msg -> Printf.eprintf "runtime error: %s\n%!" msg
+     | exception Gsql.Parser.Error msg -> Printf.eprintf "%s\n%!" msg)
+
 let repl graph semantics params =
   print_endline "GSQL repl — terminate a query with a line containing only ';;', ctrl-d to quit.";
+  print_endline "Prefix a query with EXPLAIN or EXPLAIN ANALYZE to inspect its plan.";
   let buf = Buffer.create 256 in
   (try
      while true do
@@ -98,7 +136,8 @@ let repl graph semantics params =
        flush stdout;
        let line = input_line stdin in
        if String.trim line = ";;" then begin
-         run_one graph semantics params (Buffer.contents buf);
+         run_one graph semantics params ~explain:false ~analyze:false ~trace_file:None
+           (Buffer.contents buf);
          Buffer.clear buf
        end
        else begin
@@ -109,7 +148,7 @@ let repl graph semantics params =
    with End_of_file -> print_newline ())
 
 let main graph_spec query_file query_string param_specs semantics_name stats ic_name hops seed
-    use_repl explain =
+    use_repl explain analyze trace_file =
   let graph = load_graph graph_spec in
   let semantics =
     match semantics_name with
@@ -145,7 +184,7 @@ let main graph_spec query_file query_string param_specs semantics_name stats ic_
      in
      print_result (Ldbc.Ic.run t ?semantics ~hops ~seed ic)
    | None -> ());
-  let handle = if explain then fun src -> explain_one src else run_one graph semantics params in
+  let handle = run_one graph semantics params ~explain ~analyze ~trace_file in
   (match query_file with
    | Some path ->
      let ic = open_in path in
@@ -190,12 +229,26 @@ let repl_arg = Arg.(value & flag & info [ "repl" ] ~doc:"Interactive prompt.")
 let explain_arg =
   Arg.(value & flag & info [ "explain" ] ~doc:"Print the query plan instead of executing.")
 
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: execute the query with instrumentation on and print the plan \
+                 annotated with live stats (per-block timings, binding-table sizes, BFS frontier \
+                 sizes, accumulator merge counts) before the normal output.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Execute under tracing and write the span tree plus the metrics snapshot to \
+                 $(docv) as JSON (schema: docs/OBSERVABILITY.md).")
+
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in
   Cmd.v
     (Cmd.info "gsql_run" ~doc)
     Term.(
       const main $ graph_arg $ query_arg $ query_string_arg $ param_arg $ semantics_arg
-      $ stats_arg $ ic_arg $ hops_arg $ seed_arg $ repl_arg $ explain_arg)
+      $ stats_arg $ ic_arg $ hops_arg $ seed_arg $ repl_arg $ explain_arg $ analyze_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,21 +8,9 @@
 module G = Pgraph.Graph
 module V = Pgraph.Value
 
-let build_web ~pages ~links ~seed =
-  let s = Pgraph.Schema.create () in
-  let _ = Pgraph.Schema.add_vertex_type s "Page" [ ("url", Pgraph.Schema.T_string) ] in
-  let _ = Pgraph.Schema.add_edge_type s "LinkTo" ~directed:true ~src:"Page" ~dst:"Page" [] in
-  let g = G.create s in
-  for i = 0 to pages - 1 do
-    ignore (G.add_vertex g "Page" [ ("url", V.Str (Printf.sprintf "page%03d" i)) ])
-  done;
-  let rng = Pgraph.Prng.create seed in
-  for _ = 1 to links do
-    let src = Pgraph.Prng.int rng pages in
-    let dst = Pgraph.Prng.zipf rng pages 1.5 - 1 in
-    if src <> dst then ignore (G.add_edge g "LinkTo" src dst [])
-  done;
-  g
+(* The Page/LinkTo fixture lives in Pathsem.Toygraphs so the CLI
+   (--graph pages:N) and the smoke tests share it. *)
+let build_web ~pages ~links ~seed = (Pathsem.Toygraphs.web ~links ~seed pages).Pathsem.Toygraphs.g
 
 let figure4 = {|
 CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {

@@ -86,16 +86,40 @@ let begin_phase t = { ph_store = t; ops = Pgraph.Vec.create () }
 let buffer_input ph target v mu = Pgraph.Vec.push ph.ops (Op_input (target, v, mu))
 let buffer_assign ph target v = Pgraph.Vec.push ph.ops (Op_assign (target, v))
 
+(* Telemetry (docs/OBSERVABILITY.md): merge/assign totals applied at the
+   reduce phase.  The counters are registry handles created once; feeding
+   them is a boolean check while telemetry is off. *)
+let m_commits = Obs.Metrics.counter "accum.commits"
+let m_merge_ops = Obs.Metrics.counter "accum.merge_ops"
+let m_assign_ops = Obs.Metrics.counter "accum.assign_ops"
+let h_commit_ops = Obs.Metrics.histogram "accum.ops_per_commit"
+
 let commit t ph =
   if not (ph.ph_store == t) then invalid_arg "Store.commit: phase belongs to a different store";
+  let merges = ref 0 and assigns = ref 0 in
   Pgraph.Vec.iter
     (function
       | Op_input (target, v, mu) ->
+        incr merges;
         (match target with
          | Global name -> Acc.input_mult (global_acc t name) v mu
          | Vertex_acc (name, vid) -> Acc.input_mult (vertex_acc t name vid) v mu)
-      | Op_assign (target, v) -> assign_now t target v)
+      | Op_assign (target, v) ->
+        incr assigns;
+        assign_now t target v)
     ph.ops;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_commits 1;
+    Obs.Metrics.incr m_merge_ops !merges;
+    Obs.Metrics.incr m_assign_ops !assigns;
+    Obs.Metrics.observe h_commit_ops (float_of_int (!merges + !assigns))
+  end;
+  if Obs.Trace.enabled () then begin
+    (* Report into whatever span the evaluator opened around this phase. *)
+    Obs.Trace.add_count "merge_ops" !merges;
+    Obs.Trace.add_count "assign_ops" !assigns;
+    Obs.Trace.add_count "commits" 1
+  end;
   Pgraph.Vec.clear ph.ops
 
 let pending_ops ph = Pgraph.Vec.length ph.ops

@@ -195,4 +195,43 @@ let target_to_string = function
   | T_global g -> "@@" ^ g
   | T_vertex (v, a) -> v ^ ".@" ^ a
 
+let endpoint_to_string ep =
+  match ep.ep_alias with Some a -> ep.ep_set ^ ":" ^ a | None -> ep.ep_set
+
+let conjunct_to_string c =
+  Printf.sprintf "%s -(%s%s)- %s" (endpoint_to_string c.c_src)
+    (Darpe.Ast.to_string c.c_darpe)
+    (match c.c_edge_alias with Some a -> ":" ^ a | None -> "")
+    (endpoint_to_string c.c_dst)
+
+(* A stable identity for a SELECT block.  The evaluator stamps it on every
+   "select" span and EXPLAIN ANALYZE joins recorded spans back to plan nodes
+   through it, so the same static block executed across WHILE iterations
+   aggregates into one plan annotation.  The FROM clause alone is not enough
+   (two blocks over the same pattern are common — e.g. an iterate-then-rank
+   pair), so the projection target and the filtering/ordering clauses are
+   folded in as well. *)
+let select_signature (b : select_block) =
+  let target =
+    match b.s_target with
+    | Sel_vertices (distinct, alias, into) ->
+      (if distinct then "DISTINCT " else "")
+      ^ alias
+      ^ (match into with Some n -> " INTO " ^ n | None -> "")
+    | Sel_outputs outs -> String.concat "; " (List.map (fun o -> "INTO " ^ o.o_into) outs)
+  in
+  let opt name = function None -> [] | Some e -> [ name ^ " " ^ expr_to_string e ] in
+  String.concat " | "
+    ([ target; String.concat ", " (List.map conjunct_to_string b.s_from) ]
+     @ opt "WHERE" b.s_where
+     @ (if b.s_accum = [] then [] else [ Printf.sprintf "ACCUM[%d]" (List.length b.s_accum) ])
+     @ (if b.s_post_accum = [] then []
+        else [ Printf.sprintf "POST_ACCUM[%d]" (List.length b.s_post_accum) ])
+     @ (if b.s_order_by = [] then []
+        else
+          [ "ORDER BY "
+            ^ String.concat ", "
+                (List.map (fun (e, d) -> expr_to_string e ^ if d then " DESC" else "") b.s_order_by) ])
+     @ opt "LIMIT" b.s_limit)
+
 let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)

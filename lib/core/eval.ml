@@ -641,17 +641,21 @@ let rec exec_acc_stmt ctx phase env locals overlay mult (s : Ast.acc_stmt) =
      | _ -> error "unbound variable %s in attribute assignment" alias)
 
 let exec_accum ctx (bt : binding_table) stmts =
-  if stmts <> [] then begin
-    let phase = Accum.Store.begin_phase ctx.store in
-    List.iter
-      (fun r ->
-        let locals = Hashtbl.create 8 in
-        let overlay = overlay_create () in
-        let env = row_env ctx bt r locals overlay in
-        List.iter (exec_acc_stmt ctx phase env locals overlay r.mult) stmts)
-      bt.rows;
-    Accum.Store.commit ctx.store phase
-  end
+  if stmts <> [] then
+    (* The span captures the full map+reduce: acc-executions buffer, then
+       Store.commit reports merge/assign counts into this span. *)
+    Obs.Trace.span "accum" (fun () ->
+        if Obs.Trace.enabled () then
+          Obs.Trace.set_attr "rows" (Obs.Json.Int (List.length bt.rows));
+        let phase = Accum.Store.begin_phase ctx.store in
+        List.iter
+          (fun r ->
+            let locals = Hashtbl.create 8 in
+            let overlay = overlay_create () in
+            let env = row_env ctx bt r locals overlay in
+            List.iter (exec_acc_stmt ctx phase env locals overlay r.mult) stmts)
+          bt.rows;
+        Accum.Store.commit ctx.store phase)
 
 (* POST_ACCUM: one execution per distinct vertex of the statement's alias
    (statements referencing no vertex alias run once).  Consecutive
@@ -662,8 +666,8 @@ let post_accum_alias stmt =
   | [] -> None
   | a :: _ -> Some a
 
-let exec_post_accum ctx (bt : binding_table) stmts =
-  if stmts <> [] then begin
+let exec_post_accum_inner ctx (bt : binding_table) stmts =
+  begin
     (* Group consecutive statements by alias. *)
     let groups =
       List.fold_left
@@ -708,6 +712,10 @@ let exec_post_accum ctx (bt : binding_table) stmts =
         Accum.Store.commit ctx.store phase)
       groups
   end
+
+let exec_post_accum ctx (bt : binding_table) stmts =
+  if stmts <> [] then
+    Obs.Trace.span "post_accum" (fun () -> exec_post_accum_inner ctx bt stmts)
 
 (* ------------------------------------------------------------------ *)
 (* SELECT projection                                                   *)
@@ -925,11 +933,13 @@ let eval_grouped_outputs ctx (bt : binding_table) (b : Ast.select_block)
       Hashtbl.replace ctx.vars o.Ast.o_into (R_table table))
     outputs
 
-let eval_select ctx (binding : string option) (b : Ast.select_block) =
+let eval_select_inner ctx (binding : string option) (b : Ast.select_block) =
+  let tracing = Obs.Trace.enabled () in
   (* Save primed snapshots before the block touches anything. *)
   if ctx.primed <> [] then Accum.Store.save_prev ctx.store ctx.primed;
   let alias_pred, residual = split_where ctx b.Ast.s_from b.Ast.s_where in
-  let bt = build_binding_table ctx ~alias_pred b.Ast.s_from in
+  let bt = Obs.Trace.span "match" (fun () -> build_binding_table ctx ~alias_pred b.Ast.s_from) in
+  if tracing then Obs.Trace.set_attr "rows" (Obs.Json.Int (List.length bt.rows));
   (* Residual WHERE conjuncts (multi-alias or edge-touching). *)
   (match residual with
    | None -> ()
@@ -939,7 +949,9 @@ let eval_select ctx (binding : string option) (b : Ast.select_block) =
          (fun r ->
            let env = row_env ctx bt r (Hashtbl.create 1) (overlay_create ()) in
            V.to_bool (eval_expr env cond))
-         bt.rows);
+         bt.rows;
+     if tracing then
+       Obs.Trace.set_attr "rows_after_where" (Obs.Json.Int (List.length bt.rows)));
   (* ACCUM, then POST_ACCUM (each commits its phase). *)
   exec_accum ctx bt b.Ast.s_accum;
   exec_post_accum ctx bt b.Ast.s_post_accum;
@@ -967,6 +979,7 @@ let eval_select ctx (binding : string option) (b : Ast.select_block) =
      in
      let rows = apply_order_limit ctx bt rows_with_env b.Ast.s_order_by b.Ast.s_limit in
      let vids = Array.of_list (List.map (fun (row, _) -> V.vertex_id row.(0)) rows) in
+     if tracing then Obs.Trace.set_attr "out_vertices" (Obs.Json.Int (Array.length vids));
      let bind name = Hashtbl.replace ctx.vars name (R_vset vids) in
      Option.iter bind binding;
      Option.iter bind into
@@ -1008,6 +1021,24 @@ let eval_select ctx (binding : string option) (b : Ast.select_block) =
          ctx.tables <- (o.Ast.o_into, table) :: ctx.tables;
          Hashtbl.replace ctx.vars o.Ast.o_into (R_table table))
        outputs)
+
+(* Telemetry wrapper: one "select" span per execution, stamped with the
+   block's FROM signature so EXPLAIN ANALYZE can fold executions (e.g. the
+   iterations of a WHILE loop) back onto the static plan. *)
+let m_selects = Obs.Metrics.counter "eval.select_blocks"
+let h_select_ms = Obs.Metrics.histogram "eval.select_ms"
+
+let eval_select ctx (binding : string option) (b : Ast.select_block) =
+  Obs.Metrics.incr m_selects 1;
+  Obs.Metrics.time h_select_ms (fun () ->
+      if not (Obs.Trace.enabled ()) then eval_select_inner ctx binding b
+      else
+        Obs.Trace.span "select" (fun () ->
+            Obs.Trace.set_attr "block" (Obs.Json.Str (Ast.select_signature b));
+            (match binding with
+             | Some x -> Obs.Trace.set_attr "binds" (Obs.Json.Str x)
+             | None -> ());
+            eval_select_inner ctx binding b))
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
@@ -1097,10 +1128,14 @@ let rec exec_stmt ctx (s : Ast.stmt) =
       | Some e -> V.to_int (eval_expr (plain_env ctx) e)
     in
     let i = ref 0 in
-    while !i < max_iters && V.to_bool (eval_expr (plain_env ctx) cond) do
-      List.iter (exec_stmt ctx) body;
-      incr i
-    done
+    Obs.Trace.span "while" (fun () ->
+        while !i < max_iters && V.to_bool (eval_expr (plain_env ctx) cond) do
+          Obs.Trace.span "iter" (fun () ->
+              Obs.Trace.set_attr "i" (Obs.Json.Int !i);
+              List.iter (exec_stmt ctx) body);
+          incr i
+        done;
+        Obs.Trace.set_attr "iterations" (Obs.Json.Int !i))
   | Ast.S_if (cond, th, el) ->
     if V.to_bool (eval_expr (plain_env ctx) cond) then List.iter (exec_stmt ctx) th
     else List.iter (exec_stmt ctx) el

@@ -1,0 +1,39 @@
+(** Minimal JSON values — the telemetry wire format.
+
+    The observability layer must not pull in external dependencies, so this
+    is a self-contained emitter and parser for the JSON subset the tracer
+    and metrics registry produce: objects, arrays, strings, ints, floats,
+    bools and null.  [to_string] and [parse] round-trip
+    (see docs/OBSERVABILITY.md for the span schema built on top). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Non-finite floats render as [null] (JSON has no
+    NaN/infinity). *)
+
+val pretty : t -> string
+(** Two-space indented rendering, for humans and golden files. *)
+
+val parse : string -> (t, string) result
+(** Parses a complete JSON document; trailing garbage is an error.  Numbers
+    without [.], [e] or [E] become [Int], all others [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] widens to float. *)
+
+val to_list_opt : t -> t list option
+val to_str_opt : t -> string option

@@ -1,0 +1,63 @@
+(** Engine telemetry: a process-wide registry of named counters, gauges and
+    histograms.
+
+    Instrumented code holds handles obtained once at module init
+    ([counter "accum.merge_ops"]) and feeds them on hot paths; every
+    recording call starts with a single mutable-bool check, so the
+    {e disabled} state (the default) costs one branch and no allocation —
+    see the [obs/*] rows of [bench/micro.ml].
+
+    Enabling is explicit and global: [EXPLAIN ANALYZE], [--trace] and the
+    [BENCH_JSON] sidecar writer flip the flag around the region they
+    measure, snapshot with {!dump}, and flip it back.  The registry is not
+    thread-safe; the engine is single-threaded (ROADMAP: sharding is a
+    future PR, and this layer will grow per-domain buffers with it). *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Handles (idempotent by name; registration ignores the switch)} *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Recording (no-ops while disabled)} *)
+
+val incr : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Runs the thunk, recording its wall-clock milliseconds.  While disabled
+    it is exactly the thunk. *)
+
+(** {1 Reading} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float  (** [nan] when empty. *)
+
+val hist_max : histogram -> float  (** [nan] when empty. *)
+
+val hist_mean : histogram -> float (** [nan] when empty. *)
+
+(** {1 Lifecycle and export} *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (handles stay valid). *)
+
+val dump : unit -> Json.t
+(** Snapshot: [{"counters": {name: int}, "gauges": {name: float},
+    "histograms": {name: {"count","sum","min","max","mean"}}}], names
+    sorted; zero-count instruments are omitted.  Schema:
+    docs/OBSERVABILITY.md. *)

@@ -1,0 +1,173 @@
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * Json.t) list;
+  mutable sp_elapsed_ms : float;
+  mutable sp_children : span list;
+}
+
+let max_spans = 20_000
+
+(* An open span together with its start time; the innermost is the list
+   head.  Completed roots collect in [finished] (reverse order). *)
+let switch = ref false
+let stack : (span * float) list ref = ref []
+let finished : span list ref = ref []
+let n_spans = ref 0
+let n_dropped = ref 0
+
+let enabled () = !switch
+let dropped () = !n_dropped
+
+let start () =
+  stack := [];
+  finished := [];
+  n_spans := 0;
+  n_dropped := 0;
+  switch := true
+
+let attach sp =
+  match !stack with
+  | (parent, _) :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> finished := sp :: !finished
+
+let span name f =
+  if not !switch then f ()
+  else if !n_spans >= max_spans then begin
+    incr n_dropped;
+    f ()
+  end
+  else begin
+    incr n_spans;
+    let sp = { sp_name = name; sp_attrs = []; sp_elapsed_ms = 0.0; sp_children = [] } in
+    let t0 = Unix.gettimeofday () in
+    stack := (sp, t0) :: !stack;
+    let finally () =
+      sp.sp_elapsed_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
+      (match !stack with
+       | (top, _) :: rest when top == sp -> stack := rest
+       | _ ->
+         (* An inner span escaped (exception between push and pop below us):
+            unwind down to and including ours. *)
+         let rec unwind = function
+           | (top, _) :: rest -> if top == sp then rest else unwind rest
+           | [] -> []
+         in
+         stack := unwind !stack);
+      attach sp
+    in
+    Fun.protect ~finally f
+  end
+
+let set_attr key v =
+  if !switch then
+    match !stack with
+    | (sp, _) :: _ -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
+    | [] -> ()
+
+let add_count key n =
+  if !switch then
+    match !stack with
+    | (sp, _) :: _ ->
+      let prev = match List.assoc_opt key sp.sp_attrs with Some (Json.Int p) -> p | _ -> 0 in
+      sp.sp_attrs <- (key, Json.Int (prev + n)) :: List.remove_assoc key sp.sp_attrs
+    | [] -> ()
+
+let event name attrs =
+  if !switch then begin
+    if !n_spans >= max_spans then incr n_dropped
+    else begin
+      incr n_spans;
+      attach { sp_name = name; sp_attrs = List.rev attrs; sp_elapsed_ms = 0.0; sp_children = [] }
+    end
+  end
+
+let rec span_to_json sp =
+  let base = [ ("name", Json.Str sp.sp_name); ("ms", Json.Float sp.sp_elapsed_ms) ] in
+  let attrs =
+    match sp.sp_attrs with [] -> [] | l -> [ ("attrs", Json.Obj (List.rev l)) ]
+  in
+  let children =
+    match sp.sp_children with
+    | [] -> []
+    | l -> [ ("children", Json.List (List.rev_map span_to_json l)) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let roots () = List.rev !finished
+
+let stop () =
+  (* Close anything an exception unwind left open so the tree is complete. *)
+  List.iter
+    (fun (sp, t0) ->
+      sp.sp_elapsed_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
+      finished := sp :: !finished)
+    !stack;
+  stack := [];
+  switch := false;
+  Json.Obj
+    [ ("spans", Json.List (List.map span_to_json (roots ())));
+      ("dropped_spans", Json.Int !n_dropped) ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+
+let rec validate_span path j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj fields ->
+    let* () =
+      match List.assoc_opt "name" fields with
+      | Some (Json.Str _) -> Ok ()
+      | _ -> Error (path ^ ": span needs a string \"name\"")
+    in
+    let* () =
+      match List.assoc_opt "ms" fields with
+      | Some (Json.Float _ | Json.Int _) -> Ok ()
+      | _ -> Error (path ^ ": span needs a numeric \"ms\"")
+    in
+    let* () =
+      match List.assoc_opt "attrs" fields with
+      | None | Some (Json.Obj _) -> Ok ()
+      | _ -> Error (path ^ ": \"attrs\" must be an object")
+    in
+    (match List.assoc_opt "children" fields with
+     | None -> Ok ()
+     | Some (Json.List kids) ->
+       List.fold_left
+         (fun acc (i, k) ->
+           let* () = acc in
+           validate_span (Printf.sprintf "%s.children[%d]" path i) k)
+         (Ok ())
+         (List.mapi (fun i k -> (i, k)) kids)
+     | Some _ -> Error (path ^ ": \"children\" must be an array"))
+  | _ -> Error (path ^ ": span must be an object")
+
+let validate_trace_doc j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj fields ->
+    let* spans =
+      match List.assoc_opt "spans" fields with
+      | Some (Json.List spans) -> Ok spans
+      | _ -> Error "trace needs a \"spans\" array"
+    in
+    let* () =
+      match List.assoc_opt "dropped_spans" fields with
+      | Some (Json.Int _) -> Ok ()
+      | _ -> Error "trace needs an integer \"dropped_spans\""
+    in
+    List.fold_left
+      (fun acc (i, s) ->
+        let* () = acc in
+        validate_span (Printf.sprintf "spans[%d]" i) s)
+      (Ok ())
+      (List.mapi (fun i s -> (i, s)) spans)
+  | _ -> Error "trace must be an object"
+
+let validate j =
+  match j with
+  | Json.Obj fields when List.mem_assoc "trace" fields ->
+    (* The --trace file envelope: {"trace": trace, "metrics": {...}}. *)
+    (match List.assoc "trace" fields with
+     | trace -> validate_trace_doc trace)
+  | _ -> validate_trace_doc j

@@ -1,0 +1,67 @@
+(** Span-based execution tracing with JSON export.
+
+    A trace is a forest of named spans.  The engine opens one span per
+    query phase (SELECT block, pattern match, ACCUM, per-source BFS, WHILE
+    iteration, ...), attaches attributes as it learns them (row counts,
+    frontier sizes, multiplicity totals), and the whole tree serializes to
+    the JSON schema documented in docs/OBSERVABILITY.md:
+
+    {v
+    span := {"name": string, "ms": float,
+             "attrs": {key: value, ...},   -- omitted when empty
+             "children": [span, ...]}      -- omitted when empty
+    trace := {"spans": [span, ...], "dropped_spans": int}
+    v}
+
+    Tracing is off by default; every recording entry point starts with one
+    boolean check, so dormant instrumentation does not tax the hot paths.
+    [EXPLAIN ANALYZE] and [--trace out.json] bracket execution with
+    {!start}/{!stop}.  A hard cap ({!max_spans}) bounds memory on
+    pathological traces: past it, new spans still execute their thunks but
+    record nothing except the drop count. *)
+
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * Json.t) list;  (** reverse insertion order *)
+  mutable sp_elapsed_ms : float;
+  mutable sp_children : span list;            (** reverse creation order *)
+}
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Clears any previous trace and begins recording. *)
+
+val stop : unit -> Json.t
+(** Ends recording (closing any spans left open by an exception unwind)
+    and returns the trace document. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a fresh child of the current span (or a
+    new root).  Exactly [f ()] while disabled.  Exception-safe: the span is
+    closed and timed even when [f] raises. *)
+
+val set_attr : string -> Json.t -> unit
+(** Sets an attribute on the innermost open span (last write wins). *)
+
+val add_count : string -> int -> unit
+(** Accumulates an integer attribute on the innermost open span — used by
+    lower layers (e.g. the accumulator store) to report into whatever span
+    the caller opened. *)
+
+val event : string -> (string * Json.t) list -> unit
+(** Records an instantaneous child span (no duration). *)
+
+val max_spans : int
+(** Cap on recorded spans per trace (excess is counted, not stored). *)
+
+val dropped : unit -> int
+(** Spans dropped by the cap since {!start}. *)
+
+val span_to_json : span -> Json.t
+val roots : unit -> span list
+(** Completed root spans of the current/last trace, in creation order. *)
+
+val validate : Json.t -> (unit, string) result
+(** Checks a document against the trace schema above (also accepts the
+    [{"trace": ..., "metrics": ...}] envelope written by [--trace]). *)

@@ -7,8 +7,19 @@ type source_result = {
   sr_count : B.t array;
 }
 
+(* Telemetry (docs/OBSERVABILITY.md): the counting engine's cost story is
+   told per hop — frontier width in product states and the running path
+   multiplicity — which is exactly the evidence for Theorem 6.1's
+   polynomial bound (the per-hop work never exceeds |V|·|Q|, however many
+   paths the counts represent). *)
+let m_bfs_sources = Obs.Metrics.counter "paths.count.sources"
+let m_bfs_hops = Obs.Metrics.counter "paths.count.hops"
+let m_bfs_states = Obs.Metrics.counter "paths.count.product_states"
+let h_frontier = Obs.Metrics.histogram "paths.count.frontier"
+
 (* Product-state indexing: pid = v * |Q| + q. *)
-let single_source g (dfa : Darpe.Dfa.t) src =
+let single_source_inner g (dfa : Darpe.Dfa.t) src ~hop_widths =
+  let record = Obs.Metrics.enabled () in
   let nq = dfa.Darpe.Dfa.n_states in
   let nv = G.n_vertices g in
   let n = nv * nq in
@@ -18,11 +29,21 @@ let single_source g (dfa : Darpe.Dfa.t) src =
   let start = pid src dfa.Darpe.Dfa.start in
   dist.(start) <- 0;
   count.(start) <- B.one;
+  if record then Obs.Metrics.incr m_bfs_sources 1;
   let frontier = ref [ start ] in
   let level = ref 0 in
   while !frontier <> [] do
     let next = ref [] in
     let d = !level in
+    if record || hop_widths <> None then begin
+      let width = List.length !frontier in
+      if record then begin
+        Obs.Metrics.incr m_bfs_hops 1;
+        Obs.Metrics.incr m_bfs_states width;
+        Obs.Metrics.observe h_frontier (float_of_int width)
+      end;
+      match hop_widths with Some ws -> ws := width :: !ws | None -> ()
+    end;
     List.iter
       (fun p ->
         let v = p / nq and q = p mod nq in
@@ -63,6 +84,28 @@ let single_source g (dfa : Darpe.Dfa.t) src =
     done
   done;
   { sr_src = src; sr_dist; sr_count }
+
+let single_source g dfa src =
+  if not (Obs.Trace.enabled ()) then single_source_inner g dfa src ~hop_widths:None
+  else
+    Obs.Trace.span "bfs" (fun () ->
+        let ws = ref [] in
+        let r = single_source_inner g dfa src ~hop_widths:(Some ws) in
+        let reached = ref 0 and paths = ref 0.0 in
+        Array.iteri
+          (fun v d ->
+            if d >= 0 then begin
+              incr reached;
+              paths := !paths +. B.to_float r.sr_count.(v)
+            end)
+          r.sr_dist;
+        Obs.Trace.set_attr "src" (Obs.Json.Int src);
+        Obs.Trace.set_attr "hops" (Obs.Json.Int (List.length !ws));
+        Obs.Trace.set_attr "frontiers"
+          (Obs.Json.List (List.rev_map (fun w -> Obs.Json.Int w) !ws));
+        Obs.Trace.set_attr "reached" (Obs.Json.Int !reached);
+        Obs.Trace.set_attr "paths_total" (Obs.Json.Float !paths);
+        r)
 
 let single_pair g dfa s t =
   let r = single_source g dfa s in

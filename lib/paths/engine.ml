@@ -33,7 +33,13 @@ let clear_cache () =
   Hashtbl.reset cache;
   cache_schema := None
 
-let match_pairs g ast sem ~sources ~dst_ok =
+(* Telemetry: one "path_match" span per pattern evaluation, labelled with
+   the DARPE, semantics and engine (counting vs enumeration) so EXPLAIN
+   ANALYZE can show the Theorem 6.1/7.1 trade-off per block. *)
+let m_enum_paths = Obs.Metrics.counter "paths.enum.paths"
+let m_matches = Obs.Metrics.counter "paths.match_pairs"
+
+let match_pairs_inner g ast sem ~sources ~dst_ok =
   let dfa = compile g ast in
   let out = ref [] in
   (match (sem : Semantics.t) with
@@ -67,6 +73,7 @@ let match_pairs g ast sem ~sources ~dst_ok =
             legal path — the exponential baseline. *)
          let counts : (int, B.t ref) Hashtbl.t = Hashtbl.create 64 in
          Enumerate.iter_paths g dfa sem ~src ~dst:None (fun p ->
+             Obs.Metrics.incr m_enum_paths 1;
              let dst = p.Enumerate.p_vertices.(Array.length p.Enumerate.p_vertices - 1) in
              if dst_ok dst then
                match Hashtbl.find_opt counts dst with
@@ -77,6 +84,29 @@ let match_pairs g ast sem ~sources ~dst_ok =
            counts)
        sources);
   !out
+
+let engine_name (sem : Semantics.t) =
+  match sem with
+  | Semantics.All_shortest | Semantics.Existential -> "counting"
+  | Semantics.Shortest_enumerated | Semantics.Non_repeated_edge | Semantics.Non_repeated_vertex
+  | Semantics.Unrestricted_bounded _ -> "enumeration"
+
+let match_pairs g ast sem ~sources ~dst_ok =
+  Obs.Metrics.incr m_matches 1;
+  if not (Obs.Trace.enabled ()) then match_pairs_inner g ast sem ~sources ~dst_ok
+  else
+    Obs.Trace.span "path_match" (fun () ->
+        Obs.Trace.set_attr "darpe" (Obs.Json.Str (Darpe.Ast.to_string ast));
+        Obs.Trace.set_attr "semantics" (Obs.Json.Str (Semantics.to_string sem));
+        Obs.Trace.set_attr "engine" (Obs.Json.Str (engine_name sem));
+        Obs.Trace.set_attr "sources" (Obs.Json.Int (Array.length sources));
+        let bindings = match_pairs_inner g ast sem ~sources ~dst_ok in
+        Obs.Trace.set_attr "bindings" (Obs.Json.Int (List.length bindings));
+        let mult =
+          List.fold_left (fun acc b -> acc +. B.to_float b.b_mult) 0.0 bindings
+        in
+        Obs.Trace.set_attr "multiplicity_total" (Obs.Json.Float mult);
+        bindings)
 
 let count_single_pair g ast sem ~src ~dst =
   let dfa = compile g ast in

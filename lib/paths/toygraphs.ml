@@ -78,3 +78,27 @@ let triangle_cycle () =
     ~edge_types:[ ("A", true); ("B", true); ("C", true); ("D", true) ]
     [ "v"; "u"; "w" ]
     [ ("A", "v", "u"); ("B", "u", "w"); ("C", "w", "v") ]
+
+(* A small deterministic web graph (Page vertices, directed LinkTo edges,
+   zipf-skewed in-degrees) so PageRank-style queries have a ready-made
+   fixture in the CLI and smoke tests, matching examples/pagerank.ml. *)
+let web ?(links = 0) ?(seed = 7) pages =
+  if pages <= 0 then invalid_arg "Toygraphs.web: pages must be positive";
+  let links = if links > 0 then links else 6 * pages in
+  let schema = S.create () in
+  let _ = S.add_vertex_type schema "Page" [ ("url", S.T_string) ] in
+  let _ = S.add_edge_type schema "LinkTo" ~directed:true ~src:"Page" ~dst:"Page" [] in
+  let g = G.create schema in
+  let tbl = Hashtbl.create pages in
+  for i = 0 to pages - 1 do
+    let name = Printf.sprintf "page%03d" i in
+    let id = G.add_vertex g "Page" [ ("url", Pgraph.Value.Str name) ] in
+    Hashtbl.add tbl name id
+  done;
+  let rng = Pgraph.Prng.create seed in
+  for _ = 1 to links do
+    let src = Pgraph.Prng.int rng pages in
+    let dst = Pgraph.Prng.zipf rng pages 1.5 - 1 in
+    if src <> dst then ignore (G.add_edge g "LinkTo" src dst [])
+  done;
+  { g; vertex = (fun name -> Hashtbl.find tbl name) }

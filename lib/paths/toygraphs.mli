@@ -30,3 +30,9 @@ val triangle_cycle : unit -> labelled
     [v -A-> u -B-> w -C-> v].  The pattern [A>.(B>|D>)._>.A>] matches
     (v,u) under all-shortest-paths but under neither non-repeating
     semantics. *)
+
+val web : ?links:int -> ?seed:int -> int -> labelled
+(** [web pages] — a deterministic PageRank fixture: [pages] vertices of
+    type [Page] (names/urls ["page000"]...), [links] (default [6*pages])
+    directed [LinkTo] edges with zipf-skewed targets.  Used by
+    [gsql_run --graph pages:N] and the [--trace] smoke test. *)

@@ -169,9 +169,75 @@ let test_spec_rendering () =
       Accum.Spec.Heap_acc { Accum.Spec.h_capacity = 3; h_fields = [ (0, Accum.Spec.Desc) ] };
       Accum.Spec.Group_by (2, [ Accum.Spec.Sum_float; Accum.Spec.Min_acc ]) ]
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: a golden report over a deterministic fixture.  The
+   diamond chain of length 4 has exactly 2^4 = 16 shortest v0→v4 paths and a
+   fixed product-BFS frontier profile, and [~timings:false] omits wall-clock
+   values, so the whole annotated plan is byte-stable. *)
+
+let analyze_src = {|
+SumAccum<int> @pathCount;
+R = SELECT t FROM V:s -(E>*)- V:t
+    WHERE s.name = 'v0' AND t.name = 'v4'
+    ACCUM t.@pathCount += 1;
+|}
+
+let analyze_golden =
+  "declare @pathCount: SumAccum<int>\n\
+   SELECT block (binds R):\n\
+  \  pattern 1: s -(E>*)- t\n\
+  \    unbounded Kleene -> graph x DFA product; counting engine polynomial, enumeration engines \
+   exponential in matching paths\n\
+  \  where (pushed to seed filter): (s.name == \"v0\")\n\
+  \  where (pushed to seed filter): (t.name == \"v4\")\n\
+  \  accum: one execution per binding row (multiplicity-weighted) -> {t.@pathCount}\n\
+  \  analyze: 1 execution\n\
+  \    match: 1 binding row\n\
+  \    paths: engine counting, 1 source -> 1 binding, path multiplicity 16\n\
+  \    bfs: 9 hops, frontier sizes [1, 2, 1, 2, 1, 2, 1, 2, 1] (product states per hop)\n\
+  \    accum: 1 acc-execution, 1 merge op, 0 assigns\n\
+  \    output: 1 vertex set member\n\
+   tractable class (Theorem 7.1): yes — polynomial-time evaluation under all-shortest-paths \
+   semantics\n\n\
+   == execution telemetry ==\n\
+   select blocks: 1\n\
+   accumulator store: 1 merge ops, 0 assigns, 1 commits\n\
+   counting engine: 1 BFS run, 9 hops, 13 product-state expansions\n"
+
+let test_explain_analyze_golden () =
+  let { Pathsem.Toygraphs.g; _ } = Pathsem.Toygraphs.diamond_chain 4 in
+  let a = Gsql.Explain.analyze_source g ~timings:false analyze_src in
+  Alcotest.(check string) "annotated plan" analyze_golden a.Gsql.Explain.an_report;
+  (* The execution result is the real one, and its trace validates. *)
+  (match List.assoc_opt "R" a.Gsql.Explain.an_result.Gsql.Eval.r_vsets with
+   | Some vs -> Alcotest.(check int) "result vertex set" 1 (Array.length vs)
+   | None -> Alcotest.fail "vertex set R missing from result");
+  (match Obs.Trace.validate a.Gsql.Explain.an_trace with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "trace schema: %s" msg);
+  (* Analyze leaves the metrics registry the way it found it (disabled). *)
+  Alcotest.(check bool) "metrics back off" false (Obs.Metrics.enabled ())
+
+let test_strip_explain () =
+  let check name expected_mode expected_rest src =
+    let mode, rest = Gsql.Explain.strip_explain src in
+    Alcotest.(check bool) (name ^ " mode") true (mode = expected_mode);
+    Alcotest.(check string) (name ^ " rest") expected_rest rest
+  in
+  check "analyze" `Analyze " SELECT ..." "EXPLAIN ANALYZE SELECT ...";
+  check "lowercase" `Analyze " x" "explain analyze x";
+  check "explain only" `Explain " SELECT 1;" "EXPLAIN SELECT 1;";
+  check "leading whitespace" `Explain " q" "\n  ExPlAiN q";
+  check "plain" `Plain "SELECT t FROM ..." "SELECT t FROM ...";
+  (* "EXPLAINX" is not the keyword; an identifier starting with it stays. *)
+  check "no partial match" `Plain "EXPLAINX" "EXPLAINX"
+
 let () =
   Alcotest.run "pretty"
     [ ( "roundtrip",
         [ Alcotest.test_case "paper queries" `Quick test_paper_roundtrips;
           Alcotest.test_case "accumulator specs" `Quick test_spec_rendering;
-          QCheck_alcotest.to_alcotest prop_expr_roundtrip ] ) ]
+          QCheck_alcotest.to_alcotest prop_expr_roundtrip ] );
+      ( "explain analyze",
+        [ Alcotest.test_case "golden report" `Quick test_explain_analyze_golden;
+          Alcotest.test_case "strip_explain" `Quick test_strip_explain ] ) ]
