@@ -1,0 +1,276 @@
+(* Load driver for the installed-query service (docs/SERVICE.md).
+
+   By default it self-hosts: spawns a server domain on a throwaway
+   Unix-domain socket over the diamond-chain graph, installs a CountPaths
+   query, then fans out client domains.  Point it at a live server instead
+   with --connect (Unix socket path) or --tcp host:port — in that case the
+   target must already have CountPaths installed (e.g. started with
+   `gsql_run serve --graph diamond:12 --install ...`).
+
+   Two phases per run:
+     executed — every request sets no_cache, so each one runs the
+                interpreter on a worker domain (service overhead + real
+                execution under concurrency);
+     cached   — same invocation without no_cache: after the first miss the
+                whole phase is result-cache hits (pure service overhead).
+
+   Reports throughput and p50/p95/p99 client-side latency per phase, plus
+   the server's own cache counters.  Knobs: --clients N (default 4),
+   --requests N per client per phase (default 50), --workers N (self-host
+   only).  BENCH_JSON=<dir> writes a BENCH_gsql_client.json sidecar in the
+   same spirit as bench/main.ml's suites. *)
+
+module V = Pgraph.Value
+module P = Service.Protocol
+module J = Obs.Json
+
+let query_src = {|
+CREATE QUERY CountPaths (string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM  V:s -(E>*)- V:t
+      WHERE s.name = srcName AND t.name = tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+|}
+
+let diamond_n = 12
+
+let params =
+  [ ("srcName", V.Str "v0"); ("tgtName", V.Str ("v" ^ string_of_int diamond_n)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                           *)
+
+type target = Self_host | Connect of Service.Server.endpoint
+
+let usage () =
+  prerr_endline
+    "usage: gsql_client [--connect SOCKET | --tcp HOST:PORT] [--clients N] \
+     [--requests N] [--workers N]";
+  exit 2
+
+let target = ref Self_host
+let clients = ref 4
+let requests = ref 50
+let workers = ref None
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--connect" :: path :: rest ->
+      target := Connect (`Unix path);
+      parse rest
+    | "--tcp" :: hp :: rest ->
+      (match String.index_opt hp ':' with
+       | Some i ->
+         let host = String.sub hp 0 i in
+         let port = int_of_string (String.sub hp (i + 1) (String.length hp - i - 1)) in
+         target := Connect (`Tcp (host, port))
+       | None -> usage ());
+      parse rest
+    | "--clients" :: n :: rest ->
+      clients := int_of_string n;
+      parse rest
+    | "--requests" :: n :: rest ->
+      requests := int_of_string n;
+      parse rest
+    | "--workers" :: n :: rest ->
+      workers := Some (int_of_string n);
+      parse rest
+    | _ -> usage ()
+  in
+  (try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ());
+  if !clients < 1 || !requests < 1 then usage ()
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+type phase_stats = {
+  ph_name : string;
+  ph_total : int;
+  ph_wall_s : float;
+  ph_p50 : float;
+  ph_p95 : float;
+  ph_p99 : float;
+  ph_cached : int;  (** responses that came back with [cached] set *)
+}
+
+let throughput st = float_of_int st.ph_total /. st.ph_wall_s
+
+(* One phase: [clients] domains, each opening its own connection and firing
+   [requests] synchronous invocations.  Client-side latency per request. *)
+let run_phase ep ~name ~no_cache =
+  let worker () =
+    let c = Service.Client.connect ep in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close c)
+      (fun () ->
+        let lat = Array.make !requests 0.0 in
+        let cached = ref 0 in
+        for i = 0 to !requests - 1 do
+          let t0 = Unix.gettimeofday () in
+          (match
+             Service.Client.invoke c ~no_cache ~query:"CountPaths" ~params ()
+           with
+           | P.Result { rs_cached = true; _ } -> incr cached
+           | P.Result _ -> ()
+           | P.Error (code, msg) ->
+             Printf.eprintf "request failed: %s: %s\n%!" (P.err_code_to_string code) msg;
+             exit 1
+           | _ ->
+             prerr_endline "unexpected response";
+             exit 1);
+          lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
+        done;
+        (lat, !cached))
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains = List.init !clients (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let lats = Array.concat (List.map fst results) in
+  Array.sort compare lats;
+  { ph_name = name;
+    ph_total = Array.length lats;
+    ph_wall_s = wall;
+    ph_p50 = percentile lats 50.0;
+    ph_p95 = percentile lats 95.0;
+    ph_p99 = percentile lats 99.0;
+    ph_cached = List.fold_left (fun acc (_, c) -> acc + c) 0 results }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let print_table stats =
+  let headers = [ "phase"; "requests"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms"; "cached" ] in
+  let rows =
+    List.map
+      (fun st ->
+        [ st.ph_name;
+          string_of_int st.ph_total;
+          Printf.sprintf "%.0f" (throughput st);
+          Printf.sprintf "%.3f" st.ph_p50;
+          Printf.sprintf "%.3f" st.ph_p95;
+          Printf.sprintf "%.3f" st.ph_p99;
+          string_of_int st.ph_cached ])
+      stats
+  in
+  let all = headers :: rows in
+  let widths =
+    List.mapi
+      (fun i _ -> List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all)
+      headers
+  in
+  let render row =
+    String.concat "  " (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+  in
+  Printf.printf "gsql_client: %d clients x %d requests/phase\n" !clients !requests;
+  print_endline (render headers);
+  print_endline (String.make (String.length (render headers)) '-');
+  List.iter (fun row -> print_endline (render row)) rows
+
+let phase_json st =
+  J.Obj
+    [ ("phase", J.Str st.ph_name);
+      ("requests", J.Int st.ph_total);
+      ("wall_s", J.Float st.ph_wall_s);
+      ("throughput_rps", J.Float (throughput st));
+      ("p50_ms", J.Float st.ph_p50);
+      ("p95_ms", J.Float st.ph_p95);
+      ("p99_ms", J.Float st.ph_p99);
+      ("cached", J.Int st.ph_cached) ]
+
+let write_sidecar stats server_stats =
+  match Sys.getenv_opt "BENCH_JSON" with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      J.Obj
+        [ ("suite", J.Str "gsql_client");
+          ("clients", J.Int !clients);
+          ("requests_per_client", J.Int !requests);
+          ("phases", J.List (List.map phase_json stats));
+          ("server", server_stats) ]
+    in
+    let path = Filename.concat dir "BENCH_gsql_client.json" in
+    let oc = open_out path in
+    output_string oc (J.pretty doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "[sidecar] %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let self_hosted, ep =
+    match !target with
+    | Connect ep -> (None, ep)
+    | Self_host ->
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "gsql_client_%d.sock" (Unix.getpid ()))
+      in
+      let graph = (Pathsem.Toygraphs.diamond_chain diamond_n).Pathsem.Toygraphs.g in
+      let engine = Service.Engine.create ~graph () in
+      (match Service.Engine.install engine query_src with
+       | P.Installed _ -> ()
+       | P.Error (_, msg) ->
+         Printf.eprintf "install failed: %s\n" msg;
+         exit 1
+       | _ ->
+         prerr_endline "install failed";
+         exit 1);
+      let cfg =
+        { (Service.Server.default_config (`Unix path)) with
+          Service.Server.workers = !workers }
+      in
+      let server = Service.Server.create cfg engine in
+      let runner = Domain.spawn (fun () -> Service.Server.run server) in
+      (Some (server, runner, path), `Unix path)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match self_hosted with
+      | None -> ()
+      | Some (server, runner, path) ->
+        Service.Server.stop server;
+        Domain.join runner;
+        if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* Warm the connection path once so listen backlog jitter stays out of
+         the measured phases. *)
+      let c = Service.Client.connect ep in
+      (match Service.Client.ping c with
+       | P.Pong -> ()
+       | _ ->
+         prerr_endline "server did not answer ping";
+         exit 1);
+      Service.Client.close c;
+      let executed = run_phase ep ~name:"executed" ~no_cache:true in
+      let cached = run_phase ep ~name:"cached" ~no_cache:false in
+      let stats = [ executed; cached ] in
+      print_table stats;
+      let server_stats =
+        let c = Service.Client.connect ep in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close c)
+          (fun () ->
+            match Service.Client.stats c with P.Stats_snapshot j -> j | _ -> J.Null)
+      in
+      (match server_stats with
+       | J.Obj fields ->
+         (match List.assoc_opt "cache" fields with
+          | Some (J.Obj cf) ->
+            let geti k = match List.assoc_opt k cf with Some (J.Int n) -> n | _ -> 0 in
+            Printf.printf "server cache: %d hits / %d misses\n" (geti "hits") (geti "misses")
+          | _ -> ())
+       | _ -> ());
+      write_sidecar stats server_stats)

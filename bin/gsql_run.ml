@@ -14,7 +14,12 @@
        PRINT R[R.name, R.@pathCount];"
      gsql_run --graph snb:0.2 --stats
      gsql_run --graph snb:0.2 --ic ic3 --hops 3 --semantics non-repeated-edge
-     gsql_run --graph g1 --repl *)
+     gsql_run --graph g1 --repl
+
+   The `serve` subcommand starts the installed-query service instead
+   (docs/SERVICE.md):
+     gsql_run serve --graph snb:0.2 --socket /tmp/gsql.sock \
+       --install queries/khop.gsql *)
 
 open Cmdliner
 
@@ -198,7 +203,15 @@ let main graph_spec query_file query_string param_specs semantics_name stats ic_
    | None -> ());
   if use_repl then repl graph semantics params;
   if (not stats) && ic_name = None && query_file = None && query_string = None && not use_repl
-  then prerr_endline "nothing to do (pass --query, --query-string, --ic, --stats or --repl)"
+  then begin
+    prerr_endline "gsql_run: nothing to do";
+    prerr_endline
+      "usage: gsql_run [--graph SPEC] (--query FILE | --query-string SRC | --ic NAME | --stats \
+       | --repl) [OPTION]...";
+    prerr_endline "       gsql_run serve [OPTION]...   (installed-query service; see gsql_run serve --help)";
+    prerr_endline "Run 'gsql_run --help' for the full option list.";
+    exit 2
+  end
 
 let graph_arg =
   Arg.(value & opt string "snb:0.1" & info [ "graph"; "g" ] ~doc:"Graph to load: snb[:sf], diamond:N, g1, g2, cycle.")
@@ -242,13 +255,155 @@ let trace_arg =
            ~doc:"Execute under tracing and write the span tree plus the metrics snapshot to \
                  $(docv) as JSON (schema: docs/OBSERVABILITY.md).")
 
+let run_term =
+  Term.(
+    const main $ graph_arg $ query_arg $ query_string_arg $ param_arg $ semantics_arg
+    $ stats_arg $ ic_arg $ hops_arg $ seed_arg $ repl_arg $ explain_arg $ analyze_arg
+    $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve — the installed-query service (docs/SERVICE.md)               *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_conns
+    semantics_name install_files trace_file =
+  let graph = load_graph graph_spec in
+  let semantics =
+    match semantics_name with
+    | None -> None
+    | Some s ->
+      (match Pathsem.Semantics.of_string s with
+       | Some sem -> Some sem
+       | None ->
+         prerr_endline ("unknown semantics: " ^ s);
+         exit 2)
+  in
+  let listen =
+    match (socket_path, port) with
+    | Some path, None -> `Unix path
+    | None, Some p -> `Tcp ("127.0.0.1", p)
+    | Some _, Some _ ->
+      prerr_endline "serve: pass --socket or --port, not both";
+      exit 2
+    | None, None ->
+      prerr_endline "serve: pass --socket PATH or --port N";
+      exit 2
+  in
+  (* The trace span stack is single-threaded; force one worker under
+     --trace so query-internal spans cannot interleave across domains. *)
+  let workers = if trace_file <> None && workers <> Some 1 then Some 1 else workers in
+  let engine = Service.Engine.create ~cache_capacity:cache_cap ?semantics ~graph () in
+  List.iter
+    (fun path ->
+      match Service.Engine.install engine (read_file path) with
+      | Service.Protocol.Installed names ->
+        Printf.eprintf "installed %s from %s\n%!" (String.concat ", " names) path
+      | Service.Protocol.Error (_, msg) ->
+        Printf.eprintf "cannot install %s: %s\n%!" path msg;
+        exit 2
+      | _ -> ())
+    install_files;
+  let cfg =
+    { Service.Server.listen;
+      workers;
+      queue_capacity = queue_cap;
+      default_timeout_ms = timeout_ms;
+      max_connections = max_conns }
+  in
+  let server = Service.Server.create cfg engine in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Service.Server.stop server));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Service.Server.stop server));
+  (match Service.Server.endpoint server with
+   | `Unix path -> Printf.eprintf "serving on unix:%s (ctrl-c to stop)\n%!" path
+   | `Tcp (host, p) -> Printf.eprintf "serving on tcp:%s:%d (ctrl-c to stop)\n%!" host p);
+  let tracing = trace_file <> None in
+  if tracing then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    Obs.Trace.start ()
+  end;
+  Service.Server.run server;
+  if tracing then begin
+    let trace = Obs.Trace.stop () in
+    Obs.Metrics.set_enabled false;
+    let doc = Obs.Json.Obj [ ("trace", trace); ("metrics", Obs.Metrics.dump ()) ] in
+    (match Obs.Trace.validate doc with
+     | Ok () -> ()
+     | Error msg -> Printf.eprintf "internal: trace failed schema check: %s\n%!" msg);
+    match trace_file with
+    | Some path ->
+      (match open_out path with
+       | oc ->
+         output_string oc (Obs.Json.pretty doc);
+         output_char oc '\n';
+         close_out oc;
+         Printf.eprintf "trace written to %s\n%!" path
+       | exception Sys_error msg -> Printf.eprintf "cannot write trace: %s\n%!" msg)
+    | None -> ()
+  end;
+  prerr_endline "server stopped"
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:$(docv) (0 picks a free port, printed on stderr).")
+
+let workers_arg =
+  Arg.(value & opt (some int) None
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing invocations (default: the recommended domain count).")
+
+let queue_arg =
+  Arg.(value & opt int 64
+       & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-control bound: invocations queued beyond the running ones before \
+                 the server sheds load with an 'overloaded' error.")
+
+let cache_arg =
+  Arg.(value & opt int 128
+       & info [ "cache" ] ~docv:"N"
+           ~doc:"Result-cache capacity in entries (0 disables caching).")
+
+let timeout_arg =
+  Arg.(value & opt int 30_000
+       & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Default per-request deadline; clients may override per invocation.")
+
+let max_conns_arg =
+  Arg.(value & opt int 64
+       & info [ "max-connections" ] ~docv:"N" ~doc:"Concurrent client connection limit.")
+
+let install_arg =
+  Arg.(value & opt_all file []
+       & info [ "install" ] ~docv:"FILE"
+           ~doc:"GSQL file to install into the prepared-query catalog at startup (repeatable).")
+
+let serve_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record service spans/metrics for the whole run and write them to $(docv) on \
+                 shutdown (forces --workers 1: the tracer is single-threaded).")
+
+let serve_cmd =
+  let doc = "Serve installed GSQL queries to concurrent clients (docs/SERVICE.md)." in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
+      $ timeout_arg $ max_conns_arg $ semantics_arg $ install_arg $ serve_trace_arg)
+
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in
-  Cmd.v
-    (Cmd.info "gsql_run" ~doc)
-    Term.(
-      const main $ graph_arg $ query_arg $ query_string_arg $ param_arg $ semantics_arg
-      $ stats_arg $ ic_arg $ hops_arg $ seed_arg $ repl_arg $ explain_arg $ analyze_arg
-      $ trace_arg)
+  Cmd.group ~default:run_term (Cmd.info "gsql_run" ~doc) [ serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

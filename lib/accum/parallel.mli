@@ -13,6 +13,17 @@
     verifies.  For order-invariant accumulator types the result equals the
     sequential fold regardless of partitioning. *)
 
+val default_workers : int -> int
+(** [default_workers n_items] is the worker count used when [?workers] is
+    omitted: [Domain.recommended_domain_count ()] capped by the item count,
+    never below 1.  The service worker pool sizes itself with this too. *)
+
+val slices : int -> int -> (int * int) list
+(** [slices n_items workers] partitions [0..n_items-1] into [workers]
+    contiguous balanced [(offset, length)] slices, in order.  Lengths differ
+    by at most one and sum to [n_items]; zero-length slices appear when
+    [workers > n_items].  Exposed for reuse (load drivers, tests). *)
+
 val map_reduce :
   ?workers:int -> Spec.t -> 'a array -> feed:(Acc.t -> 'a -> unit) -> Acc.t
 (** [map_reduce spec items ~feed] folds every item into a fresh accumulator

@@ -1,0 +1,122 @@
+(* LRU result cache.  Recency is a monotonically increasing stamp per entry;
+   eviction scans for the minimum — O(capacity), which at the default 128 is
+   noise next to query execution.  A mutex makes every operation atomic:
+   worker domains store results while the event loop looks up and
+   invalidates. *)
+
+module J = Obs.Json
+
+type 'a entry = {
+  e_query : string;  (* owning query name, for targeted invalidation *)
+  e_value : 'a;
+  mutable e_stamp : int;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  cap : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 128) () =
+  { m = Mutex.create ();
+    tbl = Hashtbl.create (max 16 capacity);
+    cap = max 0 capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* The key embeds the query name with a separator that cannot appear in a
+   JSON rendering, so [invalidate_query] can match on the prefix exactly. *)
+let key ~query ~params ~graph_version =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) params in
+  let params_json =
+    J.to_string (J.Obj (List.map (fun (n, v) -> (n, Protocol.value_to_json v)) sorted))
+  in
+  Printf.sprintf "%s\x00v%d\x00%s" query graph_version params_json
+
+let query_of_key k = match String.index_opt k '\x00' with
+  | Some i -> String.sub k 0 i
+  | None -> k
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+        e.e_stamp <- tick t;
+        t.hits <- t.hits + 1;
+        Some e.e_value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.e_stamp -> acc
+        | _ -> Some (k, e.e_stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let store t k v =
+  locked t (fun () ->
+      if t.cap > 0 then begin
+        (match Hashtbl.find_opt t.tbl k with
+         | Some _ -> Hashtbl.remove t.tbl k
+         | None -> if Hashtbl.length t.tbl >= t.cap then evict_lru t);
+        Hashtbl.replace t.tbl k { e_query = query_of_key k; e_value = v; e_stamp = tick t }
+      end)
+
+let invalidate_query t query =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun k e acc -> if e.e_query = query then k :: acc else acc) t.tbl []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.tbl k;
+          t.invalidations <- t.invalidations + 1)
+        doomed)
+
+let clear t =
+  locked t (fun () ->
+      t.invalidations <- t.invalidations + Hashtbl.length t.tbl;
+      Hashtbl.reset t.tbl)
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+let capacity t = t.cap
+
+let stats t =
+  locked t (fun () ->
+      let lookups = t.hits + t.misses in
+      let rate = if lookups = 0 then 0.0 else float_of_int t.hits /. float_of_int lookups in
+      J.Obj
+        [ ("size", J.Int (Hashtbl.length t.tbl));
+          ("capacity", J.Int t.cap);
+          ("hits", J.Int t.hits);
+          ("misses", J.Int t.misses);
+          ("evictions", J.Int t.evictions);
+          ("invalidations", J.Int t.invalidations);
+          ("hit_rate", J.Float rate) ])

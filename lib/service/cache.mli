@@ -1,0 +1,42 @@
+(** Result cache for installed-query invocations.
+
+    Keyed by the canonical string of (query name, normalized parameters,
+    graph version): parameters are sorted by name and rendered through the
+    protocol's value encoding, so two invocations that bind the same values
+    in a different order share an entry, and a graph reload (version bump)
+    orphans every prior entry without an explicit flush.
+
+    LRU eviction over a fixed capacity.  All operations take an internal
+    lock — worker domains populate the cache while the server's event loop
+    reads it. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to 128 entries; a capacity of 0 disables storage
+    (every lookup misses). *)
+
+val key :
+  query:string -> params:(string * Pgraph.Value.t) list -> graph_version:int -> string
+(** The canonical cache key. *)
+
+val find : 'a t -> string -> 'a option
+(** Records a hit or a miss, and refreshes recency on hit. *)
+
+val store : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes) an entry, evicting the least recently used one
+    when full. *)
+
+val invalidate_query : 'a t -> string -> unit
+(** Drops every entry of the named query (any params, any version) — used
+    when a query is dropped or reinstalled. *)
+
+val clear : 'a t -> unit
+(** Drops everything (graph reload). *)
+
+val size : 'a t -> int
+val capacity : 'a t -> int
+
+val stats : 'a t -> Obs.Json.t
+(** [{"size","capacity","hits","misses","evictions","invalidations",
+    "hit_rate"}] — hit_rate over the lookups seen so far (0.0 when none). *)

@@ -1,0 +1,86 @@
+(* Blocking protocol client: a connected socket, an id counter, and a
+   reorder buffer for pipelined use. *)
+
+module P = Protocol
+
+exception Error of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable stash : (int * P.response) list;  (* received, not yet claimed *)
+  mutable open_ : bool;
+}
+
+let connect (ep : Server.endpoint) =
+  let domain, addr =
+    match ep with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; next_id = 1; stash = []; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req =
+  if not t.open_ then raise (Error "client closed");
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (try P.write_frame t.fd (P.request_to_json ~id req)
+   with Unix.Unix_error (e, _, _) -> raise (Error (Unix.error_message e)));
+  id
+
+let read_one t =
+  match P.read_frame t.fd with
+  | Result.Error `Eof -> raise (Error "connection closed by server")
+  | Result.Error (`Err msg) -> raise (Error msg)
+  | Ok payload ->
+    (match P.response_of_json payload with
+     | Ok pair -> pair
+     | Result.Error msg -> raise (Error ("bad response: " ^ msg)))
+
+let recv t =
+  if not t.open_ then raise (Error "client closed");
+  match t.stash with
+  | r :: rest ->
+    t.stash <- rest;
+    r
+  | [] -> read_one t
+
+let call t req =
+  let id = send t req in
+  match List.assoc_opt id t.stash with
+  | Some resp ->
+    t.stash <- List.filter (fun (i, _) -> i <> id) t.stash;
+    resp
+  | None ->
+    let rec wait () =
+      let rid, resp = read_one t in
+      if rid = id then resp
+      else begin
+        t.stash <- t.stash @ [ (rid, resp) ];
+        wait ()
+      end
+    in
+    wait ()
+
+let install t source = call t (P.Install source)
+
+let invoke t ?timeout_ms ?(no_cache = false) ~query ~params () =
+  call t
+    (P.Invoke
+       { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms;
+         iv_no_cache = no_cache })
+
+let stats t = call t P.Stats
+let ping t = call t P.Ping
+let shutdown t = call t P.Shutdown

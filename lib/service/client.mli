@@ -1,0 +1,38 @@
+(** Blocking client for the installed-query service.
+
+    One connection, synchronous by default: {!call} assigns a fresh
+    correlation id, sends, and reads until that id's response arrives
+    (buffering any out-of-order responses from earlier pipelined sends).
+    {!send}/{!recv} expose the pipelined layer directly for load drivers
+    and tests. *)
+
+type t
+
+exception Error of string
+(** Transport failure: refused/oversized frame, unparsable response, or a
+    connection closed mid-call. *)
+
+val connect : Server.endpoint -> t
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> Protocol.response
+
+val send : t -> Protocol.request -> int
+(** Fire without waiting; returns the assigned correlation id. *)
+
+val recv : t -> int * Protocol.response
+(** Next response off the wire (or from the reorder buffer), in arrival
+    order. *)
+
+(** {1 Convenience wrappers (raise {!Error} on transport failure only —
+    protocol-level errors come back as [Protocol.Error])} *)
+
+val install : t -> string -> Protocol.response
+val invoke :
+  t -> ?timeout_ms:int -> ?no_cache:bool ->
+  query:string -> params:(string * Pgraph.Value.t) list -> unit -> Protocol.response
+val stats : t -> Protocol.response
+val ping : t -> Protocol.response
+val shutdown : t -> Protocol.response

@@ -1,0 +1,160 @@
+(* Service engine: catalog + graph + result cache.
+
+   The division of labor with Server: the engine owns everything about
+   *what* a request means (catalog lookup, parameter validation, cache
+   policy, execution); the server owns *when* it runs (admission, timeouts,
+   connection lifecycle).  prepare_invoke is the seam: resolution happens on
+   the coordinator thread, execution in the returned thunk wherever the
+   caller likes. *)
+
+module J = Obs.Json
+module P = Protocol
+
+type t = {
+  catalog : Gsql.Catalog.t;
+  cache : P.exec_result Cache.t;
+  semantics : Pathsem.Semantics.t option;
+  lock : Mutex.t;  (* guards graph/version swaps and the counters *)
+  mutable graph : Pgraph.Graph.t;
+  mutable version : int;
+  mutable n_invocations : int;
+  mutable n_executed : int;
+  mutable n_errors : int;
+}
+
+let create ?(cache_capacity = 128) ?semantics ~graph () =
+  { catalog = Gsql.Catalog.create ();
+    cache = Cache.create ~capacity:cache_capacity ();
+    semantics;
+    lock = Mutex.create ();
+    graph;
+    version = 0;
+    n_invocations = 0;
+    n_executed = 0;
+    n_errors = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let graph t = locked t (fun () -> t.graph)
+let graph_version t = locked t (fun () -> t.version)
+
+let reload t g =
+  locked t (fun () ->
+      t.graph <- g;
+      t.version <- t.version + 1);
+  Cache.clear t.cache
+
+let ty_to_string : Gsql.Ast.param_ty -> string = function
+  | Gsql.Ast.Ty_int -> "int"
+  | Gsql.Ast.Ty_float -> "float"
+  | Gsql.Ast.Ty_string -> "string"
+  | Gsql.Ast.Ty_bool -> "bool"
+  | Gsql.Ast.Ty_datetime -> "datetime"
+  | Gsql.Ast.Ty_vertex None -> "vertex"
+  | Gsql.Ast.Ty_vertex (Some ty) -> "vertex<" ^ ty ^ ">"
+
+let info_of t name =
+  { P.qi_name = name;
+    qi_params =
+      List.map (fun (n, ty) -> (n, ty_to_string ty)) (Gsql.Catalog.signature_of t.catalog name) }
+
+let install t source =
+  (* Parse first so a reinstall only drops the old definitions once the new
+     source is known to be loadable as a program. *)
+  match Gsql.Parser.parse_program source with
+  | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg)
+  | queries ->
+    (match
+       List.map
+         (fun (q : Gsql.Ast.query) ->
+           if Gsql.Catalog.mem t.catalog q.Gsql.Ast.q_name then begin
+             Gsql.Catalog.drop t.catalog q.Gsql.Ast.q_name;
+             Cache.invalidate_query t.cache q.Gsql.Ast.q_name
+           end;
+           Gsql.Catalog.install_query t.catalog q;
+           q.Gsql.Ast.q_name)
+         queries
+     with
+     | [] -> P.Error (P.Exec_error, "no CREATE QUERY definitions in source")
+     | names -> P.Installed names
+     | exception Gsql.Catalog.Error msg -> P.Error (P.Exec_error, msg))
+
+let list_queries t = P.Queries (List.map (info_of t) (Gsql.Catalog.names t.catalog))
+
+let describe t name =
+  if Gsql.Catalog.mem t.catalog name then
+    P.Described (info_of t name, Gsql.Catalog.source_of t.catalog name)
+  else P.Error (P.Unknown_query, "not installed: " ^ name)
+
+let drop t name =
+  if Gsql.Catalog.mem t.catalog name then begin
+    Gsql.Catalog.drop t.catalog name;
+    Cache.invalidate_query t.cache name;
+    P.Dropped name
+  end
+  else P.Error (P.Unknown_query, "not installed: " ^ name)
+
+(* Parameter names must match the declared signature exactly; shape/type
+   errors inside the values surface from the evaluator as Exec_error. *)
+let check_params (q : Gsql.Ast.query) (params : (string * Pgraph.Value.t) list) =
+  let declared = List.map (fun p -> p.Gsql.Ast.p_name) q.Gsql.Ast.q_params in
+  let given = List.map fst params in
+  let missing = List.filter (fun n -> not (List.mem n given)) declared in
+  let unknown = List.filter (fun n -> not (List.mem n declared)) given in
+  match (missing, unknown) with
+  | [], [] -> Ok ()
+  | m :: _, _ -> Error ("missing parameter: " ^ m)
+  | _, u :: _ -> Error ("unknown parameter: " ^ u)
+
+let prepare_invoke t (iv : P.invoke) =
+  locked t (fun () -> t.n_invocations <- t.n_invocations + 1);
+  match Gsql.Catalog.find t.catalog iv.P.iv_query with
+  | None ->
+    locked t (fun () -> t.n_errors <- t.n_errors + 1);
+    `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query))
+  | Some q ->
+    (match check_params q iv.P.iv_params with
+     | Error msg ->
+       locked t (fun () -> t.n_errors <- t.n_errors + 1);
+       `Ready (P.Error (P.Bad_params, msg))
+     | Ok () ->
+       let g, version = locked t (fun () -> (t.graph, t.version)) in
+       let key = Cache.key ~query:iv.P.iv_query ~params:iv.P.iv_params ~graph_version:version in
+       let hit = if iv.P.iv_no_cache then None else Cache.find t.cache key in
+       (match hit with
+        | Some r -> `Ready (P.Result { rs_cached = true; rs_ms = 0.0; rs_result = r })
+        | None ->
+          `Run
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              match
+                Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q
+              with
+              | result ->
+                let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                let r = P.of_eval_result result in
+                Cache.store t.cache key r;
+                locked t (fun () -> t.n_executed <- t.n_executed + 1);
+                P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+              | exception Gsql.Eval.Runtime_error msg ->
+                locked t (fun () -> t.n_errors <- t.n_errors + 1);
+                P.Error (P.Exec_error, msg))))
+
+let invoke t iv =
+  match prepare_invoke t iv with `Ready r -> r | `Run thunk -> thunk ()
+
+let stats t ~extra =
+  let invocations, executed, errors, version =
+    locked t (fun () -> (t.n_invocations, t.n_executed, t.n_errors, t.version))
+  in
+  P.Stats_snapshot
+    (J.Obj
+       ([ ("graph_version", J.Int version);
+          ("queries", J.List (List.map (fun n -> J.Str n) (Gsql.Catalog.names t.catalog)));
+          ("invocations", J.Int invocations);
+          ("executed", J.Int executed);
+          ("errors", J.Int errors);
+          ("cache", Cache.stats t.cache) ]
+       @ extra))

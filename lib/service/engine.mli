@@ -1,0 +1,59 @@
+(** The service engine: a prepared-query catalog bound to a graph, with a
+    result cache in front of execution.
+
+    Mirrors the paper system's install-then-call workflow at service
+    granularity: {!install} parses and typechecks once ({!Gsql.Catalog}),
+    after which {!prepare_invoke} resolves a named invocation into either a
+    cached result or a self-contained thunk the worker pool can run — the
+    thunk captures the query AST, parameters and graph version at dispatch
+    time, so it never touches the catalog from a worker domain.
+
+    Mutating entry points ([install]/[drop]/[reload]) must be called from a
+    single coordinating thread (the server's event loop); the cache and the
+    request counters are internally locked, so invoke thunks are safe to run
+    on any number of worker domains {e provided the installed queries do not
+    write graph attributes} (INSERT / attribute assignment — see
+    docs/SERVICE.md for this caveat). *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?semantics:Pathsem.Semantics.t ->
+  graph:Pgraph.Graph.t -> unit -> t
+
+val graph : t -> Pgraph.Graph.t
+val graph_version : t -> int
+
+val reload : t -> Pgraph.Graph.t -> unit
+(** Swaps the graph, bumps the version and clears the cache. *)
+
+(** {1 Catalog operations (coordinator thread only)} *)
+
+val install : t -> string -> Protocol.response
+(** [Installed names] or [Error (Exec_error, _)].  Reinstalling an existing
+    name replaces it and invalidates its cached results. *)
+
+val list_queries : t -> Protocol.response
+val describe : t -> string -> Protocol.response
+val drop : t -> string -> Protocol.response
+
+(** {1 Invocation} *)
+
+val prepare_invoke :
+  t -> Protocol.invoke ->
+  [ `Ready of Protocol.response | `Run of unit -> Protocol.response ]
+(** [`Ready] carries a cache hit or an immediate error (unknown query,
+    missing/unknown parameters); [`Run] is the execution thunk — it runs the
+    query, stores the result in the cache and returns the [Result]
+    response.  Safe to run on a worker domain. *)
+
+val invoke : t -> Protocol.invoke -> Protocol.response
+(** [prepare_invoke] collapsed for synchronous callers (tests, the bench
+    driver's in-process mode). *)
+
+(** {1 Introspection} *)
+
+val stats : t -> extra:(string * Obs.Json.t) list -> Protocol.response
+(** Engine counters, catalog names and cache stats; [extra] fields are
+    appended by the server (connections, queue depth, ...). *)

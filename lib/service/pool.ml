@@ -1,0 +1,149 @@
+(* Domain worker pool.  One mutex/condvar pair guards the queue and
+   lifecycle flags; each job carries its own mutex so state reads never
+   contend with the queue lock.  Workers are real OCaml 5 domains — the
+   same machinery Accum.Parallel uses for intra-query parallelism, here
+   applied across requests. *)
+
+type 'a state =
+  | Queued
+  | Running
+  | Done of 'a
+  | Failed of string
+
+type 'a job = {
+  jm : Mutex.t;
+  mutable jstate : 'a state;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : ('a job * (unit -> 'a)) Queue.t;
+  capacity : int;
+  n_workers : int;
+  mutable stopping : bool;
+  mutable drain : bool;
+  mutable n_running : int;
+  mutable domains : unit Domain.t list;
+}
+
+let set_state job st =
+  Mutex.lock job.jm;
+  job.jstate <- st;
+  Mutex.unlock job.jm
+
+let state job =
+  Mutex.lock job.jm;
+  let st = job.jstate in
+  Mutex.unlock job.jm;
+  st
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let rec next () =
+    if t.stopping && ((not t.drain) || Queue.is_empty t.queue) then None
+    else if Queue.is_empty t.queue then begin
+      Condition.wait t.nonempty t.m;
+      next ()
+    end
+    else Some (Queue.pop t.queue)
+  in
+  match next () with
+  | None -> Mutex.unlock t.m
+  | Some (job, thunk) ->
+    t.n_running <- t.n_running + 1;
+    Mutex.unlock t.m;
+    set_state job Running;
+    let result = try Done (thunk ()) with e -> Failed (Printexc.to_string e) in
+    set_state job result;
+    Mutex.lock t.m;
+    t.n_running <- t.n_running - 1;
+    Mutex.unlock t.m;
+    worker_loop t
+
+let create ?workers ?(queue_capacity = 64) () =
+  let n_workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> Accum.Parallel.default_workers max_int
+  in
+  let t =
+    { m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity = max 1 queue_capacity;
+      n_workers;
+      stopping = false;
+      drain = true;
+      n_running = 0;
+      domains = [] }
+  in
+  t.domains <- List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t thunk =
+  Mutex.lock t.m;
+  let r =
+    if t.stopping then Error `Shutdown
+    else if Queue.length t.queue >= t.capacity then Error `Overloaded
+    else begin
+      let job = { jm = Mutex.create (); jstate = Queued } in
+      Queue.push (job, thunk) t.queue;
+      Condition.signal t.nonempty;
+      Ok job
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let await ?timeout_ms job =
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+  in
+  let rec go () =
+    match state job with
+    | (Done _ | Failed _) as st -> st
+    | st ->
+      if Unix.gettimeofday () >= deadline then st
+      else begin
+        Unix.sleepf 0.001;
+        go ()
+      end
+  in
+  go ()
+
+let queue_depth t =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let running t =
+  Mutex.lock t.m;
+  let n = t.n_running in
+  Mutex.unlock t.m;
+  n
+
+let workers t = t.n_workers
+
+let shutdown ?(drain = true) t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  t.drain <- drain;
+  let orphans =
+    if drain then []
+    else begin
+      let js = Queue.fold (fun acc (job, _) -> job :: acc) [] t.queue in
+      Queue.clear t.queue;
+      js
+    end
+  in
+  Condition.broadcast t.nonempty;
+  let domains = t.domains in
+  if not already then t.domains <- [];
+  Mutex.unlock t.m;
+  List.iter (fun job -> set_state job (Failed "pool shutdown")) orphans;
+  if not already then List.iter Domain.join domains

@@ -1,0 +1,45 @@
+(** Domain worker pool with bounded admission.
+
+    [create] spawns the worker domains up front (sized by
+    {!Accum.Parallel.default_workers} when [?workers] is omitted); [submit]
+    either enqueues a job or refuses immediately — the queue is the
+    admission-control bound, so an overloaded server sheds load instead of
+    accumulating latency.  Jobs are plain thunks; their completion is
+    observed by polling {!state} (the server's event loop does this on its
+    select tick) or blocking in {!await}.
+
+    A running job cannot be cancelled — domains have no kill switch — so a
+    caller that stops waiting simply abandons the job; the worker finishes
+    it and moves on.  {!shutdown} is graceful: no new admissions, optional
+    drain of the queued backlog, then joins every worker. *)
+
+type 'a t
+type 'a job
+
+type 'a state =
+  | Queued
+  | Running
+  | Done of 'a
+  | Failed of string  (** uncaught exception, rendered *)
+
+val create : ?workers:int -> ?queue_capacity:int -> unit -> 'a t
+(** [queue_capacity] defaults to 64 queued (not yet running) jobs. *)
+
+val submit : 'a t -> (unit -> 'a) -> ('a job, [ `Overloaded | `Shutdown ]) result
+
+val state : 'a job -> 'a state
+
+val await : ?timeout_ms:int -> 'a job -> 'a state
+(** Polls until the job completes or the timeout passes (returns the
+    last-seen state — [Queued]/[Running] on timeout). *)
+
+val queue_depth : 'a t -> int
+(** Jobs admitted but not yet picked up by a worker. *)
+
+val running : 'a t -> int
+val workers : 'a t -> int
+
+val shutdown : ?drain:bool -> 'a t -> unit
+(** Stops admission and joins the workers.  With [drain] (default [true])
+    queued jobs run first; without it they are marked [Failed "pool
+    shutdown"] and dropped.  Idempotent. *)

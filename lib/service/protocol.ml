@@ -1,0 +1,569 @@
+(* Wire protocol: length-prefixed JSON frames plus the request/response
+   envelope schema (docs/SERVICE.md).  Everything here is pure except the
+   blocking fd helpers at the bottom — the server's event loop uses the
+   string-level [decode_frame] so it never blocks mid-frame. *)
+
+module J = Obs.Json
+module V = Pgraph.Value
+
+type invoke = {
+  iv_query : string;
+  iv_params : (string * V.t) list;
+  iv_timeout_ms : int option;
+  iv_no_cache : bool;
+}
+
+type request =
+  | Install of string
+  | List_queries
+  | Describe of string
+  | Drop of string
+  | Invoke of invoke
+  | Stats
+  | Ping
+  | Shutdown
+
+type query_info = {
+  qi_name : string;
+  qi_params : (string * string) list;
+}
+
+type exec_result = {
+  x_printed : string;
+  x_tables : (string * Gsql.Table.t) list;
+  x_return : Gsql.Eval.rt_value option;
+  x_vsets : (string * int array) list;
+}
+
+type err_code =
+  | Bad_request
+  | Unknown_query
+  | Bad_params
+  | Overloaded
+  | Timeout
+  | Exec_error
+  | Shutting_down
+  | Internal
+
+type response =
+  | Installed of string list
+  | Queries of query_info list
+  | Described of query_info * string
+  | Dropped of string
+  | Result of { rs_cached : bool; rs_ms : float; rs_result : exec_result }
+  | Stats_snapshot of J.t
+  | Pong
+  | Bye
+  | Error of err_code * string
+
+let err_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_query -> "unknown_query"
+  | Bad_params -> "bad_params"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Exec_error -> "exec_error"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let err_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "unknown_query" -> Some Unknown_query
+  | "bad_params" -> Some Bad_params
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "exec_error" -> Some Exec_error
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+(* Tagged single-field objects keep the non-JSON-native constructors
+   distinguishable; plain objects never appear as encoded values, so the
+   tags cannot collide with data. *)
+let rec value_to_json (v : V.t) : J.t =
+  match v with
+  | V.Null -> J.Null
+  | V.Bool b -> J.Bool b
+  | V.Int n -> J.Int n
+  | V.Float f -> J.Float f
+  | V.Str s -> J.Str s
+  | V.Datetime s -> J.Obj [ ("$dt", J.Int s) ]
+  | V.Vertex id -> J.Obj [ ("$v", J.Int id) ]
+  | V.Edge id -> J.Obj [ ("$e", J.Int id) ]
+  | V.Vlist vs -> J.Obj [ ("$l", J.List (List.map value_to_json vs)) ]
+  | V.Vtuple vs ->
+    J.Obj [ ("$t", J.List (Array.to_list (Array.map value_to_json vs))) ]
+
+let ( let* ) = Result.bind
+
+let rec value_of_json (j : J.t) : (V.t, string) result =
+  match j with
+  | J.Null -> Ok V.Null
+  | J.Bool b -> Ok (V.Bool b)
+  | J.Int n -> Ok (V.Int n)
+  | J.Float f -> Ok (V.Float f)
+  | J.Str s -> Ok (V.Str s)
+  | J.Obj [ ("$dt", J.Int s) ] -> Ok (V.Datetime s)
+  | J.Obj [ ("$v", J.Int id) ] -> Ok (V.Vertex id)
+  | J.Obj [ ("$e", J.Int id) ] -> Ok (V.Edge id)
+  | J.Obj [ ("$l", J.List vs) ] ->
+    let* vs = values_of_json vs in
+    Ok (V.Vlist vs)
+  | J.Obj [ ("$t", J.List vs) ] ->
+    let* vs = values_of_json vs in
+    Ok (V.Vtuple (Array.of_list vs))
+  | _ -> Error ("bad value encoding: " ^ J.to_string j)
+
+and values_of_json js =
+  List.fold_right
+    (fun j acc ->
+      let* acc = acc in
+      let* v = value_of_json j in
+      Ok (v :: acc))
+    js (Ok [])
+
+(* ------------------------------------------------------------------ *)
+(* Tables, rt_values, results                                          *)
+
+let table_to_json (t : Gsql.Table.t) : J.t =
+  J.Obj
+    [ ("cols", J.List (List.map (fun c -> J.Str c) t.Gsql.Table.cols));
+      ( "rows",
+        J.List
+          (List.map
+             (fun row -> J.List (Array.to_list (Array.map value_to_json row)))
+             t.Gsql.Table.rows) ) ]
+
+let table_of_json (j : J.t) : (Gsql.Table.t, string) result =
+  match (J.member "cols" j, J.member "rows" j) with
+  | Some (J.List cols), Some (J.List rows) ->
+    let* cols =
+      List.fold_right
+        (fun c acc ->
+          let* acc = acc in
+          match c with J.Str s -> Ok (s :: acc) | _ -> Error "bad table column")
+        cols (Ok [])
+    in
+    let* rows =
+      List.fold_right
+        (fun r acc ->
+          let* acc = acc in
+          match r with
+          | J.List cells ->
+            let* vs = values_of_json cells in
+            Ok (Array.of_list vs :: acc)
+          | _ -> Error "bad table row")
+        rows (Ok [])
+    in
+    (try Ok (Gsql.Table.create cols rows)
+     with Invalid_argument msg -> Error ("bad table: " ^ msg))
+  | _ -> Error "bad table encoding"
+
+let ids_to_json ids = J.List (Array.to_list (Array.map (fun i -> J.Int i) ids))
+
+let ids_of_json = function
+  | J.List js ->
+    let* ids =
+      List.fold_right
+        (fun j acc ->
+          let* acc = acc in
+          match j with J.Int i -> Ok (i :: acc) | _ -> Error "bad vertex id")
+        js (Ok [])
+    in
+    Ok (Array.of_list ids)
+  | _ -> Error "bad vertex-id list"
+
+let rt_to_json (rt : Gsql.Eval.rt_value) : J.t =
+  match rt with
+  | Gsql.Eval.R_scalar v -> J.Obj [ ("kind", J.Str "scalar"); ("value", value_to_json v) ]
+  | Gsql.Eval.R_vset ids -> J.Obj [ ("kind", J.Str "vset"); ("ids", ids_to_json ids) ]
+  | Gsql.Eval.R_table t -> J.Obj [ ("kind", J.Str "table"); ("table", table_to_json t) ]
+
+let rt_of_json (j : J.t) : (Gsql.Eval.rt_value, string) result =
+  match J.member "kind" j with
+  | Some (J.Str "scalar") ->
+    (match J.member "value" j with
+     | Some v ->
+       let* v = value_of_json v in
+       Ok (Gsql.Eval.R_scalar v)
+     | None -> Error "scalar return without value")
+  | Some (J.Str "vset") ->
+    (match J.member "ids" j with
+     | Some ids ->
+       let* ids = ids_of_json ids in
+       Ok (Gsql.Eval.R_vset ids)
+     | None -> Error "vset return without ids")
+  | Some (J.Str "table") ->
+    (match J.member "table" j with
+     | Some t ->
+       let* t = table_of_json t in
+       Ok (Gsql.Eval.R_table t)
+     | None -> Error "table return without table")
+  | _ -> Error "bad return encoding"
+
+let result_to_json (r : exec_result) : J.t =
+  J.Obj
+    [ ("printed", J.Str r.x_printed);
+      ( "tables",
+        J.List
+          (List.map
+             (fun (name, t) ->
+               match table_to_json t with
+               | J.Obj fields -> J.Obj (("name", J.Str name) :: fields)
+               | j -> j)
+             r.x_tables) );
+      ( "vsets",
+        J.List
+          (List.map
+             (fun (name, ids) -> J.Obj [ ("name", J.Str name); ("ids", ids_to_json ids) ])
+             r.x_vsets) );
+      ("return", match r.x_return with None -> J.Null | Some rt -> rt_to_json rt) ]
+
+let result_of_json (j : J.t) : (exec_result, string) result =
+  let* printed =
+    match J.member "printed" j with
+    | Some (J.Str s) -> Ok s
+    | _ -> Error "result without printed"
+  in
+  let* tables =
+    match J.member "tables" j with
+    | Some (J.List ts) ->
+      List.fold_right
+        (fun tj acc ->
+          let* acc = acc in
+          match J.member "name" tj with
+          | Some (J.Str name) ->
+            let* t = table_of_json tj in
+            Ok ((name, t) :: acc)
+          | _ -> Error "table without name")
+        ts (Ok [])
+    | _ -> Error "result without tables"
+  in
+  let* vsets =
+    match J.member "vsets" j with
+    | Some (J.List vs) ->
+      List.fold_right
+        (fun vj acc ->
+          let* acc = acc in
+          match (J.member "name" vj, J.member "ids" vj) with
+          | Some (J.Str name), Some ids ->
+            let* ids = ids_of_json ids in
+            Ok ((name, ids) :: acc)
+          | _ -> Error "bad vset entry")
+        vs (Ok [])
+    | _ -> Error "result without vsets"
+  in
+  let* ret =
+    match J.member "return" j with
+    | Some J.Null | None -> Ok None
+    | Some rj ->
+      let* rt = rt_of_json rj in
+      Ok (Some rt)
+  in
+  Ok { x_printed = printed; x_tables = tables; x_return = ret; x_vsets = vsets }
+
+let of_eval_result (r : Gsql.Eval.result) : exec_result =
+  { x_printed = r.Gsql.Eval.r_printed;
+    x_tables = r.Gsql.Eval.r_tables;
+    x_return = r.Gsql.Eval.r_return;
+    x_vsets = r.Gsql.Eval.r_vsets }
+
+let table_equal (a : Gsql.Table.t) (b : Gsql.Table.t) =
+  a.Gsql.Table.cols = b.Gsql.Table.cols
+  && List.length a.Gsql.Table.rows = List.length b.Gsql.Table.rows
+  && List.for_all2
+       (fun ra rb -> Array.length ra = Array.length rb && Array.for_all2 V.equal ra rb)
+       a.Gsql.Table.rows b.Gsql.Table.rows
+
+let rt_equal a b =
+  match (a, b) with
+  | Gsql.Eval.R_scalar x, Gsql.Eval.R_scalar y -> V.equal x y
+  | Gsql.Eval.R_vset x, Gsql.Eval.R_vset y -> x = y
+  | Gsql.Eval.R_table x, Gsql.Eval.R_table y -> table_equal x y
+  | _ -> false
+
+let exec_result_equal a b =
+  a.x_printed = b.x_printed
+  && List.length a.x_tables = List.length b.x_tables
+  && List.for_all2
+       (fun (na, ta) (nb, tb) -> na = nb && table_equal ta tb)
+       a.x_tables b.x_tables
+  && a.x_vsets = b.x_vsets
+  && (match (a.x_return, b.x_return) with
+      | None, None -> true
+      | Some x, Some y -> rt_equal x y
+      | _ -> false)
+
+let pp_exec_result fmt r = Format.pp_print_string fmt (J.to_string (result_to_json r))
+
+(* ------------------------------------------------------------------ *)
+(* Envelopes                                                           *)
+
+let params_to_json params =
+  J.Obj (List.map (fun (name, v) -> (name, value_to_json v)) params)
+
+let request_to_json ~id (req : request) : J.t =
+  let fields =
+    match req with
+    | Install source -> [ ("op", J.Str "install"); ("source", J.Str source) ]
+    | List_queries -> [ ("op", J.Str "list") ]
+    | Describe name -> [ ("op", J.Str "describe"); ("query", J.Str name) ]
+    | Drop name -> [ ("op", J.Str "drop"); ("query", J.Str name) ]
+    | Invoke iv ->
+      [ ("op", J.Str "invoke");
+        ("query", J.Str iv.iv_query);
+        ("params", params_to_json iv.iv_params) ]
+      @ (match iv.iv_timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", J.Int ms) ])
+      @ if iv.iv_no_cache then [ ("no_cache", J.Bool true) ] else []
+    | Stats -> [ ("op", J.Str "stats") ]
+    | Ping -> [ ("op", J.Str "ping") ]
+    | Shutdown -> [ ("op", J.Str "shutdown") ]
+  in
+  J.Obj (("id", J.Int id) :: fields)
+
+let envelope_id j =
+  match J.member "id" j with Some (J.Int id) -> Ok id | _ -> Error "envelope without id"
+
+let request_of_json (j : J.t) : (int * request, string) result =
+  let* id = envelope_id j in
+  let* req =
+    match J.member "op" j with
+    | Some (J.Str "install") ->
+      (match J.member "source" j with
+       | Some (J.Str s) -> Ok (Install s)
+       | _ -> Error "install without source")
+    | Some (J.Str "list") -> Ok List_queries
+    | Some (J.Str "describe") ->
+      (match J.member "query" j with
+       | Some (J.Str q) -> Ok (Describe q)
+       | _ -> Error "describe without query")
+    | Some (J.Str "drop") ->
+      (match J.member "query" j with
+       | Some (J.Str q) -> Ok (Drop q)
+       | _ -> Error "drop without query")
+    | Some (J.Str "invoke") ->
+      (match J.member "query" j with
+       | Some (J.Str q) ->
+         let* params =
+           match J.member "params" j with
+           | None -> Ok []
+           | Some (J.Obj fields) ->
+             List.fold_right
+               (fun (name, vj) acc ->
+                 let* acc = acc in
+                 let* v = value_of_json vj in
+                 Ok ((name, v) :: acc))
+               fields (Ok [])
+           | Some _ -> Error "invoke params must be an object"
+         in
+         let timeout_ms =
+           match J.member "timeout_ms" j with Some (J.Int ms) -> Some ms | _ -> None
+         in
+         let no_cache =
+           match J.member "no_cache" j with Some (J.Bool b) -> b | _ -> false
+         in
+         Ok (Invoke { iv_query = q; iv_params = params; iv_timeout_ms = timeout_ms;
+                      iv_no_cache = no_cache })
+       | _ -> Error "invoke without query")
+    | Some (J.Str "stats") -> Ok Stats
+    | Some (J.Str "ping") -> Ok Ping
+    | Some (J.Str "shutdown") -> Ok Shutdown
+    | Some (J.Str op) -> Error ("unknown op: " ^ op)
+    | _ -> Error "envelope without op"
+  in
+  Ok (id, req)
+
+let query_info_to_json qi =
+  J.Obj
+    [ ("name", J.Str qi.qi_name);
+      ( "params",
+        J.List
+          (List.map
+             (fun (n, ty) -> J.Obj [ ("name", J.Str n); ("type", J.Str ty) ])
+             qi.qi_params) ) ]
+
+let query_info_of_json j =
+  match (J.member "name" j, J.member "params" j) with
+  | Some (J.Str name), Some (J.List ps) ->
+    let* params =
+      List.fold_right
+        (fun pj acc ->
+          let* acc = acc in
+          match (J.member "name" pj, J.member "type" pj) with
+          | Some (J.Str n), Some (J.Str ty) -> Ok ((n, ty) :: acc)
+          | _ -> Error "bad param descriptor")
+        ps (Ok [])
+    in
+    Ok { qi_name = name; qi_params = params }
+  | _ -> Error "bad query descriptor"
+
+let str_list_of_json what = function
+  | J.List js ->
+    List.fold_right
+      (fun j acc ->
+        let* acc = acc in
+        match j with J.Str s -> Ok (s :: acc) | _ -> Error ("bad " ^ what))
+      js (Ok [])
+  | _ -> Error ("bad " ^ what)
+
+let response_to_json ~id (resp : response) : J.t =
+  let fields =
+    match resp with
+    | Installed names ->
+      [ ("ok", J.Bool true); ("installed", J.List (List.map (fun n -> J.Str n) names)) ]
+    | Queries qis ->
+      [ ("ok", J.Bool true); ("queries", J.List (List.map query_info_to_json qis)) ]
+    | Described (qi, source) ->
+      [ ("ok", J.Bool true); ("described", query_info_to_json qi); ("source", J.Str source) ]
+    | Dropped name -> [ ("ok", J.Bool true); ("dropped", J.Str name) ]
+    | Result { rs_cached; rs_ms; rs_result } ->
+      [ ("ok", J.Bool true);
+        ("cached", J.Bool rs_cached);
+        ("ms", J.Float rs_ms);
+        ("result", result_to_json rs_result) ]
+    | Stats_snapshot stats -> [ ("ok", J.Bool true); ("stats", stats) ]
+    | Pong -> [ ("ok", J.Bool true); ("pong", J.Bool true) ]
+    | Bye -> [ ("ok", J.Bool true); ("bye", J.Bool true) ]
+    | Error (code, msg) ->
+      [ ("ok", J.Bool false);
+        ("code", J.Str (err_code_to_string code));
+        ("error", J.Str msg) ]
+  in
+  J.Obj (("id", J.Int id) :: fields)
+
+let response_of_json (j : J.t) : (int * response, string) result =
+  let* id = envelope_id j in
+  let* resp =
+    match J.member "ok" j with
+    | Some (J.Bool false) ->
+      (match (J.member "code" j, J.member "error" j) with
+       | Some (J.Str code), Some (J.Str msg) ->
+         (match err_code_of_string code with
+          | Some c -> Ok (Error (c, msg))
+          | None -> Ok (Error (Internal, code ^ ": " ^ msg)))
+       | _ -> Result.Error "error response without code/error")
+    | Some (J.Bool true) ->
+      (match J.member "installed" j with
+       | Some names ->
+         let* names = str_list_of_json "installed names" names in
+         Ok (Installed names)
+       | None ->
+         (match J.member "queries" j with
+          | Some (J.List qis) ->
+            let* qis =
+              List.fold_right
+                (fun qj acc ->
+                  let* acc = acc in
+                  let* qi = query_info_of_json qj in
+                  Ok (qi :: acc))
+                qis (Ok [])
+            in
+            Ok (Queries qis)
+          | Some _ -> Result.Error "bad queries list"
+          | None ->
+            (match (J.member "described" j, J.member "source" j) with
+             | Some qj, Some (J.Str source) ->
+               let* qi = query_info_of_json qj in
+               Ok (Described (qi, source))
+             | _ ->
+               (match J.member "dropped" j with
+                | Some (J.Str name) -> Ok (Dropped name)
+                | _ ->
+                  (match J.member "result" j with
+                   | Some rj ->
+                     let* r = result_of_json rj in
+                     let cached =
+                       match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
+                     in
+                     let ms =
+                       match J.member "ms" j with
+                       | Some m -> Option.value ~default:0.0 (J.to_float_opt m)
+                       | None -> 0.0
+                     in
+                     Ok (Result { rs_cached = cached; rs_ms = ms; rs_result = r })
+                   | None ->
+                     (match J.member "stats" j with
+                      | Some stats -> Ok (Stats_snapshot stats)
+                      | None ->
+                        (match (J.member "pong" j, J.member "bye" j) with
+                         | Some (J.Bool true), _ -> Ok Pong
+                         | _, Some (J.Bool true) -> Ok Bye
+                         | _ -> Result.Error "unrecognized response")))))))
+    | _ -> Result.Error "response without ok"
+  in
+  Ok (id, resp)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+let encode_frame (j : J.t) : string =
+  let payload = J.to_string j in
+  let n = String.length payload in
+  if n > max_frame_bytes then invalid_arg "Protocol.encode_frame: frame too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let decode_frame (buf : string) ~pos =
+  let avail = String.length buf - pos in
+  if avail < 4 then `Need_more
+  else
+    let byte i = Char.code buf.[pos + i] in
+    let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if n > max_frame_bytes then `Frame (Result.Error "frame too large", String.length buf)
+    else if avail < 4 + n then `Need_more
+    else
+      let payload = String.sub buf (pos + 4) n in
+      `Frame (J.parse payload, pos + 4 + n)
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 1.0);
+      write_all fd b off len
+
+let write_frame fd j =
+  let s = encode_frame j in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let read_exactly fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Ok b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> Result.Error `Eof
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [ fd ] [] [] 1.0);
+        go off
+  in
+  go 0
+
+let read_frame fd =
+  match read_exactly fd 4 with
+  | Result.Error `Eof -> Result.Error `Eof
+  | Ok hdr ->
+    let byte i = Char.code (Bytes.get hdr i) in
+    let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if n > max_frame_bytes then Result.Error (`Err "frame too large")
+    else
+      (match read_exactly fd n with
+       | Result.Error `Eof -> Result.Error `Eof
+       | Ok payload ->
+         (match J.parse (Bytes.unsafe_to_string payload) with
+          | Ok j -> Ok j
+          | Result.Error msg -> Result.Error (`Err msg)))

@@ -1,0 +1,110 @@
+(** Wire protocol of the installed-query service.
+
+    Frames are length-prefixed JSON: a 4-byte big-endian payload size
+    followed by that many bytes of compact JSON ({!Obs.Json}).  Requests and
+    responses travel inside an envelope carrying a client-chosen correlation
+    [id]; the server may answer pipelined requests out of order (invocations
+    run on a worker pool), so clients match responses to requests by [id].
+
+    Values, result tables and the full {!Gsql.Eval.result} payload
+    round-trip losslessly: non-JSON-native shapes are tagged single-field
+    objects ([{"$dt": s}], [{"$v": id}], [{"$e": id}], [{"$l": [...]}],
+    [{"$t": [...]}]).  See docs/SERVICE.md for the full schema. *)
+
+(** {1 Requests} *)
+
+type invoke = {
+  iv_query : string;
+  iv_params : (string * Pgraph.Value.t) list;
+  iv_timeout_ms : int option;  (** overrides the server default *)
+  iv_no_cache : bool;          (** bypass the cache read (still populates) *)
+}
+
+type request =
+  | Install of string          (** GSQL source: one or more CREATE QUERY *)
+  | List_queries
+  | Describe of string
+  | Drop of string
+  | Invoke of invoke
+  | Stats
+  | Ping
+  | Shutdown                   (** graceful server stop *)
+
+(** {1 Responses} *)
+
+type query_info = {
+  qi_name : string;
+  qi_params : (string * string) list;  (** name, rendered type *)
+}
+
+(** A {!Gsql.Eval.result} in transportable form. *)
+type exec_result = {
+  x_printed : string;
+  x_tables : (string * Gsql.Table.t) list;
+  x_return : Gsql.Eval.rt_value option;
+  x_vsets : (string * int array) list;
+}
+
+type err_code =
+  | Bad_request     (** malformed frame or envelope *)
+  | Unknown_query   (** name not installed *)
+  | Bad_params      (** missing/unknown parameter names *)
+  | Overloaded      (** admission queue full *)
+  | Timeout         (** deadline passed; execution was abandoned *)
+  | Exec_error      (** runtime error inside the query *)
+  | Shutting_down
+  | Internal
+
+type response =
+  | Installed of string list
+  | Queries of query_info list
+  | Described of query_info * string  (** info, re-rendered source *)
+  | Dropped of string
+  | Result of { rs_cached : bool; rs_ms : float; rs_result : exec_result }
+  | Stats_snapshot of Obs.Json.t
+  | Pong
+  | Bye
+  | Error of err_code * string
+
+val err_code_to_string : err_code -> string
+val err_code_of_string : string -> err_code option
+
+(** {1 Value and result serialization} *)
+
+val value_to_json : Pgraph.Value.t -> Obs.Json.t
+val value_of_json : Obs.Json.t -> (Pgraph.Value.t, string) result
+
+val result_to_json : exec_result -> Obs.Json.t
+val result_of_json : Obs.Json.t -> (exec_result, string) result
+
+val of_eval_result : Gsql.Eval.result -> exec_result
+val exec_result_equal : exec_result -> exec_result -> bool
+val pp_exec_result : Format.formatter -> exec_result -> unit
+
+(** {1 Envelopes} *)
+
+val request_to_json : id:int -> request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (int * request, string) result
+val response_to_json : id:int -> response -> Obs.Json.t
+val response_of_json : Obs.Json.t -> (int * response, string) result
+
+(** {1 Framing} *)
+
+val max_frame_bytes : int
+(** Frames above this size are a protocol error (64 MiB). *)
+
+val encode_frame : Obs.Json.t -> string
+
+val decode_frame :
+  string -> pos:int ->
+  [ `Need_more | `Frame of (Obs.Json.t, string) result * int ]
+(** [decode_frame buf ~pos] attempts to pop one frame starting at [pos]:
+    [`Need_more] when the buffer holds a partial frame, otherwise the parsed
+    payload (or a framing/JSON error) and the position just past the frame. *)
+
+val write_frame : Unix.file_descr -> Obs.Json.t -> unit
+(** Blocking write of a whole frame (retries on [EINTR]/[EAGAIN]). *)
+
+val read_frame : Unix.file_descr -> (Obs.Json.t, [ `Eof | `Err of string ]) result
+(** Blocking read of a whole frame; [`Eof] on a clean close before the first
+    byte {e or} mid-frame. *)

@@ -1,0 +1,296 @@
+(* The service event loop.
+
+   Single-threaded select loop: accepts connections, pops protocol frames
+   out of per-connection buffers, answers control requests inline and hands
+   invocations to the worker pool, then sweeps pending jobs for completions
+   and blown deadlines on every tick.  All Obs.Metrics / Obs.Trace calls
+   happen on this thread (the registry and the span stack are not
+   domain-safe); workers run pure engine thunks. *)
+
+module J = Obs.Json
+module P = Protocol
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : endpoint;
+  workers : int option;
+  queue_capacity : int;
+  default_timeout_ms : int;
+  max_connections : int;
+}
+
+let default_config listen =
+  { listen; workers = None; queue_capacity = 64; default_timeout_ms = 30_000;
+    max_connections = 64 }
+
+(* Instrument handles are registered once; recording is a no-op unless the
+   caller (serve --trace, BENCH_JSON) enabled the registry. *)
+let m_requests = Obs.Metrics.counter "service/requests"
+let m_cache_hits = Obs.Metrics.counter "service/cache_hits"
+let m_cache_misses = Obs.Metrics.counter "service/cache_misses"
+let m_timeouts = Obs.Metrics.counter "service/timeouts"
+let m_overloaded = Obs.Metrics.counter "service/overloaded"
+let m_errors = Obs.Metrics.counter "service/errors"
+let m_queue_depth = Obs.Metrics.gauge "service/queue_depth"
+let m_connections = Obs.Metrics.gauge "service/connections"
+let m_latency = Obs.Metrics.histogram "service/latency_ms"
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : string;   (* unconsumed input *)
+  mutable alive : bool;
+}
+
+type pending = {
+  p_conn : conn;
+  p_id : int;
+  p_query : string;
+  p_job : P.response Pool.job;
+  p_deadline : float;
+  p_start : float;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  pool : P.response Pool.t;
+  listen_fd : Unix.file_descr;
+  bound : endpoint;
+  stop_flag : bool Atomic.t;
+  mutable conns : conn list;
+  mutable pending : pending list;
+  mutable n_timeouts : int;
+  mutable n_overloaded : int;
+}
+
+let create cfg engine =
+  let domain, addr =
+    match cfg.listen with
+    | `Unix path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match cfg.listen with
+   | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+   | `Unix _ -> ());
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let bound =
+    match (cfg.listen, Unix.getsockname fd) with
+    | `Tcp (host, _), Unix.ADDR_INET (_, port) -> `Tcp (host, port)
+    | ep, _ -> ep
+  in
+  let pool = Pool.create ?workers:cfg.workers ~queue_capacity:cfg.queue_capacity () in
+  { engine; cfg; pool; listen_fd = fd; bound; stop_flag = Atomic.make false;
+    conns = []; pending = []; n_timeouts = 0; n_overloaded = 0 }
+
+let endpoint t = t.bound
+let stop t = Atomic.set t.stop_flag true
+
+let now () = Unix.gettimeofday ()
+
+let send conn ~id resp =
+  if conn.alive then
+    try P.write_frame conn.fd (P.response_to_json ~id resp)
+    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  (* Abandon this connection's in-flight jobs: nobody is left to answer. *)
+  t.pending <- List.filter (fun p -> p.p_conn != conn) t.pending
+
+let record_outcome ~query ~ms resp =
+  Obs.Metrics.incr m_requests 1;
+  (match resp with
+   | P.Result { rs_cached = true; _ } -> Obs.Metrics.incr m_cache_hits 1
+   | P.Result _ -> Obs.Metrics.incr m_cache_misses 1
+   | P.Error (P.Timeout, _) -> Obs.Metrics.incr m_timeouts 1
+   | P.Error (P.Overloaded, _) -> Obs.Metrics.incr m_overloaded 1
+   | P.Error _ -> Obs.Metrics.incr m_errors 1
+   | _ -> ());
+  Obs.Metrics.observe m_latency ms;
+  if Obs.Trace.enabled () then
+    Obs.Trace.event "service/request"
+      [ ("query", J.Str query);
+        ("ms", J.Float ms);
+        ( "outcome",
+          J.Str
+            (match resp with
+             | P.Result { rs_cached; _ } -> if rs_cached then "hit" else "executed"
+             | P.Error (code, _) -> P.err_code_to_string code
+             | _ -> "ok") ) ]
+
+let server_stats t =
+  [ ("connections", J.Int (List.length t.conns));
+    ("pending", J.Int (List.length t.pending));
+    ("queue_depth", J.Int (Pool.queue_depth t.pool));
+    ("running", J.Int (Pool.running t.pool));
+    ("workers", J.Int (Pool.workers t.pool));
+    ("timeouts", J.Int t.n_timeouts);
+    ("overloaded", J.Int t.n_overloaded);
+    ("default_timeout_ms", J.Int t.cfg.default_timeout_ms) ]
+
+let handle_request t conn ~id (req : P.request) =
+  match req with
+  | P.Ping -> send conn ~id P.Pong
+  | P.Install source -> send conn ~id (Engine.install t.engine source)
+  | P.List_queries -> send conn ~id (Engine.list_queries t.engine)
+  | P.Describe name -> send conn ~id (Engine.describe t.engine name)
+  | P.Drop name -> send conn ~id (Engine.drop t.engine name)
+  | P.Stats -> send conn ~id (Engine.stats t.engine ~extra:(server_stats t))
+  | P.Shutdown ->
+    send conn ~id P.Bye;
+    stop t
+  | P.Invoke iv ->
+    let t0 = now () in
+    (match Engine.prepare_invoke t.engine iv with
+     | `Ready resp ->
+       record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
+       send conn ~id resp
+     | `Run thunk ->
+       (match Pool.submit t.pool thunk with
+        | Ok job ->
+          let timeout_ms =
+            match iv.P.iv_timeout_ms with
+            | Some ms when ms > 0 -> ms
+            | _ -> t.cfg.default_timeout_ms
+          in
+          t.pending <-
+            { p_conn = conn; p_id = id; p_query = iv.P.iv_query; p_job = job;
+              p_deadline = t0 +. (float_of_int timeout_ms /. 1000.0); p_start = t0 }
+            :: t.pending
+        | Error `Overloaded ->
+          t.n_overloaded <- t.n_overloaded + 1;
+          let resp = P.Error (P.Overloaded, "admission queue full") in
+          record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
+          send conn ~id resp
+        | Error `Shutdown ->
+          send conn ~id (P.Error (P.Shutting_down, "server stopping"))))
+
+let handle_frame t conn = function
+  | Result.Error msg -> send conn ~id:0 (P.Error (P.Bad_request, msg))
+  | Ok payload ->
+    (match P.request_of_json payload with
+     | Result.Error msg -> send conn ~id:0 (P.Error (P.Bad_request, msg))
+     | Ok (id, req) -> handle_request t conn ~id req)
+
+let drain_conn_buffer t conn =
+  let rec go pos =
+    if not conn.alive then ()
+    else
+      match P.decode_frame conn.rbuf ~pos with
+      | `Need_more ->
+        if pos > 0 then conn.rbuf <- String.sub conn.rbuf pos (String.length conn.rbuf - pos)
+      | `Frame (frame, next) ->
+        handle_frame t conn frame;
+        go next
+  in
+  go 0
+
+let read_chunk_size = 65536
+
+let on_readable t conn =
+  let b = Bytes.create read_chunk_size in
+  match Unix.read conn.fd b 0 read_chunk_size with
+  | 0 -> close_conn t conn
+  | n ->
+    conn.rbuf <- conn.rbuf ^ Bytes.sub_string b 0 n;
+    drain_conn_buffer t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      if List.length t.conns >= t.cfg.max_connections then begin
+        (* Shed the connection with an explanation rather than a raw close. *)
+        (try P.write_frame fd (P.response_to_json ~id:0 (P.Error (P.Overloaded, "connection limit")))
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        t.conns <- { fd; rbuf = ""; alive = true } :: t.conns;
+        go ()
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let sweep_pending t =
+  let tick_now = now () in
+  let still =
+    List.filter
+      (fun p ->
+        if not p.p_conn.alive then false
+        else
+          match Pool.state p.p_job with
+          | Pool.Done resp ->
+            let ms = (tick_now -. p.p_start) *. 1000.0 in
+            record_outcome ~query:p.p_query ~ms resp;
+            send p.p_conn ~id:p.p_id resp;
+            false
+          | Pool.Failed msg ->
+            let resp = P.Error (P.Internal, msg) in
+            record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
+            send p.p_conn ~id:p.p_id resp;
+            false
+          | Pool.Queued | Pool.Running ->
+            if tick_now >= p.p_deadline then begin
+              t.n_timeouts <- t.n_timeouts + 1;
+              let resp =
+                P.Error
+                  (P.Timeout,
+                   Printf.sprintf "%s exceeded its deadline" p.p_query)
+              in
+              record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
+              send p.p_conn ~id:p.p_id resp;
+              false  (* abandoned: the worker finishes it into the cache *)
+            end
+            else true)
+      t.pending
+  in
+  t.pending <- still
+
+let run t =
+  let tick = 0.02 in
+  while not (Atomic.get t.stop_flag) do
+    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    Obs.Metrics.set_gauge m_connections (float_of_int (List.length t.conns));
+    Obs.Metrics.set_gauge m_queue_depth (float_of_int (Pool.queue_depth t.pool));
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    let readable, _, _ =
+      try Unix.select fds [] [] tick
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.memq t.listen_fd readable then accept_ready t;
+    List.iter
+      (fun conn -> if conn.alive && List.memq conn.fd readable then on_readable t conn)
+      t.conns;
+    sweep_pending t
+  done;
+  (* Drain: stop accepting, answer what the pool still finishes quickly,
+     fail the rest, then join the workers. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.listen with
+   | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | `Tcp _ -> ());
+  List.iter
+    (fun p ->
+      match Pool.state p.p_job with
+      | Pool.Done resp -> send p.p_conn ~id:p.p_id resp
+      | _ -> send p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping")))
+    t.pending;
+  t.pending <- [];
+  List.iter (fun c -> close_conn t c) t.conns;
+  t.conns <- [];
+  Pool.shutdown ~drain:false t.pool

@@ -1,0 +1,47 @@
+(** The concurrent GSQL service: a single-threaded event loop that speaks
+    the length-prefixed protocol over a Unix-domain or TCP socket and runs
+    invocations on a {!Pool} of worker domains.
+
+    The loop owns every socket and every {!Obs} touch point (metrics,
+    trace events) — workers only execute query thunks — so the
+    observability layer keeps its single-threaded contract.  Per-request
+    deadlines are enforced on the loop's select tick: a request whose
+    deadline passes gets a [timeout] error immediately and its job is
+    abandoned (the worker still finishes it and populates the cache; it
+    just has nobody to report to).
+
+    Pipelining is allowed: a client may send several requests on one
+    connection; invocation responses come back in completion order,
+    correlated by envelope id. *)
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : endpoint;
+  workers : int option;        (** [None] = {!Accum.Parallel.default_workers} *)
+  queue_capacity : int;        (** admission bound (queued, not running) *)
+  default_timeout_ms : int;    (** per-request deadline when the client sets none *)
+  max_connections : int;
+}
+
+val default_config : endpoint -> config
+(** workers = cores, queue 64, timeout 30s, 64 connections. *)
+
+type t
+
+val create : config -> Engine.t -> t
+(** Binds and listens (unlinking a stale Unix-socket path first).  The
+    worker pool starts here, so clients may connect as soon as [create]
+    returns even if {!run} starts later.  Raises [Unix.Unix_error] on bind
+    failure. *)
+
+val endpoint : t -> endpoint
+(** The bound address — for [`Tcp] with port 0, the actual port. *)
+
+val run : t -> unit
+(** Blocks in the event loop until {!stop} is called or a [shutdown]
+    request arrives, then closes every connection and joins the pool. *)
+
+val stop : t -> unit
+(** Thread/signal-safe: flips an atomic flag the loop observes on its next
+    tick.  Idempotent. *)

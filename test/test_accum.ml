@@ -479,6 +479,61 @@ let test_parallel_degenerate () =
   in
   Alcotest.check value "single item" (V.Int 5) (Acc.read one)
 
+(* --- Parallel.slices: the partitioning contract, degenerate cases first --- *)
+
+let check_partition ~n_items ~workers =
+  let slices = Accum.Parallel.slices n_items workers in
+  Alcotest.(check int) "one slice per worker" workers (List.length slices);
+  let total = List.fold_left (fun acc (_, len) -> acc + len) 0 slices in
+  Alcotest.(check int) "lengths cover the items" n_items total;
+  let _ =
+    List.fold_left
+      (fun expected (off, len) ->
+        Alcotest.(check int) "contiguous offsets" expected off;
+        Alcotest.(check bool) "non-negative length" true (len >= 0);
+        off + len)
+      0 slices
+  in
+  let lens = List.map snd slices in
+  let lo = List.fold_left min max_int lens and hi = List.fold_left max 0 lens in
+  Alcotest.(check bool) "balanced within one" true (hi - lo <= 1)
+
+let test_slices_degenerate () =
+  Alcotest.(check (list (pair int int))) "0 items, 1 worker" [ (0, 0) ] (Accum.Parallel.slices 0 1);
+  Alcotest.(check (list (pair int int)))
+    "0 items, 4 workers"
+    [ (0, 0); (0, 0); (0, 0); (0, 0) ]
+    (Accum.Parallel.slices 0 4);
+  Alcotest.(check (list (pair int int))) "workers = 1" [ (0, 7) ] (Accum.Parallel.slices 7 1);
+  (* workers > items: every item gets its own unit slice, the rest are empty. *)
+  Alcotest.(check (list (pair int int)))
+    "workers > items"
+    [ (0, 1); (1, 1); (2, 1); (3, 0); (3, 0) ]
+    (Accum.Parallel.slices 3 5)
+
+let test_slices_partition_laws () =
+  List.iter
+    (fun (n_items, workers) -> check_partition ~n_items ~workers)
+    [ (0, 1); (0, 4); (1, 1); (1, 8); (7, 1); (7, 3); (8, 4); (100, 7); (3, 5) ]
+
+let test_default_workers () =
+  Alcotest.(check bool) "at least one even for zero items" true
+    (Accum.Parallel.default_workers 0 >= 1);
+  Alcotest.(check int) "one item gets one worker" 1 (Accum.Parallel.default_workers 1);
+  Alcotest.(check bool) "bounded by recommendation" true
+    (Accum.Parallel.default_workers max_int <= Domain.recommended_domain_count ())
+
+let test_map_reduce_degenerate () =
+  let spec = Accum.Spec.Sum_int in
+  let run ?workers items =
+    Accum.Acc.read
+      (Accum.Parallel.map_reduce ?workers spec items ~feed:(fun acc x ->
+           Accum.Acc.input acc (Pgraph.Value.Int x)))
+  in
+  Alcotest.(check bool) "0 items" true (run [||] = Pgraph.Value.Int 0);
+  Alcotest.(check bool) "workers > items" true (run ~workers:8 [| 1; 2; 3 |] = Pgraph.Value.Int 6);
+  Alcotest.(check bool) "workers = 1" true (run ~workers:1 [| 1; 2; 3; 4 |] = Pgraph.Value.Int 10)
+
 let () =
   Alcotest.run "accum"
     [ ( "combiners",
@@ -506,7 +561,11 @@ let () =
         [ Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
           Alcotest.test_case "nested map accum" `Quick test_parallel_map_accum;
           Alcotest.test_case "multi-accumulator" `Quick test_parallel_many;
-          Alcotest.test_case "degenerate" `Quick test_parallel_degenerate ] );
+          Alcotest.test_case "degenerate" `Quick test_parallel_degenerate;
+          Alcotest.test_case "slices degenerate" `Quick test_slices_degenerate;
+          Alcotest.test_case "slices partition laws" `Quick test_slices_partition_laws;
+          Alcotest.test_case "default workers" `Quick test_default_workers;
+          Alcotest.test_case "map_reduce degenerate" `Quick test_map_reduce_degenerate ] );
       ( "state",
         [ Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "merge" `Quick test_merge ] );
