@@ -15,10 +15,14 @@
                 whole phase is result-cache hits (pure service overhead).
 
    Reports throughput and p50/p95/p99 client-side latency per phase, plus
-   the server's own cache counters.  Knobs: --clients N (default 4),
-   --requests N per client per phase (default 50), --workers N (self-host
-   only).  BENCH_JSON=<dir> writes a BENCH_gsql_client.json sidecar in the
-   same spirit as bench/main.ml's suites. *)
+   the server's own cache counters and the governor line (cancellations /
+   reclaimed / workers_leaked — CI greps it under fault injection).
+   Knobs: --clients N (default 4), --requests N per client per phase
+   (default 50), --workers N (self-host only), --timeout-ms MS per
+   invocation (timed-out requests are counted, not fatal), --retries N
+   (client-side retry on overloaded/transport errors).  BENCH_JSON=<dir>
+   writes a BENCH_gsql_client.json sidecar in the same spirit as
+   bench/main.ml's suites. *)
 
 module V = Pgraph.Value
 module P = Service.Protocol
@@ -48,13 +52,15 @@ type target = Self_host | Connect of Service.Server.endpoint
 let usage () =
   prerr_endline
     "usage: gsql_client [--connect SOCKET | --tcp HOST:PORT] [--clients N] \
-     [--requests N] [--workers N]";
+     [--requests N] [--workers N] [--timeout-ms MS] [--retries N]";
   exit 2
 
 let target = ref Self_host
 let clients = ref 4
 let requests = ref 50
 let workers = ref None
+let timeout_ms = ref None
+let retries = ref 0
 
 let () =
   let rec parse = function
@@ -79,6 +85,12 @@ let () =
     | "--workers" :: n :: rest ->
       workers := Some (int_of_string n);
       parse rest
+    | "--timeout-ms" :: n :: rest ->
+      timeout_ms := Some (int_of_string n);
+      parse rest
+    | "--retries" :: n :: rest ->
+      retries := int_of_string n;
+      parse rest
     | _ -> usage ()
   in
   (try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ());
@@ -100,56 +112,68 @@ type phase_stats = {
   ph_p95 : float;
   ph_p99 : float;
   ph_cached : int;  (** responses that came back with [cached] set *)
+  ph_timeouts : int;  (** timeout / resource_limit errors (governor fired) *)
+  ph_errors : int;  (** any other protocol error *)
 }
 
 let throughput st = float_of_int st.ph_total /. st.ph_wall_s
 
 (* One phase: [clients] domains, each opening its own connection and firing
-   [requests] synchronous invocations.  Client-side latency per request. *)
+   [requests] synchronous invocations.  Client-side latency per request.
+   Errors are outcomes, not failures: under induced deadlines (--timeout-ms
+   plus GSQL_FAULTS delays) a run is *supposed* to collect timeouts. *)
 let run_phase ep ~name ~no_cache =
   let worker () =
-    let c = Service.Client.connect ep in
+    let c = Service.Client.connect ?recv_timeout_ms:None ep in
     Fun.protect
       ~finally:(fun () -> Service.Client.close c)
       (fun () ->
         let lat = Array.make !requests 0.0 in
-        let cached = ref 0 in
+        let cached = ref 0 and timeouts = ref 0 and errors = ref 0 in
         for i = 0 to !requests - 1 do
           let t0 = Unix.gettimeofday () in
           (match
-             Service.Client.invoke c ~no_cache ~query:"CountPaths" ~params ()
+             Service.Client.invoke c ?timeout_ms:!timeout_ms ~retries:!retries ~no_cache
+               ~query:"CountPaths" ~params ()
            with
            | P.Result { rs_cached = true; _ } -> incr cached
            | P.Result _ -> ()
+           | P.Error ((P.Timeout | P.Resource_limit), _) -> incr timeouts
            | P.Error (code, msg) ->
-             Printf.eprintf "request failed: %s: %s\n%!" (P.err_code_to_string code) msg;
-             exit 1
+             incr errors;
+             Printf.eprintf "request failed: %s: %s\n%!" (P.err_code_to_string code) msg
            | _ ->
              prerr_endline "unexpected response";
              exit 1);
           lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
         done;
-        (lat, !cached))
+        (lat, !cached, !timeouts, !errors))
   in
   let t0 = Unix.gettimeofday () in
   let domains = List.init !clients (fun _ -> Domain.spawn worker) in
   let results = List.map Domain.join domains in
   let wall = Unix.gettimeofday () -. t0 in
-  let lats = Array.concat (List.map fst results) in
+  let lats = Array.concat (List.map (fun (l, _, _, _) -> l) results) in
   Array.sort compare lats;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
   { ph_name = name;
     ph_total = Array.length lats;
     ph_wall_s = wall;
     ph_p50 = percentile lats 50.0;
     ph_p95 = percentile lats 95.0;
     ph_p99 = percentile lats 99.0;
-    ph_cached = List.fold_left (fun acc (_, c) -> acc + c) 0 results }
+    ph_cached = sum (fun (_, c, _, _) -> c);
+    ph_timeouts = sum (fun (_, _, t, _) -> t);
+    ph_errors = sum (fun (_, _, _, e) -> e) }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 
 let print_table stats =
-  let headers = [ "phase"; "requests"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms"; "cached" ] in
+  let headers =
+    [ "phase"; "requests"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms"; "cached"; "timeouts";
+      "errors" ]
+  in
   let rows =
     List.map
       (fun st ->
@@ -159,7 +183,9 @@ let print_table stats =
           Printf.sprintf "%.3f" st.ph_p50;
           Printf.sprintf "%.3f" st.ph_p95;
           Printf.sprintf "%.3f" st.ph_p99;
-          string_of_int st.ph_cached ])
+          string_of_int st.ph_cached;
+          string_of_int st.ph_timeouts;
+          string_of_int st.ph_errors ])
       stats
   in
   let all = headers :: rows in
@@ -185,7 +211,9 @@ let phase_json st =
       ("p50_ms", J.Float st.ph_p50);
       ("p95_ms", J.Float st.ph_p95);
       ("p99_ms", J.Float st.ph_p99);
-      ("cached", J.Int st.ph_cached) ]
+      ("cached", J.Int st.ph_cached);
+      ("timeouts", J.Int st.ph_timeouts);
+      ("errors", J.Int st.ph_errors) ]
 
 let write_sidecar stats server_stats =
   match Sys.getenv_opt "BENCH_JSON" with
@@ -196,6 +224,8 @@ let write_sidecar stats server_stats =
         [ ("suite", J.Str "gsql_client");
           ("clients", J.Int !clients);
           ("requests_per_client", J.Int !requests);
+          ("timeout_ms", (match !timeout_ms with Some t -> J.Int t | None -> J.Null));
+          ("retries", J.Int !retries);
           ("phases", J.List (List.map phase_json stats));
           ("server", server_stats) ]
     in
@@ -207,6 +237,33 @@ let write_sidecar stats server_stats =
     Printf.eprintf "[sidecar] %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+
+let stats_int fields k =
+  match List.assoc_opt k fields with Some (J.Int n) -> Some n | _ -> None
+
+(* Fetch the server stats, waiting (bounded) for every cancelled worker to
+   be reclaimed so the governor line is deterministic: right after a
+   timeout a worker may still be unwinding to its next checkpoint. *)
+let fetch_server_stats ep =
+  let fetch () =
+    let c = Service.Client.connect ep in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close c)
+      (fun () -> match Service.Client.stats c with P.Stats_snapshot j -> j | _ -> J.Null)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    let j = fetch () in
+    let leaked =
+      match j with J.Obj fields -> stats_int fields "workers_leaked" | _ -> None
+    in
+    match leaked with
+    | Some n when n > 0 && Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.05;
+      settle ()
+    | _ -> j
+  in
+  settle ()
 
 let () =
   let self_hosted, ep =
@@ -258,19 +315,18 @@ let () =
       let cached = run_phase ep ~name:"cached" ~no_cache:false in
       let stats = [ executed; cached ] in
       print_table stats;
-      let server_stats =
-        let c = Service.Client.connect ep in
-        Fun.protect
-          ~finally:(fun () -> Service.Client.close c)
-          (fun () ->
-            match Service.Client.stats c with P.Stats_snapshot j -> j | _ -> J.Null)
-      in
+      let server_stats = fetch_server_stats ep in
       (match server_stats with
        | J.Obj fields ->
          (match List.assoc_opt "cache" fields with
           | Some (J.Obj cf) ->
-            let geti k = match List.assoc_opt k cf with Some (J.Int n) -> n | _ -> 0 in
+            let geti k = Option.value ~default:0 (stats_int cf k) in
             Printf.printf "server cache: %d hits / %d misses\n" (geti "hits") (geti "misses")
-          | _ -> ())
+          | _ -> ());
+         let geti k = Option.value ~default:0 (stats_int fields k) in
+         (* The governor line CI greps under fault injection. *)
+         Printf.printf
+           "server governor: cancellations: %d reclaimed: %d workers_leaked: %d timeouts: %d\n"
+           (geti "cancellations") (geti "reclaimed") (geti "workers_leaked") (geti "timeouts")
        | _ -> ());
       write_sidecar stats server_stats)

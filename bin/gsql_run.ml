@@ -271,8 +271,8 @@ let read_file path =
   close_in ic;
   src
 
-let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_conns
-    semantics_name install_files trace_file =
+let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_steps
+    max_rows max_conns semantics_name install_files trace_file =
   let graph = load_graph graph_spec in
   let semantics =
     match semantics_name with
@@ -298,7 +298,15 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
   (* The trace span stack is single-threaded; force one worker under
      --trace so query-internal spans cannot interleave across domains. *)
   let workers = if trace_file <> None && workers <> Some 1 then Some 1 else workers in
-  let engine = Service.Engine.create ~cache_capacity:cache_cap ?semantics ~graph () in
+  (* Governor limits: the serve-level timeout doubles as the budget
+     deadline default, so even a synchronous engine (no server sweep)
+     interrupts runaway executions; 0 disables a ceiling. *)
+  let limits =
+    { Interrupt.l_timeout_ms = (if timeout_ms > 0 then Some timeout_ms else None);
+      l_max_steps = (if max_steps > 0 then Some max_steps else None);
+      l_max_rows = (if max_rows > 0 then Some max_rows else None) }
+  in
+  let engine = Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~graph () in
   List.iter
     (fun path ->
       match Service.Engine.install engine (read_file path) with
@@ -314,8 +322,12 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       workers;
       queue_capacity = queue_cap;
       default_timeout_ms = timeout_ms;
-      max_connections = max_conns }
+      max_connections = max_conns;
+      faults = Service.Faults.from_env () }
   in
+  if not (Service.Faults.is_none cfg.Service.Server.faults) then
+    Printf.eprintf "fault injection active: %s\n%!"
+      (Service.Faults.to_string cfg.Service.Server.faults);
   let server = Service.Server.create cfg engine in
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Service.Server.stop server));
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Service.Server.stop server));
@@ -377,7 +389,22 @@ let cache_arg =
 let timeout_arg =
   Arg.(value & opt int 30_000
        & info [ "timeout-ms" ] ~docv:"MS"
-           ~doc:"Default per-request deadline; clients may override per invocation.")
+           ~doc:"Default per-request deadline; clients may override per invocation. Doubles as \
+                 the governor's default execution deadline, so a runaway query is cancelled at \
+                 its next checkpoint and its worker reclaimed (0 disables). ")
+
+let max_steps_arg =
+  Arg.(value & opt int 0
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Governor step budget per execution: interpreter statements, BFS frontier \
+                 states and scanned rows all count; exceeding it fails the invocation with \
+                 'resource_limit' (0 = unlimited).")
+
+let max_rows_arg =
+  Arg.(value & opt int 0
+       & info [ "max-rows" ] ~docv:"N"
+           ~doc:"Governor row ceiling: a single binding table or BFS frontier larger than \
+                 $(docv) fails the invocation with 'resource_limit' (0 = unlimited).")
 
 let max_conns_arg =
   Arg.(value & opt int 64
@@ -400,7 +427,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
-      $ timeout_arg $ max_conns_arg $ semantics_arg $ install_arg $ serve_trace_arg)
+      $ timeout_arg $ max_steps_arg $ max_rows_arg $ max_conns_arg $ semantics_arg
+      $ install_arg $ serve_trace_arg)
 
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in

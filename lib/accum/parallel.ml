@@ -17,25 +17,38 @@ let map_reduce_many ?workers (specs : Spec.t list) (items : 'a array)
     ~(feed : Acc.t array -> 'a -> unit) : Acc.t array =
   let n = Array.length items in
   let workers = match workers with Some w -> max 1 w | None -> default_workers n in
+  (* Governor: spawned domains inherit the caller's budget (the cancel
+     flag and step counter are shared atomics, so flipping the flag stops
+     every slice), and each item is a checkpoint tick. *)
+  let budget = Interrupt.current () in
   let run_slice (offset, len) =
-    let accs = Array.of_list (List.map Acc.create specs) in
-    for i = offset to offset + len - 1 do
-      feed accs items.(i)
-    done;
-    accs
+    Interrupt.with_current budget (fun () ->
+        let accs = Array.of_list (List.map Acc.create specs) in
+        for i = offset to offset + len - 1 do
+          Interrupt.tick ();
+          feed accs items.(i)
+        done;
+        accs)
   in
   match slices n workers with
   | [] -> Array.of_list (List.map Acc.create specs)
   | first :: rest ->
     let domains = List.map (fun slice -> Domain.spawn (fun () -> run_slice slice)) rest in
-    (* The current domain handles the first slice while the others run. *)
-    let result = run_slice first in
-    List.iter
-      (fun d ->
-        let partial = Domain.join d in
-        Array.iteri (fun i acc -> Acc.merge ~into:result.(i) acc) partial)
-      domains;
-    result
+    (* The current domain handles the first slice while the others run.
+       Every spawned domain is joined even when a slice raises
+       (e.g. Interrupt.Interrupted) so cancellation never leaks a domain;
+       the first failure is re-raised after the joins. *)
+    let mine = try Ok (run_slice first) with e -> Error e in
+    let partials = List.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains in
+    (match mine with
+     | Error e -> raise e
+     | Ok result ->
+       List.iter
+         (function
+           | Ok partial -> Array.iteri (fun i acc -> Acc.merge ~into:result.(i) acc) partial
+           | Error e -> raise e)
+         partials;
+       result)
 
 let map_reduce ?workers spec items ~feed =
   (map_reduce_many ?workers [ spec ] items ~feed:(fun accs item -> feed accs.(0) item)).(0)

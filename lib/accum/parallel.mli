@@ -11,7 +11,12 @@
     accumulator instance (no synchronization), and the partial states are
     combined with {!Acc.merge} — the homomorphism the property suite
     verifies.  For order-invariant accumulator types the result equals the
-    sequential fold regardless of partitioning. *)
+    sequential fold regardless of partitioning.
+
+    Cooperative cancellation: worker domains inherit the caller's
+    {!Interrupt} budget, tick once per item, and are always joined —
+    cancelling a governed caller interrupts every slice without leaking a
+    domain (the first slice failure is re-raised after all joins). *)
 
 val default_workers : int -> int
 (** [default_workers n_items] is the worker count used when [?workers] is

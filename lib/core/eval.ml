@@ -476,6 +476,14 @@ let eval_conjunct ctx ~(alias_pred : string -> int -> bool) (bt : binding_table)
     in
     ignore dst_bound;
     bt.rows <- rows
+  end;
+  (* Governor checkpoint: the joined table is the unbounded product in a
+     SELECT — charge its size and enforce the row ceiling.  Guarded so
+     ungoverned runs never pay the List.length. *)
+  if Interrupt.governed () then begin
+    let n = List.length bt.rows in
+    Interrupt.check_rows n;
+    Interrupt.tick_n n
   end
 
 let collect_aliases (from : Ast.conjunct list) =
@@ -650,6 +658,7 @@ let exec_accum ctx (bt : binding_table) stmts =
         let phase = Accum.Store.begin_phase ctx.store in
         List.iter
           (fun r ->
+            Interrupt.tick ();
             let locals = Hashtbl.create 8 in
             let overlay = overlay_create () in
             let env = row_env ctx bt r locals overlay in
@@ -697,6 +706,7 @@ let exec_post_accum_inner ctx (bt : binding_table) stmts =
            let seen = Hashtbl.create 64 in
            List.iter
              (fun r ->
+               Interrupt.tick ();
                let v = r.verts.(slot) in
                if v >= 0 && not (Hashtbl.mem seen v) then begin
                  Hashtbl.add seen v ();
@@ -1056,6 +1066,10 @@ let resolve_set_types ctx types =
          types)
 
 let rec exec_stmt ctx (s : Ast.stmt) =
+  (* Governor checkpoint: one tick per statement covers WHILE/FOREACH
+     iterations (each body statement re-enters here), so a pure spin loop
+     cannot outrun its budget. *)
+  Interrupt.tick ();
   match s with
   | Ast.S_acc_decl d ->
     let init =
@@ -1130,6 +1144,9 @@ let rec exec_stmt ctx (s : Ast.stmt) =
     let i = ref 0 in
     Obs.Trace.span "while" (fun () ->
         while !i < max_iters && V.to_bool (eval_expr (plain_env ctx) cond) do
+          (* Ticked here too: a WHILE with an empty body never re-enters
+             exec_stmt, yet must still hit checkpoints. *)
+          Interrupt.tick ();
           Obs.Trace.span "iter" (fun () ->
               Obs.Trace.set_attr "i" (Obs.Json.Int !i);
               List.iter (exec_stmt ctx) body);

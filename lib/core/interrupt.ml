@@ -1,0 +1,122 @@
+type reason = Cancelled | Deadline | Steps | Rows
+
+exception Interrupted of reason
+
+let reason_to_string = function
+  | Cancelled -> "cancelled"
+  | Deadline -> "deadline"
+  | Steps -> "steps"
+  | Rows -> "rows"
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted r -> Some (Printf.sprintf "Interrupt.Interrupted(%s)" (reason_to_string r))
+    | _ -> None)
+
+type limits = {
+  l_timeout_ms : int option;
+  l_max_steps : int option;
+  l_max_rows : int option;
+}
+
+let no_limits = { l_timeout_ms = None; l_max_steps = None; l_max_rows = None }
+
+type budget = {
+  b_cancel : bool Atomic.t;
+  b_deadline : float;  (* absolute gettimeofday; infinity = none *)
+  b_max_steps : int;  (* max_int = none *)
+  b_max_rows : int;  (* max_int = none *)
+  b_steps : int Atomic.t;  (* shared across domains under this budget *)
+}
+
+let check_interval = 256
+
+let make ?cancel ?(deadline = infinity) ?(max_steps = max_int) ?(max_rows = max_int) () =
+  {
+    b_cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+    b_deadline = deadline;
+    b_max_steps = max_steps;
+    b_max_rows = max_rows;
+    b_steps = Atomic.make 0;
+  }
+
+let of_limits ?cancel ?now limits =
+  let deadline =
+    match limits.l_timeout_ms with
+    | None -> infinity
+    | Some ms ->
+        let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+        now +. (float_of_int ms /. 1000.)
+  in
+  make ?cancel ~deadline
+    ?max_steps:limits.l_max_steps
+    ?max_rows:limits.l_max_rows
+    ()
+
+let cancel b = Atomic.set b.b_cancel true
+let cancel_token b = b.b_cancel
+let cancelled b = Atomic.get b.b_cancel
+let deadline b = b.b_deadline
+let steps b = Atomic.get b.b_steps
+
+(* Per-domain governor slot: the installed budget plus a local credit
+   counter so the amortization needs no cross-domain coordination. *)
+type slot = { sb : budget; s_interval : int; mutable credit : int }
+
+let key : slot option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let n_checks = Atomic.make 0
+let checks_performed () = Atomic.get n_checks
+
+(* Budgets with a small step ceiling check more often than the global
+   interval, so tiny test budgets are enforced with useful granularity. *)
+let interval_for b =
+  if b.b_max_steps = max_int then check_interval
+  else max 1 (min check_interval (b.b_max_steps / 4))
+
+let check_now b ~consumed =
+  Atomic.incr n_checks;
+  let total =
+    if consumed = 0 then Atomic.get b.b_steps
+    else Atomic.fetch_and_add b.b_steps consumed + consumed
+  in
+  if Atomic.get b.b_cancel then raise (Interrupted Cancelled);
+  if b.b_deadline < infinity && Unix.gettimeofday () >= b.b_deadline then
+    raise (Interrupted Deadline);
+  if total > b.b_max_steps then raise (Interrupted Steps)
+
+let tick_n n =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some s ->
+      s.credit <- s.credit - n;
+      if s.credit <= 0 then begin
+        let consumed = s.s_interval - s.credit in
+        s.credit <- s.s_interval;
+        check_now s.sb ~consumed
+      end
+
+let tick () = tick_n 1
+
+let check_rows n =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some s ->
+      if n > s.sb.b_max_rows then raise (Interrupted Rows);
+      (* Row materialization points are rare and already O(n); use them
+         as hard checkpoints so cancellation is noticed between ticks. *)
+      check_now s.sb ~consumed:0
+
+let governed () = Domain.DLS.get key <> None
+
+let with_budget b f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some { sb = b; s_interval = interval_for b; credit = interval_for b });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) (fun () ->
+      check_now b ~consumed:0;
+      f ())
+
+let with_current cur f =
+  match cur with Some b -> with_budget b f | None -> f ()
+
+let current () =
+  match Domain.DLS.get key with None -> None | Some s -> Some s.sb

@@ -1,0 +1,120 @@
+(** Cooperative cancellation and per-execution resource budgets.
+
+    The query governor: a [budget] bundles an atomic cancel flag, a
+    wall-clock deadline and step/row ceilings. Long-running code
+    (interpreter loops, BFS frontiers, parallel reduce slices) calls
+    [tick]/[tick_n] at every unbounded-loop iteration and [check_rows]
+    when it materializes a row set; both are near-free when no budget is
+    installed and amortized to one real check (atomic load + clock read)
+    per a few hundred ticks when one is.
+
+    Budgets are installed per domain via [with_budget] and inherited
+    explicitly across [Domain.spawn] with [current]/[with_current] — the
+    cancel flag and the step counter are shared (atomic), so cancelling
+    a budget stops every domain cooperating on the same execution.
+
+    Exceeding any limit raises {!Interrupted}, which unwinds without
+    corrupting shared state by construction: accumulator snapshot phases
+    that are never committed are simply discarded ([Accum.Store]), and
+    every service execution runs against a private store anyway.
+
+    This module lives in its own dune library ([interrupt]) below
+    [pathsem]/[accum]/[gsql] so every engine layer can checkpoint. *)
+
+type reason =
+  | Cancelled  (** the cancel flag was flipped (server reclaim, client gone) *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Steps  (** the step budget (checkpoint ticks) is exhausted *)
+  | Rows  (** a single row set / frontier exceeded the row ceiling *)
+
+exception Interrupted of reason
+
+val reason_to_string : reason -> string
+
+(** {1 Limits — the configuration record} *)
+
+type limits = {
+  l_timeout_ms : int option;  (** default wall-clock deadline per execution *)
+  l_max_steps : int option;  (** checkpoint-tick ceiling per execution *)
+  l_max_rows : int option;  (** binding-table row / BFS frontier-width ceiling *)
+}
+
+val no_limits : limits
+
+(** {1 Budgets} *)
+
+type budget
+
+val make :
+  ?cancel:bool Atomic.t ->
+  ?deadline:float ->
+  ?max_steps:int ->
+  ?max_rows:int ->
+  unit ->
+  budget
+(** [make ()] with no arguments is a pure cancel token: no deadline, no
+    ceilings, interruptible only via [cancel]. [deadline] is an absolute
+    [Unix.gettimeofday] timestamp. *)
+
+val of_limits : ?cancel:bool Atomic.t -> ?now:float -> limits -> budget
+(** Budget from a config record; [now] (default: the current time)
+    anchors the deadline when [l_timeout_ms] is set. *)
+
+val cancel : budget -> unit
+(** Flip the cancel flag. Safe from any thread/domain; every domain
+    running under this budget raises [Interrupted Cancelled] at its next
+    checkpoint. Idempotent. *)
+
+val cancel_token : budget -> bool Atomic.t
+val cancelled : budget -> bool
+
+val deadline : budget -> float
+(** [infinity] when the budget has no deadline. *)
+
+val steps : budget -> int
+(** Checkpoint ticks charged so far (summed across domains). *)
+
+(** {1 Installing a budget} *)
+
+val with_budget : budget -> (unit -> 'a) -> 'a
+(** Run a thunk governed by [budget] on the calling domain. Performs one
+    immediate check (so a pre-cancelled budget raises before any work),
+    restores the previously installed budget on exit, exception-safe. *)
+
+val current : unit -> budget option
+(** The budget governing the calling domain, if any — capture before
+    [Domain.spawn] and reinstall in the child with [with_current]. *)
+
+val with_current : budget option -> (unit -> 'a) -> 'a
+(** [with_current (Some b) f = with_budget b f]; [with_current None f]
+    runs [f] ungoverned. *)
+
+val governed : unit -> bool
+(** True when a budget is installed on the calling domain. Guard for
+    checkpoint bookkeeping that is not already free (e.g. computing a
+    frontier width only to feed [check_rows]). *)
+
+(** {1 Checkpoints} *)
+
+val tick : unit -> unit
+(** Charge one step. No budget installed: one domain-local read. Budget
+    installed: decrement a local credit counter; every
+    [check_interval]-ish ticks do the real check — cancel flag, clock
+    vs. deadline, steps vs. ceiling — and raise [Interrupted _] on any
+    violation. *)
+
+val tick_n : int -> unit
+(** Charge [n] steps at once (e.g. one BFS hop of width [n]). *)
+
+val check_rows : int -> unit
+(** Raise [Interrupted Rows] if [n] exceeds the installed row ceiling.
+    Also forces a full check, so huge-row paths notice cancellation even
+    between ticks. *)
+
+val check_interval : int
+(** Upper bound on ticks between real checks (budgets with small step
+    ceilings check more often). *)
+
+val checks_performed : unit -> int
+(** Process-wide count of real (non-amortized) checks — observability
+    for tests asserting the amortization actually engages. *)

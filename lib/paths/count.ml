@@ -35,12 +35,19 @@ let single_source_inner g (dfa : Darpe.Dfa.t) src ~hop_widths =
   while !frontier <> [] do
     let next = ref [] in
     let d = !level in
-    if record || hop_widths <> None then begin
+    let governed = Interrupt.governed () in
+    if record || governed || hop_widths <> None then begin
       let width = List.length !frontier in
       if record then begin
         Obs.Metrics.incr m_bfs_hops 1;
         Obs.Metrics.incr m_bfs_states width;
         Obs.Metrics.observe h_frontier (float_of_int width)
+      end;
+      (* Governor checkpoint, once per hop: the frontier width is both
+         the step charge for this hop and the row ceiling subject. *)
+      if governed then begin
+        Interrupt.check_rows width;
+        Interrupt.tick_n width
       end;
       match hop_widths with Some ws -> ws := width :: !ws | None -> ()
     end;

@@ -46,6 +46,7 @@ let match_pairs_inner g ast sem ~sources ~dst_ok =
    | Semantics.All_shortest ->
      Array.iter
        (fun src ->
+         Interrupt.tick ();
          let r = Count.single_source g dfa src in
          Array.iteri
            (fun dst d ->
@@ -56,6 +57,7 @@ let match_pairs_inner g ast sem ~sources ~dst_ok =
    | Semantics.Existential ->
      Array.iter
        (fun src ->
+         Interrupt.tick ();
          let r = Count.single_source g dfa src in
          Array.iteri
            (fun dst d ->
@@ -69,6 +71,7 @@ let match_pairs_inner g ast sem ~sources ~dst_ok =
    | Semantics.Unrestricted_bounded _ ->
      Array.iter
        (fun src ->
+         Interrupt.tick ();
          (* Per-destination multiplicity accumulated by materializing every
             legal path — the exponential baseline. *)
          let counts : (int, B.t ref) Hashtbl.t = Hashtbl.create 64 in

@@ -52,6 +52,7 @@ let backward_product_dists g (dfa : Darpe.Dfa.t) ~dst =
     let next = ref [] in
     List.iter
       (fun pid ->
+        Interrupt.tick ();
         let v = pid / nq and q = pid mod nq in
         (* A predecessor u crossed a half-edge into v; from v's adjacency,
            that edge appears with the flipped relation. *)
@@ -94,6 +95,10 @@ let dfs_enumerate g (dfa : Darpe.Dfa.t) ~src ~dst ~max_len ~admit ~enter ~leave 
       f (path_of_trail src rev_trail)
   in
   let rec go v q depth rev_trail =
+    (* Governor checkpoint per node expansion: enumeration is the
+       deliberately-exponential engine, so this is where runaway queries
+       actually get caught. *)
+    Interrupt.tick ();
     emit v q rev_trail;
     if (match max_len with None -> true | Some m -> depth < m) then
       G.iter_adjacent g v (fun h ->
@@ -144,6 +149,7 @@ let iter_shortest_to g (dfa : Darpe.Dfa.t) ~src ~dst f =
   let total = bdist.(start_pid) in
   if total >= 0 then begin
     let rec go v q depth rev_trail =
+      Interrupt.tick ();
       if depth = total then begin
         if dfa.Darpe.Dfa.accepting.(q) && v = dst then f (path_of_trail src rev_trail)
       end

@@ -1,18 +1,23 @@
 (* Blocking protocol client: a connected socket, an id counter, and a
-   reorder buffer for pipelined use. *)
+   reorder buffer for pipelined use.  The endpoint is retained so the
+   retry path can reconnect after a transport failure. *)
 
 module P = Protocol
 
 exception Error of string
 
 type t = {
-  fd : Unix.file_descr;
+  ep : Server.endpoint;
+  recv_timeout_ms : int option;
+  mutable fd : Unix.file_descr;
   mutable next_id : int;
   mutable stash : (int * P.response) list;  (* received, not yet claimed *)
   mutable open_ : bool;
+  mutable rng : int;  (* deterministic jitter state (LCG) *)
+  mutable last_attempts : int;
 }
 
-let connect (ep : Server.endpoint) =
+let connect_fd (ep : Server.endpoint) =
   let domain, addr =
     match ep with
     | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -23,13 +28,31 @@ let connect (ep : Server.endpoint) =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; next_id = 1; stash = []; open_ = true }
+  fd
+
+let connect ?recv_timeout_ms (ep : Server.endpoint) =
+  (* Writes to a server that vanished mid-call must raise EPIPE (mapped
+     to {!Error} below, retryable) rather than kill the process. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  { ep; recv_timeout_ms; fd = connect_fd ep; next_id = 1; stash = []; open_ = true;
+    rng = 0x2545F49; last_attempts = 0 }
 
 let close t =
   if t.open_ then begin
     t.open_ <- false;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* Drop the broken socket and dial the endpoint again.  In-flight
+   correlation state dies with the old connection; ids keep increasing so
+   stale frames (there can be none — the fd is closed) never collide. *)
+let reconnect t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.stash <- [];
+  t.open_ <- false;
+  let fd = connect_fd t.ep in
+  t.fd <- fd;
+  t.open_ <- true
 
 let send t req =
   if not t.open_ then raise (Error "client closed");
@@ -40,6 +63,17 @@ let send t req =
   id
 
 let read_one t =
+  (match t.recv_timeout_ms with
+   | None -> ()
+   | Some ms ->
+     (* Bound the wait for the *start* of a response frame — the guard
+        that turns a dropped frame (Faults.drop_frame, dead server) into
+        a retryable Error instead of a hang. *)
+     let timeout = float_of_int ms /. 1000.0 in
+     (match Unix.select [ t.fd ] [] [] timeout with
+      | [], _, _ -> raise (Error "receive timeout")
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> raise (Error "receive timeout")));
   match P.read_frame t.fd with
   | Result.Error `Eof -> raise (Error "connection closed by server")
   | Result.Error (`Err msg) -> raise (Error msg)
@@ -75,11 +109,57 @@ let call t req =
 
 let install t source = call t (P.Install source)
 
-let invoke t ?timeout_ms ?(no_cache = false) ~query ~params () =
-  call t
-    (P.Invoke
-       { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms;
-         iv_no_cache = no_cache })
+(* Deterministic uniform in [0.5, 1.0): jitter that spreads retriers
+   without making tests flaky. *)
+let jitter t =
+  t.rng <- (t.rng * 1103515245) + 12345;
+  let u = float_of_int (abs (t.rng lsr 7) mod 1024) /. 1024.0 in
+  0.5 +. (0.5 *. u)
+
+let last_attempts t = t.last_attempts
+
+let invoke t ?timeout_ms ?(no_cache = false) ?(retries = 0) ?(backoff_ms = 25)
+    ?(max_backoff_ms = 2_000) ~query ~params () =
+  let req =
+    P.Invoke
+      { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms;
+        iv_no_cache = no_cache }
+  in
+  let backoff_of attempt =
+    let base = float_of_int backoff_ms *. Float.pow 2.0 (float_of_int attempt) in
+    Float.min base (float_of_int max_backoff_ms) *. jitter t /. 1000.0
+  in
+  let rec go attempt =
+    t.last_attempts <- attempt + 1;
+    let outcome =
+      (* Overloaded responses and transport failures are the transient
+         class: the server shed load or the connection broke.  Timeouts,
+         resource limits and exec errors are not retried — the same query
+         would burn the same budget again. *)
+      match call t req with
+      | P.Error (P.Overloaded, _) as resp -> `Transient resp
+      | resp -> `Final resp
+      | exception Error msg -> `Broken msg
+    in
+    match outcome with
+    | `Final resp -> resp
+    | `Transient resp ->
+      if attempt >= retries then resp
+      else begin
+        Unix.sleepf (backoff_of attempt);
+        go (attempt + 1)
+      end
+    | `Broken msg ->
+      if attempt >= retries then raise (Error msg)
+      else begin
+        Unix.sleepf (backoff_of attempt);
+        (* Endpoint may still be down: leave the client closed and let
+           the next attempt reconnect again from the Broken branch. *)
+        (try reconnect t with _ -> ());
+        go (attempt + 1)
+      end
+  in
+  go 0
 
 let stats t = call t P.Stats
 let ping t = call t P.Ping

@@ -4,16 +4,26 @@
     correlation id, sends, and reads until that id's response arrives
     (buffering any out-of-order responses from earlier pipelined sends).
     {!send}/{!recv} expose the pipelined layer directly for load drivers
-    and tests. *)
+    and tests.
+
+    {!invoke} optionally retries the transient failure class —
+    [overloaded] responses and transport errors (broken socket, receive
+    timeout) — with capped exponential backoff and deterministic jitter,
+    reconnecting to the remembered endpoint as needed.  Timeouts,
+    resource limits and execution errors are never retried: replaying
+    those burns the same budget for the same outcome. *)
 
 type t
 
 exception Error of string
-(** Transport failure: refused/oversized frame, unparsable response, or a
-    connection closed mid-call. *)
+(** Transport failure: refused/oversized frame, unparsable response, a
+    connection closed mid-call, or a receive timeout. *)
 
-val connect : Server.endpoint -> t
-(** Raises [Unix.Unix_error] when nothing listens there. *)
+val connect : ?recv_timeout_ms:int -> Server.endpoint -> t
+(** Raises [Unix.Unix_error] when nothing listens there.
+    [recv_timeout_ms] bounds the wait for each response frame to start
+    (raising {!Error}[ "receive timeout"]) — without it a lost response
+    frame blocks forever. *)
 
 val close : t -> unit
 
@@ -30,9 +40,21 @@ val recv : t -> int * Protocol.response
     protocol-level errors come back as [Protocol.Error])} *)
 
 val install : t -> string -> Protocol.response
+
 val invoke :
-  t -> ?timeout_ms:int -> ?no_cache:bool ->
+  t -> ?timeout_ms:int -> ?no_cache:bool -> ?retries:int -> ?backoff_ms:int ->
+  ?max_backoff_ms:int ->
   query:string -> params:(string * Pgraph.Value.t) list -> unit -> Protocol.response
+(** Up to [1 + retries] attempts (default [retries = 0]: exactly the old
+    single-shot behavior).  Attempt [k]'s delay is
+    [min (backoff_ms * 2^k) max_backoff_ms] scaled by a deterministic
+    jitter in [0.5, 1.0) (defaults: 25 ms base, 2 s cap).  After the cap,
+    the last [overloaded] response is returned (or the last transport
+    {!Error} re-raised). *)
+
+val last_attempts : t -> int
+(** Attempts consumed by the most recent {!invoke} (1 = no retry). *)
+
 val stats : t -> Protocol.response
 val ping : t -> Protocol.response
 val shutdown : t -> Protocol.response

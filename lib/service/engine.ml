@@ -14,24 +14,33 @@ type t = {
   catalog : Gsql.Catalog.t;
   cache : P.exec_result Cache.t;
   semantics : Pathsem.Semantics.t option;
+  limits : Interrupt.limits;  (* governor defaults; iv_timeout_ms overrides the deadline *)
   lock : Mutex.t;  (* guards graph/version swaps and the counters *)
   mutable graph : Pgraph.Graph.t;
   mutable version : int;
   mutable n_invocations : int;
   mutable n_executed : int;
   mutable n_errors : int;
+  mutable n_interrupted : int;
 }
 
-let create ?(cache_capacity = 128) ?semantics ~graph () =
+type prepared = {
+  pr_budget : Interrupt.budget;
+  pr_thunk : unit -> P.response;
+}
+
+let create ?(cache_capacity = 128) ?semantics ?(limits = Interrupt.no_limits) ~graph () =
   { catalog = Gsql.Catalog.create ();
     cache = Cache.create ~capacity:cache_capacity ();
     semantics;
+    limits;
     lock = Mutex.create ();
     graph;
     version = 0;
     n_invocations = 0;
     n_executed = 0;
-    n_errors = 0 }
+    n_errors = 0;
+    n_interrupted = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -126,28 +135,55 @@ let prepare_invoke t (iv : P.invoke) =
        (match hit with
         | Some r -> `Ready (P.Result { rs_cached = true; rs_ms = 0.0; rs_result = r })
         | None ->
-          `Run
-            (fun () ->
-              let t0 = Unix.gettimeofday () in
-              match
-                Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q
-              with
-              | result ->
-                let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-                let r = P.of_eval_result result in
-                Cache.store t.cache key r;
-                locked t (fun () -> t.n_executed <- t.n_executed + 1);
-                P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
-              | exception Gsql.Eval.Runtime_error msg ->
-                locked t (fun () -> t.n_errors <- t.n_errors + 1);
-                P.Error (P.Exec_error, msg))))
+          (* Governor budget for this execution: the per-invoke timeout
+             overrides the engine default; step/row ceilings always come
+             from the engine limits.  Built at prepare time so queue wait
+             counts against the deadline (matching the server's own
+             bookkeeping), and exposed so the server can flip its cancel
+             flag to reclaim the worker. *)
+          let limits =
+            { t.limits with
+              Interrupt.l_timeout_ms =
+                (match iv.P.iv_timeout_ms with
+                 | Some ms when ms > 0 -> Some ms
+                 | _ -> t.limits.Interrupt.l_timeout_ms) }
+          in
+          let budget = Interrupt.of_limits limits in
+          let thunk () =
+            let t0 = Unix.gettimeofday () in
+            match
+              Interrupt.with_budget budget (fun () ->
+                  Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q)
+            with
+            | result ->
+              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+              let r = P.of_eval_result result in
+              Cache.store t.cache key r;
+              locked t (fun () -> t.n_executed <- t.n_executed + 1);
+              P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+            | exception Gsql.Eval.Runtime_error msg ->
+              locked t (fun () -> t.n_errors <- t.n_errors + 1);
+              P.Error (P.Exec_error, msg)
+            | exception Interrupt.Interrupted reason ->
+              (* Nothing is cached: the execution's private store and its
+                 uncommitted phases die with the unwind. *)
+              locked t (fun () -> t.n_interrupted <- t.n_interrupted + 1);
+              let msg =
+                Printf.sprintf "%s interrupted (%s)" iv.P.iv_query
+                  (Interrupt.reason_to_string reason)
+              in
+              (match reason with
+               | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg)
+               | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg))
+          in
+          `Run { pr_budget = budget; pr_thunk = thunk }))
 
 let invoke t iv =
-  match prepare_invoke t iv with `Ready r -> r | `Run thunk -> thunk ()
+  match prepare_invoke t iv with `Ready r -> r | `Run p -> p.pr_thunk ()
 
 let stats t ~extra =
-  let invocations, executed, errors, version =
-    locked t (fun () -> (t.n_invocations, t.n_executed, t.n_errors, t.version))
+  let invocations, executed, errors, interrupted, version =
+    locked t (fun () -> (t.n_invocations, t.n_executed, t.n_errors, t.n_interrupted, t.version))
   in
   P.Stats_snapshot
     (J.Obj
@@ -156,5 +192,6 @@ let stats t ~extra =
           ("invocations", J.Int invocations);
           ("executed", J.Int executed);
           ("errors", J.Int errors);
+          ("interrupted", J.Int interrupted);
           ("cache", Cache.stats t.cache) ]
        @ extra))

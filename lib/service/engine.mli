@@ -20,7 +20,11 @@ type t
 val create :
   ?cache_capacity:int ->
   ?semantics:Pathsem.Semantics.t ->
+  ?limits:Interrupt.limits ->
   graph:Pgraph.Graph.t -> unit -> t
+(** [limits] are the governor defaults for every execution (default
+    {!Interrupt.no_limits}): [l_timeout_ms] is the deadline when the
+    invoke carries none, [l_max_steps]/[l_max_rows] always apply. *)
 
 val graph : t -> Pgraph.Graph.t
 val graph_version : t -> int
@@ -40,13 +44,23 @@ val drop : t -> string -> Protocol.response
 
 (** {1 Invocation} *)
 
+type prepared = {
+  pr_budget : Interrupt.budget;
+      (** the execution's governor budget — flip with {!Interrupt.cancel}
+          (or share [Interrupt.cancel_token] with {!Pool.submit}) to stop
+          the run at its next checkpoint *)
+  pr_thunk : unit -> Protocol.response;
+}
+
 val prepare_invoke :
-  t -> Protocol.invoke ->
-  [ `Ready of Protocol.response | `Run of unit -> Protocol.response ]
+  t -> Protocol.invoke -> [ `Ready of Protocol.response | `Run of prepared ]
 (** [`Ready] carries a cache hit or an immediate error (unknown query,
-    missing/unknown parameters); [`Run] is the execution thunk — it runs the
-    query, stores the result in the cache and returns the [Result]
-    response.  Safe to run on a worker domain. *)
+    missing/unknown parameters); [`Run] is the execution thunk — it runs
+    the query under its budget, stores the result in the cache and returns
+    the [Result] response.  Safe to run on a worker domain.  An
+    interrupted execution caches nothing and maps to [Error (Timeout, _)]
+    (cancelled / deadline) or [Error (Resource_limit, _)] (step/row
+    budget). *)
 
 val invoke : t -> Protocol.invoke -> Protocol.response
 (** [prepare_invoke] collapsed for synchronous callers (tests, the bench

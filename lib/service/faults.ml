@@ -1,0 +1,91 @@
+exception Injected_fault of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault what -> Some (Printf.sprintf "Injected_fault(%s)" what)
+    | _ -> None)
+
+type t = {
+  delay_worker_ms : int;  (* 0 = off *)
+  crash_every : int;  (* 0 = off; else every Nth worker execution raises *)
+  drop_frame_every : int;  (* 0 = off; else every Nth response frame is dropped *)
+  slow_read_ms : int;  (* 0 = off *)
+  n_worker : int Atomic.t;  (* worker executions seen (crash counter) *)
+  n_frames : int Atomic.t;  (* outbound frames seen (drop counter) *)
+}
+
+let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slow_read_ms = 0) ()
+    =
+  { delay_worker_ms;
+    crash_every;
+    drop_frame_every;
+    slow_read_ms;
+    n_worker = Atomic.make 0;
+    n_frames = Atomic.make 0 }
+
+let none = make ()
+
+let is_none t =
+  t.delay_worker_ms = 0 && t.crash_every = 0 && t.drop_frame_every = 0 && t.slow_read_ms = 0
+
+let to_string t =
+  let knobs =
+    List.filter_map
+      (fun (k, v) -> if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+      [ ("delay-in-worker", t.delay_worker_ms);
+        ("crash-in-worker", t.crash_every);
+        ("drop-frame", t.drop_frame_every);
+        ("slow-read", t.slow_read_ms) ]
+  in
+  String.concat "," knobs
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" then Ok none
+  else
+    let parts = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok acc
+      | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "fault knob %S: expected knob=value" part)
+        | Some i -> (
+          let k = String.trim (String.sub part 0 i) in
+          let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> (
+            match k with
+            | "delay-in-worker" -> go { acc with delay_worker_ms = n } rest
+            | "crash-in-worker" -> go { acc with crash_every = n } rest
+            | "drop-frame" -> go { acc with drop_frame_every = n } rest
+            | "slow-read" -> go { acc with slow_read_ms = n } rest
+            | _ -> Error (Printf.sprintf "unknown fault knob %S" k))
+          | _ ->
+            Error (Printf.sprintf "fault knob %S: value must be a non-negative integer" part)))
+    in
+    go (make ()) parts
+
+let from_env () =
+  match Sys.getenv_opt "GSQL_FAULTS" with
+  | None -> none
+  | Some spec -> (
+    match parse spec with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "GSQL_FAULTS ignored: %s\n%!" msg;
+      none)
+
+(* Nth-occurrence check: atomically count occurrences, fire on multiples
+   of [every] — deterministic under concurrency up to interleaving. *)
+let nth_hit counter every =
+  every > 0 && (Atomic.fetch_and_add counter 1 + 1) mod every = 0
+
+let worker_entry t =
+  if t.delay_worker_ms > 0 then Unix.sleepf (float_of_int t.delay_worker_ms /. 1000.0);
+  if nth_hit t.n_worker t.crash_every then
+    raise (Injected_fault (Printf.sprintf "crash-in-worker (execution %d)" (Atomic.get t.n_worker)))
+
+let drop_frame t = nth_hit t.n_frames t.drop_frame_every
+
+let before_read t =
+  if t.slow_read_ms > 0 then Unix.sleepf (float_of_int t.slow_read_ms /. 1000.0)

@@ -1,0 +1,61 @@
+(** Deterministic fault injection for the service layer.
+
+    Every failure path the governor and retry machinery must handle —
+    slow workers, crashing workers, lost response frames, dribbling
+    reads — can be provoked on demand, either programmatically (tests
+    build a [t] and put it in the server config) or from the
+    environment ([GSQL_FAULTS], picked up by {!Server.default_config}
+    so CI can fault an unmodified binary).
+
+    Spec syntax: comma-separated [knob=value] pairs —
+
+    {v
+    GSQL_FAULTS="delay-in-worker=40,crash-in-worker=3,drop-frame=5,slow-read=10"
+    v}
+
+    - [delay-in-worker=MS] — every worker execution sleeps MS first
+      (turns any query into a deadline candidate);
+    - [crash-in-worker=N] — every Nth worker execution raises
+      {!Injected_fault} (exercises the crash → protocol-error path);
+    - [drop-frame=N] — every Nth outbound response frame is silently
+      discarded (exercises client receive timeouts / retry);
+    - [slow-read=MS] — the server sleeps MS before each socket read
+      (exercises slow-client handling on the event loop).
+
+    "Every Nth" counters are per-[t] atomics, so tests are
+    deterministic: with [crash-in-worker=3], exactly the 3rd, 6th, …
+    executions crash. *)
+
+type t
+
+exception Injected_fault of string
+
+val none : t
+(** No faults; all hooks are free no-ops. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec string; [Error] names the offending knob. The empty
+    string parses to {!none}. *)
+
+val from_env : unit -> t
+(** [parse] of [GSQL_FAULTS] if set and well-formed; {!none} otherwise
+    (a malformed spec is reported on stderr rather than ignored). *)
+
+val is_none : t -> bool
+
+val to_string : t -> string
+(** Re-render the active knobs in spec syntax ("" for {!none}). *)
+
+(** {1 Hooks — called at the service's fault points} *)
+
+val worker_entry : t -> unit
+(** Call at the top of every worker execution: applies
+    [delay-in-worker], then raises {!Injected_fault} if this execution
+    is an Nth [crash-in-worker] victim. *)
+
+val drop_frame : t -> bool
+(** True when this outbound frame is an Nth [drop-frame] victim and
+    must be discarded. *)
+
+val before_read : t -> unit
+(** Applies [slow-read] before a server-side socket read. *)

@@ -1,8 +1,8 @@
 (* Domain worker pool.  One mutex/condvar pair guards the queue and
-   lifecycle flags; each job carries its own mutex so state reads never
-   contend with the queue lock.  Workers are real OCaml 5 domains — the
-   same machinery Accum.Parallel uses for intra-query parallelism, here
-   applied across requests. *)
+   lifecycle flags; each job carries its own mutex/condvar so state reads
+   and awaits never contend with the queue lock.  Workers are real OCaml 5
+   domains — the same machinery Accum.Parallel uses for intra-query
+   parallelism, here applied across requests. *)
 
 type 'a state =
   | Queued
@@ -12,6 +12,8 @@ type 'a state =
 
 type 'a job = {
   jm : Mutex.t;
+  jc : Condition.t;  (* signalled on every state change *)
+  j_cancel : bool Atomic.t;
   mutable jstate : 'a state;
 }
 
@@ -27,9 +29,17 @@ type 'a t = {
   mutable domains : unit Domain.t list;
 }
 
+(* Awaiter observability: every wakeup (condvar signal or backoff sleep
+   expiry) is counted, so tests can assert the old poll-loop spin — one
+   wakeup per millisecond — is gone. *)
+let wakeups = Atomic.make 0
+let await_wakeups () = Atomic.get wakeups
+let m_wakeups = Obs.Metrics.counter "service/await_wakeups"
+
 let set_state job st =
   Mutex.lock job.jm;
   job.jstate <- st;
+  Condition.broadcast job.jc;
   Mutex.unlock job.jm
 
 let state job =
@@ -37,6 +47,9 @@ let state job =
   let st = job.jstate in
   Mutex.unlock job.jm;
   st
+
+let cancel job = Atomic.set job.j_cancel true
+let cancel_token job = job.j_cancel
 
 let rec worker_loop t =
   Mutex.lock t.m;
@@ -53,9 +66,14 @@ let rec worker_loop t =
   | Some (job, thunk) ->
     t.n_running <- t.n_running + 1;
     Mutex.unlock t.m;
-    set_state job Running;
-    let result = try Done (thunk ()) with e -> Failed (Printexc.to_string e) in
-    set_state job result;
+    (* A job cancelled while still queued never runs — the submitter has
+       already been answered; don't burn a worker on it. *)
+    if Atomic.get job.j_cancel then set_state job (Failed "cancelled before start")
+    else begin
+      set_state job Running;
+      let result = try Done (thunk ()) with e -> Failed (Printexc.to_string e) in
+      set_state job result
+    end;
     Mutex.lock t.m;
     t.n_running <- t.n_running - 1;
     Mutex.unlock t.m;
@@ -81,13 +99,18 @@ let create ?workers ?(queue_capacity = 64) () =
   t.domains <- List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t thunk =
+let submit ?cancel t thunk =
   Mutex.lock t.m;
   let r =
     if t.stopping then Error `Shutdown
     else if Queue.length t.queue >= t.capacity then Error `Overloaded
     else begin
-      let job = { jm = Mutex.create (); jstate = Queued } in
+      let job =
+        { jm = Mutex.create ();
+          jc = Condition.create ();
+          j_cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+          jstate = Queued }
+      in
       Queue.push (job, thunk) t.queue;
       Condition.signal t.nonempty;
       Ok job
@@ -96,23 +119,41 @@ let submit t thunk =
   Mutex.unlock t.m;
   r
 
+(* No busy-wait: the no-deadline path blocks on the job's condvar (woken
+   only by set_state); the deadline path — the stdlib has no timed
+   condition wait — sleeps with exponential backoff, 1 ms doubling to
+   50 ms, never exceeding the remaining time.  Either way the wakeup
+   count is O(log timeout), not O(timeout / 1 ms). *)
 let await ?timeout_ms job =
-  let deadline =
-    match timeout_ms with
-    | None -> infinity
-    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+  let count () =
+    Atomic.incr wakeups;
+    Obs.Metrics.incr m_wakeups 1
   in
-  let rec go () =
-    match state job with
-    | (Done _ | Failed _) as st -> st
-    | st ->
-      if Unix.gettimeofday () >= deadline then st
-      else begin
-        Unix.sleepf 0.001;
-        go ()
-      end
-  in
-  go ()
+  match timeout_ms with
+  | None ->
+    Mutex.lock job.jm;
+    while (match job.jstate with Done _ | Failed _ -> false | _ -> true) do
+      Condition.wait job.jc job.jm;
+      count ()
+    done;
+    let st = job.jstate in
+    Mutex.unlock job.jm;
+    st
+  | Some ms ->
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+    let rec go backoff =
+      match state job with
+      | (Done _ | Failed _) as st -> st
+      | st ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then st
+        else begin
+          Unix.sleepf (Float.min backoff remaining);
+          count ();
+          go (Float.min (backoff *. 2.0) 0.05)
+        end
+    in
+    go 0.001
 
 let queue_depth t =
   Mutex.lock t.m;

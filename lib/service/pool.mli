@@ -1,4 +1,4 @@
-(** Domain worker pool with bounded admission.
+(** Domain worker pool with bounded admission and cooperative cancellation.
 
     [create] spawns the worker domains up front (sized by
     {!Accum.Parallel.default_workers} when [?workers] is omitted); [submit]
@@ -8,10 +8,15 @@
     observed by polling {!state} (the server's event loop does this on its
     select tick) or blocking in {!await}.
 
-    A running job cannot be cancelled — domains have no kill switch — so a
-    caller that stops waiting simply abandons the job; the worker finishes
-    it and moves on.  {!shutdown} is graceful: no new admissions, optional
-    drain of the queued backlog, then joins every worker. *)
+    Every job carries a cancel token ([submit ?cancel] shares one the
+    caller already holds, e.g. an {!Interrupt} budget's flag).  Flipping
+    it via {!cancel} makes a still-queued job complete immediately as
+    [Failed] without occupying a worker; a running job is interrupted at
+    its next governor checkpoint, provided its thunk runs under an
+    [Interrupt] budget built on the same token — the server arranges
+    this, which is how a timed-out worker is {e reclaimed} rather than
+    leaked.  {!shutdown} is graceful: no new admissions, optional drain
+    of the queued backlog, then joins every worker. *)
 
 type 'a t
 type 'a job
@@ -25,13 +30,32 @@ type 'a state =
 val create : ?workers:int -> ?queue_capacity:int -> unit -> 'a t
 (** [queue_capacity] defaults to 64 queued (not yet running) jobs. *)
 
-val submit : 'a t -> (unit -> 'a) -> ('a job, [ `Overloaded | `Shutdown ]) result
+val submit :
+  ?cancel:bool Atomic.t -> 'a t -> (unit -> 'a) -> ('a job, [ `Overloaded | `Shutdown ]) result
+(** [cancel] shares an existing cancel flag with the job (defaults to a
+    fresh one). *)
 
 val state : 'a job -> 'a state
 
+val cancel : 'a job -> unit
+(** Flip the job's cancel token.  Queued jobs complete as [Failed
+    "cancelled before start"] without running; running jobs stop at
+    their next checkpoint if their thunk observes the token. *)
+
+val cancel_token : 'a job -> bool Atomic.t
+
 val await : ?timeout_ms:int -> 'a job -> 'a state
-(** Polls until the job completes or the timeout passes (returns the
-    last-seen state — [Queued]/[Running] on timeout). *)
+(** Blocks until the job completes or the timeout passes (returns the
+    last-seen state — [Queued]/[Running] on timeout).  Without a timeout
+    this waits on the job's condvar (no polling); with one it sleeps
+    with exponential backoff (1 ms doubling, 50 ms cap) because the
+    stdlib has no timed condition wait.  Either way wakeups are counted
+    ({!await_wakeups}, `service/await_wakeups`) so tests can assert the
+    old 1 ms poll-spin stays dead. *)
+
+val await_wakeups : unit -> int
+(** Process-wide count of awaiter wakeups (condvar signals + backoff
+    sleep expiries). *)
 
 val queue_depth : 'a t -> int
 (** Jobs admitted but not yet picked up by a worker. *)

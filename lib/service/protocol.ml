@@ -41,6 +41,7 @@ type err_code =
   | Bad_params
   | Overloaded
   | Timeout
+  | Resource_limit
   | Exec_error
   | Shutting_down
   | Internal
@@ -62,6 +63,7 @@ let err_code_to_string = function
   | Bad_params -> "bad_params"
   | Overloaded -> "overloaded"
   | Timeout -> "timeout"
+  | Resource_limit -> "resource_limit"
   | Exec_error -> "exec_error"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
@@ -72,6 +74,7 @@ let err_code_of_string = function
   | "bad_params" -> Some Bad_params
   | "overloaded" -> Some Overloaded
   | "timeout" -> Some Timeout
+  | "resource_limit" -> Some Resource_limit
   | "exec_error" -> Some Exec_error
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal

@@ -50,7 +50,8 @@ type err_code =
   | Unknown_query   (** name not installed *)
   | Bad_params      (** missing/unknown parameter names *)
   | Overloaded      (** admission queue full *)
-  | Timeout         (** deadline passed; execution was abandoned *)
+  | Timeout         (** deadline passed; execution cancelled at a checkpoint *)
+  | Resource_limit  (** governor step/row budget exhausted *)
   | Exec_error      (** runtime error inside the query *)
   | Shutting_down
   | Internal

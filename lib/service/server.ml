@@ -18,11 +18,12 @@ type config = {
   queue_capacity : int;
   default_timeout_ms : int;
   max_connections : int;
+  faults : Faults.t;
 }
 
 let default_config listen =
   { listen; workers = None; queue_capacity = 64; default_timeout_ms = 30_000;
-    max_connections = 64 }
+    max_connections = 64; faults = Faults.from_env () }
 
 (* Instrument handles are registered once; recording is a no-op unless the
    caller (serve --trace, BENCH_JSON) enabled the registry. *)
@@ -35,6 +36,8 @@ let m_errors = Obs.Metrics.counter "service/errors"
 let m_queue_depth = Obs.Metrics.gauge "service/queue_depth"
 let m_connections = Obs.Metrics.gauge "service/connections"
 let m_latency = Obs.Metrics.histogram "service/latency_ms"
+let m_cancellations = Obs.Metrics.counter "service/cancellations"
+let m_reclaim = Obs.Metrics.histogram "service/reclaim_ms"
 
 type conn = {
   fd : Unix.file_descr;
@@ -47,8 +50,18 @@ type pending = {
   p_id : int;
   p_query : string;
   p_job : P.response Pool.job;
+  p_budget : Interrupt.budget;
   p_deadline : float;
   p_start : float;
+}
+
+(* A cancelled job whose worker has not yet unwound: still counted
+   against the pool until its state turns Done/Failed, at which point the
+   worker is back in rotation and the reclaim latency is recorded. *)
+type reclaiming = {
+  r_job : P.response Pool.job;
+  r_query : string;
+  r_since : float;
 }
 
 type t = {
@@ -60,8 +73,11 @@ type t = {
   stop_flag : bool Atomic.t;
   mutable conns : conn list;
   mutable pending : pending list;
+  mutable reclaiming : reclaiming list;
   mutable n_timeouts : int;
   mutable n_overloaded : int;
+  mutable n_cancellations : int;
+  mutable n_reclaimed : int;
 }
 
 let create cfg engine =
@@ -72,6 +88,9 @@ let create cfg engine =
       (Unix.PF_UNIX, Unix.ADDR_UNIX path)
     | `Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
   in
+  (* A peer that disconnects with a response in flight must surface as
+     EPIPE on the write (handled in [send]), not as a fatal SIGPIPE. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   (match cfg.listen with
    | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
@@ -86,25 +105,56 @@ let create cfg engine =
   in
   let pool = Pool.create ?workers:cfg.workers ~queue_capacity:cfg.queue_capacity () in
   { engine; cfg; pool; listen_fd = fd; bound; stop_flag = Atomic.make false;
-    conns = []; pending = []; n_timeouts = 0; n_overloaded = 0 }
+    conns = []; pending = []; reclaiming = []; n_timeouts = 0; n_overloaded = 0;
+    n_cancellations = 0; n_reclaimed = 0 }
 
 let endpoint t = t.bound
 let stop t = Atomic.set t.stop_flag true
 
 let now () = Unix.gettimeofday ()
 
-let send conn ~id resp =
+let send t conn ~id resp =
   if conn.alive then
-    try P.write_frame conn.fd (P.response_to_json ~id resp)
-    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+    if Faults.drop_frame t.cfg.faults then ()  (* injected: frame lost on the wire *)
+    else
+      try P.write_frame conn.fd (P.response_to_json ~id resp)
+      with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
+(* Cancel an in-flight job and track it until its worker unwinds — the
+   cooperative-cancellation half of the deadline/disconnect paths. *)
+let cancel_pending t (p : pending) ~at =
+  t.n_cancellations <- t.n_cancellations + 1;
+  Obs.Metrics.incr m_cancellations 1;
+  Interrupt.cancel p.p_budget;
+  t.reclaiming <- { r_job = p.p_job; r_query = p.p_query; r_since = at } :: t.reclaiming
+
+(* Retire reclaiming entries whose job completed: the worker is back in
+   rotation.  The result (if any) is discarded — the requester was already
+   answered when the cancellation was issued. *)
+let sweep_reclaiming t =
+  let tick_now = now () in
+  t.reclaiming <-
+    List.filter
+      (fun r ->
+        match Pool.state r.r_job with
+        | Pool.Done _ | Pool.Failed _ ->
+          t.n_reclaimed <- t.n_reclaimed + 1;
+          Obs.Metrics.observe m_reclaim ((tick_now -. r.r_since) *. 1000.0);
+          false
+        | Pool.Queued | Pool.Running -> true)
+      t.reclaiming
 
 let close_conn t conn =
   if conn.alive then begin
     conn.alive <- false;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   end;
-  (* Abandon this connection's in-flight jobs: nobody is left to answer. *)
-  t.pending <- List.filter (fun p -> p.p_conn != conn) t.pending
+  (* Cancel this connection's in-flight jobs: nobody is left to answer,
+     so reclaim the workers instead of letting them finish for nothing. *)
+  let gone, still = List.partition (fun p -> p.p_conn == conn) t.pending in
+  let at = now () in
+  List.iter (fun p -> cancel_pending t p ~at) gone;
+  t.pending <- still
 
 let record_outcome ~query ~ms resp =
   Obs.Metrics.incr m_requests 1;
@@ -135,27 +185,41 @@ let server_stats t =
     ("workers", J.Int (Pool.workers t.pool));
     ("timeouts", J.Int t.n_timeouts);
     ("overloaded", J.Int t.n_overloaded);
+    ("cancellations", J.Int t.n_cancellations);
+    ("reclaimed", J.Int t.n_reclaimed);
+    (* Cancelled jobs whose worker has not unwound yet; a healthy governor
+       drives this back to 0 shortly after every cancellation. *)
+    ("workers_leaked", J.Int (List.length t.reclaiming));
     ("default_timeout_ms", J.Int t.cfg.default_timeout_ms) ]
 
 let handle_request t conn ~id (req : P.request) =
   match req with
-  | P.Ping -> send conn ~id P.Pong
-  | P.Install source -> send conn ~id (Engine.install t.engine source)
-  | P.List_queries -> send conn ~id (Engine.list_queries t.engine)
-  | P.Describe name -> send conn ~id (Engine.describe t.engine name)
-  | P.Drop name -> send conn ~id (Engine.drop t.engine name)
-  | P.Stats -> send conn ~id (Engine.stats t.engine ~extra:(server_stats t))
+  | P.Ping -> send t conn ~id P.Pong
+  | P.Install source -> send t conn ~id (Engine.install t.engine source)
+  | P.List_queries -> send t conn ~id (Engine.list_queries t.engine)
+  | P.Describe name -> send t conn ~id (Engine.describe t.engine name)
+  | P.Drop name -> send t conn ~id (Engine.drop t.engine name)
+  | P.Stats -> send t conn ~id (Engine.stats t.engine ~extra:(server_stats t))
   | P.Shutdown ->
-    send conn ~id P.Bye;
+    send t conn ~id P.Bye;
     stop t
   | P.Invoke iv ->
     let t0 = now () in
     (match Engine.prepare_invoke t.engine iv with
      | `Ready resp ->
        record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
-       send conn ~id resp
-     | `Run thunk ->
-       (match Pool.submit t.pool thunk with
+       send t conn ~id resp
+     | `Run prepared ->
+       (* The job shares the budget's cancel flag, so flipping either
+          stops both the queued job and the running execution. *)
+       let faults = t.cfg.faults in
+       let thunk () =
+         Faults.worker_entry faults;
+         prepared.Engine.pr_thunk ()
+       in
+       (match
+          Pool.submit ~cancel:(Interrupt.cancel_token prepared.Engine.pr_budget) t.pool thunk
+        with
         | Ok job ->
           let timeout_ms =
             match iv.P.iv_timeout_ms with
@@ -164,21 +228,22 @@ let handle_request t conn ~id (req : P.request) =
           in
           t.pending <-
             { p_conn = conn; p_id = id; p_query = iv.P.iv_query; p_job = job;
+              p_budget = prepared.Engine.pr_budget;
               p_deadline = t0 +. (float_of_int timeout_ms /. 1000.0); p_start = t0 }
             :: t.pending
         | Error `Overloaded ->
           t.n_overloaded <- t.n_overloaded + 1;
           let resp = P.Error (P.Overloaded, "admission queue full") in
           record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
-          send conn ~id resp
+          send t conn ~id resp
         | Error `Shutdown ->
-          send conn ~id (P.Error (P.Shutting_down, "server stopping"))))
+          send t conn ~id (P.Error (P.Shutting_down, "server stopping"))))
 
 let handle_frame t conn = function
-  | Result.Error msg -> send conn ~id:0 (P.Error (P.Bad_request, msg))
+  | Result.Error msg -> send t conn ~id:0 (P.Error (P.Bad_request, msg))
   | Ok payload ->
     (match P.request_of_json payload with
-     | Result.Error msg -> send conn ~id:0 (P.Error (P.Bad_request, msg))
+     | Result.Error msg -> send t conn ~id:0 (P.Error (P.Bad_request, msg))
      | Ok (id, req) -> handle_request t conn ~id req)
 
 let drain_conn_buffer t conn =
@@ -197,6 +262,7 @@ let drain_conn_buffer t conn =
 let read_chunk_size = 65536
 
 let on_readable t conn =
+  Faults.before_read t.cfg.faults;
   let b = Bytes.create read_chunk_size in
   match Unix.read conn.fd b 0 read_chunk_size with
   | 0 -> close_conn t conn
@@ -231,18 +297,22 @@ let sweep_pending t =
   let still =
     List.filter
       (fun p ->
-        if not p.p_conn.alive then false
+        if not p.p_conn.alive then begin
+          (* Writer noticed the peer is gone (failed send): reclaim. *)
+          cancel_pending t p ~at:tick_now;
+          false
+        end
         else
           match Pool.state p.p_job with
           | Pool.Done resp ->
             let ms = (tick_now -. p.p_start) *. 1000.0 in
             record_outcome ~query:p.p_query ~ms resp;
-            send p.p_conn ~id:p.p_id resp;
+            send t p.p_conn ~id:p.p_id resp;
             false
           | Pool.Failed msg ->
             let resp = P.Error (P.Internal, msg) in
             record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
-            send p.p_conn ~id:p.p_id resp;
+            send t p.p_conn ~id:p.p_id resp;
             false
           | Pool.Queued | Pool.Running ->
             if tick_now >= p.p_deadline then begin
@@ -253,8 +323,12 @@ let sweep_pending t =
                    Printf.sprintf "%s exceeded its deadline" p.p_query)
               in
               record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
-              send p.p_conn ~id:p.p_id resp;
-              false  (* abandoned: the worker finishes it into the cache *)
+              send t p.p_conn ~id:p.p_id resp;
+              (* Cancelled, not abandoned: the budget's flag is flipped and
+                 the worker unwinds at its next checkpoint (tracked in
+                 t.reclaiming until it does). *)
+              cancel_pending t p ~at:tick_now;
+              false
             end
             else true)
       t.pending
@@ -276,7 +350,8 @@ let run t =
     List.iter
       (fun conn -> if conn.alive && List.memq conn.fd readable then on_readable t conn)
       t.conns;
-    sweep_pending t
+    sweep_pending t;
+    sweep_reclaiming t
   done;
   (* Drain: stop accepting, answer what the pool still finishes quickly,
      fail the rest, then join the workers. *)
@@ -287,8 +362,12 @@ let run t =
   List.iter
     (fun p ->
       match Pool.state p.p_job with
-      | Pool.Done resp -> send p.p_conn ~id:p.p_id resp
-      | _ -> send p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping")))
+      | Pool.Done resp -> send t p.p_conn ~id:p.p_id resp
+      | _ ->
+        send t p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping"));
+        (* Cancel so Pool.shutdown's worker join is bounded by one
+           checkpoint interval, not by the query's natural runtime. *)
+        Interrupt.cancel p.p_budget)
     t.pending;
   t.pending <- [];
   List.iter (fun c -> close_conn t c) t.conns;

@@ -7,8 +7,17 @@
     observability layer keeps its single-threaded contract.  Per-request
     deadlines are enforced on the loop's select tick: a request whose
     deadline passes gets a [timeout] error immediately and its job is
-    abandoned (the worker still finishes it and populates the cache; it
-    just has nobody to report to).
+    {e cancelled} — the server flips the execution budget's cancel flag
+    ({!Interrupt}), the worker unwinds at its next governor checkpoint,
+    and the job is tracked in a reclaim list until it does
+    ([workers_leaked] in the stats response, 0 when every cancelled
+    worker is back in rotation; [service/cancellations] counter and
+    [service/reclaim_ms] histogram under tracing).  Client disconnects
+    cancel that connection's in-flight jobs the same way.
+
+    Fault injection ({!Faults}, [GSQL_FAULTS]) is wired into the worker
+    entry (delay/crash), the outbound frame path (drop-frame) and the
+    socket read path (slow-read) — see docs/SERVICE.md.
 
     Pipelining is allowed: a client may send several requests on one
     connection; invocation responses come back in completion order,
@@ -22,10 +31,12 @@ type config = {
   queue_capacity : int;        (** admission bound (queued, not running) *)
   default_timeout_ms : int;    (** per-request deadline when the client sets none *)
   max_connections : int;
+  faults : Faults.t;           (** injection knobs; {!Faults.none} in production *)
 }
 
 val default_config : endpoint -> config
-(** workers = cores, queue 64, timeout 30s, 64 connections. *)
+(** workers = cores, queue 64, timeout 30s, 64 connections, faults from
+    [GSQL_FAULTS] (none when unset). *)
 
 type t
 
