@@ -52,7 +52,8 @@ type target = Self_host | Connect of Service.Server.endpoint
 let usage () =
   prerr_endline
     "usage: gsql_client [--connect SOCKET | --tcp HOST:PORT] [--clients N] \
-     [--requests N] [--workers N] [--timeout-ms MS] [--retries N]";
+     [--requests N] [--workers N] [--timeout-ms MS] [--retries N] \
+     [--invoke QUERY [--param k=v]...]";
   exit 2
 
 let target = ref Self_host
@@ -61,6 +62,32 @@ let requests = ref 50
 let workers = ref None
 let timeout_ms = ref None
 let retries = ref 0
+
+(* --invoke switches the driver from the two CountPaths phases to a single
+   phase against an arbitrary installed query (CI drives mutating queries
+   on a --data-dir server this way, then checks commits across a crash). *)
+let invoke_query = ref None
+let invoke_params : (string * V.t) list ref = ref []
+
+let parse_typed_param s =
+  match String.index_opt s '=' with
+  | None -> usage ()
+  | Some i ->
+    let name = String.sub s 0 i in
+    let raw = String.sub s (i + 1) (String.length s - i - 1) in
+    let value =
+      match int_of_string_opt raw with
+      | Some n -> V.Int n
+      | None ->
+        (match float_of_string_opt raw with
+         | Some f -> V.Float f
+         | None ->
+           (match raw with
+            | "true" -> V.Bool true
+            | "false" -> V.Bool false
+            | _ -> V.Str raw))
+    in
+    (name, value)
 
 let () =
   let rec parse = function
@@ -90,6 +117,12 @@ let () =
       parse rest
     | "--retries" :: n :: rest ->
       retries := int_of_string n;
+      parse rest
+    | "--invoke" :: name :: rest ->
+      invoke_query := Some name;
+      parse rest
+    | "--param" :: kv :: rest ->
+      invoke_params := !invoke_params @ [ parse_typed_param kv ];
       parse rest
     | _ -> usage ()
   in
@@ -122,7 +155,7 @@ let throughput st = float_of_int st.ph_total /. st.ph_wall_s
    [requests] synchronous invocations.  Client-side latency per request.
    Errors are outcomes, not failures: under induced deadlines (--timeout-ms
    plus GSQL_FAULTS delays) a run is *supposed* to collect timeouts. *)
-let run_phase ep ~name ~no_cache =
+let run_phase ep ~name ~no_cache ~query ~params =
   let worker () =
     let c = Service.Client.connect ?recv_timeout_ms:None ep in
     Fun.protect
@@ -134,7 +167,7 @@ let run_phase ep ~name ~no_cache =
           let t0 = Unix.gettimeofday () in
           (match
              Service.Client.invoke c ?timeout_ms:!timeout_ms ~retries:!retries ~no_cache
-               ~query:"CountPaths" ~params ()
+               ~query ~params ()
            with
            | P.Result { rs_cached = true; _ } -> incr cached
            | P.Result _ -> ()
@@ -311,10 +344,24 @@ let () =
          prerr_endline "server did not answer ping";
          exit 1);
       Service.Client.close c;
-      let executed = run_phase ep ~name:"executed" ~no_cache:true in
-      let cached = run_phase ep ~name:"cached" ~no_cache:false in
-      let stats = [ executed; cached ] in
+      let stats =
+        match !invoke_query with
+        | Some query ->
+          [ run_phase ep ~name:("invoke:" ^ query) ~no_cache:false ~query
+              ~params:!invoke_params ]
+        | None ->
+          [ run_phase ep ~name:"executed" ~no_cache:true ~query:"CountPaths" ~params;
+            run_phase ep ~name:"cached" ~no_cache:false ~query:"CountPaths" ~params ]
+      in
       print_table stats;
+      (* CI parses this under --invoke: successful responses == commits for
+         a mutating query on a healthy server. *)
+      List.iter
+        (fun st ->
+          Printf.printf "phase %s: ok: %d timeouts: %d errors: %d\n" st.ph_name
+            (st.ph_total - st.ph_timeouts - st.ph_errors)
+            st.ph_timeouts st.ph_errors)
+        stats;
       let server_stats = fetch_server_stats ep in
       (match server_stats with
        | J.Obj fields ->
@@ -327,6 +374,12 @@ let () =
          (* The governor line CI greps under fault injection. *)
          Printf.printf
            "server governor: cancellations: %d reclaimed: %d workers_leaked: %d timeouts: %d\n"
-           (geti "cancellations") (geti "reclaimed") (geti "workers_leaked") (geti "timeouts")
+           (geti "cancellations") (geti "reclaimed") (geti "workers_leaked") (geti "timeouts");
+         (* The mvcc line CI compares across a kill -9 + restart. *)
+         Printf.printf "server mvcc: graph_version: %d commits: %d read_only: %s\n"
+           (geti "graph_version") (geti "commits")
+           (match List.assoc_opt "read_only" fields with
+            | Some (J.Bool false) | None -> "no"
+            | _ -> "yes")
        | _ -> ());
       write_sidecar stats server_stats)

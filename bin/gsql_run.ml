@@ -272,7 +272,7 @@ let read_file path =
   src
 
 let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_steps
-    max_rows max_conns semantics_name install_files trace_file =
+    max_rows max_conns semantics_name install_files trace_file data_dir compact_every =
   let graph = load_graph graph_spec in
   let semantics =
     match semantics_name with
@@ -295,9 +295,6 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       prerr_endline "serve: pass --socket PATH or --port N";
       exit 2
   in
-  (* The trace span stack is single-threaded; force one worker under
-     --trace so query-internal spans cannot interleave across domains. *)
-  let workers = if trace_file <> None && workers <> Some 1 then Some 1 else workers in
   (* Governor limits: the serve-level timeout doubles as the budget
      deadline default, so even a synchronous engine (no server sweep)
      interrupts runaway executions; 0 disables a ceiling. *)
@@ -306,7 +303,30 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       l_max_steps = (if max_steps > 0 then Some max_steps else None);
       l_max_rows = (if max_rows > 0 then Some max_rows else None) }
   in
-  let engine = Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~graph () in
+  let faults = Service.Faults.from_env () in
+  let engine =
+    match data_dir with
+    | None -> Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~graph ()
+    | Some dir ->
+      (* Durable mode: recover the committed state from <dir> (the --graph
+         spec supplies the base graph until the first compaction), then
+         attach the WAL so every commit is logged before publication. *)
+      (match
+         Store.Persist.open_dir ~hooks:(Service.Faults.wal_hooks faults)
+           ~compact_every dir ~base:(fun () -> graph)
+       with
+       | persist, recovery ->
+         if recovery.Store.Persist.r_truncated then
+           Printf.eprintf "recovery: dropped a torn/corrupt WAL tail in %s\n%!" dir;
+         Printf.eprintf "recovered %s at version %d (%d batches replayed)\n%!" dir
+           recovery.Store.Persist.r_version recovery.Store.Persist.r_replayed;
+         Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~persist
+           ~version:recovery.Store.Persist.r_version
+           ~graph:recovery.Store.Persist.r_graph ()
+       | exception Store.Wal.Io_error msg ->
+         Printf.eprintf "cannot open data dir %s: %s\n%!" dir msg;
+         exit 2)
+  in
   List.iter
     (fun path ->
       match Service.Engine.install engine (read_file path) with
@@ -323,7 +343,9 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       queue_capacity = queue_cap;
       default_timeout_ms = timeout_ms;
       max_connections = max_conns;
-      faults = Service.Faults.from_env () }
+      max_inflight = (Service.Server.default_config listen).Service.Server.max_inflight;
+      max_frame_bytes = Service.Protocol.max_frame_bytes;
+      faults }
   in
   if not (Service.Faults.is_none cfg.Service.Server.faults) then
     Printf.eprintf "fault injection active: %s\n%!"
@@ -419,7 +441,20 @@ let serve_trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record service spans/metrics for the whole run and write them to $(docv) on \
-                 shutdown (forces --workers 1: the tracer is single-threaded).")
+                 shutdown (the registries are domain-safe, so the full worker pool stays on).")
+
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable mode: recover committed mutations from $(docv) on startup and \
+                 write-ahead-log every commit (docs/DURABILITY.md). The --graph spec supplies \
+                 the base graph until the first snapshot compaction.")
+
+let compact_every_arg =
+  Arg.(value & opt int 0
+       & info [ "compact-every" ] ~docv:"N"
+           ~doc:"With --data-dir: rewrite the snapshot and empty the WAL after every $(docv) \
+                 commits (0 = never compact).")
 
 let serve_cmd =
   let doc = "Serve installed GSQL queries to concurrent clients (docs/SERVICE.md)." in
@@ -428,7 +463,7 @@ let serve_cmd =
     Term.(
       const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
       $ timeout_arg $ max_steps_arg $ max_rows_arg $ max_conns_arg $ semantics_arg
-      $ install_arg $ serve_trace_arg)
+      $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg)
 
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in

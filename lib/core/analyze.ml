@@ -3,7 +3,30 @@ type info = {
   warnings : string list;
   tractable : bool;
   primed : string list;
+  mutating : bool;
 }
+
+(* Mutation classification: a query is mutating iff evaluation can write
+   graph state — an attribute assignment in ACCUM/POST_ACCUM or an INSERT
+   anywhere in the body (both can hide under control flow). *)
+let rec acc_stmt_mutates = function
+  | Ast.A_attr_assign _ -> true
+  | Ast.A_if (_, th, el) ->
+    List.exists acc_stmt_mutates th || List.exists acc_stmt_mutates el
+  | Ast.A_input _ | Ast.A_assign _ | Ast.A_local _ -> false
+
+let rec stmt_mutates = function
+  | Ast.S_insert _ -> true
+  | Ast.S_select (_, b) ->
+    List.exists acc_stmt_mutates b.Ast.s_accum
+    || List.exists acc_stmt_mutates b.Ast.s_post_accum
+  | Ast.S_while (_, _, body) -> List.exists stmt_mutates body
+  | Ast.S_if (_, th, el) -> List.exists stmt_mutates th || List.exists stmt_mutates el
+  | Ast.S_foreach (_, _, body) -> List.exists stmt_mutates body
+  | Ast.S_acc_decl _ | Ast.S_set_assign _ | Ast.S_gacc_assign _ | Ast.S_let _
+  | Ast.S_print _ | Ast.S_return _ -> false
+
+let block_mutates stmts = List.exists stmt_mutates stmts
 
 type acc_kind = Kglobal | Kvertex
 
@@ -191,7 +214,8 @@ let finish env =
   { errors = List.rev env.errs;
     warnings = List.rev env.warns;
     tractable = env.is_tractable;
-    primed = List.rev env.primed_names }
+    primed = List.rev env.primed_names;
+    mutating = false }
 
 let fresh_env () =
   { decls = [];
@@ -204,6 +228,6 @@ let fresh_env () =
 let check_block stmts =
   let env = fresh_env () in
   List.iter (walk_stmt env) stmts;
-  finish env
+  { (finish env) with mutating = block_mutates stmts }
 
 let check_query (q : Ast.query) = check_block q.Ast.q_body

@@ -21,10 +21,18 @@ type info = {
           edge variables — evaluation falls back to enumeration costs *)
   primed : string list;
       (** accumulator families read with the previous-value operator *)
+  mutating : bool;
+      (** true when evaluation can write graph state: a vertex/edge
+          attribute assignment in ACCUM/POST_ACCUM or an INSERT anywhere
+          in the body — the service routes such queries through the
+          single-writer lane (docs/DURABILITY.md) *)
 }
 
 val check_query : Ast.query -> info
 val check_block : Ast.stmt list -> info
+
+val block_mutates : Ast.stmt list -> bool
+(** The {!info.mutating} classification on a bare statement block. *)
 
 val post_accum_aliases : Ast.acc_stmt -> string list
 (** Vertex aliases a POST_ACCUM statement references (evaluator uses the

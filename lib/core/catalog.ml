@@ -54,6 +54,8 @@ let run cat g ?semantics ~params name =
   try Eval.run_query g ?semantics ~params e.query
   with Eval.Runtime_error msg -> raise (Error (Printf.sprintf "%s: %s" name msg))
 
+let info_of cat name = (get cat name).info
+
 let source_of cat name = Pretty.query (get cat name).query
 
 let signature_of cat name =

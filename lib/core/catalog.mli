@@ -32,6 +32,10 @@ val run :
 (** [run cat g ~params name] executes the installed query.  Raises {!Error}
     on an unknown name. *)
 
+val info_of : t -> string -> Analyze.info
+(** Analysis results recorded at install time (tractability, mutation
+    classification).  Raises {!Error} on an unknown name. *)
+
 val source_of : t -> string -> string
 (** The installed query re-rendered by {!Pretty.query}.  Raises {!Error} on
     an unknown name. *)

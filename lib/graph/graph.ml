@@ -6,16 +6,29 @@ type half = {
   h_rel : dir_rel;
 }
 
+type mutation =
+  | M_add_vertex of string * (string * Value.t) list
+  | M_add_edge of string * int * int * (string * Value.t) list
+  | M_set_vertex_attr of int * string * Value.t
+  | M_set_edge_attr of int * string * Value.t
+
 type t = {
   schema : Schema.t;
-  v_type : int Vec.t;
-  v_attrs : Value.t array Vec.t;
-  e_type : int Vec.t;
-  e_src : int Vec.t;
-  e_dst : int Vec.t;
-  e_attrs : Value.t array Vec.t;
-  adj : half Vec.t Vec.t;           (* per-vertex half-edges *)
-  by_type : int Vec.t Vec.t;        (* vertex ids per vertex-type *)
+  mutable v_type : int Vec.t;
+  mutable v_attrs : Value.t array Vec.t;
+  mutable e_type : int Vec.t;
+  mutable e_src : int Vec.t;
+  mutable e_dst : int Vec.t;
+  mutable e_attrs : Value.t array Vec.t;
+  mutable adj : half Vec.t Vec.t;   (* per-vertex half-edges *)
+  mutable by_type : int Vec.t Vec.t; (* vertex ids per vertex-type *)
+  mutable cow : bool;
+  (* True once this graph has ever been party to a {!snapshot}: inner
+     structures (attribute rows, adjacency buckets) may be shared with
+     another graph, so in-place writes must copy them out first. *)
+  mutable journal : (mutation -> unit) option;
+  (* Logical-op hook fired after each successful mutation — how the WAL
+     captures a writer's changes without the evaluator knowing. *)
 }
 
 let create schema =
@@ -31,9 +44,45 @@ let create schema =
     e_dst = Vec.create ();
     e_attrs = Vec.create ();
     adj = Vec.create ();
-    by_type }
+    by_type;
+    cow = false;
+    journal = None }
 
 let schema g = g.schema
+
+let set_journal g hook = g.journal <- hook
+
+let journal_emit g m = match g.journal with None -> () | Some f -> f m
+
+(* Copy-on-write snapshot: O(#vertex-types) — every column spine becomes a
+   shared-array clone, and both graphs are flagged [cow] so their mutators
+   copy shared inner rows/buckets before writing.  Readers holding either
+   graph never observe the other side's writes. *)
+let snapshot g =
+  g.cow <- true;
+  { schema = g.schema;
+    v_type = Vec.cow_clone g.v_type;
+    v_attrs = Vec.cow_clone g.v_attrs;
+    e_type = Vec.cow_clone g.e_type;
+    e_src = Vec.cow_clone g.e_src;
+    e_dst = Vec.cow_clone g.e_dst;
+    e_attrs = Vec.cow_clone g.e_attrs;
+    adj = Vec.cow_clone g.adj;
+    by_type = Vec.cow_clone g.by_type;
+    cow = true;
+    journal = None }
+
+(* Mutable inner bucket about to be pushed to: under [cow] the bucket
+   record itself may be shared with a snapshot, so install a private
+   cow-clone in the spine first (the clone unshares its array on push). *)
+let own_bucket g spine i =
+  let b = Vec.get spine i in
+  if g.cow then begin
+    let b' = Vec.cow_clone b in
+    Vec.set spine i b';
+    b'
+  end
+  else b
 
 (* The schema may gain types after the graph was created (queries over an
    evolving catalog); lazily extend the per-type index. *)
@@ -70,7 +119,9 @@ let add_vertex g type_name attrs =
   Vec.push g.v_type vt.Schema.vt_id;
   Vec.push g.v_attrs (build_attrs type_name vt.Schema.vt_attrs attrs);
   Vec.push g.adj (Vec.create ());
-  Vec.push (type_bucket g vt.Schema.vt_id) id;
+  ignore (type_bucket g vt.Schema.vt_id);
+  Vec.push (own_bucket g g.by_type vt.Schema.vt_id) id;
+  journal_emit g (M_add_vertex (type_name, attrs));
   id
 
 let check_endpoint g label expected v =
@@ -109,12 +160,14 @@ let add_edge g type_name src dst attrs =
   Vec.push g.e_dst dst;
   Vec.push g.e_attrs (build_attrs type_name et.Schema.et_attrs attrs);
   if et.Schema.et_directed then begin
-    Vec.push (Vec.get g.adj src) { h_edge = id; h_other = dst; h_rel = Out };
-    Vec.push (Vec.get g.adj dst) { h_edge = id; h_other = src; h_rel = In }
+    Vec.push (own_bucket g g.adj src) { h_edge = id; h_other = dst; h_rel = Out };
+    Vec.push (own_bucket g g.adj dst) { h_edge = id; h_other = src; h_rel = In }
   end else begin
-    Vec.push (Vec.get g.adj src) { h_edge = id; h_other = dst; h_rel = Und };
-    if dst <> src then Vec.push (Vec.get g.adj dst) { h_edge = id; h_other = src; h_rel = Und }
+    Vec.push (own_bucket g g.adj src) { h_edge = id; h_other = dst; h_rel = Und };
+    if dst <> src then
+      Vec.push (own_bucket g g.adj dst) { h_edge = id; h_other = src; h_rel = Und }
   end;
+  journal_emit g (M_add_edge (type_name, src, dst, attrs));
   id
 
 let n_vertices g = Vec.length g.v_type
@@ -136,10 +189,23 @@ let vertex_attr_opt g v name =
   | i -> Some (Vec.get g.v_attrs v).(i)
   | exception Not_found -> None
 
+(* Attribute rows are plain arrays shared wholesale by a snapshot's spine
+   clone; under [cow] a write replaces the row rather than mutating it. *)
+let own_row g spine i =
+  let row = Vec.get spine i in
+  if g.cow then begin
+    let row' = Array.copy row in
+    Vec.set spine i row';
+    row'
+  end
+  else row
+
 let set_vertex_attr g v name value =
   let vt = vertex_type g v in
   match Schema.vertex_attr_index vt name with
-  | i -> (Vec.get g.v_attrs v).(i) <- value
+  | i ->
+    (own_row g g.v_attrs v).(i) <- value;
+    journal_emit g (M_set_vertex_attr (v, name, value))
   | exception Not_found ->
     invalid_arg (Printf.sprintf "Graph: vertex type %s has no attribute %s" vt.Schema.vt_name name)
 
@@ -158,7 +224,9 @@ let edge_attr g e name =
 let set_edge_attr g e name value =
   let et = edge_type g e in
   match Schema.edge_attr_index et name with
-  | i -> (Vec.get g.e_attrs e).(i) <- value
+  | i ->
+    (own_row g g.e_attrs e).(i) <- value;
+    journal_emit g (M_set_edge_attr (e, name, value))
   | exception Not_found ->
     invalid_arg (Printf.sprintf "Graph: edge type %s has no attribute %s" et.Schema.et_name name)
 
@@ -205,6 +273,12 @@ let fold_vertices g ~init ~f =
   let acc = ref init in
   iter_vertices g (fun v -> acc := f !acc v);
   !acc
+
+let apply_mutation g = function
+  | M_add_vertex (ty, attrs) -> ignore (add_vertex g ty attrs)
+  | M_add_edge (ty, src, dst, attrs) -> ignore (add_edge g ty src dst attrs)
+  | M_set_vertex_attr (v, name, value) -> set_vertex_attr g v name value
+  | M_set_edge_attr (e, name, value) -> set_edge_attr g e name value
 
 let find_vertex_by_attr g type_name attr value =
   match Schema.find_vertex_type g.schema type_name with

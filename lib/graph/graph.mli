@@ -19,8 +19,37 @@ type half = {
 
 type t
 
+(** Logical mutation, as captured by the journal hook and replayed by the
+    durability layer ({!apply_mutation}).  Ids are the dense integer ids of
+    the graph the mutation was recorded against; replay against the same
+    committed prefix reproduces them exactly. *)
+type mutation =
+  | M_add_vertex of string * (string * Value.t) list
+  | M_add_edge of string * int * int * (string * Value.t) list
+  | M_set_vertex_attr of int * string * Value.t
+  | M_set_edge_attr of int * string * Value.t
+
 val create : Schema.t -> t
 val schema : t -> Schema.t
+
+(** {1 Snapshots and journaling (MVCC-lite)} *)
+
+val snapshot : t -> t
+(** [snapshot g] is an O(#columns) copy-on-write clone: both graphs share
+    every backing array until one of them writes, at which point the writer
+    copies out the touched spine/row/bucket first.  Readers holding either
+    graph never block and never observe the other side's mutations — the
+    intended protocol is single-writer: clone, mutate the clone, atomically
+    publish it.  The clone starts with no journal hook installed. *)
+
+val set_journal : t -> (mutation -> unit) option -> unit
+(** Install (or clear) a hook called after each successful mutation with
+    its logical description — the write-ahead log's capture point.  Not
+    inherited by {!snapshot} clones. *)
+
+val apply_mutation : t -> mutation -> unit
+(** Replay one captured mutation (recovery path).  Raises like the
+    underlying mutator on schema mismatch. *)
 
 (** {1 Construction} *)
 

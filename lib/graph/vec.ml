@@ -1,11 +1,12 @@
 type 'a t = {
   mutable data : 'a array;
   mutable len : int;
+  mutable shared : bool;  (* [data] may be referenced by a cow_clone *)
 }
 
-let create () = { data = [||]; len = 0 }
+let create () = { data = [||]; len = 0; shared = false }
 
-let make n x = { data = Array.make (max n 1) x; len = n }
+let make n x = { data = Array.make (max n 1) x; len = n; shared = false }
 
 let length v = v.len
 
@@ -13,8 +14,18 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
   v.data.(i)
 
+(* Writers must own their array: copy the live prefix on first write after
+   a [cow_clone].  A sharer's [len] never reaches past its snapshot, so the
+   original array stays immutable from its point of view. *)
+let unshare v =
+  if v.shared then begin
+    v.data <- (if v.len = 0 then [||] else Array.sub v.data 0 v.len);
+    v.shared <- false
+  end
+
 let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  unshare v;
   v.data.(i) <- x
 
 let grow v x =
@@ -25,6 +36,7 @@ let grow v x =
   v.data <- ndata
 
 let push v x =
+  unshare v;
   if v.len = Array.length v.data then grow v x;
   v.data.(v.len) <- x;
   v.len <- v.len + 1
@@ -83,6 +95,11 @@ let filter p v =
 let sort cmp v =
   let a = to_array v in
   Array.sort cmp a;
+  unshare v;
   Array.blit a 0 v.data 0 v.len
 
-let copy v = { data = Array.copy v.data; len = v.len }
+let copy v = { data = Array.copy v.data; len = v.len; shared = false }
+
+let cow_clone v =
+  v.shared <- true;
+  { data = v.data; len = v.len; shared = true }

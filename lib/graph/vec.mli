@@ -32,3 +32,10 @@ val sort : ('a -> 'a -> int) -> 'a t -> unit
 (** In-place sort. *)
 
 val copy : 'a t -> 'a t
+
+val cow_clone : 'a t -> 'a t
+(** O(1) copy-on-write clone: both vectors share the backing array until
+    either one writes ([set]/[push]/[sort]), at which point the writer
+    copies its live prefix first.  Length-only operations ([pop]/[clear])
+    never disturb a sharer — each clone carries its own [len], so elements
+    past a clone's snapshot are invisible to it. *)

@@ -9,9 +9,12 @@
 
     Enabling is explicit and global: [EXPLAIN ANALYZE], [--trace] and the
     [BENCH_JSON] sidecar writer flip the flag around the region they
-    measure, snapshot with {!dump}, and flip it back.  The registry is not
-    thread-safe; the engine is single-threaded (ROADMAP: sharding is a
-    future PR, and this layer will grow per-domain buffers with it). *)
+    measure, snapshot with {!dump}, and flip it back.  The registry is
+    domain-safe: registration, enabled-path recording and {!dump} all
+    serialize on one internal mutex (the instruments are scalar cells, so
+    the critical sections are a few loads/stores), and the disabled path
+    stays a single atomic load — a traced server keeps its full worker
+    pool. *)
 
 type counter
 type gauge

@@ -7,78 +7,110 @@ type span = {
 
 let max_spans = 20_000
 
-(* An open span together with its start time; the innermost is the list
-   head.  Completed roots collect in [finished] (reverse order). *)
-let switch = ref false
-let stack : (span * float) list ref = ref []
-let finished : span list ref = ref []
-let n_spans = ref 0
-let n_dropped = ref 0
+(* Domain-safety: each domain keeps its own open-span stack in
+   domain-local storage, so spans opened by different worker domains can
+   never interleave inside one tree — a worker's whole query trace is one
+   coherent subtree.  The switch, span budget and drop count are atomics;
+   completed roots merge into a mutex-guarded list.  An epoch counter
+   invalidates stale domain-local stacks left over from a previous trace
+   (a worker that never ran between two traces still holds the old one). *)
+let switch = Atomic.make false
+let epoch = Atomic.make 0
+let n_spans = Atomic.make 0
+let n_dropped = Atomic.make 0
+let lock = Mutex.create ()
+let finished : span list ref = ref []  (* guarded by [lock]; reverse order *)
 
-let enabled () = !switch
-let dropped () = !n_dropped
+type dstate = { mutable st_epoch : int; mutable st_stack : (span * float) list }
+
+let dls : dstate Domain.DLS.key = Domain.DLS.new_key (fun () -> { st_epoch = -1; st_stack = [] })
+
+(* The calling domain's stack, cleared if it belongs to an older trace. *)
+let state () =
+  let st = Domain.DLS.get dls in
+  let e = Atomic.get epoch in
+  if st.st_epoch <> e then begin
+    st.st_epoch <- e;
+    st.st_stack <- []
+  end;
+  st
+
+let enabled () = Atomic.get switch
+let dropped () = Atomic.get n_dropped
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let start () =
-  stack := [];
-  finished := [];
-  n_spans := 0;
-  n_dropped := 0;
-  switch := true
+  locked (fun () -> finished := []);
+  Atomic.incr epoch;
+  Atomic.set n_spans 0;
+  Atomic.set n_dropped 0;
+  ignore (state ());
+  Atomic.set switch true
 
-let attach sp =
-  match !stack with
+let attach_root sp = locked (fun () -> finished := sp :: !finished)
+
+let attach st sp =
+  match st.st_stack with
   | (parent, _) :: _ -> parent.sp_children <- sp :: parent.sp_children
-  | [] -> finished := sp :: !finished
+  | [] -> attach_root sp
 
 let span name f =
-  if not !switch then f ()
-  else if !n_spans >= max_spans then begin
-    incr n_dropped;
+  if not (Atomic.get switch) then f ()
+  else if Atomic.fetch_and_add n_spans 1 >= max_spans then begin
+    Atomic.incr n_dropped;
     f ()
   end
   else begin
-    incr n_spans;
+    let my_epoch = Atomic.get epoch in
+    let st = state () in
     let sp = { sp_name = name; sp_attrs = []; sp_elapsed_ms = 0.0; sp_children = [] } in
     let t0 = Unix.gettimeofday () in
-    stack := (sp, t0) :: !stack;
+    st.st_stack <- (sp, t0) :: st.st_stack;
     let finally () =
       sp.sp_elapsed_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
-      (match !stack with
-       | (top, _) :: rest when top == sp -> stack := rest
-       | _ ->
-         (* An inner span escaped (exception between push and pop below us):
-            unwind down to and including ours. *)
-         let rec unwind = function
-           | (top, _) :: rest -> if top == sp then rest else unwind rest
-           | [] -> []
-         in
-         stack := unwind !stack);
-      attach sp
+      let st = Domain.DLS.get dls in
+      (* A new trace may have started mid-span: the old tree is gone, so
+         the span is silently discarded rather than grafted across. *)
+      if st.st_epoch = my_epoch then begin
+        (match st.st_stack with
+         | (top, _) :: rest when top == sp -> st.st_stack <- rest
+         | _ ->
+           (* An inner span escaped (exception between push and pop below
+              us): unwind down to and including ours. *)
+           let rec unwind = function
+             | (top, _) :: rest -> if top == sp then rest else unwind rest
+             | [] -> []
+           in
+           st.st_stack <- unwind st.st_stack);
+        if Atomic.get epoch = my_epoch then attach st sp
+      end
     in
     Fun.protect ~finally f
   end
 
 let set_attr key v =
-  if !switch then
-    match !stack with
+  if Atomic.get switch then
+    match (state ()).st_stack with
     | (sp, _) :: _ -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
     | [] -> ()
 
 let add_count key n =
-  if !switch then
-    match !stack with
+  if Atomic.get switch then
+    match (state ()).st_stack with
     | (sp, _) :: _ ->
       let prev = match List.assoc_opt key sp.sp_attrs with Some (Json.Int p) -> p | _ -> 0 in
       sp.sp_attrs <- (key, Json.Int (prev + n)) :: List.remove_assoc key sp.sp_attrs
     | [] -> ()
 
 let event name attrs =
-  if !switch then begin
-    if !n_spans >= max_spans then incr n_dropped
-    else begin
-      incr n_spans;
-      attach { sp_name = name; sp_attrs = List.rev attrs; sp_elapsed_ms = 0.0; sp_children = [] }
-    end
+  if Atomic.get switch then begin
+    if Atomic.fetch_and_add n_spans 1 >= max_spans then Atomic.incr n_dropped
+    else
+      attach (state ())
+        { sp_name = name; sp_attrs = List.rev attrs; sp_elapsed_ms = 0.0; sp_children = [] }
   end
 
 let rec span_to_json sp =
@@ -93,20 +125,25 @@ let rec span_to_json sp =
   in
   Json.Obj (base @ attrs @ children)
 
-let roots () = List.rev !finished
+let roots () = locked (fun () -> List.rev !finished)
 
 let stop () =
-  (* Close anything an exception unwind left open so the tree is complete. *)
+  Atomic.set switch false;
+  (* Close anything an exception unwind left open on the calling domain so
+     its part of the tree is complete.  Other domains' open spans attach
+     when their thunks finish — callers that trace a server stop the pool
+     (joining every worker) before calling [stop], so in practice the
+     forest is complete here. *)
+  let st = state () in
   List.iter
     (fun (sp, t0) ->
       sp.sp_elapsed_ms <- (Unix.gettimeofday () -. t0) *. 1000.0;
-      finished := sp :: !finished)
-    !stack;
-  stack := [];
-  switch := false;
+      attach_root sp)
+    st.st_stack;
+  st.st_stack <- [];
   Json.Obj
     [ ("spans", Json.List (List.map span_to_json (roots ())));
-      ("dropped_spans", Json.Int !n_dropped) ]
+      ("dropped_spans", Json.Int (Atomic.get n_dropped)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Schema validation                                                   *)

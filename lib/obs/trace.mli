@@ -14,11 +14,18 @@
     v}
 
     Tracing is off by default; every recording entry point starts with one
-    boolean check, so dormant instrumentation does not tax the hot paths.
+    atomic check, so dormant instrumentation does not tax the hot paths.
     [EXPLAIN ANALYZE] and [--trace out.json] bracket execution with
     {!start}/{!stop}.  A hard cap ({!max_spans}) bounds memory on
     pathological traces: past it, new spans still execute their thunks but
-    record nothing except the drop count. *)
+    record nothing except the drop count.
+
+    Domain-safe: every domain records into its own open-span stack
+    (domain-local storage), so concurrent workers produce disjoint,
+    internally-coherent subtrees; completed roots merge into one shared
+    forest.  {!stop} closes only the calling domain's open spans — join
+    worker domains first (the server's shutdown path does) for a complete
+    forest. *)
 
 type span = {
   sp_name : string;

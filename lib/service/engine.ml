@@ -16,31 +16,47 @@ type t = {
   semantics : Pathsem.Semantics.t option;
   limits : Interrupt.limits;  (* governor defaults; iv_timeout_ms overrides the deadline *)
   lock : Mutex.t;  (* guards graph/version swaps and the counters *)
+  write_lock : Mutex.t;
+  (* The single-writer lane's backstop: at most one mutating execution
+     prepares a new graph version at a time.  The server keeps mutating
+     jobs queued so workers don't pile up here, but correctness never
+     depends on that routing. *)
+  persist : Store.Persist.t option;  (* durability; None = memory-only *)
   mutable graph : Pgraph.Graph.t;
   mutable version : int;
+  mutable read_only : string option;  (* Some reason => mutations refused *)
   mutable n_invocations : int;
   mutable n_executed : int;
   mutable n_errors : int;
   mutable n_interrupted : int;
+  mutable n_commits : int;
+  mutable n_wal_errors : int;
 }
 
 type prepared = {
   pr_budget : Interrupt.budget;
+  pr_mutating : bool;
   pr_thunk : unit -> P.response;
 }
 
-let create ?(cache_capacity = 128) ?semantics ?(limits = Interrupt.no_limits) ~graph () =
+let create ?(cache_capacity = 128) ?semantics ?(limits = Interrupt.no_limits) ?persist
+    ?(version = 0) ~graph () =
   { catalog = Gsql.Catalog.create ();
     cache = Cache.create ~capacity:cache_capacity ();
     semantics;
     limits;
     lock = Mutex.create ();
+    write_lock = Mutex.create ();
+    persist;
     graph;
-    version = 0;
+    version;
+    read_only = None;
     n_invocations = 0;
     n_executed = 0;
     n_errors = 0;
-    n_interrupted = 0 }
+    n_interrupted = 0;
+    n_commits = 0;
+    n_wal_errors = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -48,6 +64,8 @@ let locked t f =
 
 let graph t = locked t (fun () -> t.graph)
 let graph_version t = locked t (fun () -> t.version)
+let read_only t = locked t (fun () -> t.read_only)
+let persistent t = t.persist <> None
 
 let reload t g =
   locked t (fun () ->
@@ -117,6 +135,90 @@ let check_params (q : Gsql.Ast.query) (params : (string * Pgraph.Value.t) list) 
   | m :: _, _ -> Error ("missing parameter: " ^ m)
   | _, u :: _ -> Error ("unknown parameter: " ^ u)
 
+let interrupted_response t ~query reason =
+  locked t (fun () -> t.n_interrupted <- t.n_interrupted + 1);
+  let msg =
+    Printf.sprintf "%s interrupted (%s)" query (Interrupt.reason_to_string reason)
+  in
+  match reason with
+  | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg)
+  | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg)
+
+(* The write path: runs on a worker under the single-writer mutex.
+   Commit protocol (docs/DURABILITY.md):
+     1. snapshot the published graph — readers keep the old version pinned;
+     2. evaluate against the clone, the journal capturing logical ops;
+     3. append the batch to the WAL and fsync (when persistent);
+     4. swap the published graph pointer and bump the version;
+     5. clear the cache (old-version entries are already orphaned by the
+        version-in-key scheme; clearing frees them eagerly).
+   Any failure before step 4 discards the clone, so no partial mutation is
+   ever visible to anyone.  A WAL failure additionally flips the engine
+   read-only: the commit was not acknowledged and nothing after it will be
+   either, which beats silently diverging from the log. *)
+let mutate t (iv : P.invoke) q budget () =
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock t.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_lock)
+    (fun () ->
+      match locked t (fun () -> t.read_only) with
+      | Some why ->
+        locked t (fun () -> t.n_errors <- t.n_errors + 1);
+        P.Error (P.Read_only, "server is read-only: " ^ why)
+      | None ->
+        let base, version = locked t (fun () -> (t.graph, t.version)) in
+        let next = Pgraph.Graph.snapshot base in
+        let ops = ref [] in
+        Pgraph.Graph.set_journal next (Some (fun m -> ops := m :: !ops));
+        (match
+           Interrupt.with_budget budget (fun () ->
+               Gsql.Eval.run_query next ?semantics:t.semantics ~params:iv.P.iv_params q)
+         with
+         | result ->
+           Pgraph.Graph.set_journal next None;
+           let ops = List.rev !ops in
+           let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+           let r = P.of_eval_result result in
+           if ops = [] then begin
+             (* Ran to completion but wrote nothing: no commit, no version
+                bump.  (Mutating results are never cached either way — the
+                next invocation must re-execute its writes.) *)
+             locked t (fun () -> t.n_executed <- t.n_executed + 1);
+             P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+           end
+           else begin
+             let commit_version = version + 1 in
+             match
+               (match t.persist with
+                | Some p -> Store.Persist.commit p next ~version:commit_version ~ops
+                | None -> ())
+             with
+             | () ->
+               locked t (fun () ->
+                   t.graph <- next;
+                   t.version <- commit_version;
+                   t.n_executed <- t.n_executed + 1;
+                   t.n_commits <- t.n_commits + 1);
+               Cache.clear t.cache;
+               P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+             | exception Store.Wal.Io_error msg ->
+               (* The clone is discarded: the published graph never saw the
+                  batch, matching the WAL (which truncated or poisoned it). *)
+               locked t (fun () ->
+                   t.n_wal_errors <- t.n_wal_errors + 1;
+                   t.n_errors <- t.n_errors + 1;
+                   t.read_only <- Some msg);
+               P.Error
+                 ( P.Read_only,
+                   Printf.sprintf "commit failed (%s); server is now read-only" msg )
+           end
+         | exception Gsql.Eval.Runtime_error msg ->
+           locked t (fun () -> t.n_errors <- t.n_errors + 1);
+           P.Error (P.Exec_error, msg)
+         | exception Interrupt.Interrupted reason ->
+           interrupted_response t ~query:iv.P.iv_query reason))
+
 let prepare_invoke t (iv : P.invoke) =
   locked t (fun () -> t.n_invocations <- t.n_invocations + 1);
   match Gsql.Catalog.find t.catalog iv.P.iv_query with
@@ -129,61 +231,70 @@ let prepare_invoke t (iv : P.invoke) =
        locked t (fun () -> t.n_errors <- t.n_errors + 1);
        `Ready (P.Error (P.Bad_params, msg))
      | Ok () ->
-       let g, version = locked t (fun () -> (t.graph, t.version)) in
-       let key = Cache.key ~query:iv.P.iv_query ~params:iv.P.iv_params ~graph_version:version in
-       let hit = if iv.P.iv_no_cache then None else Cache.find t.cache key in
-       (match hit with
-        | Some r -> `Ready (P.Result { rs_cached = true; rs_ms = 0.0; rs_result = r })
-        | None ->
-          (* Governor budget for this execution: the per-invoke timeout
-             overrides the engine default; step/row ceilings always come
-             from the engine limits.  Built at prepare time so queue wait
-             counts against the deadline (matching the server's own
-             bookkeeping), and exposed so the server can flip its cancel
-             flag to reclaim the worker. *)
-          let limits =
-            { t.limits with
-              Interrupt.l_timeout_ms =
-                (match iv.P.iv_timeout_ms with
-                 | Some ms when ms > 0 -> Some ms
-                 | _ -> t.limits.Interrupt.l_timeout_ms) }
-          in
-          let budget = Interrupt.of_limits limits in
-          let thunk () =
-            let t0 = Unix.gettimeofday () in
-            match
-              Interrupt.with_budget budget (fun () ->
-                  Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q)
-            with
-            | result ->
-              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-              let r = P.of_eval_result result in
-              Cache.store t.cache key r;
-              locked t (fun () -> t.n_executed <- t.n_executed + 1);
-              P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
-            | exception Gsql.Eval.Runtime_error msg ->
-              locked t (fun () -> t.n_errors <- t.n_errors + 1);
-              P.Error (P.Exec_error, msg)
-            | exception Interrupt.Interrupted reason ->
-              (* Nothing is cached: the execution's private store and its
-                 uncommitted phases die with the unwind. *)
-              locked t (fun () -> t.n_interrupted <- t.n_interrupted + 1);
-              let msg =
-                Printf.sprintf "%s interrupted (%s)" iv.P.iv_query
-                  (Interrupt.reason_to_string reason)
-              in
-              (match reason with
-               | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg)
-               | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg))
-          in
-          `Run { pr_budget = budget; pr_thunk = thunk }))
+       let mutating = (Gsql.Catalog.info_of t.catalog iv.P.iv_query).Gsql.Analyze.mutating in
+       (* Governor budget for this execution: the per-invoke timeout
+          overrides the engine default; step/row ceilings always come
+          from the engine limits.  Built at prepare time so queue wait
+          counts against the deadline (matching the server's own
+          bookkeeping), and exposed so the server can flip its cancel
+          flag to reclaim the worker. *)
+       let budget_limits =
+         { t.limits with
+           Interrupt.l_timeout_ms =
+             (match iv.P.iv_timeout_ms with
+              | Some ms when ms > 0 -> Some ms
+              | _ -> t.limits.Interrupt.l_timeout_ms) }
+       in
+       if mutating then begin
+         match locked t (fun () -> t.read_only) with
+         | Some why ->
+           locked t (fun () -> t.n_errors <- t.n_errors + 1);
+           `Ready (P.Error (P.Read_only, "server is read-only: " ^ why))
+         | None ->
+           let budget = Interrupt.of_limits budget_limits in
+           `Run { pr_budget = budget; pr_mutating = true; pr_thunk = mutate t iv q budget }
+       end
+       else begin
+         let g, version = locked t (fun () -> (t.graph, t.version)) in
+         let key =
+           Cache.key ~query:iv.P.iv_query ~params:iv.P.iv_params ~graph_version:version
+         in
+         let hit = if iv.P.iv_no_cache then None else Cache.find t.cache key in
+         match hit with
+         | Some r -> `Ready (P.Result { rs_cached = true; rs_ms = 0.0; rs_result = r })
+         | None ->
+           let budget = Interrupt.of_limits budget_limits in
+           let thunk () =
+             let t0 = Unix.gettimeofday () in
+             match
+               Interrupt.with_budget budget (fun () ->
+                   Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q)
+             with
+             | result ->
+               let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+               let r = P.of_eval_result result in
+               Cache.store t.cache key r;
+               locked t (fun () -> t.n_executed <- t.n_executed + 1);
+               P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+             | exception Gsql.Eval.Runtime_error msg ->
+               locked t (fun () -> t.n_errors <- t.n_errors + 1);
+               P.Error (P.Exec_error, msg)
+             | exception Interrupt.Interrupted reason ->
+               (* Nothing is cached: the execution's private store and its
+                  uncommitted phases die with the unwind. *)
+               interrupted_response t ~query:iv.P.iv_query reason
+           in
+           `Run { pr_budget = budget; pr_mutating = false; pr_thunk = thunk }
+       end)
 
 let invoke t iv =
   match prepare_invoke t iv with `Ready r -> r | `Run p -> p.pr_thunk ()
 
 let stats t ~extra =
-  let invocations, executed, errors, interrupted, version =
-    locked t (fun () -> (t.n_invocations, t.n_executed, t.n_errors, t.n_interrupted, t.version))
+  let invocations, executed, errors, interrupted, version, commits, wal_errors, read_only =
+    locked t (fun () ->
+        ( t.n_invocations, t.n_executed, t.n_errors, t.n_interrupted, t.version,
+          t.n_commits, t.n_wal_errors, t.read_only ))
   in
   P.Stats_snapshot
     (J.Obj
@@ -193,5 +304,10 @@ let stats t ~extra =
           ("executed", J.Int executed);
           ("errors", J.Int errors);
           ("interrupted", J.Int interrupted);
+          ("commits", J.Int commits);
+          ("wal_errors", J.Int wal_errors);
+          ("persistent", J.Bool (t.persist <> None));
+          ( "read_only",
+            match read_only with None -> J.Bool false | Some why -> J.Str why );
           ("cache", Cache.stats t.cache) ]
        @ extra))

@@ -8,12 +8,16 @@
     thunk captures the query AST, parameters and graph version at dispatch
     time, so it never touches the catalog from a worker domain.
 
-    Mutating entry points ([install]/[drop]/[reload]) must be called from a
+    Catalog entry points ([install]/[drop]/[reload]) must be called from a
     single coordinating thread (the server's event loop); the cache and the
-    request counters are internally locked, so invoke thunks are safe to run
-    on any number of worker domains {e provided the installed queries do not
-    write graph attributes} (INSERT / attribute assignment — see
-    docs/SERVICE.md for this caveat). *)
+    request counters are internally locked, and invoke thunks are safe to
+    run on any number of worker domains.  Queries classified {e mutating}
+    at install time ({!Gsql.Analyze.info.mutating}) run under MVCC-lite
+    write isolation: the thunk snapshots the published graph, evaluates
+    against the private clone under the engine's single-writer mutex,
+    durably logs the batch (when a {!Store.Persist.t} is attached), then
+    atomically publishes the new version — concurrent readers keep the old
+    snapshot and never block or tear (docs/DURABILITY.md). *)
 
 type t
 
@@ -21,16 +25,30 @@ val create :
   ?cache_capacity:int ->
   ?semantics:Pathsem.Semantics.t ->
   ?limits:Interrupt.limits ->
+  ?persist:Store.Persist.t ->
+  ?version:int ->
   graph:Pgraph.Graph.t -> unit -> t
 (** [limits] are the governor defaults for every execution (default
     {!Interrupt.no_limits}): [l_timeout_ms] is the deadline when the
-    invoke carries none, [l_max_steps]/[l_max_rows] always apply. *)
+    invoke carries none, [l_max_steps]/[l_max_rows] always apply.
+    [persist] attaches a durability layer: every commit is WAL-logged
+    before publication.  [version] seeds the graph version — pass the
+    recovered {!Store.Persist.recovery.r_version} so post-restart commits
+    continue the on-disk sequence. *)
 
 val graph : t -> Pgraph.Graph.t
 val graph_version : t -> int
 
+val read_only : t -> string option
+(** [Some reason] once a WAL I/O failure has degraded the engine: mutating
+    invocations are refused with [Error (Read_only, _)]; reads still flow. *)
+
+val persistent : t -> bool
+
 val reload : t -> Pgraph.Graph.t -> unit
-(** Swaps the graph, bumps the version and clears the cache. *)
+(** Swaps the graph, bumps the version and clears the cache.  An
+    administrative operation outside the write lane: not WAL-logged, and
+    not safe to race against an in-flight mutating invocation. *)
 
 (** {1 Catalog operations (coordinator thread only)} *)
 
@@ -49,18 +67,27 @@ type prepared = {
       (** the execution's governor budget — flip with {!Interrupt.cancel}
           (or share [Interrupt.cancel_token] with {!Pool.submit}) to stop
           the run at its next checkpoint *)
+  pr_mutating : bool;
+      (** classified at install time; the server routes [true] through its
+          single-writer lane so mutating jobs queue instead of stacking up
+          workers on the engine's write mutex *)
   pr_thunk : unit -> Protocol.response;
 }
 
 val prepare_invoke :
   t -> Protocol.invoke -> [ `Ready of Protocol.response | `Run of prepared ]
 (** [`Ready] carries a cache hit or an immediate error (unknown query,
-    missing/unknown parameters); [`Run] is the execution thunk — it runs
-    the query under its budget, stores the result in the cache and returns
-    the [Result] response.  Safe to run on a worker domain.  An
-    interrupted execution caches nothing and maps to [Error (Timeout, _)]
-    (cancelled / deadline) or [Error (Resource_limit, _)] (step/row
-    budget). *)
+    missing/unknown parameters, or a mutating invoke while {!read_only});
+    [`Run] is the execution thunk — it runs the query under its budget,
+    stores the result in the cache (read-only queries; a cache hit is only
+    possible for those, since mutating invocations bypass the cache on
+    both read and write) and returns the [Result] response.  Safe to run
+    on a worker domain.  An interrupted execution caches nothing, commits
+    nothing, and maps to [Error (Timeout, _)] (cancelled / deadline) or
+    [Error (Resource_limit, _)] (step/row budget).  A mutating thunk that
+    completes commits atomically: version bump + cache purge + WAL append
+    (see the module preamble); a WAL failure returns
+    [Error (Read_only, _)] and flips the engine read-only. *)
 
 val invoke : t -> Protocol.invoke -> Protocol.response
 (** [prepare_invoke] collapsed for synchronous callers (tests, the bench

@@ -10,23 +10,36 @@ type t = {
   crash_every : int;  (* 0 = off; else every Nth worker execution raises *)
   drop_frame_every : int;  (* 0 = off; else every Nth response frame is dropped *)
   slow_read_ms : int;  (* 0 = off *)
+  short_write_every : int;  (* 0 = off; else every Nth WAL append is cut short *)
+  torn_record_every : int;  (* 0 = off; else every Nth WAL append is corrupted *)
+  fsync_fail_every : int;  (* 0 = off; else every Nth WAL fsync fails *)
   n_worker : int Atomic.t;  (* worker executions seen (crash counter) *)
   n_frames : int Atomic.t;  (* outbound frames seen (drop counter) *)
+  n_short : int Atomic.t;  (* WAL appends seen (short-write counter) *)
+  n_torn : int Atomic.t;  (* WAL appends seen (torn-record counter) *)
+  n_fsync : int Atomic.t;  (* WAL appends seen (fsync-fail counter) *)
 }
 
-let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slow_read_ms = 0) ()
-    =
+let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slow_read_ms = 0)
+    ?(short_write_every = 0) ?(torn_record_every = 0) ?(fsync_fail_every = 0) () =
   { delay_worker_ms;
     crash_every;
     drop_frame_every;
     slow_read_ms;
+    short_write_every;
+    torn_record_every;
+    fsync_fail_every;
     n_worker = Atomic.make 0;
-    n_frames = Atomic.make 0 }
+    n_frames = Atomic.make 0;
+    n_short = Atomic.make 0;
+    n_torn = Atomic.make 0;
+    n_fsync = Atomic.make 0 }
 
 let none = make ()
 
 let is_none t =
   t.delay_worker_ms = 0 && t.crash_every = 0 && t.drop_frame_every = 0 && t.slow_read_ms = 0
+  && t.short_write_every = 0 && t.torn_record_every = 0 && t.fsync_fail_every = 0
 
 let to_string t =
   let knobs =
@@ -35,7 +48,10 @@ let to_string t =
       [ ("delay-in-worker", t.delay_worker_ms);
         ("crash-in-worker", t.crash_every);
         ("drop-frame", t.drop_frame_every);
-        ("slow-read", t.slow_read_ms) ]
+        ("slow-read", t.slow_read_ms);
+        ("short-write", t.short_write_every);
+        ("torn-record", t.torn_record_every);
+        ("fsync-fail", t.fsync_fail_every) ]
   in
   String.concat "," knobs
 
@@ -59,6 +75,9 @@ let parse spec =
             | "crash-in-worker" -> go { acc with crash_every = n } rest
             | "drop-frame" -> go { acc with drop_frame_every = n } rest
             | "slow-read" -> go { acc with slow_read_ms = n } rest
+            | "short-write" -> go { acc with short_write_every = n } rest
+            | "torn-record" -> go { acc with torn_record_every = n } rest
+            | "fsync-fail" -> go { acc with fsync_fail_every = n } rest
             | _ -> Error (Printf.sprintf "unknown fault knob %S" k))
           | _ ->
             Error (Printf.sprintf "fault knob %S: value must be a non-negative integer" part)))
@@ -89,3 +108,18 @@ let drop_frame t = nth_hit t.n_frames t.drop_frame_every
 
 let before_read t =
   if t.slow_read_ms > 0 then Unix.sleepf (float_of_int t.slow_read_ms /. 1000.0)
+
+(* The store stays independent of this module: disk faults travel as a
+   [Store.Wal.hooks] record built from the spec's counters.  Each counter
+   tracks appends independently, so e.g. short-write=2,fsync-fail=3 hits
+   appends 2,4,… and 3,6,… deterministically (short-write wins a tie). *)
+let wal_hooks t =
+  { Store.Wal.on_append =
+      (fun () ->
+        let short = nth_hit t.n_short t.short_write_every in
+        let torn = nth_hit t.n_torn t.torn_record_every in
+        let fsync = nth_hit t.n_fsync t.fsync_fail_every in
+        if short then Some `Short_write
+        else if torn then Some `Torn_record
+        else if fsync then Some `Fsync_fail
+        else None) }

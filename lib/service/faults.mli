@@ -20,7 +20,17 @@
     - [drop-frame=N] — every Nth outbound response frame is silently
       discarded (exercises client receive timeouts / retry);
     - [slow-read=MS] — the server sleeps MS before each socket read
-      (exercises slow-client handling on the event loop).
+      (exercises slow-client handling on the event loop);
+    - [short-write=N] — every Nth WAL append leaves a truncated record
+      on disk and fails (crash image: the torn tail);
+    - [torn-record=N] — every Nth WAL append writes a full-length record
+      with corrupted payload and fails (only the CRC catches it);
+    - [fsync-fail=N] — every Nth WAL append fails at the fsync (the
+      record is truncated back out: an unacknowledged commit).
+
+    All three disk faults fail the commit — the client sees an error,
+    nothing is applied, and the server degrades to read-only mode
+    (docs/DURABILITY.md).
 
     "Every Nth" counters are per-[t] atomics, so tests are
     deterministic: with [crash-in-worker=3], exactly the 3rd, 6th, …
@@ -59,3 +69,7 @@ val drop_frame : t -> bool
 
 val before_read : t -> unit
 (** Applies [slow-read] before a server-side socket read. *)
+
+val wal_hooks : t -> Store.Wal.hooks
+(** Disk-fault hooks for the write-ahead log, driven by the
+    [short-write]/[torn-record]/[fsync-fail] knobs. *)

@@ -43,6 +43,7 @@ type err_code =
   | Timeout
   | Resource_limit
   | Exec_error
+  | Read_only
   | Shutting_down
   | Internal
 
@@ -65,6 +66,7 @@ let err_code_to_string = function
   | Timeout -> "timeout"
   | Resource_limit -> "resource_limit"
   | Exec_error -> "exec_error"
+  | Read_only -> "read_only"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -76,6 +78,7 @@ let err_code_of_string = function
   | "timeout" -> Some Timeout
   | "resource_limit" -> Some Resource_limit
   | "exec_error" -> Some Exec_error
+  | "read_only" -> Some Read_only
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
   | _ -> None
@@ -83,44 +86,15 @@ let err_code_of_string = function
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)
 
-(* Tagged single-field objects keep the non-JSON-native constructors
-   distinguishable; plain objects never appear as encoded values, so the
-   tags cannot collide with data. *)
-let rec value_to_json (v : V.t) : J.t =
-  match v with
-  | V.Null -> J.Null
-  | V.Bool b -> J.Bool b
-  | V.Int n -> J.Int n
-  | V.Float f -> J.Float f
-  | V.Str s -> J.Str s
-  | V.Datetime s -> J.Obj [ ("$dt", J.Int s) ]
-  | V.Vertex id -> J.Obj [ ("$v", J.Int id) ]
-  | V.Edge id -> J.Obj [ ("$e", J.Int id) ]
-  | V.Vlist vs -> J.Obj [ ("$l", J.List (List.map value_to_json vs)) ]
-  | V.Vtuple vs ->
-    J.Obj [ ("$t", J.List (Array.to_list (Array.map value_to_json vs))) ]
+(* The $-tagged value encoding lives in [Store.Codec] — the WAL writes the
+   same representation to disk, and aliasing keeps wire and disk from ever
+   drifting apart. *)
+let value_to_json : V.t -> J.t = Store.Codec.value_to_json
+let value_of_json : J.t -> (V.t, string) result = Store.Codec.value_of_json
 
 let ( let* ) = Result.bind
 
-let rec value_of_json (j : J.t) : (V.t, string) result =
-  match j with
-  | J.Null -> Ok V.Null
-  | J.Bool b -> Ok (V.Bool b)
-  | J.Int n -> Ok (V.Int n)
-  | J.Float f -> Ok (V.Float f)
-  | J.Str s -> Ok (V.Str s)
-  | J.Obj [ ("$dt", J.Int s) ] -> Ok (V.Datetime s)
-  | J.Obj [ ("$v", J.Int id) ] -> Ok (V.Vertex id)
-  | J.Obj [ ("$e", J.Int id) ] -> Ok (V.Edge id)
-  | J.Obj [ ("$l", J.List vs) ] ->
-    let* vs = values_of_json vs in
-    Ok (V.Vlist vs)
-  | J.Obj [ ("$t", J.List vs) ] ->
-    let* vs = values_of_json vs in
-    Ok (V.Vtuple (Array.of_list vs))
-  | _ -> Error ("bad value encoding: " ^ J.to_string j)
-
-and values_of_json js =
+let values_of_json js =
   List.fold_right
     (fun j acc ->
       let* acc = acc in
@@ -516,13 +490,17 @@ let encode_frame (j : J.t) : string =
   Bytes.blit_string payload 0 b 4 n;
   Bytes.unsafe_to_string b
 
-let decode_frame (buf : string) ~pos =
+(* An oversized header is unrecoverable: the advertised length is bogus, so
+   there is no trustworthy "next frame" position — the caller must drop the
+   connection after reporting the error (it consumes the whole buffer). *)
+let decode_frame ?(max_bytes = max_frame_bytes) (buf : string) ~pos =
   let avail = String.length buf - pos in
   if avail < 4 then `Need_more
   else
     let byte i = Char.code buf.[pos + i] in
     let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
-    if n > max_frame_bytes then `Frame (Result.Error "frame too large", String.length buf)
+    if n > min max_bytes max_frame_bytes then
+      `Frame (Result.Error (Printf.sprintf "frame too large (%d bytes)" n), String.length buf)
     else if avail < 4 + n then `Need_more
     else
       let payload = String.sub buf (pos + 4) n in

@@ -53,6 +53,8 @@ type err_code =
   | Timeout         (** deadline passed; execution cancelled at a checkpoint *)
   | Resource_limit  (** governor step/row budget exhausted *)
   | Exec_error      (** runtime error inside the query *)
+  | Read_only       (** mutation refused: the WAL hit an I/O error and the
+                        server degraded to read-only mode *)
   | Shutting_down
   | Internal
 
@@ -97,11 +99,15 @@ val max_frame_bytes : int
 val encode_frame : Obs.Json.t -> string
 
 val decode_frame :
-  string -> pos:int ->
+  ?max_bytes:int -> string -> pos:int ->
   [ `Need_more | `Frame of (Obs.Json.t, string) result * int ]
 (** [decode_frame buf ~pos] attempts to pop one frame starting at [pos]:
     [`Need_more] when the buffer holds a partial frame, otherwise the parsed
-    payload (or a framing/JSON error) and the position just past the frame. *)
+    payload (or a framing/JSON error) and the position just past the frame.
+    [max_bytes] lowers the acceptance cap below {!max_frame_bytes}; an
+    over-cap length is unrecoverable (the header cannot be trusted to find
+    the next frame), so the error consumes the whole buffer and the caller
+    must close the connection after reporting it. *)
 
 val write_frame : Unix.file_descr -> Obs.Json.t -> unit
 (** Blocking write of a whole frame (retries on [EINTR]/[EAGAIN]). *)

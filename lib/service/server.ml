@@ -2,10 +2,11 @@
 
    Single-threaded select loop: accepts connections, pops protocol frames
    out of per-connection buffers, answers control requests inline and hands
-   invocations to the worker pool, then sweeps pending jobs for completions
-   and blown deadlines on every tick.  All Obs.Metrics / Obs.Trace calls
-   happen on this thread (the registry and the span stack are not
-   domain-safe); workers run pure engine thunks. *)
+   invocations to the worker pool, then sweeps pending jobs for
+   completions and blown deadlines, pumps the single-writer lane and
+   retires reclaimed workers on every tick.  Obs.Metrics / Obs.Trace are
+   domain-safe (mutexed registry, domain-local span stacks), so workers
+   may record too. *)
 
 module J = Obs.Json
 module P = Protocol
@@ -18,12 +19,15 @@ type config = {
   queue_capacity : int;
   default_timeout_ms : int;
   max_connections : int;
+  max_inflight : int;  (* per-connection in-flight invocation cap *)
+  max_frame_bytes : int;  (* inbound frame acceptance cap *)
   faults : Faults.t;
 }
 
 let default_config listen =
   { listen; workers = None; queue_capacity = 64; default_timeout_ms = 30_000;
-    max_connections = 64; faults = Faults.from_env () }
+    max_connections = 64; max_inflight = 32; max_frame_bytes = P.max_frame_bytes;
+    faults = Faults.from_env () }
 
 (* Instrument handles are registered once; recording is a no-op unless the
    caller (serve --trace, BENCH_JSON) enabled the registry. *)
@@ -43,6 +47,7 @@ type conn = {
   fd : Unix.file_descr;
   mutable rbuf : string;   (* unconsumed input *)
   mutable alive : bool;
+  mutable closed : bool;   (* fd released; set exactly once *)
 }
 
 type pending = {
@@ -53,6 +58,19 @@ type pending = {
   p_budget : Interrupt.budget;
   p_deadline : float;
   p_start : float;
+  p_mutating : bool;       (* occupies the single-writer lane until retired *)
+}
+
+(* A mutating invocation parked behind the single-writer lane: already
+   admitted and classified, but not submitted to the pool until the
+   current writer's pending entry retires.  Readers are never parked. *)
+type waiting = {
+  w_conn : conn;
+  w_id : int;
+  w_query : string;
+  w_prepared : Engine.prepared;
+  w_deadline : float;
+  w_start : float;
 }
 
 (* A cancelled job whose worker has not yet unwound: still counted
@@ -74,6 +92,8 @@ type t = {
   mutable conns : conn list;
   mutable pending : pending list;
   mutable reclaiming : reclaiming list;
+  mutable writer_busy : bool;          (* a mutating job is in flight *)
+  mutable writer_waiting : waiting list;  (* FIFO; bounded by queue_capacity *)
   mutable n_timeouts : int;
   mutable n_overloaded : int;
   mutable n_cancellations : int;
@@ -105,7 +125,8 @@ let create cfg engine =
   in
   let pool = Pool.create ?workers:cfg.workers ~queue_capacity:cfg.queue_capacity () in
   { engine; cfg; pool; listen_fd = fd; bound; stop_flag = Atomic.make false;
-    conns = []; pending = []; reclaiming = []; n_timeouts = 0; n_overloaded = 0;
+    conns = []; pending = []; reclaiming = []; writer_busy = false;
+    writer_waiting = []; n_timeouts = 0; n_overloaded = 0;
     n_cancellations = 0; n_reclaimed = 0 }
 
 let endpoint t = t.bound
@@ -118,7 +139,16 @@ let send t conn ~id resp =
     if Faults.drop_frame t.cfg.faults then ()  (* injected: frame lost on the wire *)
     else
       try P.write_frame conn.fd (P.response_to_json ~id resp)
-      with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+      with
+      | Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+      | Invalid_argument _ ->
+        (* The result does not fit in a frame: substitute an error so the
+           client is answered instead of stalled on a missing response. *)
+        (try
+           P.write_frame conn.fd
+             (P.response_to_json ~id
+                (P.Error (P.Internal, "response exceeds the frame size limit")))
+         with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
 
 (* Cancel an in-flight job and track it until its worker unwinds — the
    cooperative-cancellation half of the deadline/disconnect paths. *)
@@ -144,17 +174,26 @@ let sweep_reclaiming t =
         | Pool.Queued | Pool.Running -> true)
       t.reclaiming
 
-let close_conn t conn =
-  if conn.alive then begin
-    conn.alive <- false;
+(* Release the fd exactly once.  [alive] and [closed] are distinct on
+   purpose: a failed send marks the connection dead ([alive = false]) from
+   wherever it happens, and the event loop later destroys it here. *)
+let destroy_conn conn =
+  conn.alive <- false;
+  if not conn.closed then begin
+    conn.closed <- true;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
-  end;
+  end
+
+let close_conn t conn =
+  destroy_conn conn;
   (* Cancel this connection's in-flight jobs: nobody is left to answer,
-     so reclaim the workers instead of letting them finish for nothing. *)
+     so reclaim the workers instead of letting them finish for nothing.
+     Parked writers are simply dropped — they never reached the pool. *)
   let gone, still = List.partition (fun p -> p.p_conn == conn) t.pending in
   let at = now () in
   List.iter (fun p -> cancel_pending t p ~at) gone;
-  t.pending <- still
+  t.pending <- still;
+  t.writer_waiting <- List.filter (fun w -> w.w_conn != conn) t.writer_waiting
 
 let record_outcome ~query ~ms resp =
   Obs.Metrics.incr m_requests 1;
@@ -190,7 +229,71 @@ let server_stats t =
     (* Cancelled jobs whose worker has not unwound yet; a healthy governor
        drives this back to 0 shortly after every cancellation. *)
     ("workers_leaked", J.Int (List.length t.reclaiming));
+    (* Single-writer lane: at most one mutating job runs at a time; the
+       rest wait here in FIFO order. *)
+    ("writer_busy", J.Bool t.writer_busy);
+    ("writer_waiting", J.Int (List.length t.writer_waiting));
+    ("max_inflight", J.Int t.cfg.max_inflight);
     ("default_timeout_ms", J.Int t.cfg.default_timeout_ms) ]
+
+(* Hand a prepared invocation to the pool and start tracking it.  Both the
+   read path (directly from [handle_request]) and the writer lane (via
+   [pump_writers]) land here; a mutating submission occupies the lane. *)
+let submit_job t conn ~id ~query ~(prepared : Engine.prepared) ~deadline ~start =
+  let faults = t.cfg.faults in
+  let thunk () =
+    Faults.worker_entry faults;
+    prepared.Engine.pr_thunk ()
+  in
+  (* The job shares the budget's cancel flag, so flipping either stops
+     both the queued job and the running execution. *)
+  match
+    Pool.submit ~cancel:(Interrupt.cancel_token prepared.Engine.pr_budget) t.pool thunk
+  with
+  | Ok job ->
+    if prepared.Engine.pr_mutating then t.writer_busy <- true;
+    t.pending <-
+      { p_conn = conn; p_id = id; p_query = query; p_job = job;
+        p_budget = prepared.Engine.pr_budget; p_deadline = deadline;
+        p_start = start; p_mutating = prepared.Engine.pr_mutating }
+      :: t.pending
+  | Error `Overloaded ->
+    t.n_overloaded <- t.n_overloaded + 1;
+    let resp = P.Error (P.Overloaded, "admission queue full") in
+    record_outcome ~query ~ms:0.0 resp;
+    send t conn ~id resp
+  | Error `Shutdown ->
+    send t conn ~id (P.Error (P.Shutting_down, "server stopping"))
+
+(* Pop the writer lane after the in-flight writer retires.  Dead or
+   already-expired waiters are answered/dropped without consuming the
+   lane, so one stale entry cannot stall the queue behind it. *)
+let rec pump_writers t =
+  if not t.writer_busy then
+    match t.writer_waiting with
+    | [] -> ()
+    | w :: rest ->
+      t.writer_waiting <- rest;
+      let tick_now = now () in
+      if not w.w_conn.alive then pump_writers t
+      else if tick_now >= w.w_deadline then begin
+        t.n_timeouts <- t.n_timeouts + 1;
+        let resp =
+          P.Error
+            (P.Timeout,
+             Printf.sprintf "%s exceeded its deadline in the writer queue" w.w_query)
+        in
+        record_outcome ~query:w.w_query ~ms:((tick_now -. w.w_start) *. 1000.0) resp;
+        send t w.w_conn ~id:w.w_id resp;
+        pump_writers t
+      end
+      else begin
+        submit_job t w.w_conn ~id:w.w_id ~query:w.w_query ~prepared:w.w_prepared
+          ~deadline:w.w_deadline ~start:w.w_start;
+        (* A failed submission (overloaded/shutdown) was answered inside
+           [submit_job] and leaves the lane free: keep pumping. *)
+        pump_writers t
+      end
 
 let handle_request t conn ~id (req : P.request) =
   match req with
@@ -204,53 +307,77 @@ let handle_request t conn ~id (req : P.request) =
     send t conn ~id P.Bye;
     stop t
   | P.Invoke iv ->
-    let t0 = now () in
-    (match Engine.prepare_invoke t.engine iv with
-     | `Ready resp ->
-       record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
-       send t conn ~id resp
-     | `Run prepared ->
-       (* The job shares the budget's cancel flag, so flipping either
-          stops both the queued job and the running execution. *)
-       let faults = t.cfg.faults in
-       let thunk () =
-         Faults.worker_entry faults;
-         prepared.Engine.pr_thunk ()
-       in
-       (match
-          Pool.submit ~cancel:(Interrupt.cancel_token prepared.Engine.pr_budget) t.pool thunk
-        with
-        | Ok job ->
-          let timeout_ms =
-            match iv.P.iv_timeout_ms with
-            | Some ms when ms > 0 -> ms
-            | _ -> t.cfg.default_timeout_ms
-          in
-          t.pending <-
-            { p_conn = conn; p_id = id; p_query = iv.P.iv_query; p_job = job;
-              p_budget = prepared.Engine.pr_budget;
-              p_deadline = t0 +. (float_of_int timeout_ms /. 1000.0); p_start = t0 }
-            :: t.pending
-        | Error `Overloaded ->
-          t.n_overloaded <- t.n_overloaded + 1;
-          let resp = P.Error (P.Overloaded, "admission queue full") in
-          record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
-          send t conn ~id resp
-        | Error `Shutdown ->
-          send t conn ~id (P.Error (P.Shutting_down, "server stopping"))))
+    (* Fairness stopgap: one pipelining connection cannot occupy every
+       worker (and the writer queue) while others starve. *)
+    let inflight =
+      List.fold_left (fun n p -> if p.p_conn == conn then n + 1 else n) 0 t.pending
+      + List.fold_left (fun n w -> if w.w_conn == conn then n + 1 else n) 0
+          t.writer_waiting
+    in
+    if inflight >= t.cfg.max_inflight then begin
+      t.n_overloaded <- t.n_overloaded + 1;
+      let resp =
+        P.Error
+          (P.Overloaded,
+           Printf.sprintf "per-connection in-flight cap reached (%d)"
+             t.cfg.max_inflight)
+      in
+      record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
+      send t conn ~id resp
+    end
+    else begin
+      let t0 = now () in
+      match Engine.prepare_invoke t.engine iv with
+      | `Ready resp ->
+        record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
+        send t conn ~id resp
+      | `Run prepared ->
+        let timeout_ms =
+          match iv.P.iv_timeout_ms with
+          | Some ms when ms > 0 -> ms
+          | _ -> t.cfg.default_timeout_ms
+        in
+        let deadline = t0 +. (float_of_int timeout_ms /. 1000.0) in
+        if prepared.Engine.pr_mutating
+           && (t.writer_busy || t.writer_waiting <> []) then begin
+          (* Lane occupied: park in FIFO order behind the in-flight writer
+             (the non-empty-queue check keeps admission order fair). *)
+          if List.length t.writer_waiting >= t.cfg.queue_capacity then begin
+            t.n_overloaded <- t.n_overloaded + 1;
+            let resp = P.Error (P.Overloaded, "writer queue full") in
+            record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
+            send t conn ~id resp
+          end
+          else
+            t.writer_waiting <-
+              t.writer_waiting
+              @ [ { w_conn = conn; w_id = id; w_query = iv.P.iv_query;
+                    w_prepared = prepared; w_deadline = deadline; w_start = t0 } ]
+        end
+        else
+          submit_job t conn ~id ~query:iv.P.iv_query ~prepared ~deadline ~start:t0
+    end
 
 let handle_frame t conn = function
-  | Result.Error msg -> send t conn ~id:0 (P.Error (P.Bad_request, msg))
+  | Result.Error msg ->
+    (* A frame-level error — oversized length header or undecodable
+       payload — leaves the stream unsynchronized (the next frame boundary
+       cannot be trusted), so answer with a protocol error and close. *)
+    send t conn ~id:0 (P.Error (P.Bad_request, msg));
+    close_conn t conn
   | Ok payload ->
     (match P.request_of_json payload with
-     | Result.Error msg -> send t conn ~id:0 (P.Error (P.Bad_request, msg))
+     | Result.Error msg ->
+       (* Bad envelope inside a well-delimited frame: the stream is still
+          framed correctly, so the connection survives. *)
+       send t conn ~id:0 (P.Error (P.Bad_request, msg))
      | Ok (id, req) -> handle_request t conn ~id req)
 
 let drain_conn_buffer t conn =
   let rec go pos =
     if not conn.alive then ()
     else
-      match P.decode_frame conn.rbuf ~pos with
+      match P.decode_frame conn.rbuf ~pos ~max_bytes:t.cfg.max_frame_bytes with
       | `Need_more ->
         if pos > 0 then conn.rbuf <- String.sub conn.rbuf pos (String.length conn.rbuf - pos)
       | `Frame (frame, next) ->
@@ -284,7 +411,7 @@ let accept_ready t =
       end
       else begin
         Unix.set_nonblock fd;
-        t.conns <- { fd; rbuf = ""; alive = true } :: t.conns;
+        t.conns <- { fd; rbuf = ""; alive = true; closed = false } :: t.conns;
         go ()
       end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
@@ -333,12 +460,18 @@ let sweep_pending t =
             else true)
       t.pending
   in
-  t.pending <- still
+  t.pending <- still;
+  (* Recomputing (rather than clearing on each retire branch) keeps the
+     lane state correct no matter which path removed the mutating job. *)
+  t.writer_busy <- List.exists (fun p -> p.p_mutating) t.pending
 
 let run t =
   let tick = 0.02 in
   while not (Atomic.get t.stop_flag) do
-    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    (* A send failure only marks the connection dead; release its fd and
+       cancel its work here, on the loop, exactly once. *)
+    List.iter (fun c -> if not c.alive then close_conn t c) t.conns;
+    t.conns <- List.filter (fun c -> not c.closed) t.conns;
     Obs.Metrics.set_gauge m_connections (float_of_int (List.length t.conns));
     Obs.Metrics.set_gauge m_queue_depth (float_of_int (Pool.queue_depth t.pool));
     let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
@@ -351,6 +484,7 @@ let run t =
       (fun conn -> if conn.alive && List.memq conn.fd readable then on_readable t conn)
       t.conns;
     sweep_pending t;
+    pump_writers t;
     sweep_reclaiming t
   done;
   (* Drain: stop accepting, answer what the pool still finishes quickly,
@@ -359,6 +493,11 @@ let run t =
   (match t.cfg.listen with
    | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
    | `Tcp _ -> ());
+  (* Parked writers never reached the pool: answer and forget. *)
+  List.iter
+    (fun w -> send t w.w_conn ~id:w.w_id (P.Error (P.Shutting_down, "server stopping")))
+    t.writer_waiting;
+  t.writer_waiting <- [];
   List.iter
     (fun p ->
       match Pool.state p.p_job with

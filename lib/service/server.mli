@@ -2,9 +2,9 @@
     the length-prefixed protocol over a Unix-domain or TCP socket and runs
     invocations on a {!Pool} of worker domains.
 
-    The loop owns every socket and every {!Obs} touch point (metrics,
-    trace events) — workers only execute query thunks — so the
-    observability layer keeps its single-threaded contract.  Per-request
+    The loop owns every socket; workers execute query thunks and may
+    record {!Obs} metrics and spans freely (the registries are
+    domain-safe).  Per-request
     deadlines are enforced on the loop's select tick: a request whose
     deadline passes gets a [timeout] error immediately and its job is
     {e cancelled} — the server flips the execution budget's cancel flag
@@ -20,22 +20,40 @@
     socket read path (slow-read) — see docs/SERVICE.md.
 
     Pipelining is allowed: a client may send several requests on one
-    connection; invocation responses come back in completion order,
-    correlated by envelope id. *)
+    connection (up to [max_inflight] concurrent invocations); invocation
+    responses come back in completion order, correlated by envelope id.
+
+    Mutating invocations ({!Engine.prepared.pr_mutating}) are routed
+    through a {e single-writer lane}: at most one runs at a time, the rest
+    wait in a bounded FIFO ([writer_waiting] in stats) while read-only
+    invocations keep flowing against the current snapshot.  Frame-level
+    protocol errors (oversized length header, undecodable payload) are
+    answered with [Bad_request] and close the connection, because the
+    stream can no longer be re-synchronized; a bad envelope inside a
+    well-formed frame only fails that request. *)
 
 type endpoint = [ `Unix of string | `Tcp of string * int ]
 
 type config = {
   listen : endpoint;
   workers : int option;        (** [None] = {!Accum.Parallel.default_workers} *)
-  queue_capacity : int;        (** admission bound (queued, not running) *)
+  queue_capacity : int;        (** admission bound (queued, not running); also
+                                   bounds the writer-lane FIFO *)
   default_timeout_ms : int;    (** per-request deadline when the client sets none *)
   max_connections : int;
+  max_inflight : int;          (** per-connection in-flight invocation cap; the
+                                   overflow is refused with [Overloaded] (a
+                                   retryable code) so one pipelining client
+                                   cannot monopolize the pool *)
+  max_frame_bytes : int;       (** inbound frames above this are a protocol
+                                   error and close the connection (capped by
+                                   {!Protocol.max_frame_bytes}) *)
   faults : Faults.t;           (** injection knobs; {!Faults.none} in production *)
 }
 
 val default_config : endpoint -> config
-(** workers = cores, queue 64, timeout 30s, 64 connections, faults from
+(** workers = cores, queue 64, timeout 30s, 64 connections, 32 in-flight
+    per connection, frames up to {!Protocol.max_frame_bytes}, faults from
     [GSQL_FAULTS] (none when unset). *)
 
 type t

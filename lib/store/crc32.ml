@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   Self-contained: the container must not grow dependencies for a
+   checksum.  All arithmetic stays within 32 bits via masking — OCaml's
+   63-bit ints hold the intermediate values exactly. *)
+
+let mask = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c land mask))
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  (!c lxor mask) land mask
+
+let string s = update 0 s 0 (String.length s)

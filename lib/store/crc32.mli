@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE), the checksum guarding every WAL record. *)
+
+val string : string -> int
+(** CRC-32 of a whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum over a substring —
+    [update (update 0 a 0 la) b 0 lb = string (a ^ b)].  Raises
+    [Invalid_argument] on an out-of-bounds range. *)

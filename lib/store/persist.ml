@@ -1,0 +1,117 @@
+(* Data-directory lifecycle: recovery on open, WAL append per commit,
+   periodic snapshot compaction.
+
+   Layout:
+     <dir>/snapshot.json   full graph + version (absent until the first
+                           compaction; the base graph then comes from the
+                           caller, e.g. the --graph spec)
+     <dir>/wal.log         batches committed since the snapshot
+
+   Recovery = load snapshot (or base), replay WAL batches with a version
+   above the snapshot's (a crash between snapshot rename and WAL reset
+   legitimately leaves already-covered batches behind), truncate the torn
+   tail.  Compaction = write snapshot.json.tmp, fsync, rename over, reset
+   the WAL. *)
+
+module G = Pgraph.Graph
+
+type t = {
+  dir : string;
+  compact_every : int;  (* compact after this many batches; 0 = never *)
+  wal : Wal.t;
+  mutable batches_since_snapshot : int;
+}
+
+let wal_path dir = Filename.concat dir "wal.log"
+let snapshot_path dir = Filename.concat dir "snapshot.json"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (e, _, _) -> raise (Wal.Io_error (Unix.error_message e))
+
+let load_snapshot path =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.parse text with
+  | Error msg -> Error ("snapshot parse: " ^ msg)
+  | Ok j -> Codec.graph_of_json j
+
+type recovery = {
+  r_graph : G.t;
+  r_version : int;       (* version of the last committed batch replayed *)
+  r_replayed : int;      (* batches applied from the WAL *)
+  r_truncated : bool;    (* a torn/corrupt tail was dropped *)
+}
+
+let open_dir ?(hooks = Wal.no_hooks) ?(compact_every = 0) dir ~base =
+  ensure_dir dir;
+  let graph, snap_version =
+    if Sys.file_exists (snapshot_path dir) then
+      match load_snapshot (snapshot_path dir) with
+      | Ok gv -> gv
+      | Error msg -> raise (Wal.Io_error ("corrupt snapshot: " ^ msg))
+    else (base (), 0)
+  in
+  let had_file = Sys.file_exists (wal_path dir) in
+  let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  let batches, valid_bytes = Wal.scan (wal_path dir) in
+  let version = ref snap_version and replayed = ref 0 and good_bytes = ref 0 in
+  (try
+     List.iter
+       (fun ((b : Codec.batch), end_off) ->
+         if b.Codec.b_version > !version then begin
+           List.iter (G.apply_mutation graph) b.Codec.b_ops;
+           version := b.Codec.b_version;
+           incr replayed
+         end;
+         good_bytes := end_off)
+       batches
+   with Invalid_argument _ ->
+     (* A checksum-valid batch that no longer applies (schema/base
+        mismatch): stop replaying and truncate it away with the tail
+        rather than crash — the committed prefix up to here is intact. *)
+     ());
+  ignore valid_bytes;  (* == !good_bytes unless replay stopped early *)
+  let keep = !good_bytes in
+  let truncated = had_file && keep < file_size (wal_path dir) in
+  let wal = Wal.open_append ~hooks ~valid_bytes:keep (wal_path dir) in
+  ( { dir; compact_every; wal; batches_since_snapshot = List.length batches },
+    { r_graph = graph; r_version = !version; r_replayed = !replayed; r_truncated = truncated } )
+
+(* Atomic snapshot publication: tmp + fsync + rename, then the WAL is
+   redundant and restarts empty. *)
+let compact t graph ~version =
+  let tmp = snapshot_path t.dir ^ ".tmp" in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         let text = Obs.Json.to_string (Codec.graph_to_json ~version graph) in
+         let buf = Bytes.of_string text in
+         let n = Bytes.length buf in
+         let written = ref 0 in
+         while !written < n do
+           written := !written + Unix.write fd buf !written (n - !written)
+         done;
+         Unix.fsync fd);
+     Unix.rename tmp (snapshot_path t.dir)
+   with
+   | Unix.Unix_error (e, _, _) -> raise (Wal.Io_error (Unix.error_message e))
+   | Sys_error msg -> raise (Wal.Io_error msg));
+  Wal.reset t.wal;
+  t.batches_since_snapshot <- 0
+
+let commit t graph ~version ~ops =
+  Wal.append t.wal { Codec.b_version = version; b_ops = ops };
+  t.batches_since_snapshot <- t.batches_since_snapshot + 1;
+  if t.compact_every > 0 && t.batches_since_snapshot >= t.compact_every then
+    compact t graph ~version
+
+let is_open t = Wal.is_open t.wal
+let close t = Wal.close t.wal

@@ -1,0 +1,40 @@
+(** Data-directory lifecycle: recovery on open, one WAL append per commit,
+    periodic snapshot compaction.
+
+    Layout: [<dir>/snapshot.json] (full graph + version, absent until the
+    first compaction) and [<dir>/wal.log] (batches since the snapshot).
+    See docs/DURABILITY.md for the format and recovery rules. *)
+
+type t
+
+type recovery = {
+  r_graph : Pgraph.Graph.t;  (** recovered graph, ready to serve *)
+  r_version : int;           (** version of the last committed batch *)
+  r_replayed : int;          (** WAL batches applied during recovery *)
+  r_truncated : bool;        (** a torn/corrupt WAL tail was dropped *)
+}
+
+val open_dir :
+  ?hooks:Wal.hooks -> ?compact_every:int -> string ->
+  base:(unit -> Pgraph.Graph.t) -> t * recovery
+(** Opens (creating if needed) a data directory.  The graph comes from
+    [snapshot.json] when present, else from [base] — until the first
+    compaction the caller must supply the same base graph across restarts
+    for WAL ids to line up.  Replays the WAL's committed prefix, skipping
+    batches already covered by the snapshot, and truncates the first
+    torn/corrupt/inapplicable record and everything after it.
+    [compact_every = n] rewrites the snapshot and empties the WAL after
+    every [n] commits (0 = never).  Raises {!Wal.Io_error} if the
+    directory cannot be created or the snapshot file is corrupt. *)
+
+val commit : t -> Pgraph.Graph.t -> version:int -> ops:Pgraph.Graph.mutation list -> unit
+(** Durably logs one committed batch (append + fsync), compacting with
+    [graph] if the threshold is reached.  Raises {!Wal.Io_error} on any
+    I/O failure — nothing was acknowledged, and the WAL handle is
+    poisoned (the service layer degrades to read-only). *)
+
+val compact : t -> Pgraph.Graph.t -> version:int -> unit
+(** Forces a snapshot rewrite now (atomic tmp+rename) and empties the WAL. *)
+
+val is_open : t -> bool
+val close : t -> unit

@@ -1,0 +1,154 @@
+(* Write-ahead log: a flat file of [u32 BE length | u32 BE CRC32 | JSON
+   payload] records, one committed batch per record, fsynced per append.
+   Recovery scans from the start and stops at the first record that is
+   short, oversized, checksum-bad or unparseable — the torn tail a crash
+   mid-write leaves behind — and the caller truncates there.
+
+   Fault injection happens through [hooks] so the store stays independent
+   of [Service.Faults]: the service layer builds hooks from its fault
+   spec, tests can pass closures directly. *)
+
+exception Io_error of string
+
+type injected = [ `Short_write | `Torn_record | `Fsync_fail ]
+
+type hooks = { on_append : unit -> injected option }
+
+let no_hooks = { on_append = (fun () -> None) }
+
+let max_record_bytes = 64 * 1024 * 1024
+
+type t = {
+  path : string;
+  hooks : hooks;
+  mutable fd : Unix.file_descr option;  (* None once broken or closed *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Returns each decodable batch with the byte offset just past its record,
+   plus the length of the whole valid prefix. *)
+let scan path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let data = try read_file path with Sys_error msg -> raise (Io_error msg) in
+    let n = String.length data in
+    let be32 pos = Int32.to_int (String.get_int32_be data pos) land 0xFFFFFFFF in
+    let rec go pos acc =
+      let stop () = (List.rev acc, pos) in
+      if pos + 8 > n then stop ()
+      else begin
+        let len = be32 pos and crc = be32 (pos + 4) in
+        if len <= 0 || len > max_record_bytes || pos + 8 + len > n then stop ()
+        else begin
+          let payload = String.sub data (pos + 8) len in
+          if Crc32.string payload <> crc then stop ()
+          else
+            match Obs.Json.parse payload with
+            | Error _ -> stop ()
+            | Ok j ->
+              (match Codec.batch_of_json j with
+               | Error _ -> stop ()
+               | Ok b ->
+                 let next = pos + 8 + len in
+                 go next ((b, next) :: acc))
+        end
+      end
+    in
+    go 0 []
+  end
+
+let open_append ?(hooks = no_hooks) ?(valid_bytes = max_int) path =
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> raise (Io_error (Unix.error_message e))
+  | fd ->
+    (try
+       let size = (Unix.fstat fd).Unix.st_size in
+       if valid_bytes < size then Unix.ftruncate fd valid_bytes;
+       ignore (Unix.lseek fd 0 Unix.SEEK_END)
+     with Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise (Io_error (Unix.error_message e)));
+    { path; hooks; fd = Some fd }
+
+let is_open t = t.fd <> None
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Any failed append poisons the log: the fd is dropped so every later
+   append raises immediately — the service layer's cue to go read-only. *)
+let broken t msg =
+  close t;
+  raise (Io_error msg)
+
+let write_all fd buf pos len =
+  let written = ref pos in
+  let stop = pos + len in
+  while !written < stop do
+    written := !written + Unix.write fd buf !written (stop - !written)
+  done
+
+let append t batch =
+  match t.fd with
+  | None -> raise (Io_error "wal is closed (previous I/O error)")
+  | Some fd ->
+    let payload = Obs.Json.to_string (Codec.batch_to_json batch) in
+    let len = String.length payload in
+    if len > max_record_bytes then broken t "record exceeds max_record_bytes";
+    let frame = Bytes.create (8 + len) in
+    Bytes.set_int32_be frame 0 (Int32.of_int len);
+    Bytes.set_int32_be frame 4 (Int32.of_int (Crc32.string payload));
+    Bytes.blit_string payload 0 frame 8 len;
+    let start = try Unix.lseek fd 0 Unix.SEEK_END with Unix.Unix_error (e, _, _) ->
+      broken t (Unix.error_message e)
+    in
+    let truncate_back () =
+      try Unix.ftruncate fd start with Unix.Unix_error _ -> ()
+    in
+    (match t.hooks.on_append () with
+     | Some `Short_write ->
+       (* Crash image: only a prefix of the record reached the disk. *)
+       (try write_all fd frame 0 (8 + (len / 2)) with Unix.Unix_error _ -> ());
+       broken t "short write (injected)"
+     | Some `Torn_record ->
+       (* Crash image: full-length record whose payload is garbage —
+          only the CRC can catch it. *)
+       let mid = 8 + (len / 2) in
+       Bytes.set frame mid (Char.chr (Char.code (Bytes.get frame mid) lxor 0xFF));
+       (try write_all fd frame 0 (8 + len) with Unix.Unix_error _ -> ());
+       broken t "torn record (injected)"
+     | Some `Fsync_fail ->
+       (try write_all fd frame 0 (8 + len) with Unix.Unix_error _ -> ());
+       (* A failed fsync leaves durability unknown; model "not durable" by
+          truncating the record back out, so recovery sees only
+          acknowledged commits. *)
+       truncate_back ();
+       broken t "fsync failed (injected)"
+     | None ->
+       (try
+          write_all fd frame 0 (8 + len);
+          Unix.fsync fd
+        with Unix.Unix_error (e, _, _) ->
+          truncate_back ();
+          broken t (Unix.error_message e)))
+
+(* Post-compaction: every batch in the log is now covered by the snapshot
+   file, so the log restarts empty. *)
+let reset t =
+  match t.fd with
+  | None -> raise (Io_error "wal is closed (previous I/O error)")
+  | Some fd ->
+    (try
+       Unix.ftruncate fd 0;
+       ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+       Unix.fsync fd
+     with Unix.Unix_error (e, _, _) -> broken t (Unix.error_message e))

@@ -1,0 +1,48 @@
+(** Write-ahead log: checksummed append-only records, one committed batch
+    each, fsynced per append.
+
+    Record format: [u32 BE payload length | u32 BE CRC-32(payload) | payload]
+    where the payload is a {!Codec.batch} JSON document.  {!scan} stops at
+    the first short/oversized/checksum-bad/unparseable record — the torn
+    tail a crash leaves — so recovery replays exactly the committed
+    prefix.  A failed append poisons the handle: later appends raise
+    {!Io_error} immediately, the service layer's cue to degrade to
+    read-only mode. *)
+
+exception Io_error of string
+
+type injected = [ `Short_write | `Torn_record | `Fsync_fail ]
+
+type hooks = { on_append : unit -> injected option }
+(** Fault-injection point, consulted once per {!append}.  [`Short_write]
+    leaves a truncated record on disk, [`Torn_record] a full-length record
+    with corrupt payload (only the CRC catches it), [`Fsync_fail] models an
+    unacknowledged commit (the record is truncated back out).  All three
+    make the append raise {!Io_error}. *)
+
+val no_hooks : hooks
+
+val max_record_bytes : int
+
+type t
+
+val scan : string -> (Codec.batch * int) list * int
+(** [scan path] decodes the valid prefix: each batch paired with the byte
+    offset just past its record, plus the total valid-prefix length.  A
+    missing file is an empty log.  Raises {!Io_error} only if the file
+    exists but cannot be read at all. *)
+
+val open_append : ?hooks:hooks -> ?valid_bytes:int -> string -> t
+(** Opens (creating if missing) for appending, first truncating the file
+    to [valid_bytes] (from {!scan}) to drop a torn tail. *)
+
+val append : t -> Codec.batch -> unit
+(** Appends one record and fsyncs.  Raises {!Io_error} on any failure
+    (injected or real); the handle is then poisoned ({!is_open} false). *)
+
+val reset : t -> unit
+(** Empties the log — called after snapshot compaction has made every
+    logged batch redundant. *)
+
+val is_open : t -> bool
+val close : t -> unit

@@ -1,0 +1,358 @@
+(* The durability layer, bottom-up: CRC-32 against known vectors, the
+   JSON codec (values, mutation batches, whole graphs), the checksummed
+   WAL's append/scan/truncate behavior including every injected disk
+   fault, and Persist's recover-replay-compact lifecycle. *)
+
+module V = Pgraph.Value
+module G = Pgraph.Graph
+module S = Pgraph.Schema
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+
+let test_crc32_vectors () =
+  (* The IEEE 802.3 check value for "123456789". *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (Store.Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Store.Crc32.string "");
+  Alcotest.(check int) "single byte" 0xD202EF8D (Store.Crc32.string "\x00")
+
+let test_crc32_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Store.Crc32.string s in
+  let split = Store.Crc32.update (Store.Crc32.update 0 s 0 10) s 10 (String.length s - 10) in
+  Alcotest.(check int) "split = whole" whole split
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let mk_schema () =
+  let s = S.create () in
+  ignore (S.add_vertex_type s "N" [ ("name", S.T_string); ("a", S.T_int); ("b", S.T_int) ]);
+  ignore (S.add_edge_type s "L" ~directed:true [ ("w", S.T_float) ]);
+  ignore (S.add_edge_type s "U" ~directed:false []);
+  s
+
+let mk_graph () =
+  let g = G.create (mk_schema ()) in
+  let v name a = G.add_vertex g "N" [ ("name", V.Str name); ("a", V.Int a) ] in
+  let n0 = v "n0" 0 and n1 = v "n1" 1 and n2 = v "n2" 2 in
+  ignore (G.add_edge g "L" n0 n1 [ ("w", V.Float 0.5) ]);
+  ignore (G.add_edge g "L" n1 n2 [ ("w", V.Float 1.5) ]);
+  ignore (G.add_edge g "U" n0 n2 []);
+  g
+
+let graphs_equal a b =
+  G.n_vertices a = G.n_vertices b
+  && G.n_edges a = G.n_edges b
+  && (let ok = ref true in
+      G.iter_vertices a (fun vid ->
+          let vt = G.vertex_type a vid in
+          if (G.vertex_type b vid).S.vt_name <> vt.S.vt_name then ok := false;
+          Array.iter
+            (fun (attr, _) ->
+              if not (V.equal (G.vertex_attr a vid attr) (G.vertex_attr b vid attr)) then
+                ok := false)
+            vt.S.vt_attrs);
+      G.iter_edges a (fun eid ->
+          let et = G.edge_type a eid in
+          if
+            G.edge_src a eid <> G.edge_src b eid
+            || G.edge_dst a eid <> G.edge_dst b eid
+            || (G.edge_type b eid).S.et_name <> et.S.et_name
+          then ok := false;
+          Array.iter
+            (fun (attr, _) ->
+              if not (V.equal (G.edge_attr a eid attr) (G.edge_attr b eid attr)) then
+                ok := false)
+            et.S.et_attrs);
+      !ok)
+
+let test_codec_batch_roundtrip () =
+  let batch =
+    { Store.Codec.b_version = 7;
+      b_ops =
+        [ G.M_add_vertex ("N", [ ("name", V.Str "x"); ("a", V.Int 3) ]);
+          G.M_add_edge ("L", 0, 3, [ ("w", V.Float 2.0) ]);
+          G.M_set_vertex_attr (1, "a", V.Int 9);
+          G.M_set_edge_attr (0, "w", V.Float 0.25) ] }
+  in
+  let s = Obs.Json.to_string (Store.Codec.batch_to_json batch) in
+  match Obs.Json.parse s with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok j ->
+    (match Store.Codec.batch_of_json j with
+     | Ok b ->
+       Alcotest.(check int) "version" 7 b.Store.Codec.b_version;
+       Alcotest.(check bool) "ops" true (b.Store.Codec.b_ops = batch.Store.Codec.b_ops)
+     | Error msg -> Alcotest.failf "decode failed: %s" msg)
+
+let test_codec_graph_roundtrip () =
+  let g = mk_graph () in
+  let s = Obs.Json.to_string (Store.Codec.graph_to_json ~version:42 g) in
+  match Obs.Json.parse s with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok j ->
+    (match Store.Codec.graph_of_json j with
+     | Ok (g', version) ->
+       Alcotest.(check int) "version" 42 version;
+       Alcotest.(check bool) "same graph" true (graphs_equal g g');
+       (* The rebuilt graph accepts further mutations against its schema. *)
+       ignore (G.add_vertex g' "N" [ ("name", V.Str "post") ])
+     | Error msg -> Alcotest.failf "decode failed: %s" msg)
+
+let test_codec_rejects_garbage () =
+  (match Store.Codec.batch_of_json (Obs.Json.Str "nope") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "batch decoded from a string");
+  match Store.Codec.graph_of_json (Obs.Json.Obj [ ("version", Obs.Json.Int 1) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "graph decoded without a schema"
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsql_store_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let batch v = { Store.Codec.b_version = v; b_ops = [ G.M_set_vertex_attr (0, "a", V.Int v) ] }
+
+let versions_of (batches, _) = List.map (fun (b, _) -> b.Store.Codec.b_version) batches
+
+let test_wal_roundtrip () =
+  let path = Filename.concat (tmp_dir ()) "wal.log" in
+  let w = Store.Wal.open_append path in
+  Store.Wal.append w (batch 1);
+  Store.Wal.append w (batch 2);
+  Store.Wal.append w (batch 3);
+  Store.Wal.close w;
+  Alcotest.(check (list int)) "replayed versions" [ 1; 2; 3 ] (versions_of (Store.Wal.scan path));
+  (* Reopening appends after the existing prefix. *)
+  let _, valid = Store.Wal.scan path in
+  let w = Store.Wal.open_append ~valid_bytes:valid path in
+  Store.Wal.append w (batch 4);
+  Store.Wal.close w;
+  Alcotest.(check (list int)) "appended" [ 1; 2; 3; 4 ] (versions_of (Store.Wal.scan path))
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_wal_torn_tail () =
+  let path = Filename.concat (tmp_dir ()) "wal.log" in
+  let w = Store.Wal.open_append path in
+  Store.Wal.append w (batch 1);
+  Store.Wal.append w (batch 2);
+  Store.Wal.close w;
+  (* Chop the last record mid-payload: the crash image of a torn append. *)
+  let full = file_size path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (full - 5);
+  Unix.close fd;
+  let batches, valid = Store.Wal.scan path in
+  Alcotest.(check (list int)) "committed prefix only" [ 1 ] (List.map (fun (b, _) -> b.Store.Codec.b_version) batches);
+  Alcotest.(check bool) "valid < file size" true (valid < full - 5);
+  (* open_append drops the tail so the next record lands on a clean boundary. *)
+  let w = Store.Wal.open_append ~valid_bytes:valid path in
+  Store.Wal.append w (batch 9);
+  Store.Wal.close w;
+  Alcotest.(check (list int)) "tail replaced" [ 1; 9 ] (versions_of (Store.Wal.scan path))
+
+let test_wal_corrupt_record () =
+  let path = Filename.concat (tmp_dir ()) "wal.log" in
+  let w = Store.Wal.open_append path in
+  Store.Wal.append w (batch 1);
+  let boundary = file_size path in
+  Store.Wal.append w (batch 2);
+  Store.Wal.close w;
+  (* Flip one payload byte of record 2: only the CRC can catch this. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (boundary + 10) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  Alcotest.(check (list int)) "stops at bad CRC" [ 1 ] (versions_of (Store.Wal.scan path))
+
+let injected_hooks fault =
+  let armed = ref true in
+  { Store.Wal.on_append =
+      (fun () ->
+        if !armed then begin
+          armed := false;
+          Some fault
+        end
+        else None) }
+
+let expect_io_error f =
+  match f () with
+  | () -> Alcotest.fail "append should have raised Io_error"
+  | exception Store.Wal.Io_error _ -> ()
+
+let test_wal_injected_faults () =
+  List.iter
+    (fun (fault, name, survives_on_disk) ->
+      let path = Filename.concat (tmp_dir ()) (name ^ ".log") in
+      let w = Store.Wal.open_append path in
+      Store.Wal.append w (batch 1);
+      let clean = file_size path in
+      let w2 = Store.Wal.open_append ~hooks:(injected_hooks fault) ~valid_bytes:clean path in
+      expect_io_error (fun () -> Store.Wal.append w2 (batch 2));
+      Alcotest.(check bool) (name ^ " poisons handle") false (Store.Wal.is_open w2);
+      expect_io_error (fun () -> Store.Wal.append w2 (batch 3));
+      (* Whatever the crash image, recovery sees only the committed prefix. *)
+      Alcotest.(check (list int)) (name ^ " committed prefix") [ 1 ] (versions_of (Store.Wal.scan path));
+      let on_disk = file_size path > clean in
+      Alcotest.(check bool) (name ^ " crash image") survives_on_disk on_disk;
+      Store.Wal.close w)
+    [ (`Short_write, "short-write", true);
+      (`Torn_record, "torn-record", true);
+      (* fsync-fail truncates the record back out: nothing survives. *)
+      (`Fsync_fail, "fsync-fail", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Persist                                                             *)
+
+let apply_to g = function
+  | { Store.Codec.b_ops; _ } -> List.iter (G.apply_mutation g) b_ops
+
+let _ = apply_to
+
+let test_persist_lifecycle () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "fresh version" 0 r.Store.Persist.r_version;
+  Alcotest.(check int) "nothing replayed" 0 r.Store.Persist.r_replayed;
+  let g = r.Store.Persist.r_graph in
+  (* Commit two batches through the journal capture path. *)
+  let ops = ref [] in
+  G.set_journal g (Some (fun m -> ops := m :: !ops));
+  G.set_vertex_attr g 0 "a" (V.Int 100);
+  Store.Persist.commit p g ~version:1 ~ops:(List.rev !ops);
+  ops := [];
+  let vid = G.add_vertex g "N" [ ("name", V.Str "n3"); ("a", V.Int 3) ] in
+  ignore (G.add_edge g "L" 0 vid []);
+  Store.Persist.commit p g ~version:2 ~ops:(List.rev !ops);
+  Store.Persist.close p;
+  (* Restart: same base, replay the log. *)
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "recovered version" 2 r2.Store.Persist.r_version;
+  Alcotest.(check int) "replayed" 2 r2.Store.Persist.r_replayed;
+  Alcotest.(check bool) "no truncation" false r2.Store.Persist.r_truncated;
+  Alcotest.(check bool) "state matches" true (graphs_equal g r2.Store.Persist.r_graph);
+  Store.Persist.close p2
+
+let test_persist_compaction () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir ~compact_every:2 dir ~base in
+  let g = r.Store.Persist.r_graph in
+  for v = 1 to 5 do
+    let ops = ref [] in
+    G.set_journal g (Some (fun m -> ops := m :: !ops));
+    G.set_vertex_attr g 0 "a" (V.Int (v * 10));
+    G.set_journal g None;
+    Store.Persist.commit p g ~version:v ~ops:(List.rev !ops)
+  done;
+  Store.Persist.close p;
+  Alcotest.(check bool) "snapshot exists" true
+    (Sys.file_exists (Filename.concat dir "snapshot.json"));
+  (* Only the commits after the last compaction remain in the WAL. *)
+  let batches, _ = Store.Wal.scan (Filename.concat dir "wal.log") in
+  Alcotest.(check bool) "wal shrank" true (List.length batches < 5);
+  (* The base graph is ignored once a snapshot exists: recovery must not
+     need it to reproduce the state. *)
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "version preserved" 5 r2.Store.Persist.r_version;
+  Alcotest.(check bool) "attr survived compaction" true
+    (V.equal (V.Int 50) (G.vertex_attr r2.Store.Persist.r_graph 0 "a"));
+  Store.Persist.close p2
+
+let test_persist_recovers_torn_tail () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  let g = r.Store.Persist.r_graph in
+  let commit v =
+    let ops = ref [] in
+    G.set_journal g (Some (fun m -> ops := m :: !ops));
+    G.set_vertex_attr g 0 "a" (V.Int v);
+    G.set_journal g None;
+    Store.Persist.commit p g ~version:v ~ops:(List.rev !ops)
+  in
+  commit 1;
+  commit 2;
+  Store.Persist.close p;
+  (* Crash image: tear the last record. *)
+  let wal = Filename.concat dir "wal.log" in
+  let full = file_size wal in
+  let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (full - 3);
+  Unix.close fd;
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check bool) "tail was truncated" true r2.Store.Persist.r_truncated;
+  Alcotest.(check int) "only the committed prefix" 1 r2.Store.Persist.r_version;
+  Alcotest.(check bool) "prefix state" true
+    (V.equal (V.Int 1) (G.vertex_attr r2.Store.Persist.r_graph 0 "a"));
+  (* The server can keep committing after recovery. *)
+  let g2 = r2.Store.Persist.r_graph in
+  let ops = ref [] in
+  G.set_journal g2 (Some (fun m -> ops := m :: !ops));
+  G.set_vertex_attr g2 0 "a" (V.Int 7);
+  G.set_journal g2 None;
+  Store.Persist.commit p2 g2 ~version:2 ~ops:(List.rev !ops);
+  Store.Persist.close p2;
+  let _, r3 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "recommitted" 2 r3.Store.Persist.r_version;
+  Alcotest.(check bool) "recommitted state" true
+    (V.equal (V.Int 7) (G.vertex_attr r3.Store.Persist.r_graph 0 "a"))
+
+let test_persist_faulted_commit_not_recovered () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  List.iter
+    (fun fault ->
+      (* Fresh dir per fault kind. *)
+      let dir = Filename.concat dir (match fault with
+        | `Short_write -> "sw" | `Torn_record -> "tr" | `Fsync_fail -> "ff")
+      in
+      let p, r = Store.Persist.open_dir ~hooks:(injected_hooks fault) dir ~base in
+      let g = r.Store.Persist.r_graph in
+      let ops = [ G.M_set_vertex_attr (0, "a", V.Int 999) ] in
+      (match Store.Persist.commit p g ~version:1 ~ops with
+       | () -> Alcotest.fail "commit should have failed"
+       | exception Store.Wal.Io_error _ -> ());
+      Alcotest.(check bool) "handle poisoned" false (Store.Persist.is_open p);
+      (* Restart: the failed commit must not be visible. *)
+      let _, r2 = Store.Persist.open_dir dir ~base in
+      Alcotest.(check int) "version 0" 0 r2.Store.Persist.r_version;
+      Alcotest.(check bool) "base state" true
+        (V.equal (V.Int 0) (G.vertex_attr r2.Store.Persist.r_graph 0 "a")))
+    [ `Short_write; `Torn_record; `Fsync_fail ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "store"
+    [ ( "crc32",
+        [ Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental ] );
+      ( "codec",
+        [ Alcotest.test_case "batch roundtrip" `Quick test_codec_batch_roundtrip;
+          Alcotest.test_case "graph roundtrip" `Quick test_codec_graph_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage ] );
+      ( "wal",
+        [ Alcotest.test_case "append/scan roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick test_wal_corrupt_record;
+          Alcotest.test_case "injected faults" `Quick test_wal_injected_faults ] );
+      ( "persist",
+        [ Alcotest.test_case "commit/recover" `Quick test_persist_lifecycle;
+          Alcotest.test_case "compaction" `Quick test_persist_compaction;
+          Alcotest.test_case "torn-tail recovery" `Quick test_persist_recovers_torn_tail;
+          Alcotest.test_case "failed commit invisible" `Quick test_persist_faulted_commit_not_recovered ] ) ]
