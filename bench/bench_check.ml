@@ -1,0 +1,65 @@
+(* Sidecar regression gate — compares a current BENCH_<suite>.json against
+   a committed baseline and fails (exit 1) when a watched histogram's mean
+   regresses beyond an allowed ratio.
+
+   Usage:
+     bench_check.exe <baseline.json> <current.json> [metric] [max-ratio]
+
+   [metric] defaults to [bench.table1.count_asp_ms] (the Table 1 counting
+   column — the paper's headline "counting stays flat" claim), [max-ratio]
+   to 2.0: CI's bench-smoke job runs table1 at small n and refuses a
+   count-ASP that got more than twice as slow as the committed baseline.
+   Absolute wall times differ across machines; a 2x guard band on the same
+   runner class still catches accidental algorithmic regressions (the
+   failure mode this gate exists for: someone reintroducing a per-call
+   adjacency copy or losing the CSR memo). *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_check: " ^ s); exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error e -> die "%s: %s" path e
+
+let hist_mean path doc metric =
+  let ( >>= ) o f = Option.bind o f in
+  match
+    Obs.Json.member "metrics" doc
+    >>= Obs.Json.member "histograms"
+    >>= Obs.Json.member metric
+    >>= Obs.Json.member "mean"
+    >>= Obs.Json.to_float_opt
+  with
+  | Some m when m > 0.0 -> m
+  | Some _ | None -> die "%s: no positive histogram mean for %s" path metric
+
+let wall_ms doc =
+  match Option.bind (Obs.Json.member "wall_ms" doc) Obs.Json.to_float_opt with
+  | Some w -> w
+  | None -> nan
+
+let () =
+  let argv = Sys.argv in
+  if Array.length argv < 3 || Array.length argv > 5 then
+    die "usage: bench_check.exe <baseline.json> <current.json> [metric] [max-ratio]";
+  let metric = if Array.length argv > 3 then argv.(3) else "bench.table1.count_asp_ms" in
+  let max_ratio =
+    if Array.length argv > 4 then
+      try float_of_string argv.(4) with Failure _ -> die "bad max-ratio %s" argv.(4)
+    else 2.0
+  in
+  let base = load argv.(1) and cur = load argv.(2) in
+  let b = hist_mean argv.(1) base metric and c = hist_mean argv.(2) cur metric in
+  let ratio = c /. b in
+  Printf.printf "%s: baseline %.3fms, current %.3fms, ratio %.2fx (limit %.2fx)\n" metric b c
+    ratio max_ratio;
+  Printf.printf "wall_ms: baseline %.1f, current %.1f\n" (wall_ms base) (wall_ms cur);
+  if ratio > max_ratio then begin
+    Printf.printf "FAIL: %s regressed %.2fx > %.2fx\n" metric ratio max_ratio;
+    exit 1
+  end;
+  print_endline "OK"

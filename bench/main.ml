@@ -8,14 +8,16 @@
      ablation  — design-choice ablations (E5)
      micro     — Bechamel per-kernel estimates (one Test.make per table)
 
-   Usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]
+     fanout    — multi-source parallel fan-out speedup (E6)
+
+   Usage: main.exe [table1|snb|appendixb|examples|ablation|micro|fanout|all]
    Environment: DIAMOND_MAX_ENUM bounds the enumerated columns of table1
    (default 18; the paper ran to n=25 before timing out at 10 minutes);
    BENCH_JSON=<dir> additionally writes a BENCH_<suite>.json metrics sidecar
    per suite (schema: docs/OBSERVABILITY.md). *)
 
 let usage () =
-  prerr_endline "usage: main.exe [table1|snb|appendixb|examples|ablation|micro|all]";
+  prerr_endline "usage: main.exe [table1|snb|appendixb|examples|ablation|micro|fanout|all]";
   exit 2
 
 let run_table1 () =
@@ -33,12 +35,14 @@ let () =
    | "examples" -> suite "examples" Examples_tbl.run
    | "ablation" -> suite "ablation" Ablation.run
    | "micro" -> suite "micro" Micro.run
+   | "fanout" -> suite "fanout" Fanout.run
    | "all" ->
      suite "examples" Examples_tbl.run;
      suite "table1" run_table1;
      suite "snb" Snb_bench.run;
      suite "appendixb" Appendixb.run;
      suite "ablation" Ablation.run;
-     suite "micro" Micro.run
+     suite "micro" Micro.run;
+     suite "fanout" Fanout.run
    | _ -> usage ());
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

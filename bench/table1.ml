@@ -18,6 +18,11 @@
 module B = Pgraph.Bignat
 module Sem = Pathsem.Semantics
 
+(* Each n's median counting time, for the BENCH_table1.json sidecar — CI's
+   bench-smoke job compares this histogram's mean against the committed
+   baseline (bench/bench_check.ml). *)
+let h_count_asp = Obs.Metrics.histogram "bench.table1.count_asp_ms"
+
 let qn_source = {|
   SumAccum<int> @pathCount;
   R = SELECT t
@@ -55,6 +60,7 @@ let run ~max_n ~max_n_enum =
     let count_result = ref B.zero in
     let t_count = Util.median_ms ~runs:3 (fun () -> count_result := run_gsql_count g n) in
     assert (B.equal !count_result expected);
+    Obs.Metrics.observe h_count_asp t_count;
     let enum_cell sem =
       if n <= max_n_enum then begin
         let r = ref B.zero in

@@ -348,10 +348,14 @@ let alias_constraint ctx alias =
   | Some (R_scalar (V.Vertex v)) -> Some v
   | _ -> None
 
-(* Single-step DARPE: enumerate adjacency directly, binding the edge
-   variable when present.  Returns (src, dst, edge) triples. *)
+(* Single-step DARPE: scan the frozen CSR index's (etype, rel) segment
+   slices directly, binding the edge variable when present — a typed,
+   direction-adorned step touches only its matching contiguous slices
+   instead of predicate-filtering the whole adjacency list.  Returns
+   (src, dst, edge) triples. *)
 let single_step_pairs ctx (sources : int array) (ty : string option) (adir : Darpe.Ast.adir)
     ~(dst_ok : int -> bool) : (int * int * int) list =
+  let csr = Pgraph.Csr.of_graph ctx.graph in
   let etype =
     match ty with
     | None -> None
@@ -367,14 +371,28 @@ let single_step_pairs ctx (sources : int array) (ty : string option) (adir : Dar
     | (Darpe.Ast.Fwd | Darpe.Ast.Rev | Darpe.Ast.Undir), _ -> false
   in
   let out = ref [] in
+  let scan src lo hi =
+    for j = lo to hi - 1 do
+      let dst = csr.Pgraph.Csr.nbr.(j) in
+      if dst_ok dst then out := (src, dst, csr.Pgraph.Csr.edg.(j)) :: !out
+    done
+  in
   Array.iter
     (fun src ->
-      G.iter_adjacent ctx.graph src (fun h ->
-          let ty_ok =
-            match etype with None -> true | Some t -> G.edge_type_id ctx.graph h.G.h_edge = t
-          in
-          if ty_ok && rel_ok h.G.h_rel && dst_ok h.G.h_other then
-            out := (src, h.G.h_other, h.G.h_edge) :: !out))
+      match etype with
+      | Some t ->
+        (* Known edge type: binary-search the matching segment per allowed
+           relation. *)
+        List.iter
+          (fun rel ->
+            if rel_ok rel then
+              match Pgraph.Csr.find_segment csr src ~sym:(Pgraph.Csr.sym ~etype:t ~rel) with
+              | Some (lo, hi) -> scan src lo hi
+              | None -> ())
+          [ G.Out; G.In; G.Und ]
+      | None ->
+        Pgraph.Csr.iter_segments csr src (fun ~sym ~lo ~hi ->
+            if rel_ok (Pgraph.Csr.rel_of_code (sym mod 3)) then scan src lo hi))
     sources;
   !out
 

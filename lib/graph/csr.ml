@@ -1,0 +1,246 @@
+type t = {
+  nv : int;
+  ne : int;
+  n_syms : int;
+  row : int array;
+  seg_row : int array;
+  seg_sym : int array;
+  seg_off : int array;
+  nbr : int array;
+  edg : int array;
+}
+
+let rel_code : Graph.dir_rel -> int = function
+  | Graph.Out -> 0
+  | Graph.In -> 1
+  | Graph.Und -> 2
+
+let rel_of_code = function
+  | 0 -> Graph.Out
+  | 1 -> Graph.In
+  | 2 -> Graph.Und
+  | c -> invalid_arg (Printf.sprintf "Csr.rel_of_code: %d" c)
+
+let n_rels = 3
+
+let sym ~etype ~rel = (etype * n_rels) + rel_code rel
+
+(* Telemetry mirrors of the always-on cache counters below. *)
+let m_builds = Obs.Metrics.counter "graph.csr.builds"
+let m_hits = Obs.Metrics.counter "graph.csr.hits"
+
+let build g =
+  let nv = Graph.n_vertices g in
+  let ne = Graph.n_edges g in
+  let n_syms = max 1 (Schema.n_edge_types (Graph.schema g) * n_rels) in
+  let row = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    row.(v + 1) <- row.(v) + Graph.degree g v
+  done;
+  let total = row.(nv) in
+  let nbr = Array.make total 0 in
+  let edg = Array.make total 0 in
+  let seg_row = Array.make (nv + 1) 0 in
+  let seg_sym = Vec.create () in
+  let seg_off = Vec.create () in
+  (* Per-vertex counting sort by symbol key: [key_cnt] is shared across
+     vertices and cleaned up via the per-vertex [seen] key list, keeping
+     the whole build O(|V| + |E| + Σ seen·log seen). *)
+  let key_cnt = Array.make n_syms 0 in
+  let seen = Vec.create () in
+  let half_sym h =
+    (Graph.edge_type_id g h.Graph.h_edge * n_rels) + rel_code h.Graph.h_rel
+  in
+  for v = 0 to nv - 1 do
+    Vec.clear seen;
+    Graph.iter_adjacent g v (fun h ->
+        let k = half_sym h in
+        if key_cnt.(k) = 0 then Vec.push seen k;
+        key_cnt.(k) <- key_cnt.(k) + 1);
+    Vec.sort compare seen;
+    (* Segment directory for v, and per-key write cursors into the slot
+       row (reusing key_cnt to hold each key's next free slot). *)
+    let cursor = ref row.(v) in
+    Vec.iter
+      (fun k ->
+        Vec.push seg_sym k;
+        Vec.push seg_off !cursor;
+        let c = key_cnt.(k) in
+        key_cnt.(k) <- !cursor;
+        cursor := !cursor + c)
+      seen;
+    seg_row.(v + 1) <- seg_row.(v) + Vec.length seen;
+    (* Second adjacency pass places each half-edge at its key's cursor —
+       insertion order is preserved within a segment. *)
+    Graph.iter_adjacent g v (fun h ->
+        let k = half_sym h in
+        let slot = key_cnt.(k) in
+        nbr.(slot) <- h.Graph.h_other;
+        edg.(slot) <- h.Graph.h_edge;
+        key_cnt.(k) <- slot + 1);
+    Vec.iter (fun k -> key_cnt.(k) <- 0) seen
+  done;
+  Vec.push seg_off total;
+  { nv;
+    ne;
+    n_syms;
+    row;
+    seg_row;
+    seg_sym = Vec.to_array seg_sym;
+    seg_off = Vec.to_array seg_off;
+    nbr;
+    edg }
+
+let degree csr v = csr.row.(v + 1) - csr.row.(v)
+
+let find_segment csr v ~sym =
+  let lo = ref csr.seg_row.(v) and hi = ref (csr.seg_row.(v + 1) - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k = csr.seg_sym.(mid) in
+    if k = sym then found := Some (csr.seg_off.(mid), csr.seg_off.(mid + 1))
+    else if k < sym then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_segments csr v f =
+  for s = csr.seg_row.(v) to csr.seg_row.(v + 1) - 1 do
+    f ~sym:csr.seg_sym.(s) ~lo:csr.seg_off.(s) ~hi:csr.seg_off.(s + 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Version-keyed memo cache.
+
+   Key = (graph physical identity, n_vertices, n_edges): adjacency only
+   changes through add_vertex/add_edge, so matching cardinalities on the
+   same physical record certify the frozen index is current.  Entries
+   hold the graph through a Weak pointer so the cache never pins a
+   superseded MVCC version; a dead weak slot is reclaimed on the next
+   lookup/insert.  The table is small (a server holds one live version
+   plus a few pinned by in-flight reads) and guarded by one mutex. *)
+
+type entry = {
+  e_graph : Graph.t Weak.t;
+  e_nv : int;
+  e_ne : int;
+  e_csr : t;
+  mutable e_tick : int;  (* LRU clock *)
+}
+
+let cache_capacity = 8
+let cache : entry option array = Array.make cache_capacity None
+let cache_lock = Mutex.create ()
+let clock = ref 0
+let n_hits = ref 0
+let n_builds = ref 0
+let n_invalidations = ref 0
+
+let locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let entry_graph e = Weak.get e.e_graph 0
+
+let lookup g =
+  let nv = Graph.n_vertices g and ne = Graph.n_edges g in
+  let found = ref None in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> ()
+      | Some e ->
+        (match entry_graph e with
+         | None -> cache.(i) <- None  (* version dropped; free the index *)
+         | Some g' ->
+           if g' == g && e.e_nv = nv && e.e_ne = ne then begin
+             incr clock;
+             e.e_tick <- !clock;
+             found := Some e.e_csr
+           end
+           else if g' == g then cache.(i) <- None
+           (* same graph, mutated since freeze: stale, drop it *)))
+    cache;
+  !found
+
+let insert g csr =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some g);
+  incr clock;
+  let e =
+    { e_graph = w; e_nv = Graph.n_vertices g; e_ne = Graph.n_edges g; e_csr = csr;
+      e_tick = !clock }
+  in
+  (* Prefer a free slot, else evict the least recently used. *)
+  let victim = ref 0 in
+  let best = ref max_int in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> if !best > -1 then begin victim := i; best := -1 end
+      | Some e' ->
+        let dead = entry_graph e' = None in
+        let score = if dead then -1 else e'.e_tick in
+        if score < !best then begin
+          victim := i;
+          best := score
+        end)
+    cache;
+  cache.(!victim) <- Some e
+
+let of_graph g =
+  match locked (fun () ->
+      match lookup g with
+      | Some csr ->
+        incr n_hits;
+        Obs.Metrics.incr m_hits 1;
+        Some csr
+      | None -> None)
+  with
+  | Some csr -> csr
+  | None ->
+    (* Build outside the lock: freezing is read-only and two racing
+       builders just do redundant work, which beats serializing every
+       reader behind one large build. *)
+    let csr = build g in
+    locked (fun () ->
+        incr n_builds;
+        Obs.Metrics.incr m_builds 1;
+        insert g csr);
+    csr
+
+let invalidate g =
+  locked (fun () ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some e ->
+            (match entry_graph e with
+             | None -> cache.(i) <- None
+             | Some g' ->
+               if g' == g then begin
+                 incr n_invalidations;
+                 cache.(i) <- None
+               end))
+        cache)
+
+let clear_cache () =
+  locked (fun () -> Array.fill cache 0 cache_capacity None)
+
+let cache_stats () =
+  locked (fun () ->
+      let entries =
+        Array.fold_left
+          (fun acc slot ->
+            match slot with
+            | Some e when entry_graph e <> None -> acc + 1
+            | _ -> acc)
+          0 cache
+      in
+      Obs.Json.Obj
+        [ ("entries", Obs.Json.Int entries);
+          ("hits", Obs.Json.Int !n_hits);
+          ("builds", Obs.Json.Int !n_builds);
+          ("invalidations", Obs.Json.Int !n_invalidations) ])

@@ -1,0 +1,98 @@
+(** Frozen CSR adjacency index.
+
+    {!Graph.t} stores adjacency as a per-vertex [Vec] of boxed [half]
+    records — the right shape for incremental construction, the wrong one
+    for traversal-bound kernels: every hop chases a pointer per half-edge
+    and every direction/type-adorned step pays a predicate per record.
+    This module freezes a graph's adjacency into flat [int] arrays in
+    {e compressed sparse row} form, with each vertex's half-edges grouped
+    into contiguous {e segments} by [(edge type, traversal relation)]:
+
+    {v
+      slots     :  nbr/edg, one entry per half-edge, vertex-major
+      row       :  nv+1 prefix — vertex v owns slots row.(v)..row.(v+1)-1
+      segments  :  per-vertex runs of equal sym = etype*3 + rel
+      seg_row   :  nv+1 prefix — vertex v owns segments seg_row.(v)..
+      seg_sym   :  the segment's symbol key
+      seg_off   :  nseg+1 prefix — segment s owns slots seg_off.(s)..
+    v}
+
+    A direction-adorned DARPE step becomes: one DFA transition per
+    {e segment} (not per half-edge), then a contiguous scan of
+    [nbr]/[edg] — no boxing, no predicate, cache-linear.  The symbol key
+    deliberately matches {!Darpe.Dfa.sym}'s [(etype * 3) + rel] encoding
+    so product-BFS kernels can index [trans.(q).(seg_sym.(s))] directly
+    (pinned by a test; [darpe] sits above this library, so the contract
+    is by convention, not by type).
+
+    Indexes are {e frozen}: building one never mutates the graph, and a
+    built index does not follow subsequent mutations.  {!of_graph}
+    memoizes per graph {e version} — physical identity plus
+    [(n_vertices, n_edges)], which is sound because adjacency only
+    changes through [add_vertex]/[add_edge] (attribute writes keep the
+    index valid).  Under the MVCC publish protocol each published version
+    is a distinct physical graph, so the memo never serves a stale index;
+    the service engine additionally {!invalidate}s superseded versions
+    eagerly.  Within each segment, slots keep adjacency insertion order —
+    the same order {!Graph.iter_adjacent} visits, filtered. *)
+
+type t = {
+  nv : int;  (** vertex count at freeze time *)
+  ne : int;  (** edge count at freeze time *)
+  n_syms : int;  (** [3 × n_edge_types] at freeze time, min 1 *)
+  row : int array;  (** [nv+1] prefix sums: slot range per vertex *)
+  seg_row : int array;  (** [nv+1] prefix sums: segment range per vertex *)
+  seg_sym : int array;  (** per segment: [(etype * 3) + rel_code], ascending per vertex *)
+  seg_off : int array;  (** [nseg+1] prefix sums: slot range per segment *)
+  nbr : int array;  (** per slot: opposite endpoint of the half-edge *)
+  edg : int array;  (** per slot: edge id of the half-edge *)
+}
+
+(** {1 Symbol keys} *)
+
+val rel_code : Graph.dir_rel -> int
+(** [Out] = 0, [In] = 1, [Und] = 2 — same encoding as [Darpe.Dfa]. *)
+
+val rel_of_code : int -> Graph.dir_rel
+
+val sym : etype:int -> rel:Graph.dir_rel -> int
+(** [(etype * 3) + rel_code rel] — the segment key and DFA symbol id. *)
+
+(** {1 Building} *)
+
+val build : Graph.t -> t
+(** Freeze [g]'s current adjacency.  O(|V| + |E| + segments·log) time,
+    no cache involved. *)
+
+val of_graph : Graph.t -> t
+(** Memoized {!build}: returns the cached index when [g] (by physical
+    identity) still has the cardinalities it was frozen at, otherwise
+    builds and caches.  Thread-safe; entries hold the graph weakly so the
+    cache never keeps a dropped version alive.  Hot engines call this per
+    evaluation — a hit is one mutex + small scan. *)
+
+(** {1 Reading} *)
+
+val degree : t -> int -> int
+
+val find_segment : t -> int -> sym:int -> (int * int) option
+(** [find_segment csr v ~sym] is the [(lo, hi)] slot range (half-open) of
+    [v]'s segment with that symbol key, or [None] — binary search over the
+    vertex's (sorted) segment keys. *)
+
+val iter_segments : t -> int -> (sym:int -> lo:int -> hi:int -> unit) -> unit
+(** All segments of a vertex, ascending [sym]; slot ranges half-open.
+    Hot kernels should index the arrays directly instead. *)
+
+(** {1 Cache control} *)
+
+val invalidate : Graph.t -> unit
+(** Drop any cached index for this graph (physical identity) — called by
+    the service engine when a graph version is superseded by a mutation
+    publish or a reload. *)
+
+val clear_cache : unit -> unit
+
+val cache_stats : unit -> Obs.Json.t
+(** [{"entries","hits","builds","invalidations"}] — process lifetime
+    totals (always counted, independent of [Obs.Metrics.enabled]). *)

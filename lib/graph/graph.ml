@@ -245,6 +245,9 @@ let out_degree g v = count_adjacent g v (fun h -> h.h_rel = Out || h.h_rel = Und
 let in_degree g v = count_adjacent g v (fun h -> h.h_rel = In || h.h_rel = Und)
 let degree g v = Vec.length (Vec.get g.adj v)
 
+(* Insertion order is part of the documented contract (see the mli): the
+   fold accumulates newest-first, so the final reverse restores adjacency
+   order.  Pinned by a regression test in test_graph.ml. *)
 let neighbors g v ~rel ~etype =
   Vec.fold_left
     (fun acc h ->

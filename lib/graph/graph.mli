@@ -94,9 +94,19 @@ val edge_other_endpoint : t -> int -> int -> int
 (** {1 Traversal} *)
 
 val adjacency : t -> int -> half array
-(** All half-edges incident to a vertex (out, in, and undirected). *)
+(** All half-edges incident to a vertex (out, in, and undirected), in
+    insertion order.
+
+    {b Copy cost:} every call materializes a fresh array of boxed [half]
+    records — O(degree) allocation.  Never call this inside a traversal
+    loop: use {!iter_adjacent} (no allocation), or freeze the graph into
+    a {!Csr.t} and scan its flat segment slices (what the hot path
+    engines do — see docs/PERFORMANCE.md). *)
 
 val iter_adjacent : t -> int -> (half -> unit) -> unit
+(** Visit a vertex's half-edges in insertion order, without allocating.
+    The traversal building block for code that has no CSR index at
+    hand. *)
 
 val out_degree : t -> int -> int
 (** Count of outgoing directed plus undirected half-edges — matching GSQL's
@@ -109,7 +119,13 @@ val degree : t -> int -> int
 
 val neighbors : t -> int -> rel:dir_rel -> etype:int option -> int list
 (** [neighbors g v ~rel ~etype] lists opposite endpoints over half-edges
-    matching relation [rel] and (when [etype] is [Some id]) the edge type. *)
+    matching relation [rel] and (when [etype] is [Some id]) the edge type.
+
+    {b Order:} stable and documented — edge insertion order (the order
+    {!add_edge} ran), the same order {!iter_adjacent} visits; a
+    regression test pins this.  Allocates the result list: fine for
+    request-scoped lookups, wrong inside traversal loops (use
+    {!iter_adjacent} or a {!Csr.t} slice there). *)
 
 (** {1 Iteration} *)
 

@@ -9,7 +9,16 @@
 
     Caveat shared with the paper's formal model: a directed self-loop crossed
     by both an [E>] and an [<E] branch of the same DARPE yields two adorned
-    words over the same edge sequence and is counted once per adornment. *)
+    words over the same edge sequence and is counted once per adornment.
+
+    The kernel runs over the {!Pgraph.Csr} frozen adjacency index
+    (obtained via the version-keyed [Csr.of_graph] memo): flat [int]
+    frontier arrays, one DFA transition per (edge-type, relation) segment,
+    and generation-stamped distance/count scratch reused across sources —
+    see docs/PERFORMANCE.md.  Bignat multiplicity accumulation, the
+    [paths.count.*] metrics and the per-hop governor checkpoints are
+    unchanged from the original list-frontier engine, which survives as
+    {!single_source_legacy} for differential testing. *)
 
 type source_result = {
   sr_src : int;
@@ -21,10 +30,25 @@ type source_result = {
           unreachable). *)
 }
 
-val single_source : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> source_result
+type scratch
+(** Reusable BFS working state (frontier arrays plus generation-stamped
+    distance/count arrays sized |V|·|Q|).  Passing one scratch across many
+    {!single_source} calls skips the per-source O(|V|·|Q|) allocation and
+    clearing.  A scratch must not be shared between domains — the parallel
+    per-source engine creates one per worker. *)
+
+val create_scratch : unit -> scratch
+
+val single_source : ?scratch:scratch -> Pgraph.Graph.t -> Darpe.Dfa.t -> int -> source_result
 (** [single_source g dfa s] solves the single-source SDMC flavor: counts of
     shortest satisfying paths from [s] to every vertex.
-    Complexity O((|V| + |E|)·|DFA|) BFS steps plus big-number additions. *)
+    Complexity O((|V| + |E|)·|DFA|) BFS steps plus big-number additions.
+    [scratch] defaults to a fresh one. *)
+
+val single_source_legacy : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> source_result
+(** The pre-CSR reference kernel (Vec-of-half adjacency, list frontiers).
+    Same results as {!single_source} — pinned by a property test — but
+    slower; kept for differential testing and the ablation bench. *)
 
 val single_pair : Pgraph.Graph.t -> Darpe.Dfa.t -> int -> int -> (int * Pgraph.Bignat.t) option
 (** [single_pair g dfa s t] is [Some (length, count)] for the shortest

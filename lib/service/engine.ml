@@ -68,10 +68,14 @@ let read_only t = locked t (fun () -> t.read_only)
 let persistent t = t.persist <> None
 
 let reload t g =
-  locked t (fun () ->
+  let old = locked t (fun () ->
+      let old = t.graph in
       t.graph <- g;
-      t.version <- t.version + 1);
-  Cache.clear t.cache
+      t.version <- t.version + 1;
+      old)
+  in
+  Cache.clear t.cache;
+  Pgraph.Csr.invalidate old
 
 let ty_to_string : Gsql.Ast.param_ty -> string = function
   | Gsql.Ast.Ty_int -> "int"
@@ -201,6 +205,12 @@ let mutate t (iv : P.invoke) q budget () =
                    t.n_executed <- t.n_executed + 1;
                    t.n_commits <- t.n_commits + 1);
                Cache.clear t.cache;
+               (* The superseded version's frozen CSR index goes with its
+                  result-cache entries; in-flight readers pinning [base]
+                  simply rebuild on demand.  (The memo key is version-
+                  aware either way — this is eager memory hygiene, not a
+                  correctness requirement; see lib/graph/csr.mli.) *)
+               Pgraph.Csr.invalidate base;
                P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
              | exception Store.Wal.Io_error msg ->
                (* The clone is discarded: the published graph never saw the
@@ -309,5 +319,6 @@ let stats t ~extra =
           ("persistent", J.Bool (t.persist <> None));
           ( "read_only",
             match read_only with None -> J.Bool false | Some why -> J.Str why );
-          ("cache", Cache.stats t.cache) ]
+          ("cache", Cache.stats t.cache);
+          ("csr", Pgraph.Csr.cache_stats ()) ]
        @ extra))

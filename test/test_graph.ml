@@ -115,6 +115,39 @@ let test_vertices_of_type () =
   G.iter_vertices_of_type g c_ty (fun _ -> incr n);
   Alcotest.(check int) "iter count" 2 !n
 
+let test_neighbors_order () =
+  (* The documented contract (graph.mli): [neighbors] lists opposite
+     endpoints in edge insertion order — the order add_edge ran and the
+     order iter_adjacent visits.  Downstream code (CSR segment slices,
+     enumeration engines) relies on it, so this pins the behaviour. *)
+  let s = S.create () in
+  let _ = S.add_vertex_type s "V" [] in
+  let _ = S.add_edge_type s "E" ~directed:true [] in
+  let _ = S.add_edge_type s "U" ~directed:false [] in
+  let g = G.create s in
+  let x = G.add_vertex g "V" [] in
+  let others = Array.init 6 (fun _ -> G.add_vertex g "V" []) in
+  (* Interleave edge types and directions so the per-relation sublists are
+     non-trivial. *)
+  ignore (G.add_edge g "E" x others.(3) []);
+  ignore (G.add_edge g "U" x others.(1) []);
+  ignore (G.add_edge g "E" x others.(0) []);
+  ignore (G.add_edge g "E" others.(4) x []);
+  ignore (G.add_edge g "U" x others.(5) []);
+  ignore (G.add_edge g "E" x others.(2) []);
+  Alcotest.(check (list int)) "out = insertion order"
+    [ others.(3); others.(0); others.(2) ]
+    (G.neighbors g x ~rel:G.Out ~etype:None);
+  Alcotest.(check (list int)) "und = insertion order"
+    [ others.(1); others.(5) ]
+    (G.neighbors g x ~rel:G.Und ~etype:None);
+  (* Same order iter_adjacent visits the matching halves. *)
+  let via_iter = ref [] in
+  G.iter_adjacent g x (fun h -> if h.G.h_rel = G.Out then via_iter := h.G.h_other :: !via_iter);
+  Alcotest.(check (list int)) "matches iter_adjacent"
+    (G.neighbors g x ~rel:G.Out ~etype:None)
+    (List.rev !via_iter)
+
 let test_etype_filtered_neighbors () =
   let s = S.create () in
   let _ = S.add_vertex_type s "V" [] in
@@ -196,6 +229,7 @@ let () =
           Alcotest.test_case "undirected edges" `Quick test_undirected_edges;
           Alcotest.test_case "self loop" `Quick test_self_loop;
           Alcotest.test_case "vertices of type" `Quick test_vertices_of_type;
+          Alcotest.test_case "neighbors insertion order" `Quick test_neighbors_order;
           Alcotest.test_case "etype-filtered neighbors" `Quick test_etype_filtered_neighbors ] );
       ( "stats",
         [ Alcotest.test_case "summary" `Quick test_gstats_summary;
