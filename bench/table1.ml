@@ -20,8 +20,11 @@ module Sem = Pathsem.Semantics
 
 (* Each n's median counting time, for the BENCH_table1.json sidecar — CI's
    bench-smoke job compares this histogram's mean against the committed
-   baseline (bench/bench_check.ml). *)
+   baseline (bench/bench_check.ml).  The interpreter-only histogram keeps
+   its name so committed baselines stay comparable; the compiled-plan
+   column (docs/COMPILER.md ablation) records separately. *)
 let h_count_asp = Obs.Metrics.histogram "bench.table1.count_asp_ms"
+let h_count_asp_compiled = Obs.Metrics.histogram "bench.table1.count_asp_compiled_ms"
 
 let qn_source = {|
   SumAccum<int> @pathCount;
@@ -32,18 +35,22 @@ let qn_source = {|
   PRINT R[R.name, R.@pathCount];
 |}
 
-let run_gsql_count g n =
-  let params =
-    [ ("srcName", Pgraph.Value.Str "v0");
-      ("tgtName", Pgraph.Value.Str (Printf.sprintf "v%d" n)) ]
-  in
-  let result = Gsql.Eval.run_source g ~params qn_source in
+let qn_params n =
+  [ ("srcName", Pgraph.Value.Str "v0");
+    ("tgtName", Pgraph.Value.Str (Printf.sprintf "v%d" n)) ]
+
+let qn_count (result : Gsql.Eval.result) =
   match result.Gsql.Eval.r_tables with
   | (_, t) :: _ ->
     (match t.Gsql.Table.rows with
      | [ [| _; Pgraph.Value.Int c |] ] -> B.of_int c
      | _ -> failwith "table1: unexpected Qn result")
   | [] -> failwith "table1: Qn printed no table"
+
+let run_gsql_count g n = qn_count (Gsql.Eval.run_source g ~params:(qn_params n) qn_source)
+
+let run_gsql_count_compiled plan g n =
+  qn_count (Gsql.Compile.run plan ~params:(qn_params n) g)
 
 let run ~max_n ~max_n_enum =
   let { Pathsem.Toygraphs.g; vertex } = Pathsem.Toygraphs.diamond_chain max_n in
@@ -53,6 +60,12 @@ let run ~max_n ~max_n_enum =
     "Diamond chain: %d diamonds, %d vertices, %d edges (paper: 30 diamonds, 91 vertices, 120 \
      edges at n=30)\n"
     max_n (Pgraph.Graph.n_vertices g) (Pgraph.Graph.n_edges g);
+  (* Install-time compilation happens once, outside the timed loop — the
+     per-invoke columns below are cached-miss invoke latency only. *)
+  let plan =
+    Gsql.Compile.compile_block ~schema:(Pgraph.Graph.schema g)
+      (Gsql.Parser.parse_block qn_source)
+  in
   let rows = ref [] in
   for n = 1 to max_n do
     let vn = vertex (Printf.sprintf "v%d" n) in
@@ -61,6 +74,11 @@ let run ~max_n ~max_n_enum =
     let t_count = Util.median_ms ~runs:3 (fun () -> count_result := run_gsql_count g n) in
     assert (B.equal !count_result expected);
     Obs.Metrics.observe h_count_asp t_count;
+    let t_compiled =
+      Util.median_ms ~runs:3 (fun () -> count_result := run_gsql_count_compiled plan g n)
+    in
+    assert (B.equal !count_result expected);
+    Obs.Metrics.observe h_count_asp_compiled t_compiled;
     let enum_cell sem =
       if n <= max_n_enum then begin
         let r = ref B.zero in
@@ -76,10 +94,13 @@ let run ~max_n ~max_n_enum =
     let nre = enum_cell Sem.Non_repeated_edge in
     let asp = enum_cell Sem.Shortest_enumerated in
     rows :=
-      [ string_of_int n; B.to_string expected; Util.ms_to_string t_count; nre; asp ] :: !rows
+      [ string_of_int n; B.to_string expected; Util.ms_to_string t_count;
+        Util.ms_to_string t_compiled; nre; asp ]
+      :: !rows
   done;
   Util.print_table ~title:"Table 1 — Q_n on the diamond chain (paper §7.1)"
-    [ "n"; "path count"; "GSQL count (ASP)"; "enum NRE (\"Neo4j nre\")"; "enum ASP (\"Neo4j asp\")" ]
+    [ "n"; "path count"; "GSQL count (ASP)"; "GSQL compiled";
+      "enum NRE (\"Neo4j nre\")"; "enum ASP (\"Neo4j asp\")" ]
     (List.rev !rows);
   print_endline
     "\nShape check: counting stays flat; both enumeration columns double per +1 n\n\

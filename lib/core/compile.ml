@@ -1,0 +1,1636 @@
+(* Install-time lowering of analyzed GSQL to closure plans.
+
+   The compiled runtime shares Eval's execution context: compiled ops and
+   interpreted fallback statements (PRINT, INSERT, GROUP-BY selects) run
+   against the same ctx, store, and variable table, so the two paths
+   compose within one run and cannot diverge on shared state.  Every
+   dynamic decision the interpreter makes per invoke — alias-name slot
+   scans, WHERE push-down decomposition, POST_ACCUM grouping, segment
+   symbol resolution — is made once here; what remains at invoke time is
+   flat int-array loops with Interrupt checkpoints at the same program
+   points the interpreter ticks.  See docs/COMPILER.md. *)
+
+module V = Pgraph.Value
+module B = Pgraph.Bignat
+module G = Pgraph.Graph
+module Sem = Pathsem.Semantics
+module E = Eval
+
+(* ------------------------------------------------------------------ *)
+(* Runtime environment threaded through compiled closures              *)
+
+(* A physically unique sentinel marking a not-yet-assigned ACCUM local.
+   Matching the interpreter: an unassigned local is absent from its
+   locals table, so lookups fall through to aliases / ctx vars. *)
+let unset : V.t = V.Vtuple [||]
+
+type renv = {
+  ctx : E.ctx;
+  mutable data : int array;   (* flat binding table: rows of verts++edges *)
+  mutable base : int;         (* current row offset into [data] *)
+  mutable mult : B.t;         (* current row multiplicity *)
+  mutable locals : V.t array; (* ACCUM-local slots, [unset]-initialized *)
+  mutable probe : int;        (* vertex id in single-vertex contexts *)
+  mutable combo : int array;  (* distinct-combo values in output contexts *)
+  mutable overlay : E.overlay option;
+}
+
+type rx = renv -> V.t
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time name resolution                                        *)
+
+(* Binders mirror the interpreter's env lookup chains, in lookup order. *)
+type binder =
+  | B_probe of string                       (* alias -> renv.probe *)
+  | B_locals of (string * int) list         (* name -> local slot *)
+  | B_row of string array * string array    (* vertex / edge alias slots *)
+  | B_combo of (string * int * bool) list   (* name, combo idx, is_edge *)
+
+type scope = { sc_binders : binder list }
+
+let gscope = { sc_binders = [] }
+
+(* Static chain: first binder that can bind the name contributes a step;
+   dynamic non-binding (unset local, -1 slot) falls through exactly like
+   the interpreter's Hashtbl/array misses. *)
+let rec lookup_chain binders name : (renv -> V.t option) option =
+  match binders with
+  | [] -> None
+  | B_probe a :: rest ->
+    if a = name then Some (fun env -> Some (V.Vertex env.probe))
+    else lookup_chain rest name
+  | B_locals ls :: rest ->
+    (match List.assoc_opt name ls with
+     | Some i ->
+       let next = lookup_chain rest name in
+       Some
+         (fun env ->
+           let v = env.locals.(i) in
+           if v != unset then Some v
+           else match next with Some f -> f env | None -> None)
+     | None -> lookup_chain rest name)
+  | B_row (va, ea) :: rest ->
+    let vi = E.alias_slot va name in
+    if vi >= 0 then begin
+      let next = lookup_chain rest name in
+      Some
+        (fun env ->
+          let v = env.data.(env.base + vi) in
+          if v >= 0 then Some (V.Vertex v)
+          else match next with Some f -> f env | None -> None)
+    end
+    else begin
+      let ei = E.alias_slot ea name in
+      if ei >= 0 then begin
+        let nv = Array.length va in
+        let next = lookup_chain rest name in
+        Some
+          (fun env ->
+            let e = env.data.(env.base + nv + ei) in
+            if e >= 0 then Some (V.Edge e)
+            else match next with Some f -> f env | None -> None)
+      end
+      else lookup_chain rest name
+    end
+  | B_combo cs :: rest ->
+    (match List.find_opt (fun (n, _, _) -> n = name) cs with
+     | Some (_, i, true) -> Some (fun env -> Some (V.Edge env.combo.(i)))
+     | Some (_, i, false) -> Some (fun env -> Some (V.Vertex env.combo.(i)))
+     | None -> lookup_chain rest name)
+
+(* Dynamic walk of the same chain, for the interpreter-env bridge. *)
+let rec dyn_lookup binders env name : V.t option =
+  match binders with
+  | [] -> None
+  | B_probe a :: rest ->
+    if a = name then Some (V.Vertex env.probe) else dyn_lookup rest env name
+  | B_locals ls :: rest ->
+    (match List.assoc_opt name ls with
+     | Some i ->
+       let v = env.locals.(i) in
+       if v != unset then Some v else dyn_lookup rest env name
+     | None -> dyn_lookup rest env name)
+  | B_row (va, ea) :: rest ->
+    let vi = E.alias_slot va name in
+    if vi >= 0 then begin
+      let v = env.data.(env.base + vi) in
+      if v >= 0 then Some (V.Vertex v) else dyn_lookup rest env name
+    end
+    else begin
+      let ei = E.alias_slot ea name in
+      if ei >= 0 then begin
+        let e = env.data.(env.base + Array.length va + ei) in
+        if e >= 0 then Some (V.Edge e) else dyn_lookup rest env name
+      end
+      else dyn_lookup rest env name
+    end
+  | B_combo cs :: rest ->
+    (match List.find_opt (fun (n, _, _) -> n = name) cs with
+     | Some (_, i, true) -> Some (V.Edge env.combo.(i))
+     | Some (_, i, false) -> Some (V.Vertex env.combo.(i))
+     | None -> dyn_lookup rest env name)
+
+(* Bridge to Eval for rare expression forms (methods): an Eval.env whose
+   lookup resolves through this scope at runtime. *)
+let to_eval_env sc env : E.env =
+  { E.e_ctx = env.ctx;
+    e_lookup = (fun n -> dyn_lookup sc.sc_binders env n);
+    e_overlay = env.overlay;
+    e_agg = None }
+
+let ctx_value env name =
+  match E.ctx_var_value env.ctx name with
+  | Some v -> v
+  | None -> E.error "unbound variable %s" name
+
+let vertex_ctx env name =
+  match E.ctx_var_value env.ctx name with
+  | Some (V.Vertex v) -> v
+  | _ -> E.error "unbound vertex variable %s" name
+
+let compile_var sc name : rx =
+  match lookup_chain sc.sc_binders name with
+  | Some lk ->
+    fun env -> (match lk env with Some v -> v | None -> ctx_value env name)
+  | None -> fun env -> ctx_value env name
+
+(* Direct vertex-id resolution, skipping the V.Vertex boxing where the
+   binder guarantees a vertex. *)
+type vres =
+  | Vr_sure of (renv -> int)
+  | Vr_maybe of (renv -> int)  (* < 0 = unbound, fall through to ctx *)
+  | Vr_none
+
+let rec vslot_chain binders name : vres =
+  match binders with
+  | [] -> Vr_none
+  | B_probe a :: rest ->
+    if a = name then Vr_sure (fun env -> env.probe) else vslot_chain rest name
+  | B_locals ls :: rest ->
+    if List.mem_assoc name ls then Vr_none else vslot_chain rest name
+  | B_row (va, ea) :: rest ->
+    let vi = E.alias_slot va name in
+    if vi >= 0 then Vr_maybe (fun env -> env.data.(env.base + vi))
+    else if E.alias_slot ea name >= 0 then Vr_none
+    else vslot_chain rest name
+  | B_combo cs :: rest ->
+    (match List.find_opt (fun (n, _, _) -> n = name) cs with
+     | Some (_, i, false) -> Vr_sure (fun env -> env.combo.(i))
+     | Some (_, _, true) -> Vr_none
+     | None -> vslot_chain rest name)
+
+let compile_vertex_of sc name : renv -> int =
+  match vslot_chain sc.sc_binders name with
+  | Vr_sure f -> f
+  | Vr_maybe f ->
+    fun env ->
+      let v = f env in
+      if v >= 0 then v else vertex_ctx env name
+  | Vr_none ->
+    (match lookup_chain sc.sc_binders name with
+     | Some lk ->
+       fun env ->
+         (match lk env with
+          | Some (V.Vertex v) -> v
+          | Some other ->
+            E.error "%s is bound to %s, not a vertex" name (V.to_string other)
+          | None -> vertex_ctx env name)
+     | None -> fun env -> vertex_ctx env name)
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+
+let binop_fn : Ast.binop -> V.t -> V.t -> V.t = function
+  | Ast.Add -> V.add
+  | Ast.Sub -> V.sub
+  | Ast.Mul -> V.mul
+  | Ast.Div -> V.div
+  | Ast.Mod -> V.modulo
+  | Ast.Eq -> fun x y -> V.Bool (V.equal x y)
+  | Ast.Neq -> fun x y -> V.Bool (not (V.equal x y))
+  | Ast.Lt -> fun x y -> V.Bool (V.compare x y < 0)
+  | Ast.Le -> fun x y -> V.Bool (V.compare x y <= 0)
+  | Ast.Gt -> fun x y -> V.Bool (V.compare x y > 0)
+  | Ast.Ge -> fun x y -> V.Bool (V.compare x y >= 0)
+  | Ast.And | Ast.Or -> assert false
+
+let read_target env (tgt : Accum.Store.target) =
+  match env.overlay with
+  | Some o ->
+    (match Hashtbl.find_opt o tgt with
+     | Some v -> v
+     | None -> Accum.Store.read env.ctx.E.store tgt)
+  | None -> Accum.Store.read env.ctx.E.store tgt
+
+let rec compile_expr sc (e : Ast.expr) : rx =
+  match e with
+  | Ast.E_int n -> let v = V.Int n in fun _ -> v
+  | Ast.E_float f -> let v = V.Float f in fun _ -> v
+  | Ast.E_string s -> let v = V.Str s in fun _ -> v
+  | Ast.E_bool b -> let v = V.Bool b in fun _ -> v
+  | Ast.E_null -> fun _ -> V.Null
+  | Ast.E_var name -> compile_var sc name
+  | Ast.E_attr (base, attr) ->
+    let ctx_attr env =
+      match E.ctx_var_value env.ctx base with
+      | Some (V.Vertex v) -> G.vertex_attr env.ctx.E.graph v attr
+      | Some (V.Edge e) -> G.edge_attr env.ctx.E.graph e attr
+      | _ -> E.error "unbound variable %s" base
+    in
+    (match vslot_chain sc.sc_binders base with
+     | Vr_sure f -> fun env -> G.vertex_attr env.ctx.E.graph (f env) attr
+     | Vr_maybe f ->
+       fun env ->
+         let v = f env in
+         if v >= 0 then G.vertex_attr env.ctx.E.graph v attr else ctx_attr env
+     | Vr_none ->
+       (match lookup_chain sc.sc_binders base with
+        | Some lk ->
+          fun env ->
+            (match lk env with
+             | Some (V.Vertex v) -> G.vertex_attr env.ctx.E.graph v attr
+             | Some (V.Edge e) -> G.edge_attr env.ctx.E.graph e attr
+             | Some other ->
+               E.error "%s.%s: %s is not a vertex or edge" base attr
+                 (V.to_string other)
+             | None -> ctx_attr env)
+        | None -> ctx_attr))
+  | Ast.E_vacc (base, acc) ->
+    let vid = compile_vertex_of sc base in
+    fun env -> read_target env (Accum.Store.Vertex_acc (acc, vid env))
+  | Ast.E_vacc_prev (base, acc) ->
+    let vid = compile_vertex_of sc base in
+    fun env ->
+      Accum.Store.read_prev env.ctx.E.store (Accum.Store.Vertex_acc (acc, vid env))
+  | Ast.E_gacc name ->
+    let tgt = Accum.Store.Global name in
+    fun env -> read_target env tgt
+  | Ast.E_gacc_prev name ->
+    let tgt = Accum.Store.Global name in
+    fun env -> Accum.Store.read_prev env.ctx.E.store tgt
+  | Ast.E_binop (Ast.And, a, b) ->
+    let ca = compile_expr sc a and cb = compile_expr sc b in
+    fun env -> V.Bool (V.to_bool (ca env) && V.to_bool (cb env))
+  | Ast.E_binop (Ast.Or, a, b) ->
+    let ca = compile_expr sc a and cb = compile_expr sc b in
+    fun env -> V.Bool (V.to_bool (ca env) || V.to_bool (cb env))
+  | Ast.E_binop (op, a, b) ->
+    let ca = compile_expr sc a and cb = compile_expr sc b in
+    let f = binop_fn op in
+    fun env ->
+      let x = ca env in
+      let y = cb env in
+      f x y
+  | Ast.E_unop (Ast.Neg, a) ->
+    let ca = compile_expr sc a in
+    fun env -> V.neg (ca env)
+  | Ast.E_unop (Ast.Not, a) ->
+    let ca = compile_expr sc a in
+    fun env -> V.Bool (not (V.to_bool (ca env)))
+  | Ast.E_call (name, args) ->
+    let cargs = List.map (compile_expr sc) args in
+    fun env -> E.builtin_call name (List.map (fun c -> c env) cargs)
+  | Ast.E_method _ ->
+    (* Methods resolve vertices through the raw env; bridge to Eval. *)
+    fun env -> E.eval_expr (to_eval_env sc env) e
+  | Ast.E_tuple es ->
+    let ces = List.map (compile_expr sc) es in
+    fun env -> V.Vtuple (Array.of_list (List.map (fun c -> c env) ces))
+  | Ast.E_arrow (ks, vs) ->
+    let cks = List.map (compile_expr sc) ks in
+    let cvs = List.map (compile_expr sc) vs in
+    fun env ->
+      let keys = Array.of_list (List.map (fun c -> c env) cks) in
+      let vals = Array.of_list (List.map (fun c -> c env) cvs) in
+      if Array.length keys = 1 && Array.length vals = 1 then
+        V.Vtuple [| keys.(0); vals.(0) |]
+      else V.Vtuple [| V.Vtuple keys; V.Vtuple vals |]
+
+let compile_bool sc e =
+  let ce = compile_expr sc e in
+  fun env -> V.to_bool (ce env)
+
+(* ------------------------------------------------------------------ *)
+(* Flat binding tables                                                 *)
+
+type fbt = {
+  f_nv : int;
+  f_ne : int;
+  f_stride : int;
+  mutable f_data : int array;
+  mutable f_mult : B.t array;
+  mutable f_n : int;
+}
+
+let fbt_make ~nv ~ne ~cap =
+  let stride = nv + ne in
+  let cap = max 1 cap in
+  { f_nv = nv;
+    f_ne = ne;
+    f_stride = stride;
+    f_data = Array.make (cap * stride) (-1);
+    f_mult = Array.make cap B.one;
+    f_n = 0 }
+
+let fbt_grow bt =
+  let cap = max 4 (2 * Array.length bt.f_mult) in
+  let data' = Array.make (cap * bt.f_stride) (-1) in
+  Array.blit bt.f_data 0 data' 0 (bt.f_n * bt.f_stride);
+  bt.f_data <- data';
+  let mult' = Array.make cap B.one in
+  Array.blit bt.f_mult 0 mult' 0 bt.f_n;
+  bt.f_mult <- mult'
+
+(* Appends a fresh all-unset row; returns its base offset. *)
+let fbt_push bt =
+  if (bt.f_n + 1) * bt.f_stride > Array.length bt.f_data then fbt_grow bt;
+  let base = bt.f_n * bt.f_stride in
+  Array.fill bt.f_data base bt.f_stride (-1);
+  bt.f_n <- bt.f_n + 1;
+  base
+
+(* Growable int buffer for CSR scans. *)
+type ibuf = { mutable ia : int array; mutable im : B.t array; mutable il : int }
+
+let ib_make () = { ia = Array.make 16 0; im = [||]; il = 0 }
+
+let ib_push b x =
+  if b.il = Array.length b.ia then begin
+    let a' = Array.make (2 * Array.length b.ia) 0 in
+    Array.blit b.ia 0 a' 0 b.il;
+    b.ia <- a'
+  end;
+  b.ia.(b.il) <- x;
+  b.il <- b.il + 1
+
+let ib_contents b = Array.sub b.ia 0 b.il
+
+(* Matched endpoint pairs.  [p_rev] marks Step scans, whose interpreter
+   pair list is the reverse of CSR discovery order (it conses during the
+   scan) — the join below replays the interpreter's exact iteration
+   orders so compiled row order is bit-identical. *)
+type pairs = {
+  p_src : int array;
+  p_dst : int array;
+  p_edg : int array;          (* -1 when the conjunct binds no edge *)
+  p_mul : B.t array;
+  p_n : int;
+  p_rev : bool;
+}
+
+(* Interpreter pair-list order. *)
+let iter_eval p f =
+  if p.p_rev then for i = p.p_n - 1 downto 0 do f i done
+  else for i = 0 to p.p_n - 1 do f i done
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct execution                                                  *)
+
+type step = {
+  st_ty : string option;
+  st_rels : G.dir_rel list;             (* allowed, in [Out; In; Und] order *)
+  st_rel_ok : bool array;               (* indexed by rel code *)
+  st_static : (Pgraph.Schema.t * int array) option;
+      (* install-time segment symbols, valid while the schema is the one
+         compiled against; other schemas resolve per execution *)
+}
+
+type cj_kind =
+  | Cj_step of step
+  | Cj_ident of Darpe.Ast.t
+      (* the DARPE accepts only the empty word ([fixed_unique_length] 0,
+         e.g. [E>*0..0]): the DFA product constant-folds at install time
+         to identity pairs (v, v) with multiplicity one *)
+  | Cj_kleene of Darpe.Ast.t
+
+type cconj = {
+  cj_src_ep : Ast.endpoint;
+  cj_dst_ep : Ast.endpoint;
+  cj_src_alias : string;
+  cj_dst_alias : string;
+  cj_src_slot : int;
+  cj_dst_slot : int;
+  cj_edge_slot : int;                   (* -1 = none *)
+  cj_src_pushed : (renv -> bool) list;  (* probe-scope pushed WHERE preds *)
+  cj_dst_pushed : (renv -> bool) list;
+  cj_kind : cj_kind;
+}
+
+let rel_allowed (adir : Darpe.Ast.adir) (rel : G.dir_rel) =
+  match adir, rel with
+  | Darpe.Ast.Fwd, G.Out | Darpe.Ast.Rev, G.In | Darpe.Ast.Undir, G.Und
+  | Darpe.Ast.Any, _ -> true
+  | (Darpe.Ast.Fwd | Darpe.Ast.Rev | Darpe.Ast.Undir), _ -> false
+
+let make_step (schema : Pgraph.Schema.t option) ty adir =
+  let rels = List.filter (rel_allowed adir) [ G.Out; G.In; G.Und ] in
+  let rel_ok = Array.init 3 (fun c -> rel_allowed adir (Pgraph.Csr.rel_of_code c)) in
+  let st_static =
+    match schema, ty with
+    | Some sch, Some name ->
+      (match Pgraph.Schema.find_edge_type sch name with
+       | Some et ->
+         Some
+           ( sch,
+             Array.of_list
+               (List.map
+                  (fun rel -> Pgraph.Csr.sym ~etype:et.Pgraph.Schema.et_id ~rel)
+                  rels) )
+       | None -> None)
+    | _ -> None
+  in
+  { st_ty = ty; st_rels = rels; st_rel_ok = rel_ok; st_static }
+
+let step_syms env st tyname =
+  match st.st_static with
+  | Some (sch, syms) when sch == G.schema env.ctx.E.graph -> syms
+  | _ ->
+    (match Pgraph.Schema.find_edge_type (G.schema env.ctx.E.graph) tyname with
+     | Some et ->
+       Array.of_list
+         (List.map
+            (fun rel -> Pgraph.Csr.sym ~etype:et.Pgraph.Schema.et_id ~rel)
+            st.st_rels)
+     | None -> E.error "unknown edge type %s" tyname)
+
+(* Specialized single-step scan over the frozen CSR's (etype, rel)
+   segments.  Discovery order matches the interpreter's scan exactly;
+   [p_rev] accounts for its list-consing reversal. *)
+let run_step env st (sources : int array) ~(dst_ok : int -> bool) : pairs =
+  let csr = Pgraph.Csr.of_graph env.ctx.E.graph in
+  let sb = ib_make () and db = ib_make () and eb = ib_make () in
+  let scan src lo hi =
+    for j = lo to hi - 1 do
+      let dst = csr.Pgraph.Csr.nbr.(j) in
+      if dst_ok dst then begin
+        ib_push sb src;
+        ib_push db dst;
+        ib_push eb csr.Pgraph.Csr.edg.(j)
+      end
+    done
+  in
+  (match st.st_ty with
+   | Some tyname ->
+     let syms = step_syms env st tyname in
+     Array.iter
+       (fun src ->
+         Array.iter
+           (fun sym ->
+             match Pgraph.Csr.find_segment csr src ~sym with
+             | Some (lo, hi) -> scan src lo hi
+             | None -> ())
+           syms)
+       sources
+   | None ->
+     Array.iter
+       (fun src ->
+         Pgraph.Csr.iter_segments csr src (fun ~sym ~lo ~hi ->
+             if st.st_rel_ok.(sym mod 3) then scan src lo hi))
+       sources);
+  let n = sb.il in
+  { p_src = ib_contents sb;
+    p_dst = ib_contents db;
+    p_edg = ib_contents eb;
+    p_mul = Array.make (max 1 n) B.one;
+    p_n = n;
+    p_rev = true }
+
+let pairs_of_bindings (bl : Pathsem.Engine.binding list) : pairs =
+  let n = List.length bl in
+  let ps = Array.make (max 1 n) 0 in
+  let pd = Array.make (max 1 n) 0 in
+  let pm = Array.make (max 1 n) B.one in
+  List.iteri
+    (fun i (b : Pathsem.Engine.binding) ->
+      ps.(i) <- b.Pathsem.Engine.b_src;
+      pd.(i) <- b.Pathsem.Engine.b_dst;
+      pm.(i) <- b.Pathsem.Engine.b_mult)
+    bl;
+  { p_src = ps; p_dst = pd; p_edg = Array.make (max 1 n) (-1); p_mul = pm;
+    p_n = n; p_rev = false }
+
+let exec_conjunct env (cj : cconj) (bt : fbt) : fbt =
+  let ctx = env.ctx in
+  let stride = bt.f_stride and nv = bt.f_nv in
+  let src_bound =
+    bt.f_n > 0
+    &&
+    let rec go r =
+      r < bt.f_n && (bt.f_data.(r * stride + cj.cj_src_slot) >= 0 || go (r + 1))
+    in
+    go 0
+  in
+  let sources =
+    if src_bound then begin
+      let seen = Hashtbl.create 64 and buf = ib_make () in
+      for r = 0 to bt.f_n - 1 do
+        let v = bt.f_data.(r * stride + cj.cj_src_slot) in
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          ib_push buf v
+        end
+      done;
+      ib_contents buf
+    end
+    else E.endpoint_seed ctx cj.cj_src_ep
+  in
+  let src_base = E.endpoint_pred ctx cj.cj_src_ep in
+  let src_pinned = E.alias_constraint ctx cj.cj_src_alias in
+  let src_ok v =
+    src_base v
+    && (cj.cj_src_pushed == []
+        || begin
+          env.probe <- v;
+          List.for_all (fun p -> p env) cj.cj_src_pushed
+        end)
+    && (match src_pinned with None -> true | Some p -> v = p)
+  in
+  let sources =
+    let buf = ib_make () in
+    Array.iter (fun v -> if src_ok v then ib_push buf v) sources;
+    ib_contents buf
+  in
+  let dst_base = E.endpoint_pred ctx cj.cj_dst_ep in
+  let dst_pinned = E.alias_constraint ctx cj.cj_dst_alias in
+  let pairs =
+    match cj.cj_kind with
+    | Cj_step st ->
+      (* Sequential scan: probe mutation is safe. *)
+      let dst_ok v =
+        dst_base v
+        && (cj.cj_dst_pushed == []
+            || begin
+              env.probe <- v;
+              List.for_all (fun p -> p env) cj.cj_dst_pushed
+            end)
+        && (match dst_pinned with None -> true | Some p -> v = p)
+      in
+      run_step env st sources ~dst_ok
+    | Cj_ident _ ->
+      (* Sequential, like Cj_step: probe mutation is safe.  The engine
+         would run one product-BFS per source only to accept the empty
+         path; emitting (v, v) directly is result-identical (sources are
+         already in the engine's iteration order, multiplicity of the
+         unique empty path is one). *)
+      let dst_ok v =
+        dst_base v
+        && (cj.cj_dst_pushed == []
+            || begin
+              env.probe <- v;
+              List.for_all (fun p -> p env) cj.cj_dst_pushed
+            end)
+        && (match dst_pinned with None -> true | Some p -> v = p)
+      in
+      let sb = ib_make () in
+      Array.iter (fun v -> if dst_ok v then ib_push sb v) sources;
+      let n = sb.il in
+      let vs = ib_contents sb in
+      (* p_rev replays the engine's list-consing order (it folds over
+         sources consing bindings, so its pair list is source-reversed). *)
+      { p_src = vs; p_dst = vs;
+        p_edg = Array.make (max 1 n) (-1);
+        p_mul = Array.make (max 1 n) B.one;
+        p_n = n; p_rev = true }
+    | Cj_kleene darpe ->
+      (* match_pairs fans out across domains: the predicate must not
+         mutate the shared renv, so probe through a private copy. *)
+      let dst_ok v =
+        dst_base v
+        && (cj.cj_dst_pushed == []
+            ||
+            let env' = { env with probe = v } in
+            List.for_all (fun p -> p env') cj.cj_dst_pushed)
+        && (match dst_pinned with None -> true | Some p -> v = p)
+      in
+      pairs_of_bindings
+        (Pathsem.Engine.match_pairs ctx.E.graph darpe ctx.E.semantics ~sources
+           ~dst_ok)
+  in
+  let result =
+    if bt.f_n = 0 then begin
+      let nbt = fbt_make ~nv ~ne:bt.f_ne ~cap:pairs.p_n in
+      iter_eval pairs (fun i ->
+          let base = fbt_push nbt in
+          nbt.f_data.(base + cj.cj_src_slot) <- pairs.p_src.(i);
+          nbt.f_data.(base + cj.cj_dst_slot) <- pairs.p_dst.(i);
+          if cj.cj_edge_slot >= 0 then
+            nbt.f_data.(base + nv + cj.cj_edge_slot) <- pairs.p_edg.(i);
+          nbt.f_mult.(nbt.f_n - 1) <- pairs.p_mul.(i));
+      nbt
+    end
+    else begin
+      (* Hash-join on the already-bound endpoints; candidate-list and row
+         iteration orders replicate the interpreter's. *)
+      let by_src = Hashtbl.create 64 in
+      iter_eval pairs (fun i ->
+          let s = pairs.p_src.(i) in
+          Hashtbl.replace by_src s
+            (i :: (try Hashtbl.find by_src s with Not_found -> [])));
+      let nbt = fbt_make ~nv ~ne:bt.f_ne ~cap:bt.f_n in
+      let extend rbase rmult i =
+        let s = pairs.p_src.(i) and d = pairs.p_dst.(i) in
+        let rs = bt.f_data.(rbase + cj.cj_src_slot) in
+        let rd = bt.f_data.(rbase + cj.cj_dst_slot) in
+        if (rs >= 0 && rs <> s) || (rd >= 0 && rd <> d) then ()
+        else begin
+          let base = fbt_push nbt in
+          Array.blit bt.f_data rbase nbt.f_data base stride;
+          nbt.f_data.(base + cj.cj_src_slot) <- s;
+          nbt.f_data.(base + cj.cj_dst_slot) <- d;
+          if cj.cj_edge_slot >= 0 then
+            nbt.f_data.(base + nv + cj.cj_edge_slot) <- pairs.p_edg.(i);
+          nbt.f_mult.(nbt.f_n - 1) <- B.mul rmult pairs.p_mul.(i)
+        end
+      in
+      for r = 0 to bt.f_n - 1 do
+        let rbase = r * stride in
+        let rmult = bt.f_mult.(r) in
+        if src_bound && bt.f_data.(rbase + cj.cj_src_slot) >= 0 then
+          match Hashtbl.find_opt by_src bt.f_data.(rbase + cj.cj_src_slot) with
+          | Some idxs -> List.iter (extend rbase rmult) idxs
+          | None -> ()
+        else iter_eval pairs (extend rbase rmult)
+      done;
+      nbt
+    end
+  in
+  (* Governor checkpoint, same placement as the interpreter — but the row
+     count is O(1) here instead of a List.length walk. *)
+  if Interrupt.governed () then begin
+    Interrupt.check_rows result.f_n;
+    Interrupt.tick_n result.f_n
+  end;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* ACCUM / POST_ACCUM kernels                                          *)
+
+type astmt = renv -> Accum.Store.phase -> unit
+
+let collect_locals stmts =
+  let ls = ref [] and n = ref 0 in
+  let add x =
+    if not (List.mem_assoc x !ls) then begin
+      ls := (x, !n) :: !ls;
+      incr n
+    end
+  in
+  let rec go = function
+    | Ast.A_local (x, _) -> add x
+    | Ast.A_if (_, th, el) ->
+      List.iter go th;
+      List.iter go el
+    | Ast.A_input _ | Ast.A_assign _ | Ast.A_attr_assign _ -> ()
+  in
+  List.iter go stmts;
+  (List.rev !ls, !n)
+
+let rec has_assign = function
+  | [] -> false
+  | Ast.A_assign _ :: _ -> true
+  | Ast.A_if (_, th, el) :: rest -> has_assign th || has_assign el || has_assign rest
+  | _ :: rest -> has_assign rest
+
+let compile_target sc (t : Ast.acc_target) : renv -> Accum.Store.target =
+  match t with
+  | Ast.T_global name ->
+    let tgt = Accum.Store.Global name in
+    fun _ -> tgt
+  | Ast.T_vertex (alias, name) ->
+    let vid = compile_vertex_of sc alias in
+    fun env -> Accum.Store.Vertex_acc (name, vid env)
+
+let rec compile_acc_stmt sc locals (s : Ast.acc_stmt) : astmt =
+  match s with
+  | Ast.A_local (x, e) ->
+    let i = List.assoc x locals in
+    let ce = compile_expr sc e in
+    fun env _ -> env.locals.(i) <- ce env
+  | Ast.A_input (t, e) ->
+    let ct = compile_target sc t in
+    let ce = compile_expr sc e in
+    fun env phase ->
+      let tgt = ct env in
+      let v = ce env in
+      Accum.Store.buffer_input phase tgt v env.mult
+  | Ast.A_assign (t, e) ->
+    let ct = compile_target sc t in
+    let ce = compile_expr sc e in
+    fun env phase ->
+      let tgt = ct env in
+      let v = ce env in
+      Accum.Store.buffer_assign phase tgt v;
+      (match env.overlay with
+       | Some o -> Hashtbl.replace o tgt v
+       | None -> ())
+  | Ast.A_if (c, th, el) ->
+    let cc = compile_bool sc c in
+    let cth = List.map (compile_acc_stmt sc locals) th in
+    let cel = List.map (compile_acc_stmt sc locals) el in
+    fun env phase ->
+      List.iter (fun f -> f env phase) (if cc env then cth else cel)
+  | Ast.A_attr_assign (alias, attr, e) ->
+    let ce = compile_expr sc e in
+    let lk = lookup_chain sc.sc_binders alias in
+    fun env _ ->
+      let v = ce env in
+      (match (match lk with Some f -> f env | None -> None) with
+       | Some (V.Vertex vid) -> G.set_vertex_attr env.ctx.E.graph vid attr v
+       | Some (V.Edge eid) -> G.set_edge_attr env.ctx.E.graph eid attr v
+       | _ -> E.error "unbound variable %s in attribute assignment" alias)
+
+type cgroup = {
+  cg_alias : string option;
+  cg_slot : int;  (* meaningful when cg_alias = Some _; -1 = unknown alias *)
+  cg_kernel : astmt list;
+  cg_nlocals : int;
+  cg_overlay : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Plan ops                                                            *)
+
+type op = {
+  op_exec : renv -> unit;
+  op_lines : string list;  (* describe lines, indentation baked in *)
+  op_total : int;
+  op_compiled : int;
+}
+
+let indent lines = List.map (fun l -> "  " ^ l) lines
+
+let fallback_op (s : Ast.stmt) label =
+  { op_exec = (fun env -> E.exec_stmt env.ctx s);
+    op_lines = [ label ^ "  [interpreted]" ];
+    op_total = 1;
+    op_compiled = 0 }
+
+let sum_total ops = List.fold_left (fun a o -> a + o.op_total) 0 ops
+let sum_compiled ops = List.fold_left (fun a o -> a + o.op_compiled) 0 ops
+let child_lines ops = List.concat_map (fun o -> indent o.op_lines) ops
+
+(* ------------------------------------------------------------------ *)
+(* SELECT compilation                                                  *)
+
+let m_selects = Obs.Metrics.counter "compile.select_blocks"
+let h_select_ms = Obs.Metrics.histogram "compile.select_ms"
+
+type cout = {
+  co_into : string;
+  co_distinct : bool;
+  co_cols : string list;
+  co_aliases : string list;
+  co_slots : [ `V of int | `E of int ] list;
+  co_bad_alias : string option;
+  co_exprs : rx list;
+  co_having : (renv -> bool) option;
+  co_order : ((renv -> V.t) * bool) list;
+}
+
+(* Aliases (vertex or edge) an output expression mentions — the
+   interpreter's [expr_aliases] over the binding table's slot arrays. *)
+let rec expr_aliases_static va ea (e : Ast.expr) : string list =
+  match e with
+  | Ast.E_var v | Ast.E_attr (v, _) | Ast.E_vacc (v, _) | Ast.E_vacc_prev (v, _)
+    ->
+    if E.alias_slot va v >= 0 || E.alias_slot ea v >= 0 then [ v ] else []
+  | Ast.E_binop (_, a, b) ->
+    expr_aliases_static va ea a @ expr_aliases_static va ea b
+  | Ast.E_unop (_, a) -> expr_aliases_static va ea a
+  | Ast.E_call (_, args) | Ast.E_tuple args ->
+    List.concat_map (expr_aliases_static va ea) args
+  | Ast.E_method (base, _, args) ->
+    expr_aliases_static va ea base @ List.concat_map (expr_aliases_static va ea) args
+  | Ast.E_arrow (ks, vs) -> List.concat_map (expr_aliases_static va ea) (ks @ vs)
+  | Ast.E_int _ | Ast.E_float _ | Ast.E_string _ | Ast.E_bool _ | Ast.E_null
+  | Ast.E_gacc _ | Ast.E_gacc_prev _ -> []
+
+let column_name (e, alias) =
+  match alias with Some a -> a | None -> Ast.expr_to_string e
+
+let sort_keys_cmp (ka, _, _) (kb, _, _) =
+  let rec go a b =
+    match a, b with
+    | [], [] -> 0
+    | (va, desc) :: ra, (vb, _) :: rb ->
+      let c = V.compare va vb in
+      let c = if desc then -c else c in
+      if c <> 0 then c else go ra rb
+    | _ -> 0
+  in
+  go ka kb
+
+let compile_select (schema : Pgraph.Schema.t option) (binding : string option)
+    (b : Ast.select_block) : op =
+  let v_aliases, e_aliases = E.collect_aliases b.Ast.s_from in
+  let nv = Array.length v_aliases and ne = Array.length e_aliases in
+  let row_sc = { sc_binders = [ B_row (v_aliases, e_aliases) ] } in
+  (* WHERE push-down, decomposed at compile time: single-vertex-alias
+     conjuncts become per-candidate probe predicates, the rest a residual
+     row filter. *)
+  let pushed_tbl, residual_expr =
+    match b.Ast.s_where with
+    | None -> ([], None)
+    | Some cond ->
+      let parts = E.and_conjuncts cond in
+      let pushable, residual =
+        List.partition
+          (fun part ->
+            let touches_edge =
+              List.exists
+                (fun a -> E.alias_slot e_aliases a >= 0)
+                (E.expr_aliases_of e_aliases part)
+            in
+            if touches_edge then false
+            else
+              match E.expr_vertex_aliases_only v_aliases part with
+              | Some names -> List.length (List.sort_uniq compare names) = 1
+              | None -> false)
+          parts
+      in
+      let by_alias = Hashtbl.create 4 in
+      List.iter
+        (fun part ->
+          match E.expr_vertex_aliases_only v_aliases part with
+          | Some (name :: _) ->
+            Hashtbl.replace by_alias name
+              (part :: (try Hashtbl.find by_alias name with Not_found -> []))
+          | _ -> assert false)
+        pushable;
+      let compiled =
+        Hashtbl.fold
+          (fun name parts acc ->
+            let psc = { sc_binders = [ B_probe name ] } in
+            (name, List.map (compile_bool psc) parts) :: acc)
+          by_alias []
+      in
+      let residual_expr =
+        match residual with
+        | [] -> None
+        | first :: rest ->
+          Some (List.fold_left (fun acc p -> Ast.E_binop (Ast.And, acc, p)) first rest)
+      in
+      (compiled, residual_expr)
+  in
+  let pushed_for alias =
+    match List.assoc_opt alias pushed_tbl with Some ps -> ps | None -> []
+  in
+  let cconjs =
+    List.map
+      (fun (c : Ast.conjunct) ->
+        let src_alias = E.endpoint_alias c.Ast.c_src in
+        let dst_alias = E.endpoint_alias c.Ast.c_dst in
+        { cj_src_ep = c.Ast.c_src;
+          cj_dst_ep = c.Ast.c_dst;
+          cj_src_alias = src_alias;
+          cj_dst_alias = dst_alias;
+          cj_src_slot = E.alias_slot v_aliases src_alias;
+          cj_dst_slot = E.alias_slot v_aliases dst_alias;
+          cj_edge_slot =
+            (match c.Ast.c_edge_alias with
+             | Some a -> E.alias_slot e_aliases a
+             | None -> -1);
+          cj_src_pushed = pushed_for src_alias;
+          cj_dst_pushed = pushed_for dst_alias;
+          cj_kind =
+            (match c.Ast.c_darpe with
+             | Darpe.Ast.Step (ty, adir) -> Cj_step (make_step schema ty adir)
+             | d when Darpe.Ast.fixed_unique_length d = Some 0 -> Cj_ident d
+             | d -> Cj_kleene d) })
+      b.Ast.s_from
+  in
+  let build env =
+    match cconjs with
+    | [] -> E.error "FROM clause needs at least one pattern"
+    | first :: rest ->
+      let bt = exec_conjunct env first (fbt_make ~nv ~ne ~cap:0) in
+      List.fold_left
+        (fun bt cj -> if bt.f_n > 0 then exec_conjunct env cj bt else bt)
+        bt rest
+  in
+  let residual = Option.map (compile_bool row_sc) residual_expr in
+  (* ACCUM kernel. *)
+  let acc_locals, acc_nlocals = collect_locals b.Ast.s_accum in
+  let acc_sc =
+    { sc_binders = [ B_locals acc_locals; B_row (v_aliases, e_aliases) ] }
+  in
+  let acc_kernel = List.map (compile_acc_stmt acc_sc acc_locals) b.Ast.s_accum in
+  let acc_overlay = has_assign b.Ast.s_accum in
+  (* POST_ACCUM: consecutive statements grouped by driving alias, one
+     execution per distinct vertex (statically grouped via Analyze). *)
+  let post_groups =
+    List.fold_left
+      (fun acc stmt ->
+        let a =
+          match Analyze.post_accum_aliases stmt with [] -> None | x :: _ -> Some x
+        in
+        match acc with
+        | (a', stmts') :: rest when a' = a -> (a', stmt :: stmts') :: rest
+        | _ -> (a, [ stmt ]) :: acc)
+      [] b.Ast.s_post_accum
+    |> List.rev_map (fun (a, ss) -> (a, List.rev ss))
+    |> List.rev
+  in
+  let cgroups =
+    List.map
+      (fun (alias, stmts) ->
+        let locals, nlocals = collect_locals stmts in
+        let sc =
+          match alias with
+          | None -> { sc_binders = [ B_locals locals ] }
+          | Some a -> { sc_binders = [ B_probe a; B_locals locals ] }
+        in
+        { cg_alias = alias;
+          cg_slot =
+            (match alias with
+             | Some a -> E.alias_slot v_aliases a
+             | None -> -1);
+          cg_kernel = List.map (compile_acc_stmt sc locals) stmts;
+          cg_nlocals = nlocals;
+          cg_overlay = has_assign stmts })
+      post_groups
+  in
+  let run_kernel env phase kernel = List.iter (fun f -> f env phase) kernel in
+  let exec_accum env bt =
+    if acc_kernel <> [] then
+      Obs.Trace.span "accum" (fun () ->
+          if Obs.Trace.enabled () then
+            Obs.Trace.set_attr "rows" (Obs.Json.Int bt.f_n);
+          let phase = Accum.Store.begin_phase env.ctx.E.store in
+          let locals = Array.make (max 1 acc_nlocals) unset in
+          env.locals <- locals;
+          let overlay = if acc_overlay then Some (Hashtbl.create 8) else None in
+          env.overlay <- overlay;
+          for r = 0 to bt.f_n - 1 do
+            Interrupt.tick ();
+            env.base <- r * bt.f_stride;
+            env.mult <- bt.f_mult.(r);
+            if acc_nlocals > 0 then Array.fill locals 0 acc_nlocals unset;
+            (match overlay with Some o -> Hashtbl.reset o | None -> ());
+            run_kernel env phase acc_kernel
+          done;
+          Accum.Store.commit env.ctx.E.store phase)
+  in
+  let exec_post env bt =
+    if cgroups <> [] then
+      Obs.Trace.span "post_accum" (fun () ->
+          List.iter
+            (fun g ->
+              let phase = Accum.Store.begin_phase env.ctx.E.store in
+              (match g.cg_alias with
+               | None ->
+                 let locals = Array.make (max 1 g.cg_nlocals) unset in
+                 env.locals <- locals;
+                 env.overlay <-
+                   (if g.cg_overlay then Some (Hashtbl.create 8) else None);
+                 env.mult <- B.one;
+                 run_kernel env phase g.cg_kernel
+               | Some a ->
+                 if g.cg_slot < 0 then
+                   E.error "POST_ACCUM references unknown alias %s" a;
+                 let seen = Hashtbl.create 64 in
+                 let locals = Array.make (max 1 g.cg_nlocals) unset in
+                 env.locals <- locals;
+                 let overlay =
+                   if g.cg_overlay then Some (Hashtbl.create 8) else None
+                 in
+                 env.overlay <- overlay;
+                 env.mult <- B.one;
+                 for r = 0 to bt.f_n - 1 do
+                   Interrupt.tick ();
+                   let v = bt.f_data.((r * bt.f_stride) + g.cg_slot) in
+                   if v >= 0 && not (Hashtbl.mem seen v) then begin
+                     Hashtbl.add seen v ();
+                     env.probe <- v;
+                     if g.cg_nlocals > 0 then
+                       Array.fill locals 0 g.cg_nlocals unset;
+                     (match overlay with
+                      | Some o -> Hashtbl.reset o
+                      | None -> ());
+                     run_kernel env phase g.cg_kernel
+                   end
+                 done);
+              Accum.Store.commit env.ctx.E.store phase)
+            cgroups)
+  in
+  (* Outputs. *)
+  let climit = Option.map (compile_expr gscope) b.Ast.s_limit in
+  let signature = Ast.select_signature b in
+  (* HAVING / ORDER BY for the vertex-set target, compiled in the probe
+     scope of the selected alias. *)
+  let chaving_v =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices (_, alias, _) ->
+      let psc = { sc_binders = [ B_probe alias ] } in
+      Option.map (compile_bool psc) b.Ast.s_having
+    | Ast.Sel_outputs _ -> None
+  in
+  let corder_v =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices (_, alias, _) ->
+      let psc = { sc_binders = [ B_probe alias ] } in
+      List.map (fun (e, desc) -> (compile_expr psc e, desc)) b.Ast.s_order_by
+    | Ast.Sel_outputs _ -> []
+  in
+  let couts =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices _ -> []
+    | Ast.Sel_outputs outputs ->
+      List.map
+        (fun (o : Ast.output_spec) ->
+          let aliases =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun (e, _) -> expr_aliases_static v_aliases e_aliases e)
+                 o.Ast.o_exprs)
+          in
+          let bad = ref None in
+          let slots =
+            List.map
+              (fun a ->
+                let vs = E.alias_slot v_aliases a in
+                if vs >= 0 then `V vs
+                else begin
+                  let es = E.alias_slot e_aliases a in
+                  if es >= 0 then `E es
+                  else begin
+                    if !bad = None then bad := Some a;
+                    `V 0
+                  end
+                end)
+              aliases
+          in
+          let csc =
+            { sc_binders =
+                [ B_combo
+                    (List.mapi
+                       (fun i a -> (a, i, E.alias_slot v_aliases a < 0))
+                       aliases) ] }
+          in
+          let applicable_order =
+            List.filter
+              (fun (key, _) ->
+                List.for_all
+                  (fun a -> List.mem a aliases)
+                  (expr_aliases_static v_aliases e_aliases key))
+              b.Ast.s_order_by
+          in
+          { co_into = o.Ast.o_into;
+            co_distinct = o.Ast.o_distinct;
+            co_cols = List.map column_name o.Ast.o_exprs;
+            co_aliases = aliases;
+            co_slots = slots;
+            co_bad_alias = !bad;
+            co_exprs = List.map (fun (e, _) -> compile_expr csc e) o.Ast.o_exprs;
+            co_having = Option.map (compile_bool csc) b.Ast.s_having;
+            co_order =
+              List.map
+                (fun (e, desc) -> (compile_expr csc e, desc))
+                applicable_order })
+        outputs
+  in
+  let exec_outputs env bt =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices (_, alias, into) ->
+      let slot = E.alias_slot v_aliases alias in
+      if slot < 0 then E.error "SELECT %s: unknown alias" alias;
+      let seen = Hashtbl.create 64 in
+      let buf = ib_make () in
+      for r = 0 to bt.f_n - 1 do
+        let v = bt.f_data.((r * bt.f_stride) + slot) in
+        if v >= 0 && not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          ib_push buf v
+        end
+      done;
+      let vids = ib_contents buf in
+      let vids =
+        match chaving_v with
+        | None -> vids
+        | Some pred ->
+          let b2 = ib_make () in
+          Array.iter
+            (fun v ->
+              env.probe <- v;
+              if pred env then ib_push b2 v)
+            vids;
+          ib_contents b2
+      in
+      let vids =
+        match corder_v with
+        | [] -> vids
+        | keys ->
+          let with_keys =
+            Array.to_list vids
+            |> List.map (fun v ->
+                   env.probe <- v;
+                   ( List.map (fun (ck, desc) -> (ck env, desc)) keys,
+                     [| V.Int v |], v ))
+          in
+          let sorted = List.stable_sort sort_keys_cmp with_keys in
+          Array.of_list (List.map (fun (_, _, v) -> v) sorted)
+      in
+      let vids =
+        match climit with
+        | None -> vids
+        | Some cl ->
+          let n = V.to_int (cl env) in
+          if Array.length vids <= n then vids
+          else Array.sub vids 0 (max 0 n)
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.set_attr "out_vertices" (Obs.Json.Int (Array.length vids));
+      let bind name = Hashtbl.replace env.ctx.E.vars name (E.R_vset vids) in
+      Option.iter bind binding;
+      Option.iter bind into
+    | Ast.Sel_outputs _ ->
+      List.iter
+        (fun (o : cout) ->
+          (match o.co_bad_alias with
+           | Some a -> E.error "unknown alias %s in SELECT" a
+           | None -> ());
+          let combos =
+            if o.co_aliases = [] then [ [||] ]  (* pure-global: one row *)
+            else begin
+              let seen = Hashtbl.create 64 in
+              let out = ref [] in
+              for r = 0 to bt.f_n - 1 do
+                let vals =
+                  List.map
+                    (function
+                      | `V i -> bt.f_data.((r * bt.f_stride) + i)
+                      | `E i -> bt.f_data.((r * bt.f_stride) + bt.f_nv + i))
+                    o.co_slots
+                in
+                if List.for_all (fun v -> v >= 0) vals
+                   && not (Hashtbl.mem seen vals)
+                then begin
+                  Hashtbl.add seen vals ();
+                  out := Array.of_list vals :: !out
+                end
+              done;
+              List.rev !out
+            end
+          in
+          let combos =
+            match o.co_having with
+            | None -> combos
+            | Some pred ->
+              List.filter
+                (fun c ->
+                  env.combo <- c;
+                  pred env)
+                combos
+          in
+          let rows =
+            List.map
+              (fun c ->
+                env.combo <- c;
+                (Array.of_list (List.map (fun ce -> ce env) o.co_exprs), c))
+              combos
+          in
+          let rows =
+            match o.co_order with
+            | [] -> rows
+            | keys ->
+              let with_keys =
+                List.map
+                  (fun (row, c) ->
+                    env.combo <- c;
+                    (List.map (fun (ck, desc) -> (ck env, desc)) keys, row, c))
+                  rows
+              in
+              List.map
+                (fun (_, row, c) -> (row, c))
+                (List.stable_sort sort_keys_cmp with_keys)
+          in
+          let rows =
+            match climit with
+            | None -> rows
+            | Some cl ->
+              let n = V.to_int (cl env) in
+              List.filteri (fun i _ -> i < n) rows
+          in
+          let table = Table.create o.co_cols (List.map fst rows) in
+          let table = if o.co_distinct then Table.distinct table else table in
+          env.ctx.E.tables <- (o.co_into, table) :: env.ctx.E.tables;
+          Hashtbl.replace env.ctx.E.vars o.co_into (E.R_table table))
+        couts
+  in
+  let exec_inner env =
+    let ctx = env.ctx in
+    if ctx.E.primed <> [] then Accum.Store.save_prev ctx.E.store ctx.E.primed;
+    let bt = Obs.Trace.span "match" (fun () -> build env) in
+    env.data <- bt.f_data;
+    if Obs.Trace.enabled () then Obs.Trace.set_attr "rows" (Obs.Json.Int bt.f_n);
+    (match residual with
+     | None -> ()
+     | Some pred ->
+       let w = ref 0 in
+       for r = 0 to bt.f_n - 1 do
+         env.base <- r * bt.f_stride;
+         if pred env then begin
+           if !w <> r then begin
+             Array.blit bt.f_data (r * bt.f_stride) bt.f_data (!w * bt.f_stride)
+               bt.f_stride;
+             bt.f_mult.(!w) <- bt.f_mult.(r)
+           end;
+           incr w
+         end
+       done;
+       bt.f_n <- !w;
+       if Obs.Trace.enabled () then
+         Obs.Trace.set_attr "rows_after_where" (Obs.Json.Int bt.f_n));
+    exec_accum env bt;
+    env.overlay <- None;
+    exec_post env bt;
+    env.overlay <- None;
+    exec_outputs env bt
+  in
+  let op_exec env =
+    Interrupt.tick ();
+    Obs.Metrics.incr m_selects 1;
+    Obs.Metrics.time h_select_ms (fun () ->
+        if not (Obs.Trace.enabled ()) then exec_inner env
+        else
+          Obs.Trace.span "select" (fun () ->
+              Obs.Trace.set_attr "block" (Obs.Json.Str signature);
+              (match binding with
+               | Some x -> Obs.Trace.set_attr "binds" (Obs.Json.Str x)
+               | None -> ());
+              exec_inner env))
+  in
+  (* Describe lines + op accounting. *)
+  let conj_lines =
+    List.map
+      (fun cj ->
+        match cj.cj_kind with
+        | Cj_step st ->
+          Printf.sprintf "step %s -(%s)- %s%s" cj.cj_src_alias
+            (match st.st_ty with Some t -> t | None -> "_")
+            cj.cj_dst_alias
+            (match st.st_static with
+             | Some _ -> " [syms@install]"
+             | None -> " [syms@invoke]")
+        | Cj_ident d ->
+          Printf.sprintf "identity %s -(%s)- %s [empty-word DFA folded @install]"
+            cj.cj_src_alias (Darpe.Ast.to_string d) cj.cj_dst_alias
+        | Cj_kleene d ->
+          Printf.sprintf "dfa-product %s -(%s)- %s" cj.cj_src_alias
+            (Darpe.Ast.to_string d) cj.cj_dst_alias)
+      cconjs
+  in
+  let where_line =
+    let pushed_names = List.map fst pushed_tbl |> List.sort compare in
+    match pushed_names, residual_expr with
+    | [], None -> []
+    | names, res ->
+      [ Printf.sprintf "where:%s%s"
+          (if names = [] then ""
+           else " pushed[" ^ String.concat "," names ^ "]")
+          (if res = None then "" else " residual") ]
+  in
+  let accum_line =
+    if b.Ast.s_accum = [] then []
+    else
+      [ Printf.sprintf "accum: %d stmts (locals %d%s)"
+          (List.length b.Ast.s_accum) acc_nlocals
+          (if acc_overlay then ", overlay" else "") ]
+  in
+  let post_line =
+    if cgroups = [] then []
+    else [ Printf.sprintf "post-accum: %d groups" (List.length cgroups) ]
+  in
+  let out_line =
+    match b.Ast.s_target with
+    | Ast.Sel_vertices (_, alias, _) -> [ "emit: vertex set " ^ alias ]
+    | Ast.Sel_outputs outs ->
+      [ "emit: tables ["
+        ^ String.concat ", " (List.map (fun o -> o.Ast.o_into) outs)
+        ^ "]" ]
+  in
+  let n_inner =
+    List.length cconjs + List.length b.Ast.s_accum
+    + List.length b.Ast.s_post_accum
+    + match b.Ast.s_target with
+      | Ast.Sel_vertices _ -> 1
+      | Ast.Sel_outputs outs -> List.length outs
+  in
+  { op_exec;
+    op_lines =
+      ("select " ^ signature)
+      :: indent (conj_lines @ where_line @ accum_line @ post_line @ out_line);
+    op_total = 1 + n_inner;
+    op_compiled = 1 + n_inner }
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+
+let set_label x = function
+  | Ast.Set_types types -> Printf.sprintf "%s = {%s}" x (String.concat ", " types)
+  | Ast.Set_copy y -> Printf.sprintf "%s = %s" x y
+  | Ast.Set_op (op, a, b) ->
+    Printf.sprintf "%s = %s %s %s" x a
+      (match op with
+       | Ast.Op_union -> "UNION"
+       | Ast.Op_intersect -> "INTERSECT"
+       | Ast.Op_minus -> "MINUS")
+      b
+
+let resolve_set_types ctx types =
+  match types with
+  | [ "*" ] -> Array.init (G.n_vertices ctx.E.graph) (fun i -> i)
+  | _ ->
+    Array.concat
+      (List.map
+         (fun ty ->
+           match Pgraph.Schema.find_vertex_type (G.schema ctx.E.graph) ty with
+           | Some vt -> G.vertices_of_type ctx.E.graph vt.Pgraph.Schema.vt_id
+           | None -> E.error "unknown vertex type %s" ty)
+         types)
+
+let rec compile_stmt (schema : Pgraph.Schema.t option) (s : Ast.stmt) : op =
+  match s with
+  | Ast.S_select (binding, blk) when blk.Ast.s_group_by = [] ->
+    compile_select schema binding blk
+  | Ast.S_select (_, blk) ->
+    fallback_op s ("select (group-by) " ^ Ast.select_signature blk)
+  | Ast.S_print _ -> fallback_op s "print"
+  | Ast.S_insert (ty, _, _) -> fallback_op s ("insert into " ^ ty)
+  | Ast.S_acc_decl d ->
+    let cinit = Option.map (compile_expr gscope) d.Ast.d_init in
+    let names =
+      String.concat ", "
+        (List.map
+           (fun (g, n) -> (if g then "@@" else "@") ^ n)
+           d.Ast.d_names)
+    in
+    { op_exec =
+        (fun env ->
+          Interrupt.tick ();
+          let ctx = env.ctx in
+          let init = match cinit with None -> None | Some ce -> Some (ce env) in
+          List.iter
+            (fun (is_global, name) ->
+              if is_global then begin
+                Accum.Store.declare_global ctx.E.store name d.Ast.d_spec;
+                Option.iter
+                  (fun v ->
+                    Accum.Store.assign_now ctx.E.store (Accum.Store.Global name) v)
+                  init
+              end
+              else begin
+                Accum.Store.declare_vertex ctx.E.store name d.Ast.d_spec
+                  ~n_vertices:(G.n_vertices ctx.E.graph);
+                Option.iter (Accum.Store.set_vertex_init ctx.E.store name) init
+              end)
+            d.Ast.d_names);
+      op_lines = [ "accum-decl " ^ names ];
+      op_total = 1;
+      op_compiled = 1 }
+  | Ast.S_set_assign (x, src) ->
+    let exec =
+      match src with
+      | Ast.Set_types types ->
+        fun env ->
+          Hashtbl.replace env.ctx.E.vars x
+            (E.R_vset (resolve_set_types env.ctx types))
+      | Ast.Set_copy y ->
+        fun env ->
+          (match Hashtbl.find_opt env.ctx.E.vars y with
+           | Some rv -> Hashtbl.replace env.ctx.E.vars x rv
+           | None -> E.error "unbound set variable %s" y)
+      | Ast.Set_op (op, a, b) ->
+        fun env ->
+          let resolve name =
+            match Hashtbl.find_opt env.ctx.E.vars name with
+            | Some (E.R_vset vs) -> vs
+            | Some _ -> E.error "%s is not a vertex set" name
+            | None ->
+              (match
+                 Pgraph.Schema.find_vertex_type (G.schema env.ctx.E.graph) name
+               with
+               | Some vt ->
+                 G.vertices_of_type env.ctx.E.graph vt.Pgraph.Schema.vt_id
+               | None -> E.error "unbound set variable %s" name)
+          in
+          let va = resolve a and vb = resolve b in
+          let in_b = Hashtbl.create (Array.length vb) in
+          Array.iter (fun v -> Hashtbl.replace in_b v ()) vb;
+          let result =
+            match op with
+            | Ast.Op_union ->
+              let seen = Hashtbl.create (Array.length va + Array.length vb) in
+              let out = ref [] in
+              Array.iter
+                (fun v ->
+                  if not (Hashtbl.mem seen v) then begin
+                    Hashtbl.add seen v ();
+                    out := v :: !out
+                  end)
+                (Array.append va vb);
+              Array.of_list (List.rev !out)
+            | Ast.Op_intersect ->
+              Array.of_list (List.filter (Hashtbl.mem in_b) (Array.to_list va))
+            | Ast.Op_minus ->
+              Array.of_list
+                (List.filter (fun v -> not (Hashtbl.mem in_b v)) (Array.to_list va))
+          in
+          Hashtbl.replace env.ctx.E.vars x (E.R_vset result)
+    in
+    { op_exec = (fun env -> Interrupt.tick (); exec env);
+      op_lines = [ "set " ^ set_label x src ];
+      op_total = 1;
+      op_compiled = 1 }
+  | Ast.S_gacc_assign (name, is_input, e) ->
+    let ce = compile_expr gscope e in
+    let tgt = Accum.Store.Global name in
+    { op_exec =
+        (fun env ->
+          Interrupt.tick ();
+          let v = ce env in
+          if is_input then Accum.Store.input_now env.ctx.E.store tgt v
+          else Accum.Store.assign_now env.ctx.E.store tgt v);
+      op_lines = [ Printf.sprintf "@@%s %s ..." name (if is_input then "+=" else "=") ];
+      op_total = 1;
+      op_compiled = 1 }
+  | Ast.S_let (x, e) ->
+    let ce = compile_expr gscope e in
+    let exec =
+      match e with
+      | Ast.E_var y ->
+        fun env ->
+          if Hashtbl.mem env.ctx.E.vars y then
+            Hashtbl.replace env.ctx.E.vars x (Hashtbl.find env.ctx.E.vars y)
+          else Hashtbl.replace env.ctx.E.vars x (E.R_scalar (ce env))
+      | _ -> fun env -> Hashtbl.replace env.ctx.E.vars x (E.R_scalar (ce env))
+    in
+    { op_exec = (fun env -> Interrupt.tick (); exec env);
+      op_lines = [ "let " ^ x ];
+      op_total = 1;
+      op_compiled = 1 }
+  | Ast.S_while (cond, limit, body) ->
+    let ccond = compile_bool gscope cond in
+    let climit = Option.map (compile_expr gscope) limit in
+    let cbody = List.map (compile_stmt schema) body in
+    { op_exec =
+        (fun env ->
+          Interrupt.tick ();
+          let max_iters =
+            match climit with None -> max_int | Some ce -> V.to_int (ce env)
+          in
+          let i = ref 0 in
+          Obs.Trace.span "while" (fun () ->
+              while !i < max_iters && ccond env do
+                Interrupt.tick ();
+                Obs.Trace.span "iter" (fun () ->
+                    Obs.Trace.set_attr "i" (Obs.Json.Int !i);
+                    List.iter (fun o -> o.op_exec env) cbody);
+                incr i
+              done;
+              Obs.Trace.set_attr "iterations" (Obs.Json.Int !i)));
+      op_lines = ("while " ^ Ast.expr_to_string cond) :: child_lines cbody;
+      op_total = 1 + sum_total cbody;
+      op_compiled = 1 + sum_compiled cbody }
+  | Ast.S_if (cond, th, el) ->
+    let ccond = compile_bool gscope cond in
+    let cth = List.map (compile_stmt schema) th in
+    let cel = List.map (compile_stmt schema) el in
+    { op_exec =
+        (fun env ->
+          Interrupt.tick ();
+          List.iter (fun o -> o.op_exec env) (if ccond env then cth else cel));
+      op_lines =
+        (("if " ^ Ast.expr_to_string cond) :: child_lines cth)
+        @ (if cel = [] then [] else "else" :: child_lines cel);
+      op_total = 1 + sum_total cth + sum_total cel;
+      op_compiled = 1 + sum_compiled cth + sum_compiled cel }
+  | Ast.S_foreach (x, e, body) ->
+    let ce = compile_expr gscope e in
+    let cbody = List.map (compile_stmt schema) body in
+    { op_exec =
+        (fun env ->
+          Interrupt.tick ();
+          let ctx = env.ctx in
+          let of_value = function
+            | V.Vlist l -> l
+            | V.Vtuple a -> Array.to_list a
+            | v -> [ v ]
+          in
+          let items =
+            match e with
+            | Ast.E_var y ->
+              (match Hashtbl.find_opt ctx.E.vars y with
+               | Some (E.R_vset vs) ->
+                 Array.to_list (Array.map (fun v -> V.Vertex v) vs)
+               | _ -> of_value (ce env))
+            | _ -> of_value (ce env)
+          in
+          List.iter
+            (fun item ->
+              Hashtbl.replace ctx.E.vars x (E.R_scalar item);
+              List.iter (fun o -> o.op_exec env) cbody)
+            items);
+      op_lines =
+        (Printf.sprintf "foreach %s in %s" x (Ast.expr_to_string e))
+        :: child_lines cbody;
+      op_total = 1 + sum_total cbody;
+      op_compiled = 1 + sum_compiled cbody }
+  | Ast.S_return e ->
+    let ce = compile_expr gscope e in
+    let exec =
+      match e with
+      | Ast.E_var name ->
+        fun env ->
+          let rv =
+            if Hashtbl.mem env.ctx.E.vars name then
+              Hashtbl.find env.ctx.E.vars name
+            else E.R_scalar (ce env)
+          in
+          env.ctx.E.returned <- Some rv;
+          raise E.Returned
+      | _ ->
+        fun env ->
+          env.ctx.E.returned <- Some (E.R_scalar (ce env));
+          raise E.Returned
+    in
+    { op_exec = (fun env -> Interrupt.tick (); exec env);
+      op_lines = [ "return " ^ Ast.expr_to_string e ];
+      op_total = 1;
+      op_compiled = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+
+type plan = {
+  p_query : Ast.query option;
+  p_primed : string list;
+  p_ops : op list;
+  p_compile_ms : float;
+  p_total : int;
+  p_compiled : int;
+  p_describe : string;
+}
+
+let finish_plan query primed ops t0 =
+  let total = sum_total ops and compiled = sum_compiled ops in
+  let header =
+    Printf.sprintf "plan: %d ops (%d compiled, %d interpreted)" total compiled
+      (total - compiled)
+  in
+  { p_query = query;
+    p_primed = primed;
+    p_ops = ops;
+    p_compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    p_total = total;
+    p_compiled = compiled;
+    p_describe =
+      String.concat "\n" (header :: List.concat_map (fun o -> indent o.op_lines) ops) }
+
+let compile ?schema (q : Ast.query) =
+  let t0 = Unix.gettimeofday () in
+  let info = Analyze.check_query q in
+  (match info.Analyze.errors with
+   | [] -> ()
+   | errs -> E.error "analysis failed: %s" (String.concat "; " errs));
+  let ops = List.map (compile_stmt schema) q.Ast.q_body in
+  finish_plan (Some q) info.Analyze.primed ops t0
+
+let compile_block ?schema stmts =
+  let t0 = Unix.gettimeofday () in
+  let info = Analyze.check_block stmts in
+  (match info.Analyze.errors with
+   | [] -> ()
+   | errs -> E.error "analysis failed: %s" (String.concat "; " errs));
+  let ops = List.map (compile_stmt schema) stmts in
+  finish_plan None info.Analyze.primed ops t0
+
+let run plan ?semantics ~params graph =
+  let sem =
+    match plan.p_query with
+    | Some q ->
+      E.check_params q params;
+      E.query_semantics ?semantics q
+    | None -> (match semantics with Some s -> s | None -> Sem.All_shortest)
+  in
+  let ctx = E.make_ctx graph sem params plan.p_primed in
+  let env =
+    { ctx;
+      data = [||];
+      base = 0;
+      mult = B.one;
+      locals = [||];
+      probe = -1;
+      combo = [||];
+      overlay = None }
+  in
+  (try List.iter (fun op -> op.op_exec env) plan.p_ops with
+   | E.Returned -> ()
+   | V.Type_error msg -> E.error "type error: %s" msg);
+  E.finish ctx
+
+let compile_ms plan = plan.p_compile_ms
+let plan_ops plan = plan.p_total
+let compiled_ops plan = plan.p_compiled
+let describe plan = plan.p_describe

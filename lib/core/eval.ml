@@ -1304,14 +1304,14 @@ let run_checked graph semantics params stmts (info : Analyze.info) =
 let run_block graph ?(semantics = Sem.All_shortest) ?(params = []) stmts =
   run_checked graph semantics params stmts (Analyze.check_block stmts)
 
-let run_query graph ?semantics ~params (q : Ast.query) =
-  let sem =
-    match semantics, q.Ast.q_semantics with
-    | Some s, _ -> s
-    | None, Some s -> s
-    | None, None -> Sem.All_shortest
-  in
-  (* Check parameters against the header. *)
+let query_semantics ?semantics (q : Ast.query) =
+  match semantics, q.Ast.q_semantics with
+  | Some s, _ -> s
+  | None, Some s -> s
+  | None, None -> Sem.All_shortest
+
+(* Check parameters against the header. *)
+let check_params (q : Ast.query) params =
   List.iter
     (fun (p : Ast.param) ->
       match List.assoc_opt p.Ast.p_name params with
@@ -1328,7 +1328,11 @@ let run_query graph ?semantics ~params (q : Ast.query) =
           | _ -> false
         in
         if not ok then error "parameter %s has the wrong type" p.Ast.p_name)
-    q.Ast.q_params;
+    q.Ast.q_params
+
+let run_query graph ?semantics ~params (q : Ast.query) =
+  let sem = query_semantics ?semantics q in
+  check_params q params;
   run_checked graph sem params q.Ast.q_body (Analyze.check_query q)
 
 let run_source graph ?semantics ?(params = []) src =

@@ -119,8 +119,7 @@ let rec explain_stmt ?(annot : Ast.select_block -> string list = fun _ -> []) bu
   | Ast.S_insert (ty, _, _) -> add "INSERT INTO %s\n" ty
   | Ast.S_gacc_assign _ | Ast.S_let _ | Ast.S_print _ | Ast.S_return _ -> ()
 
-let block ?annot stmts =
-  let buf = Buffer.create 512 in
+let explain_body ?annot buf stmts =
   let info = Analyze.check_block stmts in
   List.iter (explain_stmt ?annot buf 0) stmts;
   (match info.Analyze.errors with
@@ -133,7 +132,25 @@ let block ?annot stmts =
     (if info.Analyze.tractable then
        "tractable class (Theorem 7.1): yes — polynomial-time evaluation under \
         all-shortest-paths semantics\n"
-     else "tractable class (Theorem 7.1): NO — evaluation may be exponential\n");
+     else "tractable class (Theorem 7.1): NO — evaluation may be exponential\n")
+
+(* The shape of the closure plan {!Catalog} installs for this source
+   (docs/COMPILER.md).  Compiled without a schema, so segment-symbol
+   resolution shows as deferred ([syms@invoke]) — the catalog's
+   schema-aware install resolves them statically.  Analysis failures were
+   already reported above; a plan can't exist for them. *)
+let compiled_section buf mk_plan =
+  match mk_plan () with
+  | plan ->
+    Buffer.add_string buf "compiled plan:\n";
+    String.split_on_char '\n' (Compile.describe plan)
+    |> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"))
+  | exception _ -> ()
+
+let block ?annot stmts =
+  let buf = Buffer.create 512 in
+  explain_body ?annot buf stmts;
+  compiled_section buf (fun () -> Compile.compile_block stmts);
   Buffer.contents buf
 
 let query ?annot (q : Ast.query) =
@@ -143,7 +160,8 @@ let query ?annot (q : Ast.query) =
     (match q.Ast.q_semantics with
      | Some sem -> Printf.sprintf " [semantics: %s]" (Pathsem.Semantics.to_string sem)
      | None -> " [semantics: all-shortest (default)]");
-  Buffer.add_string buf (block ?annot q.Ast.q_body);
+  explain_body ?annot buf q.Ast.q_body;
+  compiled_section buf (fun () -> Compile.compile q);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

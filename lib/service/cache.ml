@@ -38,13 +38,16 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 (* The key embeds the query name with a separator that cannot appear in a
-   JSON rendering, so [invalidate_query] can match on the prefix exactly. *)
-let key ~query ~params ~graph_version =
+   JSON rendering, so [invalidate_query] can match on the prefix exactly.
+   The plan generation is part of the key: a reinstalled query's stale
+   results become unreachable the instant the catalog swaps the entry,
+   with no separate invalidation step to race against. *)
+let key ~query ~params ~graph_version ~plan_gen =
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) params in
   let params_json =
     J.to_string (J.Obj (List.map (fun (n, v) -> (n, Protocol.value_to_json v)) sorted))
   in
-  Printf.sprintf "%s\x00v%d\x00%s" query graph_version params_json
+  Printf.sprintf "%s\x00v%d.g%d\x00%s" query graph_version plan_gen params_json
 
 let query_of_key k = match String.index_opt k '\x00' with
   | Some i -> String.sub k 0 i

@@ -17,8 +17,13 @@ val create : ?capacity:int -> unit -> 'a t
     (every lookup misses). *)
 
 val key :
-  query:string -> params:(string * Pgraph.Value.t) list -> graph_version:int -> string
-(** The canonical cache key. *)
+  query:string -> params:(string * Pgraph.Value.t) list -> graph_version:int ->
+  plan_gen:int -> string
+(** The canonical cache key.  [plan_gen] is the catalog's install
+    generation for the query: reinstalling bumps it, orphaning every
+    result computed under the previous definition without a separate
+    invalidation step (no window where a new plan can be served an old
+    plan's cached result). *)
 
 val find : 'a t -> string -> 'a option
 (** Records a hit or a miss, and refreshes recency on hit. *)

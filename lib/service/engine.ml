@@ -22,6 +22,10 @@ type t = {
      jobs queued so workers don't pile up here, but correctness never
      depends on that routing. *)
   persist : Store.Persist.t option;  (* durability; None = memory-only *)
+  mutable interp : bool;
+  (* Escape hatch: execute installed queries through the Eval oracle
+     instead of their compiled plans (GSQL_INTERP=1, or set_interp for
+     the interpreter-vs-compiled ablation). *)
   mutable graph : Pgraph.Graph.t;
   mutable version : int;
   mutable read_only : string option;  (* Some reason => mutations refused *)
@@ -48,6 +52,10 @@ let create ?(cache_capacity = 128) ?semantics ?(limits = Interrupt.no_limits) ?p
     lock = Mutex.create ();
     write_lock = Mutex.create ();
     persist;
+    interp =
+      (match Sys.getenv_opt "GSQL_INTERP" with
+       | Some ("1" | "true" | "yes") -> true
+       | _ -> false);
     graph;
     version;
     read_only = None;
@@ -67,6 +75,16 @@ let graph_version t = locked t (fun () -> t.version)
 let read_only t = locked t (fun () -> t.read_only)
 let persistent t = t.persist <> None
 
+let set_interp t b = locked t (fun () -> t.interp <- b)
+let use_interp t = locked t (fun () -> t.interp)
+
+(* Dispatch one installed query: its compiled plan on the hot path, the
+   tree-walking oracle behind the escape hatch.  Both run on the worker
+   domain against whatever graph the caller pinned. *)
+let execute t (e : Gsql.Catalog.installed) g params =
+  if use_interp t then Gsql.Eval.run_query g ?semantics:t.semantics ~params e.Gsql.Catalog.i_query
+  else Gsql.Compile.run e.Gsql.Catalog.i_plan ?semantics:t.semantics ~params g
+
 let reload t g =
   let old = locked t (fun () ->
       let old = t.graph in
@@ -74,6 +92,9 @@ let reload t g =
       t.version <- t.version + 1;
       old)
   in
+  (* Re-specialize every plan's CSR segment symbols against the new
+     schema; the generation bumps orphan all old cached results. *)
+  Gsql.Catalog.recompile ~schema:(Pgraph.Graph.schema g) t.catalog;
   Cache.clear t.cache;
   Pgraph.Csr.invalidate old
 
@@ -92,19 +113,22 @@ let info_of t name =
       List.map (fun (n, ty) -> (n, ty_to_string ty)) (Gsql.Catalog.signature_of t.catalog name) }
 
 let install t source =
-  (* Parse first so a reinstall only drops the old definitions once the new
-     source is known to be loadable as a program. *)
+  (* Parse first so a reinstall only replaces the old definitions once the
+     new source is known to be loadable as a program.  replace_query swaps
+     plan and generation atomically, so no invoke can pair the new plan
+     with a cache key minted for the old one; the old generation's cached
+     results become unreachable the instant the swap lands (the eager
+     invalidation afterwards is memory hygiene, not correctness). *)
   match Gsql.Parser.parse_program source with
   | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg)
   | queries ->
+    let schema = Pgraph.Graph.schema (graph t) in
     (match
        List.map
          (fun (q : Gsql.Ast.query) ->
-           if Gsql.Catalog.mem t.catalog q.Gsql.Ast.q_name then begin
-             Gsql.Catalog.drop t.catalog q.Gsql.Ast.q_name;
-             Cache.invalidate_query t.cache q.Gsql.Ast.q_name
-           end;
-           Gsql.Catalog.install_query t.catalog q;
+           let fresh = not (Gsql.Catalog.mem t.catalog q.Gsql.Ast.q_name) in
+           Gsql.Catalog.replace_query ~schema t.catalog q;
+           if not fresh then Cache.invalidate_query t.cache q.Gsql.Ast.q_name;
            q.Gsql.Ast.q_name)
          queries
      with
@@ -160,7 +184,7 @@ let interrupted_response t ~query reason =
    ever visible to anyone.  A WAL failure additionally flips the engine
    read-only: the commit was not acknowledged and nothing after it will be
    either, which beats silently diverging from the log. *)
-let mutate t (iv : P.invoke) q budget () =
+let mutate t (iv : P.invoke) entry budget () =
   let t0 = Unix.gettimeofday () in
   Mutex.lock t.write_lock;
   Fun.protect
@@ -177,7 +201,7 @@ let mutate t (iv : P.invoke) q budget () =
         Pgraph.Graph.set_journal next (Some (fun m -> ops := m :: !ops));
         (match
            Interrupt.with_budget budget (fun () ->
-               Gsql.Eval.run_query next ?semantics:t.semantics ~params:iv.P.iv_params q)
+               execute t entry next iv.P.iv_params)
          with
          | result ->
            Pgraph.Graph.set_journal next None;
@@ -231,17 +255,21 @@ let mutate t (iv : P.invoke) q budget () =
 
 let prepare_invoke t (iv : P.invoke) =
   locked t (fun () -> t.n_invocations <- t.n_invocations + 1);
-  match Gsql.Catalog.find t.catalog iv.P.iv_query with
+  (* One catalog lookup: query, plan and generation arrive as a consistent
+     snapshot, so a concurrent reinstall can't hand us a new plan with an
+     old generation's cache key (or vice versa). *)
+  match Gsql.Catalog.lookup t.catalog iv.P.iv_query with
   | None ->
     locked t (fun () -> t.n_errors <- t.n_errors + 1);
     `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query))
-  | Some q ->
+  | Some entry ->
+    let q = entry.Gsql.Catalog.i_query in
     (match check_params q iv.P.iv_params with
      | Error msg ->
        locked t (fun () -> t.n_errors <- t.n_errors + 1);
        `Ready (P.Error (P.Bad_params, msg))
      | Ok () ->
-       let mutating = (Gsql.Catalog.info_of t.catalog iv.P.iv_query).Gsql.Analyze.mutating in
+       let mutating = entry.Gsql.Catalog.i_info.Gsql.Analyze.mutating in
        (* Governor budget for this execution: the per-invoke timeout
           overrides the engine default; step/row ceilings always come
           from the engine limits.  Built at prepare time so queue wait
@@ -262,12 +290,13 @@ let prepare_invoke t (iv : P.invoke) =
            `Ready (P.Error (P.Read_only, "server is read-only: " ^ why))
          | None ->
            let budget = Interrupt.of_limits budget_limits in
-           `Run { pr_budget = budget; pr_mutating = true; pr_thunk = mutate t iv q budget }
+           `Run { pr_budget = budget; pr_mutating = true; pr_thunk = mutate t iv entry budget }
        end
        else begin
          let g, version = locked t (fun () -> (t.graph, t.version)) in
          let key =
            Cache.key ~query:iv.P.iv_query ~params:iv.P.iv_params ~graph_version:version
+             ~plan_gen:entry.Gsql.Catalog.i_generation
          in
          let hit = if iv.P.iv_no_cache then None else Cache.find t.cache key in
          match hit with
@@ -278,7 +307,7 @@ let prepare_invoke t (iv : P.invoke) =
              let t0 = Unix.gettimeofday () in
              match
                Interrupt.with_budget budget (fun () ->
-                   Gsql.Eval.run_query g ?semantics:t.semantics ~params:iv.P.iv_params q)
+                   execute t entry g iv.P.iv_params)
              with
              | result ->
                let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
@@ -306,10 +335,27 @@ let stats t ~extra =
         ( t.n_invocations, t.n_executed, t.n_errors, t.n_interrupted, t.version,
           t.n_commits, t.n_wal_errors, t.read_only ))
   in
+  let plan_stats =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (e : Gsql.Catalog.installed) ->
+            let p = e.Gsql.Catalog.i_plan in
+            ( name,
+              J.Obj
+                [ ("compile_ms", J.Float (Gsql.Compile.compile_ms p));
+                  ("plan_ops", J.Int (Gsql.Compile.plan_ops p));
+                  ("compiled_ops", J.Int (Gsql.Compile.compiled_ops p));
+                  ("generation", J.Int e.Gsql.Catalog.i_generation) ] ))
+          (Gsql.Catalog.lookup t.catalog name))
+      (Gsql.Catalog.names t.catalog)
+  in
   P.Stats_snapshot
     (J.Obj
        ([ ("graph_version", J.Int version);
           ("queries", J.List (List.map (fun n -> J.Str n) (Gsql.Catalog.names t.catalog)));
+          ("interp", J.Bool (use_interp t));
+          ("plans", J.Obj plan_stats);
           ("invocations", J.Int invocations);
           ("executed", J.Int executed);
           ("errors", J.Int errors);

@@ -45,10 +45,21 @@ val read_only : t -> string option
 
 val persistent : t -> bool
 
+val set_interp : t -> bool -> unit
+(** Routes subsequent executions through the {!Gsql.Eval} interpreter
+    ([true]) or the installed {!Gsql.Compile} plans ([false], the
+    default unless the [GSQL_INTERP] environment variable is set).  The
+    interpreter-vs-compiled ablation toggle; cached results are
+    unaffected (both paths are result-identical by contract). *)
+
+val use_interp : t -> bool
+
 val reload : t -> Pgraph.Graph.t -> unit
-(** Swaps the graph, bumps the version and clears the cache.  An
-    administrative operation outside the write lane: not WAL-logged, and
-    not safe to race against an in-flight mutating invocation. *)
+(** Swaps the graph, bumps the version, re-lowers every installed plan
+    against the new schema ({!Gsql.Catalog.recompile}) and clears the
+    cache.  An administrative operation outside the write lane: not
+    WAL-logged, and not safe to race against an in-flight mutating
+    invocation. *)
 
 (** {1 Catalog operations (coordinator thread only)} *)
 

@@ -202,6 +202,37 @@ let test_engine_commit_bumps_version () =
   Alcotest.(check int) "insert bumps" 2 (Service.Engine.graph_version engine);
   Alcotest.(check int) "insert applied" 4 (G.n_vertices (Service.Engine.graph engine))
 
+(* Mutating queries run through their compiled plans by default; the
+   write path (snapshot, journal, WAL, publish) must end in exactly the
+   state the interpreter oracle produces. *)
+let test_mutate_compiled_vs_interp () =
+  let final_state interp =
+    let engine = mk_mut_engine () in
+    Service.Engine.set_interp engine interp;
+    let _ =
+      expect_result
+        (Service.Engine.invoke engine
+           (invoke_req "SetBoth" [ ("who", V.Str "n1"); ("x", V.Int 23) ]))
+    in
+    let _ =
+      expect_result
+        (Service.Engine.invoke engine
+           (invoke_req "AddNode" [ ("nm", V.Str "n3"); ("v", V.Int 5) ]))
+    in
+    let r =
+      expect_result
+        (Service.Engine.invoke engine (invoke_req "ReadBoth" [ ("who", V.Str "n1") ]))
+    in
+    (Service.Engine.graph_version engine,
+     G.n_vertices (Service.Engine.graph engine),
+     pair_of_result r.rs_result)
+  in
+  let vi, ni, pi = final_state true in
+  let vc, nc, pc = final_state false in
+  Alcotest.(check int) "same version trajectory" vi vc;
+  Alcotest.(check int) "same vertex count" ni nc;
+  Alcotest.(check (pair int int)) "same committed attrs" pi pc
+
 (* Satellite: cache behavior across mutation — a mutation must orphan
    stale entries, and a result cached before the commit must never be
    served after it. *)
@@ -540,6 +571,7 @@ let () =
         [ Alcotest.test_case "mutating vs read-only" `Quick test_classification ] );
       ( "engine",
         [ Alcotest.test_case "commit bumps version" `Quick test_engine_commit_bumps_version;
+          Alcotest.test_case "mutate compiled vs interp" `Quick test_mutate_compiled_vs_interp;
           Alcotest.test_case "cache across mutation" `Quick test_cache_across_mutation;
           Alcotest.test_case "read-only degradation" `Quick test_engine_read_only_degradation;
           Alcotest.test_case "persist recovery" `Quick test_engine_persist_recovery ] );

@@ -198,7 +198,15 @@ let analyze_golden =
   \    accum: 1 acc-execution, 1 merge op, 0 assigns\n\
   \    output: 1 vertex set member\n\
    tractable class (Theorem 7.1): yes — polynomial-time evaluation under all-shortest-paths \
-   semantics\n\n\
+   semantics\n\
+   compiled plan:\n\
+  \  plan: 5 ops (5 compiled, 0 interpreted)\n\
+  \    accum-decl @pathCount\n\
+  \    select t | V:s -(E>*)- V:t | WHERE ((s.name == \"v0\") AND (t.name == \"v4\")) | ACCUM[1]\n\
+  \      dfa-product s -(E>*)- t\n\
+  \      where: pushed[s,t]\n\
+  \      accum: 1 stmts (locals 0)\n\
+  \      emit: vertex set t\n\n\
    == execution telemetry ==\n\
    select blocks: 1\n\
    accumulator store: 1 merge ops, 0 assigns, 1 commits\n\
@@ -217,6 +225,48 @@ let test_explain_analyze_golden () =
    | Error msg -> Alcotest.failf "trace schema: %s" msg);
   (* Analyze leaves the metrics registry the way it found it (disabled). *)
   Alcotest.(check bool) "metrics back off" false (Obs.Metrics.enabled ())
+
+(* EXPLAIN on a query shows the shape of the closure plan the catalog
+   installs (docs/COMPILER.md): op tree, per-SELECT kernel summary, and
+   which ops fall back to the interpreter.  Compiled without a schema, so
+   segment resolution shows as deferred ([syms@invoke]). *)
+let explain_plan_src = {|
+CREATE QUERY Fanout (int rounds) {
+  SumAccum<int> @@seen;
+  i = 0;
+  WHILE i < rounds DO
+    S = SELECT t FROM V:s -(E>)- V:t ACCUM @@seen += 1;
+    i = i + 1;
+  END;
+  PRINT @@seen;
+}
+|}
+
+let explain_plan_golden =
+  "query Fanout(rounds) [semantics: all-shortest (default)]\n\
+   declare @@seen: SumAccum<int>\n\
+   WHILE (i < rounds): accumulators carry state across iterations\n\
+  \  SELECT block (binds S):\n\
+  \  pattern 1: s -(E>)- t\n\
+  \    single step -> direct adjacency scan (binds edge variables)\n\
+  \  accum: one execution per binding row (multiplicity-weighted) -> {@@seen}\n\
+   tractable class (Theorem 7.1): yes — polynomial-time evaluation under all-shortest-paths \
+   semantics\n\
+   compiled plan:\n\
+  \  plan: 9 ops (8 compiled, 1 interpreted)\n\
+  \    accum-decl @@seen\n\
+  \    let i\n\
+  \    while (i < rounds)\n\
+  \      select t | V:s -(E>)- V:t | ACCUM[1]\n\
+  \        step s -(E)- t [syms@invoke]\n\
+  \        accum: 1 stmts (locals 0)\n\
+  \        emit: vertex set t\n\
+  \      let i\n\
+  \    print  [interpreted]\n"
+
+let test_explain_plan_golden () =
+  let q = P.parse_query explain_plan_src in
+  Alcotest.(check string) "compiled plan shape" explain_plan_golden (Gsql.Explain.query q)
 
 let test_strip_explain () =
   let check name expected_mode expected_rest src =
@@ -240,4 +290,5 @@ let () =
           QCheck_alcotest.to_alcotest prop_expr_roundtrip ] );
       ( "explain analyze",
         [ Alcotest.test_case "golden report" `Quick test_explain_analyze_golden;
+          Alcotest.test_case "compiled plan golden" `Quick test_explain_plan_golden;
           Alcotest.test_case "strip_explain" `Quick test_strip_explain ] ) ]

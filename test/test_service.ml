@@ -147,23 +147,25 @@ let test_framing () =
 
 let test_cache_basic () =
   let c = Service.Cache.create ~capacity:2 () in
-  let k1 = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:0 in
+  let k1 = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:0 ~plan_gen:0 in
   (* Normalization: parameter order does not matter, values and version do. *)
-  let k1' = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:0 in
+  let k1' = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:0 ~plan_gen:0 in
   Alcotest.(check string) "key is canonical" k1 k1';
   Alcotest.(check bool) "version in key" true
-    (k1 <> Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:1);
+    (k1 <> Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:1 ~plan_gen:0);
   Alcotest.(check bool) "params in key" true
-    (k1 <> Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 2) ] ~graph_version:0);
+    (k1 <> Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 2) ] ~graph_version:0 ~plan_gen:0);
+  Alcotest.(check bool) "plan generation in key" true
+    (k1 <> Service.Cache.key ~query:"q" ~params:[ ("a", V.Int 1) ] ~graph_version:0 ~plan_gen:1);
   let k2 =
     Service.Cache.key ~query:"q"
       ~params:[ ("b", V.Str "y"); ("a", V.Int 2) ]
-      ~graph_version:0
+      ~graph_version:0 ~plan_gen:0
   in
   let k2' =
     Service.Cache.key ~query:"q"
       ~params:[ ("a", V.Int 2); ("b", V.Str "y") ]
-      ~graph_version:0
+      ~graph_version:0 ~plan_gen:0
   in
   Alcotest.(check string) "param order normalized" k2 k2';
   Alcotest.(check bool) "miss" true (Service.Cache.find c k1 = None);
@@ -172,7 +174,7 @@ let test_cache_basic () =
   Service.Cache.store c k2 2;
   (* Touch k1 so k2 is the LRU entry, then overflow. *)
   ignore (Service.Cache.find c k1);
-  let k3 = Service.Cache.key ~query:"r" ~params:[] ~graph_version:0 in
+  let k3 = Service.Cache.key ~query:"r" ~params:[] ~graph_version:0 ~plan_gen:0 in
   Service.Cache.store c k3 3;
   Alcotest.(check bool) "lru evicted" true (Service.Cache.find c k2 = None);
   Alcotest.(check bool) "recent kept" true (Service.Cache.find c k1 = Some 1);
@@ -180,8 +182,8 @@ let test_cache_basic () =
 
 let test_cache_invalidation () =
   let c = Service.Cache.create ~capacity:8 () in
-  let kq v = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int v) ] ~graph_version:0 in
-  let kr = Service.Cache.key ~query:"r" ~params:[] ~graph_version:0 in
+  let kq v = Service.Cache.key ~query:"q" ~params:[ ("a", V.Int v) ] ~graph_version:0 ~plan_gen:0 in
+  let kr = Service.Cache.key ~query:"r" ~params:[] ~graph_version:0 ~plan_gen:0 in
   Service.Cache.store c (kq 1) 1;
   Service.Cache.store c (kq 2) 2;
   Service.Cache.store c kr 3;
@@ -196,7 +198,7 @@ let test_cache_invalidation () =
 
 let test_cache_zero_capacity () =
   let c = Service.Cache.create ~capacity:0 () in
-  let k = Service.Cache.key ~query:"q" ~params:[] ~graph_version:0 in
+  let k = Service.Cache.key ~query:"q" ~params:[] ~graph_version:0 ~plan_gen:0 in
   Service.Cache.store c k 1;
   Alcotest.(check bool) "never stores" true (Service.Cache.find c k = None)
 
@@ -388,6 +390,90 @@ let test_engine_errors () =
   (match Service.Engine.invoke engine (invoke_req "CountPaths" (qn_params 10)) with
    | P.Error (P.Unknown_query, _) -> ()
    | _ -> Alcotest.fail "dropped query still invokable")
+
+(* Compiled plans and the interpreter oracle produce identical responses
+   through the full engine path — including the cache and the governor. *)
+let test_engine_compiled_vs_interp () =
+  let run interp =
+    let engine = mk_engine ~n:10 () in
+    Service.Engine.set_interp engine interp;
+    expect_result (Service.Engine.invoke engine (invoke_req "CountPaths" (qn_params 10)))
+  in
+  let compiled = run false and interp = run true in
+  Alcotest.check exec_result "compiled = interpreted" interp.rs_result compiled.rs_result
+
+(* Two CountPaths variants distinguishable by output; reinstalling must
+   atomically swap plan + cache identity, so no interleaving of invokes
+   and reinstalls can serve one definition's cached result for the other. *)
+let variant tag =
+  Printf.sprintf
+    {|CREATE QUERY Flip (string srcName, string tgtName) {
+        SumAccum<int> @pathCount;
+        R = SELECT t
+            FROM  V:s -(E>*)- V:t
+            WHERE s.name = srcName AND t.name = tgtName
+            ACCUM t.@pathCount += %d;
+        PRINT R[R.name, R.@pathCount];
+      }|}
+    tag
+
+let test_engine_reinstall_atomicity () =
+  let engine = Service.Engine.create ~cache_capacity:16 ~graph:(diamond 6) () in
+  let install src =
+    match Service.Engine.install engine src with
+    | P.Installed _ -> ()
+    | _ -> Alcotest.fail "install failed"
+  in
+  install (variant 1);
+  let req = invoke_req "Flip" (qn_params 6) in
+  let expected tag =
+    P.of_eval_result (E.run_source (diamond 6) ~params:(qn_params 6) (variant tag))
+  in
+  let e1 = expected 1 and e2 = expected 2 in
+  Alcotest.(check bool) "variants differ" false (P.exec_result_equal e1 e2);
+  (* Storm: one domain flips the installed definition while this one
+     invokes.  Every response must be exactly one of the two definitions'
+     results — never a stale mix of new plan and old cache entry. *)
+  let stop = Atomic.make false in
+  let flipper =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          install (variant (1 + (!i land 1)))
+        done)
+  in
+  for _ = 1 to 200 do
+    let r = expect_result (Service.Engine.invoke engine req) in
+    Alcotest.(check bool) "response is a valid definition's result" true
+      (P.exec_result_equal r.rs_result e1 || P.exec_result_equal r.rs_result e2)
+  done;
+  Atomic.set stop true;
+  Domain.join flipper;
+  (* Settled: the latest definition wins, cached or not. *)
+  install (variant 2);
+  let r = expect_result (Service.Engine.invoke engine req) in
+  Alcotest.check exec_result "latest definition served" e2 r.rs_result;
+  let r' = expect_result (Service.Engine.invoke engine req) in
+  Alcotest.(check bool) "then cached" true r'.rs_cached;
+  Alcotest.check exec_result "cached payload still latest" e2 r'.rs_result
+
+let test_engine_plan_stats () =
+  let engine = mk_engine () in
+  match Service.Engine.stats engine ~extra:[] with
+  | P.Stats_snapshot (J.Obj fields) ->
+    (match List.assoc_opt "plans" fields with
+     | Some (J.Obj plans) ->
+       (match List.assoc_opt "CountPaths" plans with
+        | Some (J.Obj p) ->
+          Alcotest.(check bool) "compile_ms" true (List.mem_assoc "compile_ms" p);
+          Alcotest.(check bool) "plan_ops" true (List.mem_assoc "plan_ops" p);
+          Alcotest.(check bool) "compiled_ops" true (List.mem_assoc "compiled_ops" p);
+          Alcotest.(check bool) "generation" true (List.mem_assoc "generation" p)
+        | _ -> Alcotest.fail "no CountPaths plan stats")
+     | _ -> Alcotest.fail "no plans field");
+    Alcotest.(check bool) "interp flag" true (List.mem_assoc "interp" fields)
+  | _ -> Alcotest.fail "stats failed"
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end over the socket                                          *)
@@ -599,7 +685,10 @@ let () =
       ( "engine",
         [ Alcotest.test_case "invoke = direct eval" `Quick test_engine_invoke_matches_eval;
           Alcotest.test_case "cache + invalidation" `Quick test_engine_cache_and_invalidation;
-          Alcotest.test_case "errors" `Quick test_engine_errors ] );
+          Alcotest.test_case "errors" `Quick test_engine_errors;
+          Alcotest.test_case "compiled = interp" `Quick test_engine_compiled_vs_interp;
+          Alcotest.test_case "reinstall atomicity" `Quick test_engine_reinstall_atomicity;
+          Alcotest.test_case "plan stats" `Quick test_engine_plan_stats ] );
       ( "e2e",
         [ Alcotest.test_case "concurrent clients" `Quick test_e2e_concurrent_clients;
           Alcotest.test_case "cache hit on repeat" `Quick test_e2e_cache_hit_on_repeat;
