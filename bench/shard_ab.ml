@@ -1,0 +1,90 @@
+(* Shard-count ablation — BSP supersteps vs the flat kernel.
+
+   The multi-source ASP counting workload of the fan-out experiment
+   (KNOWS* over the SNB Person network), swept over shard counts 1, 2,
+   4, 8.  Shard counts >= 2 route every source through the
+   Shard.Superstep BSP driver (per-superstep domain fan-out, cross-shard
+   frontier exchange at the barrier); shards = 1 is the flat CSR kernel
+   with per-source fan-out.  The correctness gate requires every sharded
+   binding list to be identical (order included) to the unsharded one —
+   docs/SHARDING.md — before anything is timed; the table reports the
+   wall-clock cost of the exchange plus the partition topology.
+
+   Environment: SHARD_SF scales the SNB generator (default 0.5),
+   SHARD_RUNS the median width (default 3), SHARD_COUNTS the swept
+   counts (default "1,2,4,8").  Sidecar: BENCH_shard.json with
+   [bench.shard.s<k>_ms] per count, [bench.shard.boundary_frac_s<k>]
+   per partition, and [bench.shard.overhead] (best sharded / flat). *)
+
+module Sem = Pathsem.Semantics
+
+let g_overhead = Obs.Metrics.gauge "bench.shard.overhead"
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try float_of_string s with Failure _ -> default)
+  | None -> default
+
+let shard_counts () =
+  match Sys.getenv_opt "SHARD_COUNTS" with
+  | None -> [ 1; 2; 4; 8 ]
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    |> List.filter (fun n -> n >= 1)
+
+let run () =
+  let sf = getenv_float "SHARD_SF" 0.5 in
+  let runs = Util.getenv_int "SHARD_RUNS" 3 in
+  let t = Ldbc.Snb.generate ~sf () in
+  let g = t.Ldbc.Snb.graph in
+  let sources = t.Ldbc.Snb.persons in
+  let ast = Darpe.Parse.parse "KNOWS*" in
+  Printf.printf "%s\n%d sources\n" (Ldbc.Snb.stats t) (Array.length sources);
+  let count ?shards () =
+    Pathsem.Engine.match_pairs ?shards g ast Sem.All_shortest ~sources
+      ~dst_ok:(fun _ -> true)
+  in
+  let flat = count () in
+  let rows = ref [] in
+  let flat_ms = ref 0.0 in
+  let best_sharded = ref infinity in
+  List.iter
+    (fun n ->
+      let shards = if n <= 1 then None else Some (Shard.Partition.create ~shards:n g) in
+      (* Correctness gate before timing: sharding must be unobservable. *)
+      if count ?shards () <> flat then
+        failwith (Printf.sprintf "shard ablation: shards=%d diverged" n);
+      let ms = Util.median_ms ~runs (fun () -> ignore (count ?shards ())) in
+      let h = Obs.Metrics.histogram (Printf.sprintf "bench.shard.s%d_ms" n) in
+      Obs.Metrics.observe h ms;
+      let boundary_frac, balance =
+        match shards with
+        | None -> (0.0, 1.0)
+        | Some p ->
+          let slots =
+            Array.fold_left
+              (fun a (sl : Shard.Partition.slice) ->
+                a + sl.Shard.Partition.sl_csr.Pgraph.Csr.ne)
+              0 (Shard.Partition.slices p)
+          in
+          ( (if slots = 0 then 0.0
+             else float_of_int (Shard.Partition.boundary_edges p) /. float_of_int slots),
+            Shard.Partition.balance p )
+      in
+      if n <= 1 then flat_ms := ms else best_sharded := min !best_sharded ms;
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge (Printf.sprintf "bench.shard.boundary_frac_s%d" n))
+        boundary_frac;
+      rows :=
+        [ string_of_int n;
+          Printf.sprintf "%.3f" boundary_frac;
+          Printf.sprintf "%.3f" balance;
+          Util.ms_to_string ms ]
+        :: !rows)
+    (shard_counts ());
+  if !flat_ms > 0.0 && !best_sharded < infinity then
+    Obs.Metrics.set_gauge g_overhead (!best_sharded /. !flat_ms);
+  Util.print_table ~title:"Shard ablation — ASP counting over KNOWS* (BSP supersteps)"
+    [ "shards"; "boundary"; "balance"; "median" ]
+    (List.rev !rows)

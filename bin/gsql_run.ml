@@ -272,8 +272,13 @@ let read_file path =
   src
 
 let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_steps
-    max_rows max_conns semantics_name install_files trace_file data_dir compact_every =
+    max_rows max_conns semantics_name install_files trace_file data_dir compact_every
+    shards =
   let graph = load_graph graph_spec in
+  if shards < 1 then begin
+    prerr_endline "serve: --shards must be >= 1";
+    exit 2
+  end;
   let semantics =
     match semantics_name with
     | None -> None
@@ -306,7 +311,8 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
   let faults = Service.Faults.from_env () in
   let engine =
     match data_dir with
-    | None -> Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~graph ()
+    | None ->
+      Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~shards ~graph ()
     | Some dir ->
       (* Durable mode: recover the committed state from <dir> (the --graph
          spec supplies the base graph until the first compaction), then
@@ -321,7 +327,7 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
          Printf.eprintf "recovered %s at version %d (%d batches replayed)\n%!" dir
            recovery.Store.Persist.r_version recovery.Store.Persist.r_replayed;
          Service.Engine.create ~cache_capacity:cache_cap ?semantics ~limits ~persist
-           ~version:recovery.Store.Persist.r_version
+           ~shards ~version:recovery.Store.Persist.r_version
            ~graph:recovery.Store.Persist.r_graph ()
        | exception Store.Wal.Io_error msg ->
          Printf.eprintf "cannot open data dir %s: %s\n%!" dir msg;
@@ -456,6 +462,15 @@ let compact_every_arg =
            ~doc:"With --data-dir: rewrite the snapshot and empty the WAL after every $(docv) \
                  commits (0 = never compact).")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Hash-partition the vertex space into $(docv) shards and run read-path \
+                 invocations as BSP supersteps with cross-shard frontier exchange; shard-safe \
+                 ACCUM passes merge per-shard partials at the snapshot barrier. Results are \
+                 bit-identical to --shards 1 (docs/SHARDING.md). Stats report the shard \
+                 topology and balance.")
+
 let serve_cmd =
   let doc = "Serve installed GSQL queries to concurrent clients (docs/SERVICE.md)." in
   Cmd.v
@@ -463,7 +478,7 @@ let serve_cmd =
     Term.(
       const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
       $ timeout_arg $ max_steps_arg $ max_rows_arg $ max_conns_arg $ semantics_arg
-      $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg)
+      $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg $ shards_arg)
 
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in

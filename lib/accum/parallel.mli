@@ -21,7 +21,12 @@
 val default_workers : int -> int
 (** [default_workers n_items] is the worker count used when [?workers] is
     omitted: [Domain.recommended_domain_count ()] capped by the item count,
-    never below 1.  The service worker pool sizes itself with this too. *)
+    never below 1.  The [GSQL_WORKERS] environment variable (a positive
+    integer) overrides the hardware default but is itself clamped to
+    [recommended_domain_count] — a 1-vCPU CI container therefore never
+    oversubscribes however the knob is set.  Explicit [?workers] arguments
+    bypass this entirely.  The service worker pool sizes itself with this
+    too. *)
 
 val slices : int -> int -> (int * int) list
 (** [slices n_items workers] partitions [0..n_items-1] into [workers]

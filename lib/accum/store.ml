@@ -18,6 +18,12 @@ type t = {
   vertex_families : (string, vertex_family) Hashtbl.t;
   prev_globals : (string, V.t) Hashtbl.t;
   prev_vertex : (string, (int, V.t) Hashtbl.t) Hashtbl.t;
+  touch_lock : Mutex.t;
+      (* guards first-touch instance creation in [vertex_acc]: sharded
+         ACCUM phases evaluate kernels on several domains at once, and a
+         concurrent [Hashtbl.replace] on [vf_insts] would corrupt the
+         table.  Everything else on the store stays single-domain (ops
+         are buffered per phase; commits run on the driver). *)
 }
 
 type op =
@@ -33,7 +39,8 @@ let create () =
   { globals = Hashtbl.create 8;
     vertex_families = Hashtbl.create 8;
     prev_globals = Hashtbl.create 8;
-    prev_vertex = Hashtbl.create 8 }
+    prev_vertex = Hashtbl.create 8;
+    touch_lock = Mutex.create () }
 
 let declare_global t name spec = Hashtbl.replace t.globals name (Acc.create spec)
 
@@ -56,10 +63,19 @@ let vertex_acc t name v =
   match Hashtbl.find_opt fam.vf_insts v with
   | Some a -> a
   | None ->
-    let a = Acc.create fam.vf_spec in
-    (match fam.vf_init with Some init -> Acc.assign a init | None -> ());
-    Hashtbl.replace fam.vf_insts v a;
-    a
+    Mutex.lock t.touch_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.touch_lock)
+      (fun () ->
+        (* Re-check under the lock: another domain may have created the
+           instance between our lock-free probe and acquiring it. *)
+        match Hashtbl.find_opt fam.vf_insts v with
+        | Some a -> a
+        | None ->
+          let a = Acc.create fam.vf_spec in
+          (match fam.vf_init with Some init -> Acc.assign a init | None -> ());
+          Hashtbl.replace fam.vf_insts v a;
+          a)
 
 let set_vertex_init t name init =
   let fam = Hashtbl.find t.vertex_families name in

@@ -28,6 +28,7 @@ let sym ~etype ~rel = (etype * n_rels) + rel_code rel
 (* Telemetry mirrors of the always-on cache counters below. *)
 let m_builds = Obs.Metrics.counter "graph.csr.builds"
 let m_hits = Obs.Metrics.counter "graph.csr.hits"
+let m_build_waits = Obs.Metrics.counter "graph.csr.build_waits"
 
 let build g =
   let nv = Graph.n_vertices g in
@@ -132,10 +133,28 @@ type entry = {
 let cache_capacity = 8
 let cache : entry option array = Array.make cache_capacity None
 let cache_lock = Mutex.create ()
+let cache_cond = Condition.create ()
 let clock = ref 0
 let n_hits = ref 0
 let n_builds = ref 0
+let n_build_waits = ref 0
 let n_invalidations = ref 0
+
+(* Build-in-progress latch: one record per (graph identity, nv, ne) key
+   currently being frozen.  Domains that miss the cache while a build for
+   the same key is underway wait on [cache_cond] for the builder instead
+   of redoing the O(|V| + |E|) freeze — under the worker pool a cold
+   version used to be built once per racing domain.  A failed build
+   leaves [pb_result] as [None]; waiters then retry from scratch. *)
+type pending_build = {
+  pb_graph : Graph.t;
+  pb_nv : int;
+  pb_ne : int;
+  mutable pb_result : t option;
+  mutable pb_finished : bool;
+}
+
+let pending : pending_build list ref = ref []
 
 let locked f =
   Mutex.lock cache_lock;
@@ -189,26 +208,65 @@ let insert g csr =
     cache;
   cache.(!victim) <- Some e
 
-let of_graph g =
-  match locked (fun () ->
-      match lookup g with
-      | Some csr ->
-        incr n_hits;
-        Obs.Metrics.incr m_hits 1;
-        Some csr
-      | None -> None)
-  with
-  | Some csr -> csr
-  | None ->
-    (* Build outside the lock: freezing is read-only and two racing
-       builders just do redundant work, which beats serializing every
-       reader behind one large build. *)
-    let csr = build g in
+let rec of_graph g =
+  let nv = Graph.n_vertices g and ne = Graph.n_edges g in
+  let action =
     locked (fun () ->
-        incr n_builds;
-        Obs.Metrics.incr m_builds 1;
-        insert g csr);
-    csr
+        match lookup g with
+        | Some csr ->
+          incr n_hits;
+          Obs.Metrics.incr m_hits 1;
+          `Hit csr
+        | None ->
+          (match
+             List.find_opt
+               (fun p -> p.pb_graph == g && p.pb_nv = nv && p.pb_ne = ne)
+               !pending
+           with
+           | Some p -> `Wait p
+           | None ->
+             let p =
+               { pb_graph = g; pb_nv = nv; pb_ne = ne; pb_result = None; pb_finished = false }
+             in
+             pending := p :: !pending;
+             `Build p))
+  in
+  match action with
+  | `Hit csr -> csr
+  | `Build p ->
+    (* Build outside the lock: freezing is read-only, and holding the
+       lock would serialize cache hits behind one large build.  Racing
+       misses for the same key park on the latch above instead of
+       building redundantly. *)
+    let result = try Ok (build g) with e -> Error e in
+    Mutex.lock cache_lock;
+    (match result with
+     | Ok csr ->
+       incr n_builds;
+       Obs.Metrics.incr m_builds 1;
+       insert g csr;
+       p.pb_result <- Some csr
+     | Error _ -> ());
+    p.pb_finished <- true;
+    pending := List.filter (fun p' -> p' != p) !pending;
+    Condition.broadcast cache_cond;
+    Mutex.unlock cache_lock;
+    (match result with Ok csr -> csr | Error e -> raise e)
+  | `Wait p ->
+    Mutex.lock cache_lock;
+    while not p.pb_finished do
+      Condition.wait cache_cond cache_lock
+    done;
+    let r = p.pb_result in
+    (match r with
+     | Some _ ->
+       incr n_build_waits;
+       Obs.Metrics.incr m_build_waits 1
+     | None -> ());
+    Mutex.unlock cache_lock;
+    (match r with
+     | Some csr -> csr
+     | None -> of_graph g (* the builder failed; try again ourselves *))
 
 let invalidate g =
   locked (fun () ->
@@ -243,4 +301,5 @@ let cache_stats () =
         [ ("entries", Obs.Json.Int entries);
           ("hits", Obs.Json.Int !n_hits);
           ("builds", Obs.Json.Int !n_builds);
+          ("build_waits", Obs.Json.Int !n_build_waits);
           ("invalidations", Obs.Json.Int !n_invalidations) ])

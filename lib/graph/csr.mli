@@ -69,7 +69,11 @@ val of_graph : Graph.t -> t
     identity) still has the cardinalities it was frozen at, otherwise
     builds and caches.  Thread-safe; entries hold the graph weakly so the
     cache never keeps a dropped version alive.  Hot engines call this per
-    evaluation — a hit is one mutex + small scan. *)
+    evaluation — a hit is one mutex + small scan.  Concurrent misses for
+    the same version are deduplicated by a build-in-progress latch: one
+    domain freezes, the rest wait for its result (counted as
+    [build_waits] / [graph.csr.build_waits]) instead of redoing the
+    O(|V| + |E|) work. *)
 
 (** {1 Reading} *)
 
@@ -94,5 +98,7 @@ val invalidate : Graph.t -> unit
 val clear_cache : unit -> unit
 
 val cache_stats : unit -> Obs.Json.t
-(** [{"entries","hits","builds","invalidations"}] — process lifetime
-    totals (always counted, independent of [Obs.Metrics.enabled]). *)
+(** [{"entries","hits","builds","build_waits","invalidations"}] — process
+    lifetime totals (always counted, independent of
+    [Obs.Metrics.enabled]).  [build_waits] counts rebuilds avoided by the
+    build-in-progress latch. *)

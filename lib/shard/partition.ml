@@ -1,0 +1,153 @@
+module G = Pgraph.Graph
+module Csr = Pgraph.Csr
+
+type slice = {
+  sl_id : int;
+  sl_owned : int array;
+  sl_csr : Csr.t;
+  sl_boundary : int;
+}
+
+type t = {
+  p_graph : G.t;
+  p_shards : int;
+  p_nv : int;
+  p_ne : int;
+  p_owner : int array;
+  p_local : int array;
+  p_slices : slice array;
+  p_boundary : int;
+}
+
+let m_partitions = Obs.Metrics.counter "shard.partitions"
+
+(* Deterministic avalanche mix of the vertex id, reduced mod the shard
+   count.  Vertex ids are dense and sequential, so a plain [v mod n]
+   would put every SNB generator's person block on one shard; the mix
+   spreads consecutive ids.  Must stay stable across processes — the
+   differential contract and the service stats both key on it. *)
+let owner_of ~shards v =
+  if shards <= 1 then 0
+  else begin
+    let h = v lxor (v lsr 16) in
+    let h = h * 0x45d9f3b land 0x3FFFFFFF in
+    let h = h lxor (h lsr 13) in
+    h mod shards
+  end
+
+(* Carve shard [sh]'s rows out of the global CSR: local row/segment
+   prefixes over the owned vertices (ascending global id), slot payloads
+   copied verbatim — [nbr]/[edg] keep GLOBAL ids, so a traversal decides
+   locality by [owner] lookup, exactly the check a per-process shard
+   would answer with a network hop.  [ne] records the slice's half-edge
+   slot count (a per-shard load measure), not a graph edge count. *)
+let slice_of ~owner ~shard (csr : Csr.t) owned =
+  let n = Array.length owned in
+  let row = Array.make (n + 1) 0 in
+  let nseg = ref 0 in
+  Array.iteri
+    (fun i v ->
+      row.(i + 1) <- row.(i) + (csr.Csr.row.(v + 1) - csr.Csr.row.(v));
+      nseg := !nseg + (csr.Csr.seg_row.(v + 1) - csr.Csr.seg_row.(v)))
+    owned;
+  let total = row.(n) in
+  let nbr = Array.make (max 1 total) 0 in
+  let edg = Array.make (max 1 total) 0 in
+  let seg_row = Array.make (n + 1) 0 in
+  let seg_sym = Array.make (max 1 !nseg) 0 in
+  let seg_off = Array.make (!nseg + 1) 0 in
+  let boundary = ref 0 in
+  let si = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let base = row.(i) and gbase = csr.Csr.row.(v) in
+      for s = csr.Csr.seg_row.(v) to csr.Csr.seg_row.(v + 1) - 1 do
+        seg_sym.(!si) <- csr.Csr.seg_sym.(s);
+        seg_off.(!si) <- base + (csr.Csr.seg_off.(s) - gbase);
+        incr si
+      done;
+      seg_row.(i + 1) <- seg_row.(i) + (csr.Csr.seg_row.(v + 1) - csr.Csr.seg_row.(v));
+      for j = csr.Csr.row.(v) to csr.Csr.row.(v + 1) - 1 do
+        let w = csr.Csr.nbr.(j) in
+        nbr.(base + (j - gbase)) <- w;
+        edg.(base + (j - gbase)) <- csr.Csr.edg.(j);
+        if owner.(w) <> shard then incr boundary
+      done)
+    owned;
+  seg_off.(!nseg) <- total;
+  ( { Csr.nv = n;
+      ne = total;
+      n_syms = csr.Csr.n_syms;
+      row;
+      seg_row;
+      seg_sym;
+      seg_off;
+      nbr;
+      edg },
+    !boundary )
+
+let create ?(shards = 1) g =
+  if shards < 1 then invalid_arg "Shard.Partition.create: shards must be >= 1";
+  Obs.Metrics.incr m_partitions 1;
+  let csr = Csr.of_graph g in
+  let nv = csr.Csr.nv in
+  let owner = Array.init nv (fun v -> owner_of ~shards v) in
+  let local = Array.make nv 0 in
+  let counts = Array.make shards 0 in
+  for v = 0 to nv - 1 do
+    let s = owner.(v) in
+    local.(v) <- counts.(s);
+    counts.(s) <- counts.(s) + 1
+  done;
+  let owned = Array.init shards (fun s -> Array.make counts.(s) 0) in
+  let fill = Array.make shards 0 in
+  for v = 0 to nv - 1 do
+    let s = owner.(v) in
+    owned.(s).(fill.(s)) <- v;
+    fill.(s) <- fill.(s) + 1
+  done;
+  let boundary = ref 0 in
+  let slices =
+    Array.init shards (fun s ->
+        let sl_csr, sl_boundary = slice_of ~owner ~shard:s csr owned.(s) in
+        boundary := !boundary + sl_boundary;
+        { sl_id = s; sl_owned = owned.(s); sl_csr; sl_boundary })
+  in
+  { p_graph = g;
+    p_shards = shards;
+    p_nv = nv;
+    p_ne = csr.Csr.ne;
+    p_owner = owner;
+    p_local = local;
+    p_slices = slices;
+    p_boundary = !boundary }
+
+let graph p = p.p_graph
+let shard_count p = p.p_shards
+let n_vertices p = p.p_nv
+let owner p v = p.p_owner.(v)
+let local p v = p.p_local.(v)
+let owners p = p.p_owner
+let locals p = p.p_local
+let slices p = p.p_slices
+let boundary_edges p = p.p_boundary
+
+let balance p =
+  if p.p_nv = 0 || p.p_shards <= 1 then 1.0
+  else begin
+    let mx = Array.fold_left (fun m s -> max m (Array.length s.sl_owned)) 0 p.p_slices in
+    float_of_int (mx * p.p_shards) /. float_of_int p.p_nv
+  end
+
+let stats p =
+  Obs.Json.Obj
+    [ ("count", Obs.Json.Int p.p_shards);
+      ("boundary_edges", Obs.Json.Int p.p_boundary);
+      ("balance", Obs.Json.Float (balance p));
+      ( "vertices",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map (fun s -> Obs.Json.Int (Array.length s.sl_owned)) p.p_slices)) );
+      ( "slots",
+        Obs.Json.List
+          (Array.to_list (Array.map (fun s -> Obs.Json.Int s.sl_csr.Csr.ne) p.p_slices)) ) ]

@@ -1,0 +1,68 @@
+(** Hash partition of a graph's vertex space into N shards.
+
+    Realizes the paper's MPP layout in-process: each shard {e owns} a
+    subset of the vertices (a deterministic avalanche hash of the vertex
+    id — stable across processes and runs) together with a frozen
+    per-shard CSR slice in {!Pgraph.Csr}'s segment layout.  Slice slot
+    payloads keep {e global} vertex/edge ids: a kernel walking shard
+    [s]'s adjacency decides per neighbor whether the successor state is
+    local ([owner w = s]) or must be messaged to its owning shard — the
+    boundary a per-process deployment would cross with a network hop,
+    made explicit here as the {!Superstep} outbox.
+
+    A partition freezes the graph version it was built from (same
+    contract as {!Pgraph.Csr.of_graph}): mutating commits and reloads
+    must rebuild it.  [Service.Engine] memoizes one per published
+    version and reports {!stats} — shard count, boundary half-edges and
+    the vertex balance ratio — so operators can see skew. *)
+
+type slice = {
+  sl_id : int;
+  sl_owned : int array;
+      (** owned vertices, ascending global id; index = local id *)
+  sl_csr : Pgraph.Csr.t;
+      (** rows/segments indexed by {e local} id; [nbr]/[edg] hold
+          {e global} ids; [ne] is the slice's half-edge slot count *)
+  sl_boundary : int;  (** slots whose neighbor lives on another shard *)
+}
+
+type t
+
+val create : ?shards:int -> Pgraph.Graph.t -> t
+(** [create ~shards g] partitions [g]'s current vertex space.  Builds on
+    the memoized global CSR; O(|V| + |E|) slice construction.  [shards]
+    defaults to 1 (a single slice owning everything). *)
+
+val owner_of : shards:int -> int -> int
+(** The pure placement function: which of [shards] shards owns vertex
+    [v].  Exposed for tests and for future per-process routing. *)
+
+val graph : t -> Pgraph.Graph.t
+val shard_count : t -> int
+val n_vertices : t -> int
+
+val owner : t -> int -> int
+(** Owning shard of a (global) vertex id. *)
+
+val local : t -> int -> int
+(** Local index of a (global) vertex id within its owning shard. *)
+
+val owners : t -> int array
+(** The underlying owner-per-vertex array, exposed so hot kernels index
+    it directly.  Shared — callers must not mutate. *)
+
+val locals : t -> int array
+(** The underlying local-index-per-vertex array.  Shared — callers must
+    not mutate. *)
+
+val slices : t -> slice array
+val boundary_edges : t -> int
+(** Total half-edge slots crossing a shard boundary. *)
+
+val balance : t -> float
+(** Max shard's vertex count over the ideal [|V|/N] — 1.0 is perfect,
+    2.0 means the fullest shard holds twice its fair share. *)
+
+val stats : t -> Obs.Json.t
+(** [{"count","boundary_edges","balance","vertices","slots"}] — the
+    shard topology object the service stats report embeds. *)

@@ -1,0 +1,277 @@
+module B = Pgraph.Bignat
+module Vec = Pgraph.Vec
+module Csr = Pgraph.Csr
+
+(* Cross-shard frontier message: (global target vertex, DFA state, path
+   count).  Emitted during a shard's local expansion whenever a
+   half-edge's far endpoint is owned elsewhere; delivered at the
+   superstep barrier. *)
+type msg = int * int * B.t
+
+(* Per-shard BFS working state over the shard's local product space
+   (local-vertex-id × DFA state, lp = lv * |Q| + q).  Generation-stamped
+   exactly like [Paths.Count]'s scratch so reuse across sources skips the
+   O(owned·|Q|) clears. *)
+type shard_scratch = {
+  mutable cap : int;
+  mutable dist : int array;
+  mutable count : B.t array;
+  mutable stamp : int array;
+  mutable cur : int array;
+  mutable cur_len : int;
+  mutable nxt : int array;
+  mutable nxt_len : int;
+}
+
+let create_scratch () =
+  { cap = 0;
+    dist = [||];
+    count = [||];
+    stamp = [||];
+    cur = [||];
+    cur_len = 0;
+    nxt = [||];
+    nxt_len = 0 }
+
+type state = {
+  st_part : Partition.t;
+  st_sh : shard_scratch array;
+  st_out : msg Vec.t array array;  (* [source shard].(destination shard) *)
+  mutable st_gen : int;
+}
+
+let create_state part =
+  let n = Partition.shard_count part in
+  { st_part = part;
+    st_sh = Array.init n (fun _ -> create_scratch ());
+    st_out = Array.init n (fun _ -> Array.init n (fun _ -> Vec.create ()));
+    st_gen = 0 }
+
+let partition st = st.st_part
+
+let ensure sc n =
+  if sc.cap < n then begin
+    sc.cap <- n;
+    sc.dist <- Array.make n (-1);
+    sc.count <- Array.make n B.zero;
+    sc.stamp <- Array.make n 0;
+    sc.cur <- Array.make n 0;
+    sc.nxt <- Array.make n 0
+  end;
+  sc.cur_len <- 0;
+  sc.nxt_len <- 0
+
+let m_sources = Obs.Metrics.counter "shard.superstep.sources"
+let m_hops = Obs.Metrics.counter "shard.superstep.hops"
+let m_states = Obs.Metrics.counter "shard.superstep.product_states"
+let m_msgs = Obs.Metrics.counter "shard.superstep.messages"
+let h_frontier = Obs.Metrics.histogram "shard.superstep.frontier"
+
+(* One shard's half of a superstep: expand the local frontier (all states
+   at distance [d]) one hop.  Local successors update the shard's own
+   dist/count arrays in place; remote successors become outbox messages
+   for their owning shard.  Touches only shard-local state plus the
+   shard's own outbox row — safe to run one domain per shard. *)
+let expand_shard st (dfa : Darpe.Dfa.t) owners locals d s =
+  let sc = st.st_sh.(s) in
+  let csr = (Partition.slices st.st_part).(s).Partition.sl_csr in
+  let nq = dfa.Darpe.Dfa.n_states in
+  let trans = dfa.Darpe.Dfa.trans
+  and live = dfa.Darpe.Dfa.live
+  and n_symbols = dfa.Darpe.Dfa.n_symbols in
+  let seg_row = csr.Csr.seg_row
+  and seg_sym = csr.Csr.seg_sym
+  and seg_off = csr.Csr.seg_off
+  and nbr = csr.Csr.nbr in
+  let gen = st.st_gen in
+  let dist = sc.dist
+  and count = sc.count
+  and stamp = sc.stamp in
+  let frontier = sc.cur
+  and next = sc.nxt in
+  let out = st.st_out.(s) in
+  let nxt_len = ref 0 in
+  for i = 0 to sc.cur_len - 1 do
+    let lp = frontier.(i) in
+    let lv = lp / nq and q = lp mod nq in
+    let c = count.(lp) in
+    for sgi = seg_row.(lv) to seg_row.(lv + 1) - 1 do
+      let sym = seg_sym.(sgi) in
+      let q' = if sym < n_symbols then trans.(q).(sym) else -1 in
+      if q' >= 0 && live.(q') then
+        for j = seg_off.(sgi) to seg_off.(sgi + 1) - 1 do
+          let w = nbr.(j) in
+          let os = owners.(w) in
+          if os = s then begin
+            let lp' = (locals.(w) * nq) + q' in
+            if stamp.(lp') <> gen then begin
+              stamp.(lp') <- gen;
+              dist.(lp') <- d + 1;
+              count.(lp') <- c;
+              next.(!nxt_len) <- lp';
+              incr nxt_len
+            end
+            else if dist.(lp') = d + 1 then count.(lp') <- B.add count.(lp') c
+          end
+          else Vec.push out.(os) (w, q', c)
+        done
+    done
+  done;
+  (* Swap: this shard's fresh discoveries are the local part of the next
+     frontier; the barrier's message integration appends the rest. *)
+  sc.cur <- next;
+  sc.nxt <- frontier;
+  sc.cur_len <- !nxt_len;
+  sc.nxt_len <- 0
+
+(* Barrier delivery: drain every outbox into the owning shard's arrays.
+   A message carries a path count into a state at distance [d]; first
+   touch discovers the state (appending it to the shard's frontier),
+   duplicates at the same distance accumulate — Bignat addition is
+   order-invariant, so delivery order cannot influence results.  Runs on
+   the driver domain between supersteps. *)
+let integrate st locals nq d =
+  let n = Array.length st.st_sh in
+  let gen = st.st_gen in
+  let moved = ref 0 in
+  for src = 0 to n - 1 do
+    let row = st.st_out.(src) in
+    for dst = 0 to n - 1 do
+      let box = row.(dst) in
+      if Vec.length box > 0 then begin
+        let sc = st.st_sh.(dst) in
+        Vec.iter
+          (fun (w, q', c) ->
+            let lp = (locals.(w) * nq) + q' in
+            if sc.stamp.(lp) <> gen then begin
+              sc.stamp.(lp) <- gen;
+              sc.dist.(lp) <- d;
+              sc.count.(lp) <- c;
+              sc.cur.(sc.cur_len) <- lp;
+              sc.cur_len <- sc.cur_len + 1
+            end
+            else if sc.dist.(lp) = d then sc.count.(lp) <- B.add sc.count.(lp) c)
+          box;
+        moved := !moved + Vec.length box;
+        Vec.clear box
+      end
+    done
+  done;
+  !moved
+
+(* Run one superstep's expansions, one task per shard, optionally fanned
+   out over domains.  Worker domains inherit the driver's Interrupt
+   budget (shared atomics) and are all joined before any failure is
+   re-raised, so cancellation never leaks a domain. *)
+let run_level st dfa owners locals d ~workers =
+  let n = Array.length st.st_sh in
+  let w = max 1 (min workers n) in
+  if w <= 1 then
+    for s = 0 to n - 1 do
+      expand_shard st dfa owners locals d s
+    done
+  else begin
+    let budget = Interrupt.current () in
+    let run (offset, len) =
+      Interrupt.with_current budget (fun () ->
+          for s = offset to offset + len - 1 do
+            expand_shard st dfa owners locals d s
+          done)
+    in
+    match Accum.Parallel.slices n w with
+    | [] -> ()
+    | first :: rest ->
+      let domains = List.map (fun sl -> Domain.spawn (fun () -> run sl)) rest in
+      let mine = try Ok (run first) with e -> Error e in
+      let joins = List.map (fun dm -> try Ok (Domain.join dm) with e -> Error e) domains in
+      (match mine with Error e -> raise e | Ok () -> ());
+      List.iter (function Ok () -> () | Error e -> raise e) joins
+  end
+
+(* Below this total frontier width a superstep's expansions stay on the
+   driver domain: per-level spawn + join overhead beats the win. *)
+let par_threshold = 256
+
+let run_source ?workers state (dfa : Darpe.Dfa.t) src =
+  let part = state.st_part in
+  let n = Partition.shard_count part in
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> Accum.Parallel.default_workers n
+  in
+  let record = Obs.Metrics.enabled () in
+  let nq = dfa.Darpe.Dfa.n_states in
+  let owners = Partition.owners part
+  and locals = Partition.locals part in
+  let slices = Partition.slices part in
+  state.st_gen <- state.st_gen + 1;
+  Array.iteri
+    (fun s sc -> ensure sc (slices.(s).Partition.sl_csr.Csr.nv * nq))
+    state.st_sh;
+  if record then Obs.Metrics.incr m_sources 1;
+  let ssc = state.st_sh.(owners.(src)) in
+  let start = (locals.(src) * nq) + dfa.Darpe.Dfa.start in
+  ssc.stamp.(start) <- state.st_gen;
+  ssc.dist.(start) <- 0;
+  ssc.count.(start) <- B.one;
+  ssc.cur.(0) <- start;
+  ssc.cur_len <- 1;
+  let level = ref 0 in
+  let width = ref 1 in
+  while !width > 0 do
+    let governed = Interrupt.governed () in
+    if record || governed then begin
+      if record then begin
+        Obs.Metrics.incr m_hops 1;
+        Obs.Metrics.incr m_states !width;
+        Obs.Metrics.observe h_frontier (float_of_int !width)
+      end;
+      (* Same per-hop governor charge as the unsharded kernel: the total
+         frontier width across shards equals the unsharded frontier at
+         this level, so budgets deplete identically and a budget sweep
+         interrupts at the same superstep for any shard count. *)
+      if governed then begin
+        Interrupt.check_rows !width;
+        Interrupt.tick_n !width
+      end
+    end;
+    let d = !level in
+    let w = if !width >= par_threshold then workers else 1 in
+    run_level state dfa owners locals d ~workers:w;
+    incr level;
+    let msgs = integrate state locals nq !level in
+    if record && msgs > 0 then Obs.Metrics.incr m_msgs msgs;
+    width := Array.fold_left (fun acc sc -> acc + sc.cur_len) 0 state.st_sh
+  done;
+  (* Scatter the per-shard product states back to global per-vertex
+     results, collapsing over accepting DFA states — same min-distance /
+     sum-count rule, and the same ascending-q visit order, as the
+     unsharded kernel, so results are bit-identical. *)
+  let nv = Partition.n_vertices part in
+  let sr_dist = Array.make nv (-1) in
+  let sr_count = Array.make nv B.zero in
+  let accepting = dfa.Darpe.Dfa.accepting in
+  let gen = state.st_gen in
+  Array.iteri
+    (fun s slice ->
+      let sc = state.st_sh.(s) in
+      Array.iteri
+        (fun lv v ->
+          for q = 0 to nq - 1 do
+            if accepting.(q) then begin
+              let lp = (lv * nq) + q in
+              if sc.stamp.(lp) = gen then begin
+                let dq = sc.dist.(lp) in
+                if sr_dist.(v) = -1 || dq < sr_dist.(v) then begin
+                  sr_dist.(v) <- dq;
+                  sr_count.(v) <- sc.count.(lp)
+                end
+                else if dq = sr_dist.(v) then
+                  sr_count.(v) <- B.add sr_count.(v) sc.count.(lp)
+              end
+            end
+          done)
+        slice.Partition.sl_owned)
+    slices;
+  (sr_dist, sr_count)

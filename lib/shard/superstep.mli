@@ -1,0 +1,40 @@
+(** BSP product-BFS over a {!Partition} — the sharded SDMC kernel.
+
+    Each superstep advances every shard's local frontier one hop over its
+    own CSR slice.  Successor states owned by the same shard are updated
+    in place; successors owned elsewhere become cross-shard messages
+    [(global vertex, DFA state, count)] keyed by destination shard, and
+    are delivered at the barrier between supersteps.  Because the
+    per-level discovered state sets — and, counts being {!Pgraph.Bignat}
+    sums, the per-state path counts — are independent of the order shards
+    expand or messages arrive, the result is {e bit-identical} to
+    {!Paths.Count}'s unsharded kernel for any shard count; a property
+    suite pins this.
+
+    Governor contract: one {!Interrupt} checkpoint per superstep charging
+    the {e total} frontier width (the same width the unsharded kernel
+    charges at that level), so budgets deplete identically for any shard
+    count and an exhausted budget stops cleanly at a barrier — a run
+    either completes or raises, never returns a torn result.
+
+    Superstep expansions optionally fan out one domain per shard (over
+    {!Accum.Parallel.default_workers}, gated on frontier width);
+    workers inherit the driver's budget and are always joined. *)
+
+type state
+(** Reusable per-partition working state: per-shard generation-stamped
+    distance/count scratch plus the outbox matrix.  Not domain-safe —
+    one state per driving domain. *)
+
+val create_state : Partition.t -> state
+
+val partition : state -> Partition.t
+
+val run_source :
+  ?workers:int -> state -> Darpe.Dfa.t -> int -> int array * Pgraph.Bignat.t array
+(** [run_source state dfa src] runs the sharded product-BFS from [src]
+    to fixpoint and returns global [(dist, count)] arrays indexed by
+    vertex id — the same collapse over accepting DFA states as
+    {!Paths.Count.single_source}.  [workers] bounds the per-superstep
+    domain fan-out (default {!Accum.Parallel.default_workers} of the
+    shard count; 1 keeps everything on the calling domain). *)

@@ -1,0 +1,661 @@
+(* The sharded engine's correctness contract: shards=1 and shards=N are
+   bit-identical — same BFS distances and Bignat counts, same binding row
+   order, same accumulator commits, same governor cancellation — for
+   every fixture, every path semantics, and Prng-random queries.  Plus
+   the partition invariants, the merge-law property suite behind the
+   shard-safety classifier, the CSR build latch, and GSQL_WORKERS. *)
+
+module V = Pgraph.Value
+module G = Pgraph.Graph
+module B = Pgraph.Bignat
+module E = Gsql.Eval
+module C = Gsql.Compile
+module Sem = Pathsem.Semantics
+module Toy = Pathsem.Toygraphs
+module Part = Shard.Partition
+module Acc = Accum.Acc
+module Spec = Accum.Spec
+
+(* ------------------------------------------------------------------ *)
+(* Result equality (same rendering as the compiler's differential)     *)
+
+let value_str = V.to_string
+
+let row_str row =
+  "[" ^ String.concat "; " (Array.to_list (Array.map value_str row)) ^ "]"
+
+let table_str (t : Gsql.Table.t) =
+  Printf.sprintf "cols=[%s] rows=[%s]"
+    (String.concat "," t.Gsql.Table.cols)
+    (String.concat " " (List.map row_str t.Gsql.Table.rows))
+
+let rt_str = function
+  | E.R_scalar v -> "scalar " ^ value_str v
+  | E.R_vset vs ->
+    "vset ["
+    ^ String.concat "," (List.map string_of_int (Array.to_list vs))
+    ^ "]"
+  | E.R_table t -> "table " ^ table_str t
+
+let result_str (r : E.result) =
+  String.concat "\n"
+    (List.map (fun (n, t) -> n ^ ": " ^ table_str t) r.E.r_tables
+    @ [ "printed: " ^ r.E.r_printed ]
+    @ (match r.E.r_return with
+       | None -> []
+       | Some rv -> [ "return: " ^ rt_str rv ])
+    @ List.map (fun (n, vs) -> n ^ ": " ^ rt_str (E.R_vset vs)) r.E.r_vsets)
+
+(* ------------------------------------------------------------------ *)
+(* Random graphs (same shape as the compiler suite's)                  *)
+
+let random_graph seed nv =
+  let s = Pgraph.Schema.create () in
+  let _ =
+    Pgraph.Schema.add_vertex_type s "V" [ ("name", Pgraph.Schema.T_string) ]
+  in
+  let _ = Pgraph.Schema.add_edge_type s "E" ~directed:true [] in
+  let _ = Pgraph.Schema.add_edge_type s "F" ~directed:true [] in
+  let g = G.create s in
+  for i = 0 to nv - 1 do
+    ignore (G.add_vertex g "V" [ ("name", V.Str (Printf.sprintf "n%d" i)) ])
+  done;
+  let rng = Pgraph.Prng.create seed in
+  for _ = 1 to nv * 2 do
+    let i = Pgraph.Prng.int rng nv in
+    let j = Pgraph.Prng.int rng nv in
+    let ty = if Pgraph.Prng.int rng 3 = 0 then "F" else "E" in
+    if i <> j then ignore (G.add_edge g ty i j [])
+  done;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Partition invariants                                                *)
+
+let test_partition_invariants () =
+  let g = random_graph 7 50 in
+  let nv = G.n_vertices g in
+  let csr = Pgraph.Csr.of_graph g in
+  List.iter
+    (fun shards ->
+      let p = Part.create ~shards g in
+      Alcotest.(check int) "shard_count" shards (Part.shard_count p);
+      Alcotest.(check int) "n_vertices" nv (Part.n_vertices p);
+      (* Every vertex owned by exactly one shard, with a consistent
+         local index. *)
+      let owned_seen = Array.make nv 0 in
+      Array.iter
+        (fun (sl : Part.slice) ->
+          Array.iteri
+            (fun li v ->
+              owned_seen.(v) <- owned_seen.(v) + 1;
+              Alcotest.(check int) "owner" sl.Part.sl_id (Part.owner p v);
+              Alcotest.(check int) "local" li (Part.local p v))
+            sl.Part.sl_owned)
+        (Part.slices p);
+      Array.iteri
+        (fun v n ->
+          Alcotest.(check int) (Printf.sprintf "vertex %d owned once" v) 1 n)
+        owned_seen;
+      (* owner_of is the pure function behind the arrays. *)
+      for v = 0 to nv - 1 do
+        Alcotest.(check int) "owner_of" (Part.owner_of ~shards v) (Part.owner p v)
+      done;
+      (* Slice CSR slices partition the adjacency slots. *)
+      let slot_sum =
+        Array.fold_left
+          (fun a (sl : Part.slice) -> a + sl.Part.sl_csr.Pgraph.Csr.ne)
+          0 (Part.slices p)
+      in
+      Alcotest.(check int) "slices cover all adjacency slots"
+        (Array.length csr.Pgraph.Csr.nbr) slot_sum;
+      let boundary_sum =
+        Array.fold_left
+          (fun a (sl : Part.slice) -> a + sl.Part.sl_boundary)
+          0 (Part.slices p)
+      in
+      Alcotest.(check int) "boundary total" (Part.boundary_edges p) boundary_sum;
+      if shards = 1 then begin
+        Alcotest.(check int) "1 shard: no boundary" 0 (Part.boundary_edges p);
+        Alcotest.(check (float 0.0001)) "1 shard: perfect balance" 1.0
+          (Part.balance p)
+      end
+      else
+        Alcotest.(check bool) "balance >= 1" true (Part.balance p >= 1.0))
+    [ 1; 2; 3; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Superstep kernel differential: sharded BFS ≡ flat BFS               *)
+
+let check_source_result label (a : Pathsem.Count.source_result)
+    (b : Pathsem.Count.source_result) =
+  Alcotest.(check (array int))
+    (label ^ ": dist") a.Pathsem.Count.sr_dist b.Pathsem.Count.sr_dist;
+  Alcotest.(check (array string))
+    (label ^ ": count")
+    (Array.map B.to_string a.Pathsem.Count.sr_count)
+    (Array.map B.to_string b.Pathsem.Count.sr_count)
+
+let kernel_patterns =
+  [ "E>*"; "(E>|F>)*"; "E"; "E>.<F"; "(E>|<F|F)*1..4"; "_>*1..2" ]
+
+let test_superstep_differential () =
+  List.iter
+    (fun seed ->
+      let g = random_graph seed 24 in
+      let nv = G.n_vertices g in
+      List.iter
+        (fun pat ->
+          let dfa = Pathsem.Engine.compile g (Darpe.Parse.parse pat) in
+          List.iter
+            (fun shards ->
+              let part = Part.create ~shards g in
+              let state = Shard.Superstep.create_state part in
+              for src = 0 to nv - 1 do
+                check_source_result
+                  (Printf.sprintf "seed %d pat %s shards %d src %d" seed pat
+                     shards src)
+                  (Pathsem.Count.single_source g dfa src)
+                  (Pathsem.Count.single_source_sharded ~state part dfa src)
+              done)
+            [ 2; 4 ])
+        kernel_patterns)
+    [ 3; 11; 42 ]
+
+(* Sharding must not change when the governor trips: the per-superstep
+   charge equals the flat kernel's per-hop charge, so budget sweeps
+   deplete identically for any shard count. *)
+let test_superstep_governor_parity () =
+  let g = random_graph 42 24 in
+  let dfa = Pathsem.Engine.compile g (Darpe.Parse.parse "(E>|F>)*") in
+  let part = Part.create ~shards:3 g in
+  let run f ~max_steps =
+    let budget = Interrupt.make ~max_steps () in
+    match Interrupt.with_budget budget f with
+    | r ->
+      `Done
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int r.Pathsem.Count.sr_dist)))
+    | exception Interrupt.Interrupted reason ->
+      `Stopped (Interrupt.reason_to_string reason)
+  in
+  let outcome_str = function
+    | `Done s -> "done " ^ s
+    | `Stopped r -> "stopped " ^ r
+  in
+  for max_steps = 1 to 80 do
+    let flat = run ~max_steps (fun () -> Pathsem.Count.single_source g dfa 0) in
+    let sharded =
+      run ~max_steps (fun () ->
+          Pathsem.Count.single_source_sharded part dfa 0)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "budget %d" max_steps)
+      (outcome_str flat) (outcome_str sharded)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Query-level differential: fixtures across every semantics           *)
+
+let all_semantics =
+  [ Sem.All_shortest; Sem.Non_repeated_edge; Sem.Non_repeated_vertex;
+    Sem.Existential ]
+
+(* Runs the block unsharded (compiled) and sharded (compiled + interp)
+   and requires byte-identical results, including binding row order. *)
+let sharded_differential ?(shard_counts = [ 2; 4 ]) ?semantics ?(params = [])
+    label mkgraph src =
+  let stmts = Gsql.Parser.parse_block src in
+  let g = mkgraph () in
+  let plan = C.compile_block ~schema:(G.schema g) stmts in
+  let base = result_str (C.run plan ?semantics ~params g) in
+  List.iter
+    (fun shards ->
+      let gc = mkgraph () in
+      let partition = Part.create ~shards gc in
+      let sharded = C.run plan ?semantics ~partition ~params gc in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: compiled, shards=%d" label shards)
+        base (result_str sharded);
+      let gi = mkgraph () in
+      let pi = Part.create ~shards gi in
+      let interp = E.run_block gi ?semantics ~params ~partition:pi stmts in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: interp, shards=%d" label shards)
+        base (result_str interp))
+    shard_counts
+
+let fixture_blocks =
+  [ ( "accum fanout",
+      {|SumAccum<int> @cnt;
+        SumAccum<int> @@rows;
+        MaxAccum @far;
+        R = SELECT t
+            FROM V:s -((E>|F>)*)- V:t
+            ACCUM t.@cnt += 1, t.@far += 1, @@rows += 1;
+        PRINT @@rows;
+        PRINT R[R.name, R.@cnt, R.@far];|} );
+    ( "set and bag",
+      {|SetAccum<string> @@names;
+        BagAccum<int> @@deg;
+        R = SELECT t
+            FROM V:s -(E>*1..2)- V:t
+            ACCUM @@names += t.name, @@deg += 1;
+        PRINT @@names;
+        PRINT @@deg;|} );
+    ( "ordered pairs",
+      {|SELECT s.name AS src, t.name AS dst INTO Pairs
+        FROM V:s -(E>.<F)- V:t
+        ORDER BY s.name ASC, t.name ASC;|} );
+    ( "float fallback",
+      {|SumAccum<float> @@mass;
+        R = SELECT t FROM V:s -(E>)- V:t
+            ACCUM @@mass += 0.5;
+        PRINT @@mass;|} ) ]
+
+let test_fixture_differential () =
+  List.iter
+    (fun sem ->
+      List.iter
+        (fun (label, src) ->
+          sharded_differential
+            (Printf.sprintf "%s %s" label (Sem.to_string sem))
+            ~semantics:sem
+            (fun () -> random_graph 5 18)
+            src)
+        fixture_blocks)
+    all_semantics
+
+(* Installed .gsql fixtures over the toy graphs. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let queries_dir = List.find Sys.file_exists [ "../queries"; "queries" ]
+
+let load_query file =
+  match
+    Gsql.Parser.parse_program (read_file (Filename.concat queries_dir file))
+  with
+  | [ q ] -> q
+  | qs -> Alcotest.fail (Printf.sprintf "%s: %d queries" file (List.length qs))
+
+let test_installed_queries () =
+  let cases =
+    [ ( "count_paths.gsql",
+        [ ("srcName", V.Str "v0"); ("tgtName", V.Str "v6") ],
+        fun () -> (Toy.diamond_chain 6).Toy.g );
+      ("wcc.gsql", [], fun () -> (Toy.g1 ()).Toy.g);
+      ( "pagerank.gsql",
+        [ ("maxChange", V.Float 0.001); ("maxIteration", V.Int 20);
+          ("dampingFactor", V.Float 0.85) ],
+        fun () -> (Toy.web 40).Toy.g ) ]
+  in
+  List.iter
+    (fun (file, params, mkgraph) ->
+      let q = load_query file in
+      let g = mkgraph () in
+      let plan = C.compile ~schema:(G.schema g) q in
+      let base = result_str (C.run plan ~params g) in
+      List.iter
+        (fun shards ->
+          let gc = mkgraph () in
+          let partition = Part.create ~shards gc in
+          Alcotest.(check string)
+            (Printf.sprintf "%s shards=%d" file shards)
+            base
+            (result_str (C.run plan ~partition ~params gc)))
+        [ 2; 4 ])
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Prng random-query property suite                                    *)
+
+let random_pattern rng =
+  let atom () =
+    let ty = if Pgraph.Prng.int rng 4 = 0 then "F" else "E" in
+    match Pgraph.Prng.int rng 5 with
+    | 0 -> ty ^ ">"
+    | 1 -> "<" ^ ty
+    | 2 -> ty
+    | 3 -> ty ^ "?"
+    | _ -> "_>"
+  in
+  let piece () =
+    let a = atom () in
+    match Pgraph.Prng.int rng 6 with
+    | 0 -> a ^ "*"
+    | 1 -> a ^ "*1..2"
+    | 2 -> a ^ "*0..0"
+    | _ -> a
+  in
+  match Pgraph.Prng.int rng 3 with
+  | 0 -> piece ()
+  | 1 -> piece () ^ "." ^ piece ()
+  | _ -> "(" ^ atom () ^ "|" ^ atom () ^ ")"
+
+let pattern_block pat =
+  Printf.sprintf
+    {|SumAccum<int> @cnt;
+      SumAccum<int> @@rows;
+      R = SELECT t
+          FROM V:s -(%s)- V:t
+          ACCUM t.@cnt += 1, @@rows += 1;
+      SELECT s.name AS src, t.name AS dst INTO Pairs
+      FROM V:s -(%s)- V:t
+      ORDER BY s.name ASC, t.name ASC;
+      PRINT @@rows;
+      PRINT R[R.name, R.@cnt];|}
+    pat pat
+
+let prop_random_sharded =
+  QCheck.Test.make ~name:"random query: shards=1 = shards=N" ~count:40
+    (QCheck.pair QCheck.small_int (QCheck.int_range 4 10))
+    (fun (seed, nv) ->
+      let rng = Pgraph.Prng.create (seed + (nv * 197)) in
+      let pat = random_pattern rng in
+      let sem =
+        List.nth all_semantics (Pgraph.Prng.int rng (List.length all_semantics))
+      in
+      let shards = 2 + Pgraph.Prng.int rng 3 in
+      sharded_differential ~shard_counts:[ shards ]
+        (Printf.sprintf "pattern %s (seed %d)" pat seed)
+        ~semantics:sem
+        (fun () -> random_graph seed nv)
+        (pattern_block pat);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Governor: sharded plans stop cleanly or complete — never torn       *)
+
+let khop_block =
+  {|OrAccum @visited;
+    SumAccum<int> @@reached;
+    Frontier = SELECT p FROM V:p -(E>*0..0)- V:q
+        WHERE p.name == "1"
+        ACCUM p.@visited += true;
+    i = 0;
+    WHILE i < 6 LIMIT 50 DO
+      Frontier = SELECT t
+          FROM Frontier:s -(E>)- V:t
+          WHERE NOT t.@visited
+          POST_ACCUM t.@visited = true;
+      FOREACH x IN Frontier DO
+        @@reached += 1;
+      END
+      i = i + 1;
+    END;
+    PRINT @@reached;|}
+
+let test_interrupt_sharded () =
+  let stmts = Gsql.Parser.parse_block khop_block in
+  let g = (Toy.g1 ()).Toy.g in
+  let partition = Part.create ~shards:3 g in
+  let plan = C.compile_block ~schema:(G.schema g) stmts in
+  let run ~max_steps =
+    let budget = Interrupt.make ~max_steps () in
+    match
+      Interrupt.with_budget budget (fun () ->
+          C.run plan ~partition ~params:[] g)
+    with
+    | r -> `Done r.E.r_printed
+    | exception Interrupt.Interrupted reason -> `Stopped reason
+  in
+  let full =
+    match run ~max_steps:1_000_000 with
+    | `Done s -> s
+    | `Stopped _ -> Alcotest.fail "unbudgeted sharded run interrupted"
+  in
+  let completions = ref 0 in
+  for max_steps = 1 to 120 do
+    match run ~max_steps with
+    | `Done out ->
+      incr completions;
+      Alcotest.(check string)
+        (Printf.sprintf "budget %d: completion is the full result" max_steps)
+        full out
+    | `Stopped Interrupt.Steps -> ()
+    | `Stopped r ->
+      Alcotest.failf "budget %d: stopped for %s, expected steps" max_steps
+        (Interrupt.reason_to_string r)
+  done;
+  (match run ~max_steps:1 with
+   | `Stopped Interrupt.Steps -> ()
+   | _ -> Alcotest.fail "budget 1 should stop");
+  if !completions = 0 then Alcotest.fail "never completed within the sweep"
+
+(* ------------------------------------------------------------------ *)
+(* Merge laws: the property suite behind the shard-safety classifier   *)
+
+let inputs_for spec rng n =
+  let scalar () =
+    match spec with
+    | Spec.Or_acc | Spec.And_acc -> V.Bool (Pgraph.Prng.int rng 2 = 0)
+    | _ -> V.Int (Pgraph.Prng.int rng 7 - 3)
+  in
+  List.init n (fun _ ->
+      match spec with
+      | Spec.Map_acc _ ->
+        V.Vtuple [| V.Int (Pgraph.Prng.int rng 3); V.Int (Pgraph.Prng.int rng 5) |]
+      | Spec.Heap_acc _ ->
+        V.Vtuple [| V.Int (Pgraph.Prng.int rng 9); V.Int (Pgraph.Prng.int rng 9) |]
+      | _ -> scalar ())
+
+let fold_acc spec vs =
+  let a = Acc.create spec in
+  List.iter (Acc.input a) vs;
+  a
+
+(* Split [vs] into [k] round-robin parts — the shard grouping shape —
+   fold each independently, merge in part order. *)
+let split_fold_merge spec k vs =
+  let parts = Array.make k [] in
+  List.iteri (fun i v -> parts.(i mod k) <- v :: parts.(i mod k)) vs;
+  let accs = Array.map (fun p -> fold_acc spec (List.rev p)) parts in
+  let out = Acc.create spec in
+  Array.iter (fun a -> Acc.merge ~into:out a) accs;
+  out
+
+let shard_exact_specs =
+  [ Spec.Sum_int; Spec.Min_acc; Spec.Max_acc; Spec.Or_acc; Spec.And_acc;
+    Spec.Set_acc; Spec.Bag_acc; Spec.Map_acc Spec.Sum_int;
+    Spec.Heap_acc { Spec.h_capacity = 3; h_fields = [ (0, Spec.Asc) ] } ]
+
+let prop_merge_laws =
+  QCheck.Test.make ~name:"shard_exact: split-fold-merge = sequential" ~count:80
+    (QCheck.pair QCheck.small_int (QCheck.int_range 0 20))
+    (fun (seed, n) ->
+      List.iter
+        (fun spec ->
+          Alcotest.(check bool)
+            (Spec.to_string spec ^ " classified shard_exact") true
+            (Spec.shard_exact spec);
+          let rng = Pgraph.Prng.create (seed * 31 + n) in
+          let vs = inputs_for spec rng n in
+          let seq = fold_acc spec vs in
+          List.iter
+            (fun k ->
+              let merged = split_fold_merge spec k vs in
+              if not (Acc.equal seq merged) then
+                QCheck.Test.fail_reportf "%s: %d-way split diverged"
+                  (Spec.to_string spec) k)
+            [ 2; 3; 5 ];
+          (* Commutativity of the shard barrier: reversed part order. *)
+          let rev = fold_acc spec (List.rev vs) in
+          if not (Acc.equal seq rev) then
+            QCheck.Test.fail_reportf "%s: input permutation diverged"
+              (Spec.to_string spec))
+        shard_exact_specs;
+      true)
+
+let test_order_sensitive_rejected () =
+  (* The classifier refuses everything whose ⊕ is not bit-exact under
+     permutation... *)
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (Spec.to_string spec ^ " rejected") false (Spec.shard_exact spec))
+    [ Spec.Sum_string; Spec.List_acc; Spec.Array_acc; Spec.Sum_float;
+      Spec.Avg_acc; Spec.Map_acc Spec.List_acc;
+      Spec.Group_by (1, [ Spec.Sum_float ]); Spec.Custom "anything" ];
+  (* ... and for the order-dependent ones there is a concrete witness. *)
+  let a = fold_acc Spec.Sum_string [ V.Str "x"; V.Str "y" ] in
+  let b = fold_acc Spec.Sum_string [ V.Str "y"; V.Str "x" ] in
+  Alcotest.(check bool) "Sum_string order witness" false (Acc.equal a b);
+  let l1 = fold_acc Spec.List_acc [ V.Int 1; V.Int 2 ] in
+  let l2 = fold_acc Spec.List_acc [ V.Int 2; V.Int 1 ] in
+  Alcotest.(check bool) "List_acc order witness" false (Acc.equal l1 l2)
+
+let test_shard_safe_classifier () =
+  let plan_of src =
+    C.compile_block ~schema:(G.schema (random_graph 1 6))
+      (Gsql.Parser.parse_block src)
+  in
+  let check label expected src =
+    Alcotest.(check bool) label expected (C.shard_safe (plan_of src))
+  in
+  check "exact accums -> safe" true
+    {|SumAccum<int> @c; R = SELECT t FROM V:s -(E>)- V:t ACCUM t.@c += 1;|};
+  check "float accum -> fallback" false
+    {|SumAccum<float> @c; R = SELECT t FROM V:s -(E>)- V:t ACCUM t.@c += 1.0;|};
+  check "accum assignment -> fallback" false
+    {|SumAccum<int> @c; R = SELECT t FROM V:s -(E>)- V:t ACCUM t.@c = 1;|};
+  check "attribute write -> fallback" false
+    {|R = SELECT t FROM V:s -(E>)- V:t ACCUM t.name = "w";|};
+  check "list accum -> fallback" false
+    {|ListAccum<int> @@l; R = SELECT t FROM V:s -(E>)- V:t ACCUM @@l += 1;|}
+
+(* ------------------------------------------------------------------ *)
+(* CSR memo latch: concurrent builders coalesce into one build         *)
+
+let csr_stat key =
+  match Pgraph.Csr.cache_stats () with
+  | Obs.Json.Obj fields ->
+    (match List.assoc_opt key fields with
+     | Some (Obs.Json.Int n) -> n
+     | _ -> Alcotest.failf "csr stat %s missing" key)
+  | _ -> Alcotest.fail "csr stats not an object"
+
+let test_csr_build_latch () =
+  let g = random_graph 13 4000 in
+  let builds0 = csr_stat "builds" in
+  let waits0 = csr_stat "build_waits" in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Pgraph.Csr.of_graph g))
+  in
+  let results = List.map Domain.join domains in
+  (match results with
+   | first :: rest ->
+     List.iter
+       (fun c -> Alcotest.(check bool) "same memoized CSR" true (c == first))
+       rest
+   | [] -> assert false);
+  Alcotest.(check int) "exactly one build" 1 (csr_stat "builds" - builds0);
+  Alcotest.(check bool) "waits counted, never negative" true
+    (csr_stat "build_waits" >= waits0)
+
+(* ------------------------------------------------------------------ *)
+(* GSQL_WORKERS clamp                                                  *)
+
+let test_gsql_workers () =
+  let d = Domain.recommended_domain_count () in
+  Unix.putenv "GSQL_WORKERS" "1";
+  Alcotest.(check int) "pinned to 1" 1 (Accum.Parallel.default_workers 64);
+  Unix.putenv "GSQL_WORKERS" "999";
+  Alcotest.(check int) "clamped to recommended" (min 999 d)
+    (Accum.Parallel.default_workers 1024);
+  Unix.putenv "GSQL_WORKERS" "garbage";
+  Alcotest.(check int) "garbage ignored" (min d 64)
+    (Accum.Parallel.default_workers 64);
+  Unix.putenv "GSQL_WORKERS" "0";
+  Alcotest.(check int) "zero ignored" (min d 64)
+    (Accum.Parallel.default_workers 64);
+  Unix.putenv "GSQL_WORKERS" "";
+  Alcotest.(check int) "never exceeds items" 1
+    (Accum.Parallel.default_workers 1)
+
+(* ------------------------------------------------------------------ *)
+(* Service: sharded engine end to end + stats topology                 *)
+
+let test_service_sharded () =
+  let mkgraph () = (Toy.g1 ()).Toy.g in
+  let src =
+    {|CREATE QUERY reach(string srcName) {
+        SumAccum<int> @@n;
+        R = SELECT t FROM V:s -(E>*)- V:t
+            WHERE s.name == srcName
+            ACCUM @@n += 1;
+        PRINT @@n;
+      }|}
+  in
+  let invoke engine =
+    match
+      Service.Engine.invoke engine
+        { Service.Protocol.iv_query = "reach";
+          iv_params = [ ("srcName", V.Str "1") ];
+          iv_timeout_ms = None;
+          iv_no_cache = true }
+    with
+    | Service.Protocol.Result { rs_result; _ } ->
+      Obs.Json.pretty (Service.Protocol.result_to_json rs_result)
+    | Service.Protocol.Error (_, m) -> Alcotest.fail m
+    | _ -> Alcotest.fail "unexpected response"
+  in
+  let mk shards =
+    let e = Service.Engine.create ~shards ~graph:(mkgraph ()) () in
+    (match Service.Engine.install e src with
+     | Service.Protocol.Installed _ -> ()
+     | _ -> Alcotest.fail "install failed");
+    e
+  in
+  let e1 = mk 1 and e4 = mk 4 in
+  Alcotest.(check string) "sharded service result" (invoke e1) (invoke e4);
+  Alcotest.(check int) "shard_count" 4 (Service.Engine.shard_count e4);
+  match Service.Engine.stats e4 ~extra:[] with
+  | Service.Protocol.Stats_snapshot (Obs.Json.Obj fields) ->
+    (match List.assoc_opt "shards" fields with
+     | Some (Obs.Json.Obj sf) ->
+       (match List.assoc_opt "count" sf with
+        | Some (Obs.Json.Int 4) -> ()
+        | _ -> Alcotest.fail "stats shards.count <> 4");
+       Alcotest.(check bool) "stats shards.balance present" true
+         (List.mem_assoc "balance" sf);
+       Alcotest.(check bool) "stats shards.boundary_edges present" true
+         (List.mem_assoc "boundary_edges" sf)
+     | _ -> Alcotest.fail "stats missing shards object")
+  | _ -> Alcotest.fail "stats failed"
+
+let () =
+  Alcotest.run "shard"
+    [ ( "partition",
+        [ Alcotest.test_case "invariants" `Quick test_partition_invariants ] );
+      ( "superstep",
+        [ Alcotest.test_case "kernel differential" `Quick
+            test_superstep_differential;
+          Alcotest.test_case "governor parity" `Quick
+            test_superstep_governor_parity ] );
+      ( "queries",
+        [ Alcotest.test_case "fixtures x semantics" `Quick
+            test_fixture_differential;
+          Alcotest.test_case "installed .gsql" `Quick test_installed_queries;
+          QCheck_alcotest.to_alcotest prop_random_sharded ] );
+      ( "governor",
+        [ Alcotest.test_case "sharded budget sweep" `Quick
+            test_interrupt_sharded ] );
+      ( "merge laws",
+        [ QCheck_alcotest.to_alcotest prop_merge_laws;
+          Alcotest.test_case "order-sensitive rejected" `Quick
+            test_order_sensitive_rejected;
+          Alcotest.test_case "plan classifier" `Quick
+            test_shard_safe_classifier ] );
+      ( "csr latch",
+        [ Alcotest.test_case "concurrent builds coalesce" `Quick
+            test_csr_build_latch ] );
+      ( "workers",
+        [ Alcotest.test_case "GSQL_WORKERS clamp" `Quick test_gsql_workers ] );
+      ( "service",
+        [ Alcotest.test_case "sharded engine + stats" `Quick
+            test_service_sharded ] ) ]
