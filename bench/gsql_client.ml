@@ -60,6 +60,7 @@ let usage () =
   prerr_endline
     "usage: gsql_client [--connect SOCKET | --tcp HOST:PORT] [--clients N] \
      [--requests N] [--workers N] [--timeout-ms MS] [--retries N] \
+     [--tenant NAME] [--tenants NAME:CLIENTS:WINDOW,...] \
      [--invoke QUERY [--param k=v]...]";
   exit 2
 
@@ -69,6 +70,16 @@ let requests = ref 50
 let workers = ref None
 let timeout_ms = ref None
 let retries = ref 0
+
+(* --tenant stamps every invocation of the normal phases with one tenant
+   identity; --tenants switches to the fairness mode: a comma-separated
+   load mix of tenant groups, each NAME:CLIENTS:WINDOW — CLIENTS pipelined
+   connections keeping WINDOW invocations in flight, all groups running
+   concurrently against the same server.  Naming a group "flood" makes the
+   tenant-flood fault knob (GSQL_FAULTS) hit exactly that group's
+   executions, which is how CI builds a hostile-heavy + polite-light mix. *)
+let tenant = ref None
+let tenants_spec : (string * int * int) list ref = ref []
 
 (* --invoke switches the driver from the two CountPaths phases to a single
    phase against an arbitrary installed query (CI drives mutating queries
@@ -125,6 +136,19 @@ let () =
     | "--retries" :: n :: rest ->
       retries := int_of_string n;
       parse rest
+    | "--tenant" :: name :: rest ->
+      tenant := Some name;
+      parse rest
+    | "--tenants" :: spec :: rest ->
+      tenants_spec :=
+        List.map
+          (fun part ->
+            match String.split_on_char ':' part with
+            | [ name; c; w ] when name <> "" -> (name, int_of_string c, int_of_string w)
+            | [ name; c ] when name <> "" -> (name, int_of_string c, 1)
+            | _ -> usage ())
+          (String.split_on_char ',' spec);
+      parse rest
     | "--invoke" :: name :: rest ->
       invoke_query := Some name;
       parse rest
@@ -134,7 +158,8 @@ let () =
     | _ -> usage ()
   in
   (try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ());
-  if !clients < 1 || !requests < 1 then usage ()
+  if !clients < 1 || !requests < 1 then usage ();
+  List.iter (fun (_, c, w) -> if c < 1 || w < 1 then usage ()) !tenants_spec
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -173,13 +198,13 @@ let run_phase ep ~name ~no_cache ~query ~params =
         for i = 0 to !requests - 1 do
           let t0 = Unix.gettimeofday () in
           (match
-             Service.Client.invoke c ?timeout_ms:!timeout_ms ~retries:!retries ~no_cache
-               ~query ~params ()
+             Service.Client.invoke c ?timeout_ms:!timeout_ms ?tenant:!tenant
+               ~retries:!retries ~no_cache ~query ~params ()
            with
            | P.Result { rs_cached = true; _ } -> incr cached
            | P.Result _ -> ()
-           | P.Error ((P.Timeout | P.Resource_limit), _) -> incr timeouts
-           | P.Error (code, msg) ->
+           | P.Error ((P.Timeout | P.Resource_limit), _, _) -> incr timeouts
+           | P.Error (code, msg, _) ->
              incr errors;
              Printf.eprintf "request failed: %s: %s\n%!" (P.err_code_to_string code) msg
            | _ ->
@@ -205,6 +230,150 @@ let run_phase ep ~name ~no_cache ~query ~params =
     ph_cached = sum (fun (_, c, _, _) -> c);
     ph_timeouts = sum (fun (_, _, t, _) -> t);
     ph_errors = sum (fun (_, _, _, e) -> e) }
+
+(* ------------------------------------------------------------------ *)
+(* Fairness mode (--tenants)                                           *)
+
+type tenant_stats = {
+  tn_name : string;
+  tn_clients : int;
+  tn_window : int;
+  tn_ok : int;        (** successful results (latency sample set) *)
+  tn_shed : int;      (** [overloaded] — global, per-tenant or inflight shed *)
+  tn_quota : int;     (** [resource_limit] — quota denials / budget blows *)
+  tn_timeouts : int;
+  tn_errors : int;
+  tn_wall_s : float;
+  tn_p50 : float;
+  tn_p95 : float;
+  tn_p99 : float;
+}
+
+(* One pipelined connection: keep [window] invocations in flight via
+   send/recv, correlate latency per id.  Percentiles are computed over
+   successes only — a shed answer comes back in microseconds and would
+   otherwise flatter the flooding tenant's latency. *)
+let fairness_worker ep ~tenant ~window () =
+  let c = Service.Client.connect ep in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close c)
+    (fun () ->
+      let n = !requests in
+      let inflight = Hashtbl.create (2 * window) in
+      let lats = ref [] in
+      let ok = ref 0 and shed = ref 0 and quota = ref 0 in
+      let timeouts = ref 0 and errors = ref 0 in
+      let sent = ref 0 and recvd = ref 0 in
+      let req =
+        P.Invoke
+          { P.iv_query = "CountPaths"; iv_params = params; iv_timeout_ms = !timeout_ms;
+            iv_no_cache = true; iv_tenant = Some tenant }
+      in
+      while !recvd < n do
+        while !sent < n && !sent - !recvd < window do
+          let id = Service.Client.send c req in
+          Hashtbl.replace inflight id (Unix.gettimeofday ());
+          incr sent
+        done;
+        let id, resp = Service.Client.recv c in
+        incr recvd;
+        match Hashtbl.find_opt inflight id with
+        | None -> ()
+        | Some t0 ->
+          Hashtbl.remove inflight id;
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          (match resp with
+           | P.Result _ ->
+             incr ok;
+             lats := ms :: !lats
+           | P.Error (P.Overloaded, _, _) -> incr shed
+           | P.Error (P.Resource_limit, _, _) -> incr quota
+           | P.Error (P.Timeout, _, _) -> incr timeouts
+           | _ -> incr errors)
+      done;
+      (!lats, !ok, !shed, !quota, !timeouts, !errors))
+
+(* Every group's domains are spawned before any join, so the mix runs
+   concurrently: the flooding group is live while the light one measures. *)
+let run_fairness ep =
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    List.map
+      (fun (name, nclients, window) ->
+        ( name, nclients, window,
+          List.init nclients (fun _ ->
+              Domain.spawn (fairness_worker ep ~tenant:name ~window)) ))
+      !tenants_spec
+  in
+  let stats =
+    List.map
+      (fun (name, nclients, window, doms) ->
+        let rs = List.map Domain.join doms in
+        let lats = Array.of_list (List.concat_map (fun (l, _, _, _, _, _) -> l) rs) in
+        Array.sort compare lats;
+        let sum f = List.fold_left (fun acc r -> acc + f r) 0 rs in
+        { tn_name = name; tn_clients = nclients; tn_window = window;
+          tn_ok = sum (fun (_, o, _, _, _, _) -> o);
+          tn_shed = sum (fun (_, _, s, _, _, _) -> s);
+          tn_quota = sum (fun (_, _, _, q, _, _) -> q);
+          tn_timeouts = sum (fun (_, _, _, _, t, _) -> t);
+          tn_errors = sum (fun (_, _, _, _, _, e) -> e);
+          tn_wall_s = 0.0;
+          tn_p50 = percentile lats 50.0;
+          tn_p95 = percentile lats 95.0;
+          tn_p99 = percentile lats 99.0 })
+      spawned
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.map (fun st -> { st with tn_wall_s = wall }) stats
+
+(* The greppable contract for CI's fairness-smoke job. *)
+let print_fairness stats =
+  Printf.printf "gsql_client fairness: %d requests/client, groups: %s\n" !requests
+    (String.concat ","
+       (List.map (fun (n, c, w) -> Printf.sprintf "%s:%d:%d" n c w) !tenants_spec));
+  List.iter
+    (fun st ->
+      Printf.printf
+        "fairness tenant %s: clients: %d window: %d ok: %d shed: %d quota_denials: %d \
+         timeouts: %d errors: %d p50: %.3f p95: %.3f p99: %.3f\n"
+        st.tn_name st.tn_clients st.tn_window st.tn_ok st.tn_shed st.tn_quota
+        st.tn_timeouts st.tn_errors st.tn_p50 st.tn_p95 st.tn_p99)
+    stats
+
+let fairness_json st =
+  J.Obj
+    [ ("tenant", J.Str st.tn_name);
+      ("clients", J.Int st.tn_clients);
+      ("window", J.Int st.tn_window);
+      ("ok", J.Int st.tn_ok);
+      ("shed", J.Int st.tn_shed);
+      ("quota_denials", J.Int st.tn_quota);
+      ("timeouts", J.Int st.tn_timeouts);
+      ("errors", J.Int st.tn_errors);
+      ("wall_s", J.Float st.tn_wall_s);
+      ("p50_ms", J.Float st.tn_p50);
+      ("p95_ms", J.Float st.tn_p95);
+      ("p99_ms", J.Float st.tn_p99) ]
+
+let write_fairness_sidecar stats server_stats =
+  match Sys.getenv_opt "BENCH_JSON" with
+  | None -> ()
+  | Some dir ->
+    let doc =
+      J.Obj
+        [ ("suite", J.Str "gsql_client_fairness");
+          ("requests_per_client", J.Int !requests);
+          ("timeout_ms", (match !timeout_ms with Some t -> J.Int t | None -> J.Null));
+          ("tenants", J.List (List.map fairness_json stats));
+          ("server", server_stats) ]
+    in
+    let path = Filename.concat dir "BENCH_fairness.json" in
+    let oc = open_out path in
+    output_string oc (J.pretty doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "[sidecar] %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -319,7 +488,7 @@ let () =
       let engine = Service.Engine.create ~graph () in
       (match Service.Engine.install engine query_src with
        | P.Installed _ -> ()
-       | P.Error (_, msg) ->
+       | P.Error (_, msg, _) ->
          Printf.eprintf "install failed: %s\n" msg;
          exit 1
        | _ ->
@@ -351,6 +520,24 @@ let () =
          prerr_endline "server did not answer ping";
          exit 1);
       Service.Client.close c;
+      if !tenants_spec <> [] then begin
+        let fstats = run_fairness ep in
+        print_fairness fstats;
+        let server_stats = fetch_server_stats ep in
+        (match server_stats with
+         | J.Obj fields ->
+           let geti k = Option.value ~default:0 (stats_int fields k) in
+           Printf.printf
+             "server governor: cancellations: %d reclaimed: %d workers_leaked: %d \
+              timeouts: %d\n"
+             (geti "cancellations") (geti "reclaimed") (geti "workers_leaked")
+             (geti "timeouts");
+           Printf.printf "server shed: overloaded: %d inflight_shed: %d quota_denials: %d\n"
+             (geti "overloaded") (geti "inflight_shed") (geti "quota_denials")
+         | _ -> ());
+        write_fairness_sidecar fstats server_stats
+      end
+      else begin
       let stats =
         match !invoke_query with
         | Some query ->
@@ -416,4 +603,5 @@ let () =
             | Some (J.Bool false) | None -> "no"
             | _ -> "yes")
        | _ -> ());
-      write_sidecar stats server_stats)
+      write_sidecar stats server_stats
+      end)

@@ -271,14 +271,44 @@ let read_file path =
   close_in ic;
   src
 
+(* --tenant-weights a=3,b=1: DRR admission weights (unlisted tenants
+   weigh 1; values are floored at 1 by the server). *)
+let parse_tenant_weights spec =
+  let spec = String.trim spec in
+  if spec = "" then Ok []
+  else
+    let parts = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "tenant weight %S: expected name=weight" part)
+        | Some i -> (
+          let name = String.trim (String.sub part 0 i) in
+          let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+          match int_of_string_opt v with
+          | Some w when w >= 1 && name <> "" -> go ((name, w) :: acc) rest
+          | _ ->
+            Error
+              (Printf.sprintf "tenant weight %S: weight must be a positive integer" part)))
+    in
+    go [] parts
+
 let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_steps
     max_rows max_conns semantics_name install_files trace_file data_dir compact_every
-    shards =
+    shards tenant_weights_spec quota_steps quota_rows tenant_queue =
   let graph = load_graph graph_spec in
   if shards < 1 then begin
     prerr_endline "serve: --shards must be >= 1";
     exit 2
   end;
+  let tenant_weights =
+    match parse_tenant_weights tenant_weights_spec with
+    | Ok ws -> ws
+    | Error msg ->
+      prerr_endline ("serve: " ^ msg);
+      exit 2
+  in
   let semantics =
     match semantics_name with
     | None -> None
@@ -338,7 +368,7 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       match Service.Engine.install engine (read_file path) with
       | Service.Protocol.Installed names ->
         Printf.eprintf "installed %s from %s\n%!" (String.concat ", " names) path
-      | Service.Protocol.Error (_, msg) ->
+      | Service.Protocol.Error (_, msg, _) ->
         Printf.eprintf "cannot install %s: %s\n%!" path msg;
         exit 2
       | _ -> ())
@@ -347,10 +377,16 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
     { Service.Server.listen;
       workers;
       queue_capacity = queue_cap;
+      per_tenant_queue =
+        (if tenant_queue > 0 then tenant_queue
+         else (Service.Server.default_config listen).Service.Server.per_tenant_queue);
       default_timeout_ms = timeout_ms;
       max_connections = max_conns;
       max_inflight = (Service.Server.default_config listen).Service.Server.max_inflight;
       max_frame_bytes = Service.Protocol.max_frame_bytes;
+      tenant_weights;
+      quota_steps;
+      quota_rows;
       faults }
   in
   if not (Service.Faults.is_none cfg.Service.Server.faults) then
@@ -471,6 +507,34 @@ let shards_arg =
                  bit-identical to --shards 1 (docs/SHARDING.md). Stats report the shard \
                  topology and balance.")
 
+let tenant_weights_arg =
+  Arg.(value & opt string ""
+       & info [ "tenant-weights" ] ~docv:"SPEC"
+           ~doc:"Weighted fair admission: comma-separated name=weight pairs (e.g. \
+                 'etl=3,dash=1'). A backlogged tenant is served $(i,weight) invocations per \
+                 round of the deficit-round-robin scheduler; unlisted tenants weigh 1.")
+
+let quota_steps_arg =
+  Arg.(value & opt int 0
+       & info [ "quota-steps" ] ~docv:"N"
+           ~doc:"Per-tenant step quota: a token bucket refilled at $(docv) governor steps per \
+                 second (burst = one second's worth). An exhausted tenant's executions are \
+                 refused with 'resource_limit' and a machine-readable retry_after_ms until \
+                 the bucket refills; cache hits keep flowing (0 = no quota).")
+
+let quota_rows_arg =
+  Arg.(value & opt int 0
+       & info [ "quota-rows" ] ~docv:"N"
+           ~doc:"Per-tenant row quota: a token bucket refilled at $(docv) result/frontier rows \
+                 per second, enforced like --quota-steps (0 = no quota).")
+
+let tenant_queue_arg =
+  Arg.(value & opt int 0
+       & info [ "tenant-queue" ] ~docv:"N"
+           ~doc:"Per-tenant admission bound: each tenant queues at most $(docv) invocations, \
+                 so a flooding tenant sheds its own backlog while others keep queuing \
+                 (0 = the default of 16).")
+
 let serve_cmd =
   let doc = "Serve installed GSQL queries to concurrent clients (docs/SERVICE.md)." in
   Cmd.v
@@ -478,7 +542,8 @@ let serve_cmd =
     Term.(
       const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
       $ timeout_arg $ max_steps_arg $ max_rows_arg $ max_conns_arg $ semantics_arg
-      $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg $ shards_arg)
+      $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg $ shards_arg
+      $ tenant_weights_arg $ quota_steps_arg $ quota_rows_arg $ tenant_queue_arg)
 
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in

@@ -27,6 +27,7 @@ type budget = {
   b_max_steps : int;  (* max_int = none *)
   b_max_rows : int;  (* max_int = none *)
   b_steps : int Atomic.t;  (* shared across domains under this budget *)
+  b_rows : int Atomic.t;  (* cumulative rows materialized (check_rows sums) *)
 }
 
 let check_interval = 256
@@ -38,6 +39,7 @@ let make ?cancel ?(deadline = infinity) ?(max_steps = max_int) ?(max_rows = max_
     b_max_steps = max_steps;
     b_max_rows = max_rows;
     b_steps = Atomic.make 0;
+    b_rows = Atomic.make 0;
   }
 
 let of_limits ?cancel ?now limits =
@@ -58,6 +60,20 @@ let cancel_token b = b.b_cancel
 let cancelled b = Atomic.get b.b_cancel
 let deadline b = b.b_deadline
 let steps b = Atomic.get b.b_steps
+let rows b = Atomic.get b.b_rows
+
+(* Pointwise minimum of two limit records — the combinator quota
+   enforcement uses to cap an engine budget by a tenant's remaining
+   allowance (None = unlimited on that axis). *)
+let min_limits a b =
+  let min_opt x y =
+    match (x, y) with
+    | None, z | z, None -> z
+    | Some x, Some y -> Some (min x y)
+  in
+  { l_timeout_ms = min_opt a.l_timeout_ms b.l_timeout_ms;
+    l_max_steps = min_opt a.l_max_steps b.l_max_steps;
+    l_max_rows = min_opt a.l_max_rows b.l_max_rows }
 
 (* Per-domain governor slot: the installed budget plus a local credit
    counter so the amortization needs no cross-domain coordination. *)
@@ -101,6 +117,10 @@ let check_rows n =
   match Domain.DLS.get key with
   | None -> ()
   | Some s ->
+      (* Charge before the ceiling check: quota accounting should see the
+         rows an over-limit materialization attempted, not just the ones
+         that fit. *)
+      if n > 0 then ignore (Atomic.fetch_and_add s.sb.b_rows n);
       if n > s.sb.b_max_rows then raise (Interrupted Rows);
       (* Row materialization points are rare and already O(n); use them
          as hard checkpoints so cancellation is noticed between ticks. *)

@@ -41,6 +41,11 @@ type limits = {
 
 val no_limits : limits
 
+val min_limits : limits -> limits -> limits
+(** Pointwise minimum ([None] = unlimited on that axis) — combines an
+    engine's default limits with an externally derived cap, e.g. a
+    tenant quota's remaining step/row allowance. *)
+
 (** {1 Budgets} *)
 
 type budget
@@ -73,6 +78,11 @@ val deadline : budget -> float
 
 val steps : budget -> int
 (** Checkpoint ticks charged so far (summed across domains). *)
+
+val rows : budget -> int
+(** Cumulative rows materialized under this budget — the sum of every
+    [check_rows] argument, charged even when the set breaches the
+    ceiling.  Feeds per-tenant row quotas. *)
 
 (** {1 Installing a budget} *)
 

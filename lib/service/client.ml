@@ -15,6 +15,7 @@ type t = {
   mutable open_ : bool;
   mutable rng : int;  (* deterministic jitter state (LCG) *)
   mutable last_attempts : int;
+  mutable last_hint_ms : int option;  (* retry_after_ms from the last error *)
 }
 
 let connect_fd (ep : Server.endpoint) =
@@ -35,7 +36,7 @@ let connect ?recv_timeout_ms (ep : Server.endpoint) =
      to {!Error} below, retryable) rather than kill the process. *)
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   { ep; recv_timeout_ms; fd = connect_fd ep; next_id = 1; stash = []; open_ = true;
-    rng = 0x2545F49; last_attempts = 0 }
+    rng = 0x2545F49; last_attempts = 0; last_hint_ms = None }
 
 let close t =
   if t.open_ then begin
@@ -117,36 +118,53 @@ let jitter t =
   0.5 +. (0.5 *. u)
 
 let last_attempts t = t.last_attempts
+let last_hint_ms t = t.last_hint_ms
 
-let invoke t ?timeout_ms ?(no_cache = false) ?(retries = 0) ?(backoff_ms = 25)
+(* Server-directed retries wait exactly what the server asked for (capped
+   so a bogus hint cannot park the client), not a guessed backoff. *)
+let max_hint_sleep_s = 10.0
+
+let invoke t ?timeout_ms ?(no_cache = false) ?tenant ?(retries = 0) ?(backoff_ms = 25)
     ?(max_backoff_ms = 2_000) ~query ~params () =
   let req =
     P.Invoke
       { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms;
-        iv_no_cache = no_cache }
+        iv_no_cache = no_cache; iv_tenant = tenant }
   in
   let backoff_of attempt =
     let base = float_of_int backoff_ms *. Float.pow 2.0 (float_of_int attempt) in
     Float.min base (float_of_int max_backoff_ms) *. jitter t /. 1000.0
   in
+  t.last_hint_ms <- None;
   let rec go attempt =
     t.last_attempts <- attempt + 1;
     let outcome =
-      (* Overloaded responses and transport failures are the transient
-         class: the server shed load or the connection broke.  Timeouts,
-         resource limits and exec errors are not retried — the same query
-         would burn the same budget again. *)
+      (* Transient class: [overloaded] responses (the server shed load)
+         and transport failures (the connection broke).  A
+         [resource_limit] is transient ONLY when the server attached a
+         [retry_after_ms] hint — quota exhaustion heals by waiting for
+         the refill, whereas a governor budget blown mid-execution would
+         burn the same budget again and is final.  Timeouts and exec
+         errors are never retried. *)
       match call t req with
-      | P.Error (P.Overloaded, _) as resp -> `Transient resp
+      | P.Error (P.Overloaded, _, hint) as resp ->
+        t.last_hint_ms <- hint;
+        `Transient (resp, hint)
+      | P.Error (P.Resource_limit, _, (Some _ as hint)) as resp ->
+        t.last_hint_ms <- hint;
+        `Transient (resp, hint)
       | resp -> `Final resp
       | exception Error msg -> `Broken msg
     in
     match outcome with
     | `Final resp -> resp
-    | `Transient resp ->
+    | `Transient (resp, hint) ->
       if attempt >= retries then resp
       else begin
-        Unix.sleepf (backoff_of attempt);
+        (match hint with
+         | Some ms when ms > 0 ->
+           Unix.sleepf (Float.min (float_of_int ms /. 1000.0) max_hint_sleep_s)
+         | _ -> Unix.sleepf (backoff_of attempt));
         go (attempt + 1)
       end
     | `Broken msg ->

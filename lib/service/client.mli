@@ -9,9 +9,15 @@
     {!invoke} optionally retries the transient failure class —
     [overloaded] responses and transport errors (broken socket, receive
     timeout) — with capped exponential backoff and deterministic jitter,
-    reconnecting to the remembered endpoint as needed.  Timeouts,
-    resource limits and execution errors are never retried: replaying
-    those burns the same budget for the same outcome. *)
+    reconnecting to the remembered endpoint as needed.  When the server
+    attaches a [retry_after_ms] hint (quota exhaustion, tenant backlog)
+    the client sleeps exactly that long instead of guessing.  The two
+    shed classes stay distinct: [overloaded] (queue pressure — retry
+    soon) is always transient, while [resource_limit] is transient only
+    {e with} a hint (a quota that refills); a governor budget blown
+    mid-execution has no hint and is final — replaying it burns the same
+    budget for the same outcome.  Timeouts and execution errors are
+    never retried. *)
 
 type t
 
@@ -42,18 +48,25 @@ val recv : t -> int * Protocol.response
 val install : t -> string -> Protocol.response
 
 val invoke :
-  t -> ?timeout_ms:int -> ?no_cache:bool -> ?retries:int -> ?backoff_ms:int ->
-  ?max_backoff_ms:int ->
+  t -> ?timeout_ms:int -> ?no_cache:bool -> ?tenant:string -> ?retries:int ->
+  ?backoff_ms:int -> ?max_backoff_ms:int ->
   query:string -> params:(string * Pgraph.Value.t) list -> unit -> Protocol.response
 (** Up to [1 + retries] attempts (default [retries = 0]: exactly the old
-    single-shot behavior).  Attempt [k]'s delay is
+    single-shot behavior).  [tenant] stamps the invocation's tenant
+    identity (omitted = the connection's anonymous tenant).  Attempt
+    [k]'s delay is the server's [retry_after_ms] hint when the response
+    carried one (capped at 10 s), otherwise
     [min (backoff_ms * 2^k) max_backoff_ms] scaled by a deterministic
     jitter in [0.5, 1.0) (defaults: 25 ms base, 2 s cap).  After the cap,
-    the last [overloaded] response is returned (or the last transport
+    the last transient response is returned (or the last transport
     {!Error} re-raised). *)
 
 val last_attempts : t -> int
 (** Attempts consumed by the most recent {!invoke} (1 = no retry). *)
+
+val last_hint_ms : t -> int option
+(** The [retry_after_ms] hint on the most recent {!invoke}'s last
+    transient response; [None] when the server sent none. *)
 
 val stats : t -> Protocol.response
 val ping : t -> Protocol.response

@@ -161,7 +161,7 @@ let install t source =
      results become unreachable the instant the swap lands (the eager
      invalidation afterwards is memory hygiene, not correctness). *)
   match Gsql.Parser.parse_program source with
-  | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg)
+  | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg, None)
   | queries ->
     let schema = Pgraph.Graph.schema (graph t) in
     (match
@@ -173,16 +173,16 @@ let install t source =
            q.Gsql.Ast.q_name)
          queries
      with
-     | [] -> P.Error (P.Exec_error, "no CREATE QUERY definitions in source")
+     | [] -> P.Error (P.Exec_error, "no CREATE QUERY definitions in source", None)
      | names -> P.Installed names
-     | exception Gsql.Catalog.Error msg -> P.Error (P.Exec_error, msg))
+     | exception Gsql.Catalog.Error msg -> P.Error (P.Exec_error, msg, None))
 
 let list_queries t = P.Queries (List.map (info_of t) (Gsql.Catalog.names t.catalog))
 
 let describe t name =
   if Gsql.Catalog.mem t.catalog name then
     P.Described (info_of t name, Gsql.Catalog.source_of t.catalog name)
-  else P.Error (P.Unknown_query, "not installed: " ^ name)
+  else P.Error (P.Unknown_query, "not installed: " ^ name, None)
 
 let drop t name =
   if Gsql.Catalog.mem t.catalog name then begin
@@ -190,7 +190,7 @@ let drop t name =
     Cache.invalidate_query t.cache name;
     P.Dropped name
   end
-  else P.Error (P.Unknown_query, "not installed: " ^ name)
+  else P.Error (P.Unknown_query, "not installed: " ^ name, None)
 
 (* Parameter names must match the declared signature exactly; shape/type
    errors inside the values surface from the evaluator as Exec_error. *)
@@ -210,8 +210,8 @@ let interrupted_response t ~query reason =
     Printf.sprintf "%s interrupted (%s)" query (Interrupt.reason_to_string reason)
   in
   match reason with
-  | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg)
-  | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg)
+  | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg, None)
+  | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg, None)
 
 (* The write path: runs on a worker under the single-writer mutex.
    Commit protocol (docs/DURABILITY.md):
@@ -234,7 +234,7 @@ let mutate t (iv : P.invoke) entry budget () =
       match locked t (fun () -> t.read_only) with
       | Some why ->
         locked t (fun () -> t.n_errors <- t.n_errors + 1);
-        P.Error (P.Read_only, "server is read-only: " ^ why)
+        P.Error (P.Read_only, "server is read-only: " ^ why, None)
       | None ->
         let base, version = locked t (fun () -> (t.graph, t.version)) in
         let next = Pgraph.Graph.snapshot base in
@@ -287,15 +287,16 @@ let mutate t (iv : P.invoke) entry budget () =
                    t.read_only <- Some msg);
                P.Error
                  ( P.Read_only,
-                   Printf.sprintf "commit failed (%s); server is now read-only" msg )
+                   Printf.sprintf "commit failed (%s); server is now read-only" msg,
+                   None )
            end
          | exception Gsql.Eval.Runtime_error msg ->
            locked t (fun () -> t.n_errors <- t.n_errors + 1);
-           P.Error (P.Exec_error, msg)
+           P.Error (P.Exec_error, msg, None)
          | exception Interrupt.Interrupted reason ->
            interrupted_response t ~query:iv.P.iv_query reason))
 
-let prepare_invoke t (iv : P.invoke) =
+let prepare_invoke ?tenant_limits t (iv : P.invoke) =
   locked t (fun () -> t.n_invocations <- t.n_invocations + 1);
   (* One catalog lookup: query, plan and generation arrive as a consistent
      snapshot, so a concurrent reinstall can't hand us a new plan with an
@@ -303,13 +304,13 @@ let prepare_invoke t (iv : P.invoke) =
   match Gsql.Catalog.lookup t.catalog iv.P.iv_query with
   | None ->
     locked t (fun () -> t.n_errors <- t.n_errors + 1);
-    `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query))
+    `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query, None))
   | Some entry ->
     let q = entry.Gsql.Catalog.i_query in
     (match check_params q iv.P.iv_params with
      | Error msg ->
        locked t (fun () -> t.n_errors <- t.n_errors + 1);
-       `Ready (P.Error (P.Bad_params, msg))
+       `Ready (P.Error (P.Bad_params, msg, None))
      | Ok () ->
        let mutating = entry.Gsql.Catalog.i_info.Gsql.Analyze.mutating in
        (* Governor budget for this execution: the per-invoke timeout
@@ -325,11 +326,19 @@ let prepare_invoke t (iv : P.invoke) =
               | Some ms when ms > 0 -> Some ms
               | _ -> t.limits.Interrupt.l_timeout_ms) }
        in
+       (* Tenant quota: cap the budget at the tenant's remaining
+          allowance, so one invocation can never spend past its bucket
+          (the server charges actual consumption when the job retires). *)
+       let budget_limits =
+         match tenant_limits with
+         | None -> budget_limits
+         | Some tl -> Interrupt.min_limits budget_limits tl
+       in
        if mutating then begin
          match locked t (fun () -> t.read_only) with
          | Some why ->
            locked t (fun () -> t.n_errors <- t.n_errors + 1);
-           `Ready (P.Error (P.Read_only, "server is read-only: " ^ why))
+           `Ready (P.Error (P.Read_only, "server is read-only: " ^ why, None))
          | None ->
            let budget = Interrupt.of_limits budget_limits in
            `Run { pr_budget = budget; pr_mutating = true; pr_thunk = mutate t iv entry budget }
@@ -362,7 +371,7 @@ let prepare_invoke t (iv : P.invoke) =
                P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
              | exception Gsql.Eval.Runtime_error msg ->
                locked t (fun () -> t.n_errors <- t.n_errors + 1);
-               P.Error (P.Exec_error, msg)
+               P.Error (P.Exec_error, msg, None)
              | exception Interrupt.Interrupted reason ->
                (* Nothing is cached: the execution's private store and its
                   uncommitted phases die with the unwind. *)

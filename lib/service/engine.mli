@@ -96,8 +96,15 @@ type prepared = {
 }
 
 val prepare_invoke :
+  ?tenant_limits:Interrupt.limits ->
   t -> Protocol.invoke -> [ `Ready of Protocol.response | `Run of prepared ]
-(** [`Ready] carries a cache hit or an immediate error (unknown query,
+(** [tenant_limits] (from {!Tenant.limits}) is min-merged into the
+    execution's budget ({!Interrupt.min_limits}) so an invocation can
+    never spend past its tenant's remaining quota — exhaustion surfaces
+    as [Error (Resource_limit, _, _)], which the server decorates with
+    the tenant's [retry_after_ms].
+
+    [`Ready] carries a cache hit or an immediate error (unknown query,
     missing/unknown parameters, or a mutating invoke while {!read_only});
     [`Run] is the execution thunk — it runs the query under its budget,
     stores the result in the cache (read-only queries; a cache hit is only

@@ -13,15 +13,19 @@ type t = {
   short_write_every : int;  (* 0 = off; else every Nth WAL append is cut short *)
   torn_record_every : int;  (* 0 = off; else every Nth WAL append is corrupted *)
   fsync_fail_every : int;  (* 0 = off; else every Nth WAL fsync fails *)
+  tenant_flood_ms : int;  (* 0 = off; else tenant "flood" executions sleep MS *)
+  quota_skew_ms : int;  (* 0 = off; else alternate quota-clock reads lag MS *)
   n_worker : int Atomic.t;  (* worker executions seen (crash counter) *)
   n_frames : int Atomic.t;  (* outbound frames seen (drop counter) *)
   n_short : int Atomic.t;  (* WAL appends seen (short-write counter) *)
   n_torn : int Atomic.t;  (* WAL appends seen (torn-record counter) *)
   n_fsync : int Atomic.t;  (* WAL appends seen (fsync-fail counter) *)
+  n_skew : int Atomic.t;  (* quota-clock reads seen (skew alternator) *)
 }
 
 let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slow_read_ms = 0)
-    ?(short_write_every = 0) ?(torn_record_every = 0) ?(fsync_fail_every = 0) () =
+    ?(short_write_every = 0) ?(torn_record_every = 0) ?(fsync_fail_every = 0)
+    ?(tenant_flood_ms = 0) ?(quota_skew_ms = 0) () =
   { delay_worker_ms;
     crash_every;
     drop_frame_every;
@@ -29,17 +33,21 @@ let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slo
     short_write_every;
     torn_record_every;
     fsync_fail_every;
+    tenant_flood_ms;
+    quota_skew_ms;
     n_worker = Atomic.make 0;
     n_frames = Atomic.make 0;
     n_short = Atomic.make 0;
     n_torn = Atomic.make 0;
-    n_fsync = Atomic.make 0 }
+    n_fsync = Atomic.make 0;
+    n_skew = Atomic.make 0 }
 
 let none = make ()
 
 let is_none t =
   t.delay_worker_ms = 0 && t.crash_every = 0 && t.drop_frame_every = 0 && t.slow_read_ms = 0
   && t.short_write_every = 0 && t.torn_record_every = 0 && t.fsync_fail_every = 0
+  && t.tenant_flood_ms = 0 && t.quota_skew_ms = 0
 
 let to_string t =
   let knobs =
@@ -51,7 +59,9 @@ let to_string t =
         ("slow-read", t.slow_read_ms);
         ("short-write", t.short_write_every);
         ("torn-record", t.torn_record_every);
-        ("fsync-fail", t.fsync_fail_every) ]
+        ("fsync-fail", t.fsync_fail_every);
+        ("tenant-flood", t.tenant_flood_ms);
+        ("quota-clock-skew", t.quota_skew_ms) ]
   in
   String.concat "," knobs
 
@@ -78,6 +88,8 @@ let parse spec =
             | "short-write" -> go { acc with short_write_every = n } rest
             | "torn-record" -> go { acc with torn_record_every = n } rest
             | "fsync-fail" -> go { acc with fsync_fail_every = n } rest
+            | "tenant-flood" -> go { acc with tenant_flood_ms = n } rest
+            | "quota-clock-skew" -> go { acc with quota_skew_ms = n } rest
             | _ -> Error (Printf.sprintf "unknown fault knob %S" k))
           | _ ->
             Error (Printf.sprintf "fault knob %S: value must be a non-negative integer" part)))
@@ -105,6 +117,22 @@ let worker_entry t =
     raise (Injected_fault (Printf.sprintf "crash-in-worker (execution %d)" (Atomic.get t.n_worker)))
 
 let drop_frame t = nth_hit t.n_frames t.drop_frame_every
+
+let flood_tenant = "flood"
+
+let tenant_entry t ~tenant =
+  if t.tenant_flood_ms > 0 && tenant = flood_tenant then
+    Unix.sleepf (float_of_int t.tenant_flood_ms /. 1000.0)
+
+(* Non-monotonic quota clock: every other read lags [quota_skew_ms]
+   behind real time, so refill arithmetic sees negative deltas — the
+   bucket must clamp them (never un-refill, never double-refill when the
+   clock recovers).  Deterministic: reads alternate true/skewed. *)
+let quota_now t () =
+  let now = Unix.gettimeofday () in
+  if t.quota_skew_ms > 0 && Atomic.fetch_and_add t.n_skew 1 land 1 = 1 then
+    now -. (float_of_int t.quota_skew_ms /. 1000.0)
+  else now
 
 let before_read t =
   if t.slow_read_ms > 0 then Unix.sleepf (float_of_int t.slow_read_ms /. 1000.0)

@@ -26,7 +26,15 @@
     - [torn-record=N] — every Nth WAL append writes a full-length record
       with corrupted payload and fails (only the CRC catches it);
     - [fsync-fail=N] — every Nth WAL append fails at the fsync (the
-      record is truncated back out: an unacknowledged commit).
+      record is truncated back out: an unacknowledged commit);
+    - [tenant-flood=MS] — every worker execution attributed to the
+      tenant named ["flood"] sleeps MS first (other tenants are
+      untouched), turning that tenant into a deterministic backlog
+      builder for fairness tests and the CI fairness-smoke job;
+    - [quota-clock-skew=MS] — every other read of the quota clock lags
+      MS behind real time (a deterministic non-monotonic clock), so the
+      token-bucket refill path must clamp negative deltas instead of
+      minting or destroying allowance.
 
     All three disk faults fail the commit — the client sees an error,
     nothing is applied, and the server degrades to read-only mode
@@ -66,6 +74,17 @@ val worker_entry : t -> unit
 val drop_frame : t -> bool
 (** True when this outbound frame is an Nth [drop-frame] victim and
     must be discarded. *)
+
+val flood_tenant : string
+(** The tenant name ["flood"] targeted by [tenant-flood]. *)
+
+val tenant_entry : t -> tenant:string -> unit
+(** Call at the top of a worker execution with the invocation's resolved
+    tenant: applies [tenant-flood] when the tenant is {!flood_tenant}. *)
+
+val quota_now : t -> unit -> float
+(** The quota machinery's clock: [Unix.gettimeofday] normally; under
+    [quota-clock-skew], alternate reads lag by the configured skew. *)
 
 val before_read : t -> unit
 (** Applies [slow-read] before a server-side socket read. *)

@@ -1,12 +1,24 @@
-(** Domain worker pool with bounded admission and cooperative cancellation.
+(** Domain worker pool with weighted fair admission and cooperative
+    cancellation.
 
     [create] spawns the worker domains up front (sized by
     {!Accum.Parallel.default_workers} when [?workers] is omitted); [submit]
-    either enqueues a job or refuses immediately — the queue is the
+    either enqueues a job or refuses immediately — the queues are the
     admission-control bound, so an overloaded server sheds load instead of
     accumulating latency.  Jobs are plain thunks; their completion is
     observed by polling {!state} (the server's event loop does this on its
     select tick) or blocking in {!await}.
+
+    {b Tenant fairness.}  Each job belongs to a tenant ([submit ?tenant],
+    default [""]).  Tenants get their own bounded sub-queues — a flooding
+    tenant fills and sheds its {e own} backlog ([`Tenant_overloaded])
+    while others keep queuing — and workers dispatch by deficit round
+    robin with unit job cost: a ring of backlogged tenants, each visit
+    granting [weight] deficit and serving that many jobs before rotating.
+    With weights a=2, b=1 and both backlogged, completion order is
+    A A B A A B…  A heavy tenant saturates its own share but never
+    starves a light one; single-tenant workloads behave exactly like the
+    old FIFO queue.
 
     Every job carries a cancel token ([submit ?cancel] shares one the
     caller already holds, e.g. an {!Interrupt} budget's flag).  Flipping
@@ -27,13 +39,23 @@ type 'a state =
   | Done of 'a
   | Failed of string  (** uncaught exception, rendered *)
 
-val create : ?workers:int -> ?queue_capacity:int -> unit -> 'a t
-(** [queue_capacity] defaults to 64 queued (not yet running) jobs. *)
+val create : ?workers:int -> ?queue_capacity:int -> ?per_tenant_capacity:int -> unit -> 'a t
+(** [queue_capacity] (default 64) bounds total queued jobs across all
+    tenants; [per_tenant_capacity] (default = [queue_capacity]) bounds
+    each tenant's sub-queue. *)
 
 val submit :
-  ?cancel:bool Atomic.t -> 'a t -> (unit -> 'a) -> ('a job, [ `Overloaded | `Shutdown ]) result
+  ?cancel:bool Atomic.t ->
+  ?tenant:string ->
+  ?weight:int ->
+  'a t ->
+  (unit -> 'a) ->
+  ('a job, [ `Overloaded | `Tenant_overloaded | `Shutdown ]) result
 (** [cancel] shares an existing cancel flag with the job (defaults to a
-    fresh one). *)
+    fresh one).  [tenant] (default [""]) selects the sub-queue; [weight]
+    (default 1, floored at 1) is the tenant's DRR quantum — it sticks for
+    the sub-queue's current backlogged episode.  [`Overloaded] = global
+    bound hit; [`Tenant_overloaded] = this tenant's own bound hit. *)
 
 val state : 'a job -> 'a state
 
@@ -58,7 +80,11 @@ val await_wakeups : unit -> int
     sleep expiries). *)
 
 val queue_depth : 'a t -> int
-(** Jobs admitted but not yet picked up by a worker. *)
+(** Jobs admitted but not yet picked up by a worker, across all tenants. *)
+
+val tenant_stats : 'a t -> (string * int * int) list
+(** Per-tenant [(name, queued, deficit)] for currently backlogged
+    tenants, sorted by name.  Drained tenants drop out. *)
 
 val running : 'a t -> int
 val workers : 'a t -> int

@@ -11,6 +11,7 @@ type invoke = {
   iv_params : (string * V.t) list;
   iv_timeout_ms : int option;
   iv_no_cache : bool;
+  iv_tenant : string option;
 }
 
 type request =
@@ -56,7 +57,8 @@ type response =
   | Stats_snapshot of J.t
   | Pong
   | Bye
-  | Error of err_code * string
+  | Error of err_code * string * int option
+      (* code, message, retry_after_ms hint (quota refill ETA) *)
 
 let err_code_to_string = function
   | Bad_request -> "bad_request"
@@ -294,6 +296,7 @@ let request_to_json ~id (req : request) : J.t =
         ("query", J.Str iv.iv_query);
         ("params", params_to_json iv.iv_params) ]
       @ (match iv.iv_timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", J.Int ms) ])
+      @ (match iv.iv_tenant with None -> [] | Some t -> [ ("tenant", J.Str t) ])
       @ if iv.iv_no_cache then [ ("no_cache", J.Bool true) ] else []
     | Stats -> [ ("op", J.Str "stats") ]
     | Ping -> [ ("op", J.Str "ping") ]
@@ -342,8 +345,11 @@ let request_of_json (j : J.t) : (int * request, string) result =
          let no_cache =
            match J.member "no_cache" j with Some (J.Bool b) -> b | _ -> false
          in
+         let tenant =
+           match J.member "tenant" j with Some (J.Str t) -> Some t | _ -> None
+         in
          Ok (Invoke { iv_query = q; iv_params = params; iv_timeout_ms = timeout_ms;
-                      iv_no_cache = no_cache })
+                      iv_no_cache = no_cache; iv_tenant = tenant })
        | _ -> Error "invoke without query")
     | Some (J.Str "stats") -> Ok Stats
     | Some (J.Str "ping") -> Ok Ping
@@ -404,10 +410,13 @@ let response_to_json ~id (resp : response) : J.t =
     | Stats_snapshot stats -> [ ("ok", J.Bool true); ("stats", stats) ]
     | Pong -> [ ("ok", J.Bool true); ("pong", J.Bool true) ]
     | Bye -> [ ("ok", J.Bool true); ("bye", J.Bool true) ]
-    | Error (code, msg) ->
+    | Error (code, msg, retry_after_ms) ->
       [ ("ok", J.Bool false);
         ("code", J.Str (err_code_to_string code));
         ("error", J.Str msg) ]
+      @ (match retry_after_ms with
+         | None -> []
+         | Some ms -> [ ("retry_after_ms", J.Int ms) ])
   in
   J.Obj (("id", J.Int id) :: fields)
 
@@ -418,9 +427,12 @@ let response_of_json (j : J.t) : (int * response, string) result =
     | Some (J.Bool false) ->
       (match (J.member "code" j, J.member "error" j) with
        | Some (J.Str code), Some (J.Str msg) ->
+         let retry =
+           match J.member "retry_after_ms" j with Some (J.Int ms) -> Some ms | _ -> None
+         in
          (match err_code_of_string code with
-          | Some c -> Ok (Error (c, msg))
-          | None -> Ok (Error (Internal, code ^ ": " ^ msg)))
+          | Some c -> Ok (Error (c, msg, retry))
+          | None -> Ok (Error (Internal, code ^ ": " ^ msg, retry)))
        | _ -> Result.Error "error response without code/error")
     | Some (J.Bool true) ->
       (match J.member "installed" j with

@@ -18,6 +18,9 @@ type invoke = {
   iv_params : (string * Pgraph.Value.t) list;
   iv_timeout_ms : int option;  (** overrides the server default *)
   iv_no_cache : bool;          (** bypass the cache read (still populates) *)
+  iv_tenant : string option;   (** tenant identity for fair admission and
+                                   quotas; [None] = the connection's
+                                   anonymous per-connection tenant *)
 }
 
 type request =
@@ -67,7 +70,11 @@ type response =
   | Stats_snapshot of Obs.Json.t
   | Pong
   | Bye
-  | Error of err_code * string
+  | Error of err_code * string * int option
+      (** code, message, and an optional machine-readable
+          [retry_after_ms] hint: when present (quota exhaustion, tenant
+          backlog sheds) the client should wait that long before
+          retrying instead of blind exponential backoff *)
 
 val err_code_to_string : err_code -> string
 val err_code_of_string : string -> err_code option

@@ -6,7 +6,17 @@
    completions and blown deadlines, pumps the single-writer lane and
    retires reclaimed workers on every tick.  Obs.Metrics / Obs.Trace are
    domain-safe (mutexed registry, domain-local span stacks), so workers
-   may record too. *)
+   may record too.
+
+   Multi-tenancy (docs/SERVICE.md): every invocation belongs to a tenant
+   — the frame's [tenant] field, or the connection's anonymous per-
+   connection tenant.  Admission is weighted-fair (Pool's deficit round
+   robin over per-tenant bounded sub-queues), quotas are token buckets
+   (Tenant) that cap each execution's Interrupt budget and are charged
+   with actual consumption when the job retires, and degradation under
+   saturation is by cost: cache hits are answered inline on the loop and
+   never queue, never spend quota — the cheap reads that keep flowing
+   while expensive executions shed. *)
 
 module J = Obs.Json
 module P = Protocol
@@ -17,17 +27,22 @@ type config = {
   listen : endpoint;
   workers : int option;
   queue_capacity : int;
+  per_tenant_queue : int;  (* per-tenant sub-queue bound *)
   default_timeout_ms : int;
   max_connections : int;
   max_inflight : int;  (* per-connection in-flight invocation cap *)
   max_frame_bytes : int;  (* inbound frame acceptance cap *)
+  tenant_weights : (string * int) list;  (* DRR weights; unlisted = 1 *)
+  quota_steps : int;  (* per-tenant step tokens per second; 0 = off *)
+  quota_rows : int;  (* per-tenant row tokens per second; 0 = off *)
   faults : Faults.t;
 }
 
 let default_config listen =
-  { listen; workers = None; queue_capacity = 64; default_timeout_ms = 30_000;
-    max_connections = 64; max_inflight = 32; max_frame_bytes = P.max_frame_bytes;
-    faults = Faults.from_env () }
+  { listen; workers = None; queue_capacity = 64; per_tenant_queue = 16;
+    default_timeout_ms = 30_000; max_connections = 64; max_inflight = 32;
+    max_frame_bytes = P.max_frame_bytes; tenant_weights = []; quota_steps = 0;
+    quota_rows = 0; faults = Faults.from_env () }
 
 (* Instrument handles are registered once; recording is a no-op unless the
    caller (serve --trace, BENCH_JSON) enabled the registry. *)
@@ -42,9 +57,29 @@ let m_connections = Obs.Metrics.gauge "service/connections"
 let m_latency = Obs.Metrics.histogram "service/latency_ms"
 let m_cancellations = Obs.Metrics.counter "service/cancellations"
 let m_reclaim = Obs.Metrics.histogram "service/reclaim_ms"
+let m_quota_denials = Obs.Metrics.counter "service/quota_denials"
+let m_inflight_shed = Obs.Metrics.counter "service/inflight_shed"
+
+(* Per-tenant queue-depth gauges, memoized by tenant name and capped so a
+   churn of anonymous tenants cannot grow the metrics registry without
+   bound — named tenants register first and win the slots. *)
+let tenant_gauges : (string, Obs.Metrics.gauge) Hashtbl.t = Hashtbl.create 8
+let max_tenant_gauges = 32
+
+let tenant_gauge name =
+  match Hashtbl.find_opt tenant_gauges name with
+  | Some g -> Some g
+  | None ->
+    if Hashtbl.length tenant_gauges >= max_tenant_gauges then None
+    else begin
+      let g = Obs.Metrics.gauge ("service/tenant_queue_depth/" ^ name) in
+      Hashtbl.add tenant_gauges name g;
+      Some g
+    end
 
 type conn = {
   fd : Unix.file_descr;
+  c_tenant : string;       (* anonymous per-connection tenant identity *)
   mutable rbuf : string;   (* unconsumed input *)
   mutable alive : bool;
   mutable closed : bool;   (* fd released; set exactly once *)
@@ -54,6 +89,7 @@ type pending = {
   p_conn : conn;
   p_id : int;
   p_query : string;
+  p_tenant : string;
   p_job : P.response Pool.job;
   p_budget : Interrupt.budget;
   p_deadline : float;
@@ -68,6 +104,7 @@ type waiting = {
   w_conn : conn;
   w_id : int;
   w_query : string;
+  w_tenant : string;
   w_prepared : Engine.prepared;
   w_deadline : float;
   w_start : float;
@@ -75,10 +112,13 @@ type waiting = {
 
 (* A cancelled job whose worker has not yet unwound: still counted
    against the pool until its state turns Done/Failed, at which point the
-   worker is back in rotation and the reclaim latency is recorded. *)
+   worker is back in rotation and the reclaim latency is recorded — and
+   the tenant is charged the execution's final consumption. *)
 type reclaiming = {
   r_job : P.response Pool.job;
   r_query : string;
+  r_tenant : string;
+  r_budget : Interrupt.budget;
   r_since : float;
 }
 
@@ -86,9 +126,11 @@ type t = {
   engine : Engine.t;
   cfg : config;
   pool : P.response Pool.t;
+  tenants : Tenant.t;
   listen_fd : Unix.file_descr;
   bound : endpoint;
   stop_flag : bool Atomic.t;
+  mutable anon_seq : int;              (* anonymous-tenant name counter *)
   mutable conns : conn list;
   mutable pending : pending list;
   mutable reclaiming : reclaiming list;
@@ -98,6 +140,8 @@ type t = {
   mutable n_overloaded : int;
   mutable n_cancellations : int;
   mutable n_reclaimed : int;
+  mutable n_quota_denied : int;
+  mutable n_inflight_shed : int;
 }
 
 let create cfg engine =
@@ -123,16 +167,43 @@ let create cfg engine =
     | `Tcp (host, _), Unix.ADDR_INET (_, port) -> `Tcp (host, port)
     | ep, _ -> ep
   in
-  let pool = Pool.create ?workers:cfg.workers ~queue_capacity:cfg.queue_capacity () in
-  { engine; cfg; pool; listen_fd = fd; bound; stop_flag = Atomic.make false;
-    conns = []; pending = []; reclaiming = []; writer_busy = false;
+  let pool =
+    Pool.create ?workers:cfg.workers ~queue_capacity:cfg.queue_capacity
+      ~per_tenant_capacity:(max 1 cfg.per_tenant_queue) ()
+  in
+  let tenants =
+    Tenant.create ~now:(Faults.quota_now cfg.faults) ~weights:cfg.tenant_weights
+      ~quota_steps:cfg.quota_steps ~quota_rows:cfg.quota_rows ()
+  in
+  { engine; cfg; pool; tenants; listen_fd = fd; bound; stop_flag = Atomic.make false;
+    anon_seq = 0; conns = []; pending = []; reclaiming = []; writer_busy = false;
     writer_waiting = []; n_timeouts = 0; n_overloaded = 0;
-    n_cancellations = 0; n_reclaimed = 0 }
+    n_cancellations = 0; n_reclaimed = 0; n_quota_denied = 0; n_inflight_shed = 0 }
 
 let endpoint t = t.bound
 let stop t = Atomic.set t.stop_flag true
 
 let now () = Unix.gettimeofday ()
+
+(* The invocation's tenant: the frame's claim, else the connection's
+   anonymous identity — so an unmodified client still lands in its own
+   sub-queue rather than sharing one global bucket with every stranger. *)
+let tenant_of conn (iv : P.invoke) =
+  match iv.P.iv_tenant with Some s when s <> "" -> s | _ -> conn.c_tenant
+
+(* Charge the tenant the execution's actual consumption, read from the
+   retired budget's cumulative counters.  No-op when quotas are off. *)
+let charge_budget t ~tenant budget =
+  Tenant.charge t.tenants tenant ~steps:(Interrupt.steps budget) ~rows:(Interrupt.rows budget)
+
+(* Quota-governed resource_limit responses carry the tenant's refill ETA
+   so clients wait precisely instead of guessing a backoff.  Called after
+   the charge, so the ETA reflects the spend that triggered it. *)
+let decorate_quota t ~tenant resp =
+  match resp with
+  | P.Error (P.Resource_limit, msg, None) when Tenant.quota_active t.tenants ->
+    P.Error (P.Resource_limit, msg, Some (Tenant.retry_after_ms t.tenants tenant))
+  | r -> r
 
 let send t conn ~id resp =
   if conn.alive then
@@ -147,7 +218,7 @@ let send t conn ~id resp =
         (try
            P.write_frame conn.fd
              (P.response_to_json ~id
-                (P.Error (P.Internal, "response exceeds the frame size limit")))
+                (P.Error (P.Internal, "response exceeds the frame size limit", None)))
          with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
 
 (* Cancel an in-flight job and track it until its worker unwinds — the
@@ -156,11 +227,15 @@ let cancel_pending t (p : pending) ~at =
   t.n_cancellations <- t.n_cancellations + 1;
   Obs.Metrics.incr m_cancellations 1;
   Interrupt.cancel p.p_budget;
-  t.reclaiming <- { r_job = p.p_job; r_query = p.p_query; r_since = at } :: t.reclaiming
+  t.reclaiming <-
+    { r_job = p.p_job; r_query = p.p_query; r_tenant = p.p_tenant;
+      r_budget = p.p_budget; r_since = at }
+    :: t.reclaiming
 
 (* Retire reclaiming entries whose job completed: the worker is back in
-   rotation.  The result (if any) is discarded — the requester was already
-   answered when the cancellation was issued. *)
+   rotation and the tenant is charged the final consumption.  The result
+   (if any) is discarded — the requester was already answered when the
+   cancellation was issued. *)
 let sweep_reclaiming t =
   let tick_now = now () in
   t.reclaiming <-
@@ -170,6 +245,7 @@ let sweep_reclaiming t =
         | Pool.Done _ | Pool.Failed _ ->
           t.n_reclaimed <- t.n_reclaimed + 1;
           Obs.Metrics.observe m_reclaim ((tick_now -. r.r_since) *. 1000.0);
+          charge_budget t ~tenant:r.r_tenant r.r_budget;
           false
         | Pool.Queued | Pool.Running -> true)
       t.reclaiming
@@ -191,17 +267,23 @@ let close_conn t conn =
      Parked writers are simply dropped — they never reached the pool. *)
   let gone, still = List.partition (fun p -> p.p_conn == conn) t.pending in
   let at = now () in
-  List.iter (fun p -> cancel_pending t p ~at) gone;
+  List.iter
+    (fun p ->
+      Tenant.record t.tenants p.p_tenant `Completed;
+      cancel_pending t p ~at)
+    gone;
   t.pending <- still;
-  t.writer_waiting <- List.filter (fun w -> w.w_conn != conn) t.writer_waiting
+  let parked, rest = List.partition (fun w -> w.w_conn == conn) t.writer_waiting in
+  List.iter (fun w -> Tenant.record t.tenants w.w_tenant `Completed) parked;
+  t.writer_waiting <- rest
 
 let record_outcome ~query ~ms resp =
   Obs.Metrics.incr m_requests 1;
   (match resp with
    | P.Result { rs_cached = true; _ } -> Obs.Metrics.incr m_cache_hits 1
    | P.Result _ -> Obs.Metrics.incr m_cache_misses 1
-   | P.Error (P.Timeout, _) -> Obs.Metrics.incr m_timeouts 1
-   | P.Error (P.Overloaded, _) -> Obs.Metrics.incr m_overloaded 1
+   | P.Error (P.Timeout, _, _) -> Obs.Metrics.incr m_timeouts 1
+   | P.Error (P.Overloaded, _, _) -> Obs.Metrics.incr m_overloaded 1
    | P.Error _ -> Obs.Metrics.incr m_errors 1
    | _ -> ());
   Obs.Metrics.observe m_latency ms;
@@ -213,10 +295,28 @@ let record_outcome ~query ~ms resp =
           J.Str
             (match resp with
              | P.Result { rs_cached; _ } -> if rs_cached then "hit" else "executed"
-             | P.Error (code, _) -> P.err_code_to_string code
+             | P.Error (code, _, _) -> P.err_code_to_string code
              | _ -> "ok") ) ]
 
 let server_stats t =
+  (* Per-tenant accounting merged with the pool's live queue state.  The
+     identity every tenant satisfies: requests seen = admitted + ready +
+     shed + quota_denials, and admitted = completed + in flight. *)
+  let pool_rows = Pool.tenant_stats t.pool in
+  let tenant_objs =
+    List.map
+      (fun (name, snap) ->
+        let queued, deficit =
+          match List.find_opt (fun (n, _, _) -> n = name) pool_rows with
+          | Some (_, q, d) -> (q, d)
+          | None -> (0, 0)
+        in
+        ( name,
+          Tenant.snap_to_json
+            ~extra:[ ("queued", J.Int queued); ("deficit", J.Int deficit) ]
+            snap ))
+      (Tenant.snapshot t.tenants)
+  in
   [ ("connections", J.Int (List.length t.conns));
     ("pending", J.Int (List.length t.pending));
     ("queue_depth", J.Int (Pool.queue_depth t.pool));
@@ -234,36 +334,58 @@ let server_stats t =
     ("writer_busy", J.Bool t.writer_busy);
     ("writer_waiting", J.Int (List.length t.writer_waiting));
     ("max_inflight", J.Int t.cfg.max_inflight);
+    ("inflight_shed", J.Int t.n_inflight_shed);
+    ("quota_denials", J.Int t.n_quota_denied);
+    ("per_tenant_queue", J.Int t.cfg.per_tenant_queue);
+    ("tenants", J.Obj tenant_objs);
     ("default_timeout_ms", J.Int t.cfg.default_timeout_ms) ]
 
 (* Hand a prepared invocation to the pool and start tracking it.  Both the
    read path (directly from [handle_request]) and the writer lane (via
-   [pump_writers]) land here; a mutating submission occupies the lane. *)
-let submit_job t conn ~id ~query ~(prepared : Engine.prepared) ~deadline ~start =
+   [pump_writers]) land here; a mutating submission occupies the lane.
+   [via_lane] marks a parked writer already counted admitted — a refusal
+   now retires it (answered) rather than double-counting a shed. *)
+let submit_job t conn ~id ~query ~tenant ~via_lane ~(prepared : Engine.prepared) ~deadline
+    ~start =
   let faults = t.cfg.faults in
   let thunk () =
+    Faults.tenant_entry faults ~tenant;
     Faults.worker_entry faults;
     prepared.Engine.pr_thunk ()
+  in
+  let refuse resp =
+    t.n_overloaded <- t.n_overloaded + 1;
+    Tenant.record t.tenants tenant (if via_lane then `Completed else `Shed);
+    record_outcome ~query ~ms:0.0 resp;
+    send t conn ~id resp
   in
   (* The job shares the budget's cancel flag, so flipping either stops
      both the queued job and the running execution. *)
   match
-    Pool.submit ~cancel:(Interrupt.cancel_token prepared.Engine.pr_budget) t.pool thunk
+    Pool.submit
+      ~cancel:(Interrupt.cancel_token prepared.Engine.pr_budget)
+      ~tenant ~weight:(Tenant.weight t.tenants tenant) t.pool thunk
   with
   | Ok job ->
+    if not via_lane then Tenant.record t.tenants tenant `Admitted;
     if prepared.Engine.pr_mutating then t.writer_busy <- true;
     t.pending <-
-      { p_conn = conn; p_id = id; p_query = query; p_job = job;
+      { p_conn = conn; p_id = id; p_query = query; p_tenant = tenant; p_job = job;
         p_budget = prepared.Engine.pr_budget; p_deadline = deadline;
         p_start = start; p_mutating = prepared.Engine.pr_mutating }
       :: t.pending
-  | Error `Overloaded ->
-    t.n_overloaded <- t.n_overloaded + 1;
-    let resp = P.Error (P.Overloaded, "admission queue full") in
-    record_outcome ~query ~ms:0.0 resp;
-    send t conn ~id resp
+  | Error `Overloaded -> refuse (P.Error (P.Overloaded, "admission queue full", None))
+  | Error `Tenant_overloaded ->
+    (* The flooding tenant sheds its own backlog; other tenants' queues
+       are untouched. *)
+    refuse
+      (P.Error
+         ( P.Overloaded,
+           Printf.sprintf "tenant %s queue full (%d)" tenant t.cfg.per_tenant_queue,
+           None ))
   | Error `Shutdown ->
-    send t conn ~id (P.Error (P.Shutting_down, "server stopping"))
+    Tenant.record t.tenants tenant (if via_lane then `Completed else `Shed);
+    send t conn ~id (P.Error (P.Shutting_down, "server stopping", None))
 
 (* Pop the writer lane after the in-flight writer retires.  Dead or
    already-expired waiters are answered/dropped without consuming the
@@ -275,21 +397,26 @@ let rec pump_writers t =
     | w :: rest ->
       t.writer_waiting <- rest;
       let tick_now = now () in
-      if not w.w_conn.alive then pump_writers t
+      if not w.w_conn.alive then begin
+        Tenant.record t.tenants w.w_tenant `Completed;
+        pump_writers t
+      end
       else if tick_now >= w.w_deadline then begin
         t.n_timeouts <- t.n_timeouts + 1;
+        Tenant.record t.tenants w.w_tenant `Completed;
         let resp =
           P.Error
-            (P.Timeout,
-             Printf.sprintf "%s exceeded its deadline in the writer queue" w.w_query)
+            ( P.Timeout,
+              Printf.sprintf "%s exceeded its deadline in the writer queue" w.w_query,
+              None )
         in
         record_outcome ~query:w.w_query ~ms:((tick_now -. w.w_start) *. 1000.0) resp;
         send t w.w_conn ~id:w.w_id resp;
         pump_writers t
       end
       else begin
-        submit_job t w.w_conn ~id:w.w_id ~query:w.w_query ~prepared:w.w_prepared
-          ~deadline:w.w_deadline ~start:w.w_start;
+        submit_job t w.w_conn ~id:w.w_id ~query:w.w_query ~tenant:w.w_tenant
+          ~via_lane:true ~prepared:w.w_prepared ~deadline:w.w_deadline ~start:w.w_start;
         (* A failed submission (overloaded/shutdown) was answered inside
            [submit_job] and leaves the lane free: keep pumping. *)
         pump_writers t
@@ -307,6 +434,7 @@ let handle_request t conn ~id (req : P.request) =
     send t conn ~id P.Bye;
     stop t
   | P.Invoke iv ->
+    let tenant = tenant_of conn iv in
     (* Fairness stopgap: one pipelining connection cannot occupy every
        worker (and the writer queue) while others starve. *)
     let inflight =
@@ -316,46 +444,78 @@ let handle_request t conn ~id (req : P.request) =
     in
     if inflight >= t.cfg.max_inflight then begin
       t.n_overloaded <- t.n_overloaded + 1;
+      t.n_inflight_shed <- t.n_inflight_shed + 1;
+      Obs.Metrics.incr m_inflight_shed 1;
+      Tenant.record t.tenants tenant `Shed;
       let resp =
         P.Error
-          (P.Overloaded,
-           Printf.sprintf "per-connection in-flight cap reached (%d)"
-             t.cfg.max_inflight)
+          ( P.Overloaded,
+            Printf.sprintf "per-connection in-flight cap reached (%d)"
+              t.cfg.max_inflight,
+            None )
       in
       record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
       send t conn ~id resp
     end
     else begin
       let t0 = now () in
-      match Engine.prepare_invoke t.engine iv with
+      let tenant_limits =
+        if Tenant.quota_active t.tenants then Some (Tenant.limits t.tenants tenant)
+        else None
+      in
+      match Engine.prepare_invoke ?tenant_limits t.engine iv with
       | `Ready resp ->
+        (* Cache hits and immediate errors are answered inline: they never
+           queue and never spend quota.  This is the degradation order —
+           cheap reads keep flowing for a saturated or quota-exhausted
+           tenant while its expensive executions shed. *)
+        Tenant.record t.tenants tenant `Ready;
         record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
         send t conn ~id resp
-      | `Run prepared ->
-        let timeout_ms =
-          match iv.P.iv_timeout_ms with
-          | Some ms when ms > 0 -> ms
-          | _ -> t.cfg.default_timeout_ms
-        in
-        let deadline = t0 +. (float_of_int timeout_ms /. 1000.0) in
-        if prepared.Engine.pr_mutating
-           && (t.writer_busy || t.writer_waiting <> []) then begin
-          (* Lane occupied: park in FIFO order behind the in-flight writer
-             (the non-empty-queue check keeps admission order fair). *)
-          if List.length t.writer_waiting >= t.cfg.queue_capacity then begin
-            t.n_overloaded <- t.n_overloaded + 1;
-            let resp = P.Error (P.Overloaded, "writer queue full") in
-            record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
-            send t conn ~id resp
+      | `Run prepared -> (
+        match Tenant.admit t.tenants tenant with
+        | `Denied retry_ms ->
+          t.n_quota_denied <- t.n_quota_denied + 1;
+          Obs.Metrics.incr m_quota_denials 1;
+          Tenant.record t.tenants tenant `Quota_denied;
+          let resp =
+            P.Error
+              ( P.Resource_limit,
+                Printf.sprintf "tenant %s quota exhausted" tenant,
+                Some retry_ms )
+          in
+          record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
+          send t conn ~id resp
+        | `Ok ->
+          let timeout_ms =
+            match iv.P.iv_timeout_ms with
+            | Some ms when ms > 0 -> ms
+            | _ -> t.cfg.default_timeout_ms
+          in
+          let deadline = t0 +. (float_of_int timeout_ms /. 1000.0) in
+          if prepared.Engine.pr_mutating
+             && (t.writer_busy || t.writer_waiting <> []) then begin
+            (* Lane occupied: park in FIFO order behind the in-flight writer
+               (the non-empty-queue check keeps admission order fair). *)
+            if List.length t.writer_waiting >= t.cfg.queue_capacity then begin
+              t.n_overloaded <- t.n_overloaded + 1;
+              Tenant.record t.tenants tenant `Shed;
+              let resp = P.Error (P.Overloaded, "writer queue full", None) in
+              record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
+              send t conn ~id resp
+            end
+            else begin
+              Tenant.record t.tenants tenant `Admitted;
+              t.writer_waiting <-
+                t.writer_waiting
+                @ [ { w_conn = conn; w_id = id; w_query = iv.P.iv_query;
+                      w_tenant = tenant; w_prepared = prepared;
+                      w_deadline = deadline; w_start = t0 } ]
+            end
           end
           else
-            t.writer_waiting <-
-              t.writer_waiting
-              @ [ { w_conn = conn; w_id = id; w_query = iv.P.iv_query;
-                    w_prepared = prepared; w_deadline = deadline; w_start = t0 } ]
-        end
-        else
-          submit_job t conn ~id ~query:iv.P.iv_query ~prepared ~deadline ~start:t0
+            submit_job t conn ~id ~query:iv.P.iv_query ~tenant ~via_lane:false
+              ~prepared ~deadline ~start:t0)
     end
 
 let handle_frame t conn = function
@@ -363,14 +523,14 @@ let handle_frame t conn = function
     (* A frame-level error — oversized length header or undecodable
        payload — leaves the stream unsynchronized (the next frame boundary
        cannot be trusted), so answer with a protocol error and close. *)
-    send t conn ~id:0 (P.Error (P.Bad_request, msg));
+    send t conn ~id:0 (P.Error (P.Bad_request, msg, None));
     close_conn t conn
   | Ok payload ->
     (match P.request_of_json payload with
      | Result.Error msg ->
        (* Bad envelope inside a well-delimited frame: the stream is still
           framed correctly, so the connection survives. *)
-       send t conn ~id:0 (P.Error (P.Bad_request, msg))
+       send t conn ~id:0 (P.Error (P.Bad_request, msg, None))
      | Ok (id, req) -> handle_request t conn ~id req)
 
 let drain_conn_buffer t conn =
@@ -405,19 +565,36 @@ let accept_ready t =
     | fd, _ ->
       if List.length t.conns >= t.cfg.max_connections then begin
         (* Shed the connection with an explanation rather than a raw close. *)
-        (try P.write_frame fd (P.response_to_json ~id:0 (P.Error (P.Overloaded, "connection limit")))
+        (try
+           P.write_frame fd
+             (P.response_to_json ~id:0 (P.Error (P.Overloaded, "connection limit", None)))
          with Unix.Unix_error _ | Sys_error _ -> ());
         try Unix.close fd with Unix.Unix_error _ -> ()
       end
       else begin
         Unix.set_nonblock fd;
-        t.conns <- { fd; rbuf = ""; alive = true; closed = false } :: t.conns;
+        t.anon_seq <- t.anon_seq + 1;
+        t.conns <-
+          { fd; c_tenant = Printf.sprintf "anon#%d" t.anon_seq; rbuf = "";
+            alive = true; closed = false }
+          :: t.conns;
         go ()
       end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   in
   go ()
+
+(* Retire one answered pending entry: tenant accounting first (charge the
+   budget's actual consumption), then the response — decorated with the
+   tenant's refill ETA when a quota drove it into Resource_limit. *)
+let retire_pending t (p : pending) resp ~at =
+  charge_budget t ~tenant:p.p_tenant p.p_budget;
+  Tenant.record t.tenants p.p_tenant `Completed;
+  let resp = decorate_quota t ~tenant:p.p_tenant resp in
+  let ms = (at -. p.p_start) *. 1000.0 in
+  record_outcome ~query:p.p_query ~ms resp;
+  send t p.p_conn ~id:p.p_id resp
 
 let sweep_pending t =
   let tick_now = now () in
@@ -426,34 +603,31 @@ let sweep_pending t =
       (fun p ->
         if not p.p_conn.alive then begin
           (* Writer noticed the peer is gone (failed send): reclaim. *)
+          Tenant.record t.tenants p.p_tenant `Completed;
           cancel_pending t p ~at:tick_now;
           false
         end
         else
           match Pool.state p.p_job with
           | Pool.Done resp ->
-            let ms = (tick_now -. p.p_start) *. 1000.0 in
-            record_outcome ~query:p.p_query ~ms resp;
-            send t p.p_conn ~id:p.p_id resp;
+            retire_pending t p resp ~at:tick_now;
             false
           | Pool.Failed msg ->
-            let resp = P.Error (P.Internal, msg) in
-            record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
-            send t p.p_conn ~id:p.p_id resp;
+            retire_pending t p (P.Error (P.Internal, msg, None)) ~at:tick_now;
             false
           | Pool.Queued | Pool.Running ->
             if tick_now >= p.p_deadline then begin
               t.n_timeouts <- t.n_timeouts + 1;
+              Tenant.record t.tenants p.p_tenant `Completed;
               let resp =
                 P.Error
-                  (P.Timeout,
-                   Printf.sprintf "%s exceeded its deadline" p.p_query)
+                  (P.Timeout, Printf.sprintf "%s exceeded its deadline" p.p_query, None)
               in
               record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
               send t p.p_conn ~id:p.p_id resp;
               (* Cancelled, not abandoned: the budget's flag is flipped and
                  the worker unwinds at its next checkpoint (tracked in
-                 t.reclaiming until it does). *)
+                 t.reclaiming until it does, then charged to the tenant). *)
               cancel_pending t p ~at:tick_now;
               false
             end
@@ -465,6 +639,21 @@ let sweep_pending t =
      lane state correct no matter which path removed the mutating job. *)
   t.writer_busy <- List.exists (fun p -> p.p_mutating) t.pending
 
+let set_tenant_gauges t =
+  let rows = Pool.tenant_stats t.pool in
+  List.iter
+    (fun (name, depth, _) ->
+      match tenant_gauge name with
+      | Some g -> Obs.Metrics.set_gauge g (float_of_int depth)
+      | None -> ())
+    rows;
+  (* Drained tenants' gauges drop back to zero. *)
+  Hashtbl.iter
+    (fun name g ->
+      if not (List.exists (fun (n, _, _) -> n = name) rows) then
+        Obs.Metrics.set_gauge g 0.0)
+    tenant_gauges
+
 let run t =
   let tick = 0.02 in
   while not (Atomic.get t.stop_flag) do
@@ -474,6 +663,7 @@ let run t =
     t.conns <- List.filter (fun c -> not c.closed) t.conns;
     Obs.Metrics.set_gauge m_connections (float_of_int (List.length t.conns));
     Obs.Metrics.set_gauge m_queue_depth (float_of_int (Pool.queue_depth t.pool));
+    set_tenant_gauges t;
     let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
     let readable, _, _ =
       try Unix.select fds [] [] tick
@@ -495,15 +685,18 @@ let run t =
    | `Tcp _ -> ());
   (* Parked writers never reached the pool: answer and forget. *)
   List.iter
-    (fun w -> send t w.w_conn ~id:w.w_id (P.Error (P.Shutting_down, "server stopping")))
+    (fun w ->
+      Tenant.record t.tenants w.w_tenant `Completed;
+      send t w.w_conn ~id:w.w_id (P.Error (P.Shutting_down, "server stopping", None)))
     t.writer_waiting;
   t.writer_waiting <- [];
   List.iter
     (fun p ->
+      Tenant.record t.tenants p.p_tenant `Completed;
       match Pool.state p.p_job with
       | Pool.Done resp -> send t p.p_conn ~id:p.p_id resp
       | _ ->
-        send t p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping"));
+        send t p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping", None));
         (* Cancel so Pool.shutdown's worker join is bounded by one
            checkpoint interval, not by the query's natural runtime. *)
         Interrupt.cancel p.p_budget)

@@ -30,15 +30,33 @@
     protocol errors (oversized length header, undecodable payload) are
     answered with [Bad_request] and close the connection, because the
     stream can no longer be re-synchronized; a bad envelope inside a
-    well-formed frame only fails that request. *)
+    well-formed frame only fails that request.
+
+    {b Multi-tenancy} (docs/SERVICE.md): every invocation belongs to a
+    tenant — the frame's [tenant] field, or an anonymous per-connection
+    identity.  Admission is weighted-fair ({!Pool}'s deficit round robin
+    over per-tenant bounded sub-queues, weights from [tenant_weights]);
+    per-tenant token-bucket quotas ([quota_steps]/[quota_rows], {!Tenant})
+    gate admission, cap each execution's {!Interrupt} budget, and are
+    charged actual consumption when the job retires — exhaustion answers
+    [Error (Resource_limit, _, Some retry_after_ms)].  Under saturation
+    the degradation order is by cost: cache hits are answered inline and
+    spend no quota, so a flooded or exhausted tenant's cheap reads keep
+    flowing while its expensive executions shed first.  The stats
+    response carries a ["tenants"] object (admitted / ready / shed /
+    quota_denials / completed / remaining allowance / live queue depth
+    and deficit per tenant). *)
 
 type endpoint = [ `Unix of string | `Tcp of string * int ]
 
 type config = {
   listen : endpoint;
   workers : int option;        (** [None] = {!Accum.Parallel.default_workers} *)
-  queue_capacity : int;        (** admission bound (queued, not running); also
-                                   bounds the writer-lane FIFO *)
+  queue_capacity : int;        (** global admission bound (queued, not running);
+                                   also bounds the writer-lane FIFO *)
+  per_tenant_queue : int;      (** per-tenant sub-queue bound: a flooding
+                                   tenant sheds its own backlog at this depth
+                                   while others keep queuing *)
   default_timeout_ms : int;    (** per-request deadline when the client sets none *)
   max_connections : int;
   max_inflight : int;          (** per-connection in-flight invocation cap; the
@@ -48,12 +66,20 @@ type config = {
   max_frame_bytes : int;       (** inbound frames above this are a protocol
                                    error and close the connection (capped by
                                    {!Protocol.max_frame_bytes}) *)
+  tenant_weights : (string * int) list;
+                               (** DRR admission weights; unlisted tenants
+                                   weigh 1 (floored at 1) *)
+  quota_steps : int;           (** per-tenant step tokens per second (burst =
+                                   one second's worth); 0 = no step quota *)
+  quota_rows : int;            (** per-tenant row tokens per second; 0 = no
+                                   row quota *)
   faults : Faults.t;           (** injection knobs; {!Faults.none} in production *)
 }
 
 val default_config : endpoint -> config
-(** workers = cores, queue 64, timeout 30s, 64 connections, 32 in-flight
-    per connection, frames up to {!Protocol.max_frame_bytes}, faults from
+(** workers = cores, queue 64 (16 per tenant), timeout 30s, 64
+    connections, 32 in-flight per connection, frames up to
+    {!Protocol.max_frame_bytes}, no weights, no quotas, faults from
     [GSQL_FAULTS] (none when unset). *)
 
 type t

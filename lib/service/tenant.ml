@@ -1,0 +1,211 @@
+(* Per-tenant quota buckets and admission counters.
+
+   One registry per server.  Each tenant lazily gets a pair of token
+   buckets (steps, rows) refilled on a wall-clock schedule, plus the
+   admission counters the stats endpoint reports.  The clock is injected
+   (Faults.quota_now routes quota-clock-skew through here; tests pass a
+   fake), and refill clamps non-monotonic readings: a skewed clock can
+   delay a refill but never mint allowance or un-refill the bucket. *)
+
+module J = Obs.Json
+
+type bucket = {
+  rate : float;  (* tokens per second *)
+  burst : float;  (* capacity; buckets start full *)
+  mutable level : float;  (* may go negative: debt from amortized overshoot *)
+  mutable last : float;  (* high-water clock reading *)
+}
+
+type entry = {
+  e_steps : bucket option;
+  e_rows : bucket option;
+  mutable e_admitted : int;  (* handed to the pool / writer lane *)
+  mutable e_ready : int;  (* answered inline: cache hits, immediate errors *)
+  mutable e_shed : int;  (* overloaded: tenant queue, global queue, inflight cap *)
+  mutable e_quota_denials : int;  (* refused upfront on an empty bucket *)
+  mutable e_completed : int;  (* admitted jobs answered (any outcome) *)
+}
+
+type t = {
+  m : Mutex.t;
+  now : unit -> float;
+  weights : (string * int) list;
+  quota_steps : int;  (* tokens/second/tenant; 0 = unlimited *)
+  quota_rows : int;
+  tenants : (string, entry) Hashtbl.t;
+}
+
+let create ?now ?(weights = []) ?(quota_steps = 0) ?(quota_rows = 0) () =
+  { m = Mutex.create ();
+    now = (match now with Some f -> f | None -> Unix.gettimeofday);
+    weights = List.map (fun (n, w) -> (n, max 1 w)) weights;
+    quota_steps = max 0 quota_steps;
+    quota_rows = max 0 quota_rows;
+    tenants = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let weight t name =
+  match List.assoc_opt name t.weights with Some w -> w | None -> 1
+
+let weights t = t.weights
+let quota_active t = t.quota_steps > 0 || t.quota_rows > 0
+
+let bucket_make ~now rate_per_s =
+  let r = float_of_int rate_per_s in
+  { rate = r; burst = r; level = r; last = now }
+
+let refill ~now b =
+  if now > b.last then begin
+    b.level <- Float.min b.burst (b.level +. ((now -. b.last) *. b.rate));
+    b.last <- now
+  end
+
+(* Admission floor: a denied tenant is told to come back once an eighth
+   of the burst (at least one token) has refilled, so a retry lands with
+   a workable budget instead of thrashing on single tokens. *)
+let min_grant b = Float.max 1.0 (b.burst /. 8.0)
+
+let eta_ms ~now b =
+  refill ~now b;
+  let needed = min_grant b -. b.level in
+  if needed <= 0.0 then 1
+  else max 1 (int_of_float (Float.ceil (needed /. b.rate *. 1000.0)))
+
+let entry_for t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some e -> e
+  | None ->
+    let now = t.now () in
+    let e =
+      { e_steps = (if t.quota_steps > 0 then Some (bucket_make ~now t.quota_steps) else None);
+        e_rows = (if t.quota_rows > 0 then Some (bucket_make ~now t.quota_rows) else None);
+        e_admitted = 0;
+        e_ready = 0;
+        e_shed = 0;
+        e_quota_denials = 0;
+        e_completed = 0 }
+    in
+    Hashtbl.add t.tenants name e;
+    e
+
+(* Quota gate at admission: `Ok when every governed bucket holds at
+   least its min-grant, otherwise `Denied with the refill ETA (the max
+   across starved buckets — both must recover before a retry helps). *)
+let admit t name =
+  locked t (fun () ->
+      let e = entry_for t name in
+      let now = t.now () in
+      let starved b =
+        refill ~now b;
+        b.level < min_grant b
+      in
+      let check = function Some b when starved b -> Some (eta_ms ~now b) | _ -> None in
+      match (check e.e_steps, check e.e_rows) with
+      | None, None -> `Ok
+      | a, b -> `Denied (max (Option.value ~default:0 a) (Option.value ~default:0 b)))
+
+(* The tenant's remaining allowance as a limits record, for min-merging
+   into the execution's Interrupt budget.  Floors at 1 so an admitted
+   invocation always gets a live budget (admit already gated on
+   min_grant). *)
+let limits t name =
+  if not (quota_active t) then Interrupt.no_limits
+  else
+    locked t (fun () ->
+        let e = entry_for t name in
+        let now = t.now () in
+        let cap = function
+          | None -> None
+          | Some b ->
+            refill ~now b;
+            Some (max 1 (int_of_float b.level))
+        in
+        { Interrupt.l_timeout_ms = None;
+          l_max_steps = cap e.e_steps;
+          l_max_rows = cap e.e_rows })
+
+(* Charge actual consumption after the execution retires.  The level may
+   go negative (amortized checking overshoots small budgets); debt is
+   bounded at one burst so a tenant cannot be locked out forever. *)
+let charge t name ~steps ~rows =
+  if quota_active t && (steps > 0 || rows > 0) then
+    locked t (fun () ->
+        let e = entry_for t name in
+        let now = t.now () in
+        let spend b n =
+          match b with
+          | None -> ()
+          | Some b ->
+            refill ~now b;
+            b.level <- Float.max (-.b.burst) (b.level -. float_of_int n)
+        in
+        spend e.e_steps steps;
+        spend e.e_rows rows)
+
+let retry_after_ms t name =
+  locked t (fun () ->
+      let e = entry_for t name in
+      let now = t.now () in
+      let eta = function None -> 0 | Some b -> eta_ms ~now b in
+      max 1 (max (eta e.e_steps) (eta e.e_rows)))
+
+let record t name outcome =
+  locked t (fun () ->
+      let e = entry_for t name in
+      match outcome with
+      | `Admitted -> e.e_admitted <- e.e_admitted + 1
+      | `Ready -> e.e_ready <- e.e_ready + 1
+      | `Shed -> e.e_shed <- e.e_shed + 1
+      | `Quota_denied -> e.e_quota_denials <- e.e_quota_denials + 1
+      | `Completed -> e.e_completed <- e.e_completed + 1)
+
+type snap = {
+  s_admitted : int;
+  s_ready : int;
+  s_shed : int;
+  s_quota_denials : int;
+  s_completed : int;
+  s_steps_remaining : int option;
+  s_rows_remaining : int option;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let now = t.now () in
+      let remaining = function
+        | None -> None
+        | Some b ->
+          refill ~now b;
+          Some (int_of_float (Float.max 0.0 b.level))
+      in
+      Hashtbl.fold
+        (fun name e acc ->
+          ( name,
+            { s_admitted = e.e_admitted;
+              s_ready = e.e_ready;
+              s_shed = e.e_shed;
+              s_quota_denials = e.e_quota_denials;
+              s_completed = e.e_completed;
+              s_steps_remaining = remaining e.e_steps;
+              s_rows_remaining = remaining e.e_rows } )
+          :: acc)
+        t.tenants []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let snap_to_json ?(extra = []) s =
+  J.Obj
+    ([ ("admitted", J.Int s.s_admitted);
+       ("ready", J.Int s.s_ready);
+       ("shed", J.Int s.s_shed);
+       ("quota_denials", J.Int s.s_quota_denials);
+       ("completed", J.Int s.s_completed) ]
+    @ (match s.s_steps_remaining with
+       | None -> []
+       | Some n -> [ ("steps_remaining", J.Int n) ])
+    @ (match s.s_rows_remaining with
+       | None -> []
+       | Some n -> [ ("rows_remaining", J.Int n) ])
+    @ extra)

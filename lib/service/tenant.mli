@@ -1,0 +1,81 @@
+(** Per-tenant quota buckets and admission counters.
+
+    One registry per server.  Each tenant lazily gets a pair of token
+    buckets — steps and rows, refilled at [quota_steps]/[quota_rows]
+    tokens per second with a one-second burst — plus the admission
+    counters the stats endpoint reports per tenant.
+
+    The clock is injected: the server passes {!Faults.quota_now} so the
+    [quota-clock-skew] knob reaches the refill path, and tests pass a
+    fake clock for determinism.  Refill clamps non-monotonic readings —
+    a clock that jumps backwards can delay a refill but never mints
+    allowance and never un-refills a bucket.
+
+    Quota flow (see docs/SERVICE.md):
+    + {!admit} gates admission — a tenant whose bucket is below the
+      min-grant floor (an eighth of the burst) is denied with a refill
+      ETA, surfaced to the client as [Resource_limit] + [retry_after_ms];
+    + {!limits} caps the admitted execution's {!Interrupt} budget at the
+      tenant's remaining allowance (min-merged with the server limits);
+    + {!charge} debits actual consumption when the job retires.  Debt
+      (amortized checking can overshoot a small budget) is bounded at
+      one burst, so a tenant is never locked out for more than ~2s. *)
+
+type t
+
+val create :
+  ?now:(unit -> float) ->
+  ?weights:(string * int) list ->
+  ?quota_steps:int ->
+  ?quota_rows:int ->
+  unit -> t
+(** [now] defaults to [Unix.gettimeofday]. [weights] are DRR admission
+    weights (floored at 1; unlisted tenants weigh 1). [quota_steps] /
+    [quota_rows] are per-tenant refill rates in tokens/second; 0 (the
+    default) disables that quota. *)
+
+val weight : t -> string -> int
+val weights : t -> (string * int) list
+
+val quota_active : t -> bool
+(** True when at least one quota rate is non-zero. *)
+
+val admit : t -> string -> [ `Ok | `Denied of int ]
+(** Quota gate at admission. [`Denied ms] carries the refill ETA until
+    the min-grant floor, for the [retry_after_ms] hint. *)
+
+val limits : t -> string -> Interrupt.limits
+(** The tenant's remaining allowance as a limits record ([l_timeout_ms]
+    is [None]; ungoverned dimensions are [None]). Floored at 1 so an
+    admitted invocation always gets a live budget. *)
+
+val charge : t -> string -> steps:int -> rows:int -> unit
+(** Debit actual consumption (from {!Interrupt.steps}/{!Interrupt.rows}
+    of the retired budget). No-op when quotas are off. *)
+
+val retry_after_ms : t -> string -> int
+(** Refill ETA (>= 1 ms) until the tenant clears the min-grant floor on
+    every governed bucket. *)
+
+val record :
+  t -> string -> [ `Admitted | `Ready | `Shed | `Quota_denied | `Completed ] -> unit
+(** Bump one admission counter.  Every invocation is exactly one of
+    admitted / ready (answered inline) / shed / quota-denied; admitted
+    jobs later add one completed. *)
+
+type snap = {
+  s_admitted : int;
+  s_ready : int;
+  s_shed : int;
+  s_quota_denials : int;
+  s_completed : int;
+  s_steps_remaining : int option;  (** [None] when that quota is off *)
+  s_rows_remaining : int option;
+}
+
+val snapshot : t -> (string * snap) list
+(** Per-tenant counters and remaining allowance, sorted by name. *)
+
+val snap_to_json : ?extra:(string * Obs.Json.t) list -> snap -> Obs.Json.t
+(** Render one snapshot as a stats object; [extra] fields (e.g. the
+    pool's queue depth and deficit) are appended. *)

@@ -292,12 +292,12 @@ let test_mvcc_publish_invalidates () =
     (fun src ->
       match Service.Engine.install eng src with
       | P.Installed _ -> ()
-      | P.Error (_, msg) -> Alcotest.failf "install failed: %s" msg
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
       | _ -> Alcotest.fail "install failed")
     [ count_p_src; add_l_src ];
   let invoke query params =
     Service.Engine.invoke eng
-      { P.iv_query = query; iv_params = params; iv_timeout_ms = None; iv_no_cache = false }
+      { P.iv_query = query; iv_params = params; iv_timeout_ms = None; iv_no_cache = false; iv_tenant = None }
   in
   let count_paths () =
     match invoke "CountP" [ ("srcName", V.Str "n0"); ("tgtName", V.Str "n2") ] with
@@ -314,7 +314,7 @@ let test_mvcc_publish_invalidates () =
   let inv_before = json_int "invalidations" (C.cache_stats ()) in
   (match invoke "AddL" [ ("s", V.Vertex n0); ("t", V.Vertex n1) ] with
    | P.Result _ -> ()
-   | P.Error (_, msg) -> Alcotest.failf "AddL failed: %s" msg
+   | P.Error (_, msg, _) -> Alcotest.failf "AddL failed: %s" msg
    | _ -> Alcotest.fail "AddL failed");
   Alcotest.(check int) "version bumped" 1 (Service.Engine.graph_version eng);
   Alcotest.(check int) "publish invalidated the frozen index" (inv_before + 1)

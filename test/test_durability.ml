@@ -68,13 +68,13 @@ CREATE QUERY Slow (int n) {
 |}
 
 let invoke_req ?timeout_ms ?(no_cache = false) query params =
-  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache }
+  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache; iv_tenant = None }
 
 type got = { rs_cached : bool; rs_result : P.exec_result }
 
 let expect_result = function
   | P.Result { rs_cached; rs_result; _ } -> { rs_cached; rs_result }
-  | P.Error (code, msg) -> Alcotest.failf "error %s: %s" (P.err_code_to_string code) msg
+  | P.Error (code, msg, _) -> Alcotest.failf "error %s: %s" (P.err_code_to_string code) msg
   | _ -> Alcotest.fail "unexpected response"
 
 let pair_of_result (r : P.exec_result) =
@@ -170,7 +170,7 @@ let mk_mut_engine ?persist ?version () =
     (fun src ->
       match Service.Engine.install engine src with
       | P.Installed _ -> ()
-      | P.Error (_, msg) -> Alcotest.failf "install failed: %s" msg
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
       | _ -> Alcotest.fail "install failed")
     [ set_both_src; read_both_src; add_node_src ];
   engine
@@ -268,7 +268,7 @@ let test_engine_read_only_degradation () =
   (match
      Service.Engine.invoke engine (invoke_req "SetBoth" [ ("who", V.Str "n0"); ("x", V.Int 1) ])
    with
-   | P.Error (P.Read_only, msg) ->
+   | P.Error (P.Read_only, msg, _) ->
      Alcotest.(check bool) "names the failure" true (String.length msg > 0)
    | _ -> Alcotest.fail "expected read_only on WAL failure");
   (* Atomicity: the failed commit left no trace. *)
@@ -280,7 +280,7 @@ let test_engine_read_only_degradation () =
   (match
      Service.Engine.invoke engine (invoke_req "SetBoth" [ ("who", V.Str "n0"); ("x", V.Int 2) ])
    with
-   | P.Error (P.Read_only, _) -> ()
+   | P.Error (P.Read_only, _, _) -> ()
    | _ -> Alcotest.fail "expected read_only refusal");
   let r = expect_result (Service.Engine.invoke engine (invoke_req "ReadBoth" [ ("who", V.Str "n0") ])) in
   Alcotest.(check bool) "reads still flow" true ((0, 0) = pair_of_result r.rs_result)
@@ -329,7 +329,7 @@ let with_server ?workers ?max_inflight ?max_frame_bytes ?(sources = [])
     (fun src ->
       match Service.Engine.install engine src with
       | P.Installed _ -> ()
-      | P.Error (_, msg) -> Alcotest.failf "install failed: %s" msg
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
       | _ -> Alcotest.fail "install failed")
     sources;
   let base = Service.Server.default_config (`Unix path) in
@@ -377,7 +377,7 @@ let test_e2e_reader_writer_interleaving () =
                       ~params:[ ("who", V.Str "n0"); ("x", V.Int x) ] ()
                   with
                   | P.Result _ -> ()
-                  | P.Error (code, msg) ->
+                  | P.Error (code, msg, _) ->
                     Alcotest.failf "write failed: %s: %s" (P.err_code_to_string code) msg
                   | _ -> Alcotest.fail "unexpected write response"
                 done))
@@ -396,7 +396,7 @@ let test_e2e_reader_writer_interleaving () =
               | P.Result { rs_result; _ } ->
                 let a, b = pair_of_result rs_result in
                 if a <> b then incr torn
-              | P.Error (code, msg) ->
+              | P.Error (code, msg, _) ->
                 Alcotest.failf "read failed: %s: %s" (P.err_code_to_string code) msg
               | _ -> Alcotest.fail "unexpected read response"
             done;
@@ -442,7 +442,7 @@ let test_e2e_writer_lane () =
             (fun (_, resp) ->
               match resp with
               | P.Result _ -> ()
-              | P.Error (code, msg) ->
+              | P.Error (code, msg, _) ->
                 Alcotest.failf "lane write failed: %s: %s" (P.err_code_to_string code) msg
               | _ -> Alcotest.fail "unexpected response")
             responses;
@@ -480,12 +480,12 @@ let test_e2e_inflight_cap () =
               (fun (ok, capped) (_, resp) ->
                 match resp with
                 | P.Result _ -> (ok + 1, capped)
-                | P.Error (P.Overloaded, msg) ->
+                | P.Error (P.Overloaded, msg, _) ->
                   Alcotest.(check bool) "cap names itself" true
                     (String.length msg > 0
                      && String.sub msg 0 14 = "per-connection");
                   (ok, capped + 1)
-                | P.Error (code, msg) ->
+                | P.Error (code, msg, _) ->
                   Alcotest.failf "unexpected error %s: %s" (P.err_code_to_string code) msg
                 | _ -> Alcotest.fail "unexpected response")
               (0, 0) responses
@@ -508,7 +508,7 @@ let expect_bad_request_then_eof fd =
   (match P.read_frame fd with
    | Ok j ->
      (match P.response_of_json j with
-      | Ok (_, P.Error (P.Bad_request, _)) -> ()
+      | Ok (_, P.Error (P.Bad_request, _, _)) -> ()
       | _ -> Alcotest.fail "expected bad_request")
    | Error _ -> Alcotest.fail "expected a protocol error before the close");
   match P.read_frame fd with
@@ -548,7 +548,7 @@ let test_e2e_frame_hardening () =
       (match P.read_frame fd with
        | Ok j ->
          (match P.response_of_json j with
-          | Ok (_, P.Error (P.Bad_request, _)) -> ()
+          | Ok (_, P.Error (P.Bad_request, _, _)) -> ()
           | _ -> Alcotest.fail "expected bad_request")
        | Error _ -> Alcotest.fail "expected a response");
       P.write_frame fd (P.request_to_json ~id:9 P.Ping);

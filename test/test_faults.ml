@@ -259,7 +259,7 @@ let test_pool_await_does_not_spin () =
 (* Engine: limits -> protocol errors, cache stays clean                *)
 
 let invoke_req ?timeout_ms ?(no_cache = false) query params =
-  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache }
+  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache; iv_tenant = None }
 
 let test_engine_maps_limits_to_protocol () =
   let limits =
@@ -270,9 +270,9 @@ let test_engine_maps_limits_to_protocol () =
    | P.Installed _ -> ()
    | _ -> Alcotest.fail "install failed");
   (match Service.Engine.invoke engine (invoke_req "Slow" [ ("n", V.Int 10_000_000) ]) with
-   | P.Error (P.Resource_limit, msg) ->
+   | P.Error (P.Resource_limit, msg, _) ->
      Alcotest.(check bool) "names the reason" true (contains msg "steps")
-   | P.Error (c, m) -> Alcotest.failf "wrong error %s: %s" (P.err_code_to_string c) m
+   | P.Error (c, m, _) -> Alcotest.failf "wrong error %s: %s" (P.err_code_to_string c) m
    | _ -> Alcotest.fail "runaway query not limited");
   (* The engine keeps serving, and small runs still fit. *)
   (match Service.Engine.invoke engine (invoke_req "Slow" [ ("n", V.Int 10) ]) with
@@ -289,9 +289,9 @@ let test_engine_timeout_does_not_pollute_cache () =
      milliseconds: a checkpoint mid-execution observes the expired clock
      and unwinds. *)
   (match Service.Engine.invoke engine (invoke_req ~timeout_ms:5 "Slow" params) with
-   | P.Error (P.Timeout, _) -> ()
+   | P.Error (P.Timeout, _, _) -> ()
    | P.Result _ -> Alcotest.fail "expired deadline still produced a result"
-   | P.Error (c, m) -> Alcotest.failf "wrong error %s: %s" (P.err_code_to_string c) m
+   | P.Error (c, m, _) -> Alcotest.failf "wrong error %s: %s" (P.err_code_to_string c) m
    | _ -> Alcotest.fail "unexpected response");
   (* The interrupted run must not have stored anything: the next invoke
      executes (a miss), succeeds, and only then becomes a hit. *)
@@ -322,7 +322,7 @@ let with_server ?faults ?workers ?(queue_capacity = 64) ?(default_timeout_ms = 1
     (fun src ->
       match Service.Engine.install engine src with
       | P.Installed _ -> ()
-      | P.Error (_, msg) -> Alcotest.failf "install failed: %s" msg
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
       | _ -> Alcotest.fail "install failed")
     sources;
   let cfg =
@@ -385,7 +385,7 @@ let test_e2e_timeout_reclaims_worker () =
              Service.Client.invoke c ~timeout_ms:30 ~no_cache:true ~query:"Slow"
                ~params:[ ("n", V.Int 50_000_000) ] ()
            with
-           | P.Error (P.Timeout, _) -> ()
+           | P.Error (P.Timeout, _, _) -> ()
            | P.Result _ -> Alcotest.fail "a ~10s query beat a 30ms deadline"
            | _ -> Alcotest.fail "unexpected response");
           Alcotest.(check bool) "timeout reported on the deadline" true
@@ -414,7 +414,7 @@ let test_e2e_cancellation_preserves_consistency () =
              produce the full result. *)
           let params = [ ("n", V.Int 1_000_000) ] in
           (match Service.Client.invoke c ~timeout_ms:5 ~query:"Slow" ~params () with
-           | P.Error (P.Timeout, _) -> ()
+           | P.Error (P.Timeout, _, _) -> ()
            | P.Result _ -> Alcotest.fail "expired deadline produced a result"
            | _ -> Alcotest.fail "unexpected response");
           (match Service.Client.invoke c ~query:"Slow" ~params () with
@@ -440,7 +440,7 @@ let test_e2e_client_retry_gives_up () =
           { P.iv_query = "Slow";
             iv_params = [ ("n", V.Int 50_000_000) ];
             iv_timeout_ms = Some 60_000;
-            iv_no_cache = true }
+            iv_no_cache = true; iv_tenant = None }
       in
       let c = Service.Client.connect ep in
       let deadline = Unix.gettimeofday () +. 5.0 in
@@ -465,7 +465,7 @@ let test_e2e_client_retry_gives_up () =
              Service.Client.invoke c ~retries:2 ~backoff_ms:1 ~max_backoff_ms:4
                ~no_cache:true ~query:"CountPaths" ~params:(qn_params 10) ()
            with
-           | P.Error (P.Overloaded, _) -> ()
+           | P.Error (P.Overloaded, _, _) -> ()
            | P.Result _ -> Alcotest.fail "saturated server served the retrier"
            | _ -> Alcotest.fail "unexpected response");
           Alcotest.(check int) "1 try + 2 retries" 3 (Service.Client.last_attempts c)))
@@ -485,7 +485,7 @@ let test_e2e_crash_in_worker () =
              Service.Client.invoke c ~no_cache:true ~query:"CountPaths"
                ~params:(qn_params 10) ()
            with
-           | P.Error (P.Internal, msg) ->
+           | P.Error (P.Internal, msg, _) ->
              Alcotest.(check bool) "names the injected fault" true (contains msg "crash")
            | P.Result _ -> Alcotest.fail "crashed worker produced a result"
            | _ -> Alcotest.fail "unexpected response");
@@ -518,7 +518,7 @@ let test_e2e_dropped_frame_retry () =
                 ~query:"CountPaths" ~params:(qn_params 10) ()
             with
             | P.Result _ -> incr saw_result
-            | P.Error (c', m) -> Alcotest.failf "error %s: %s" (P.err_code_to_string c') m
+            | P.Error (c', m, _) -> Alcotest.failf "error %s: %s" (P.err_code_to_string c') m
             | _ -> Alcotest.fail "unexpected response"
             | exception Service.Client.Error msg ->
               Alcotest.failf "retries exhausted: %s" msg

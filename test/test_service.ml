@@ -65,8 +65,8 @@ let sample_requests =
       { P.iv_query = "q";
         iv_params = [ ("a", V.Int 1); ("b", V.Str "s") ];
         iv_timeout_ms = Some 250;
-        iv_no_cache = true };
-    P.Invoke { P.iv_query = "q"; iv_params = []; iv_timeout_ms = None; iv_no_cache = false };
+        iv_no_cache = true; iv_tenant = None };
+    P.Invoke { P.iv_query = "q"; iv_params = []; iv_timeout_ms = None; iv_no_cache = false; iv_tenant = None };
     P.Stats;
     P.Ping;
     P.Shutdown ]
@@ -95,7 +95,8 @@ let sample_responses =
     P.Stats_snapshot (J.Obj [ ("requests", J.Int 3) ]);
     P.Pong;
     P.Bye;
-    P.Error (P.Timeout, "q exceeded its deadline") ]
+    P.Error (P.Timeout, "q exceeded its deadline", None);
+    P.Error (P.Resource_limit, "tenant a quota exhausted", Some 125) ]
 
 let response_equal a b =
   match (a, b) with
@@ -256,7 +257,7 @@ let test_pool_admission_control () =
   let queued = Service.Pool.submit pool (fun () -> 1) in
   Alcotest.(check bool) "one queued" true (Result.is_ok queued);
   (match Service.Pool.submit pool (fun () -> 2) with
-   | Error `Overloaded -> ()
+   | Error (`Overloaded | `Tenant_overloaded) -> ()
    | Ok _ -> Alcotest.fail "queue bound not enforced"
    | Error `Shutdown -> Alcotest.fail "unexpected shutdown");
   Atomic.set gate true;
@@ -309,13 +310,13 @@ let mk_engine ?(n = 10) () =
   engine
 
 let invoke_req ?timeout_ms ?(no_cache = false) query params =
-  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache }
+  { P.iv_query = query; iv_params = params; iv_timeout_ms = timeout_ms; iv_no_cache = no_cache; iv_tenant = None }
 
 type got_result = { rs_cached : bool; rs_result : P.exec_result }
 
 let expect_result = function
   | P.Result { rs_cached; rs_result; _ } -> { rs_cached; rs_result }
-  | P.Error (code, msg) -> Alcotest.failf "error %s: %s" (P.err_code_to_string code) msg
+  | P.Error (code, msg, _) -> Alcotest.failf "error %s: %s" (P.err_code_to_string code) msg
   | _ -> Alcotest.fail "unexpected response"
 
 let test_engine_invoke_matches_eval () =
@@ -344,7 +345,7 @@ let test_engine_cache_and_invalidation () =
   let r3 = expect_result (Service.Engine.invoke engine (invoke_req "CountPaths" (qn_params 4))) in
   Alcotest.(check bool) "different params miss" false r3.rs_cached;
   (* no_cache bypasses the read path. *)
-  let r4 = expect_result (Service.Engine.invoke engine { req with P.iv_no_cache = true }) in
+  let r4 = expect_result (Service.Engine.invoke engine { req with P.iv_no_cache = true; iv_tenant = None }) in
   Alcotest.(check bool) "no_cache executes" false r4.rs_cached;
   (* Reinstall invalidates the query's entries. *)
   (match Service.Engine.install engine count_paths_src with
@@ -362,10 +363,10 @@ let test_engine_cache_and_invalidation () =
 let test_engine_errors () =
   let engine = mk_engine () in
   (match Service.Engine.invoke engine (invoke_req "Nope" []) with
-   | P.Error (P.Unknown_query, _) -> ()
+   | P.Error (P.Unknown_query, _, _) -> ()
    | _ -> Alcotest.fail "expected unknown_query");
   (match Service.Engine.invoke engine (invoke_req "CountPaths" [ ("srcName", V.Str "v0") ]) with
-   | P.Error (P.Bad_params, msg) ->
+   | P.Error (P.Bad_params, msg, _) ->
      Alcotest.(check bool) "names missing param" true
        (String.length msg > 0 && String.sub msg 0 7 = "missing")
    | _ -> Alcotest.fail "expected bad_params (missing)");
@@ -373,10 +374,10 @@ let test_engine_errors () =
      Service.Engine.invoke engine
        (invoke_req "CountPaths" (("extra", V.Int 1) :: qn_params 10))
    with
-   | P.Error (P.Bad_params, _) -> ()
+   | P.Error (P.Bad_params, _, _) -> ()
    | _ -> Alcotest.fail "expected bad_params (unknown)");
   (match Service.Engine.install engine "CREATE QUERY broken() { SELECT }" with
-   | P.Error (P.Exec_error, _) -> ()
+   | P.Error (P.Exec_error, _, _) -> ()
    | _ -> Alcotest.fail "expected install error");
   (match Service.Engine.describe engine "CountPaths" with
    | P.Described (qi, src) ->
@@ -388,7 +389,7 @@ let test_engine_errors () =
    | P.Dropped "CountPaths" -> ()
    | _ -> Alcotest.fail "drop failed");
   (match Service.Engine.invoke engine (invoke_req "CountPaths" (qn_params 10)) with
-   | P.Error (P.Unknown_query, _) -> ()
+   | P.Error (P.Unknown_query, _, _) -> ()
    | _ -> Alcotest.fail "dropped query still invokable")
 
 (* Compiled plans and the interpreter oracle produce identical responses
@@ -494,7 +495,7 @@ let with_server ?workers ?(queue_capacity = 64) ?(default_timeout_ms = 10_000) ?
     (fun src ->
       match Service.Engine.install engine src with
       | P.Installed _ -> ()
-      | P.Error (_, msg) -> Alcotest.failf "install failed: %s" msg
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
       | _ -> Alcotest.fail "install failed")
     sources;
   let cfg =
@@ -575,7 +576,7 @@ let test_e2e_timeout () =
              Service.Client.invoke c ~timeout_ms:30 ~query:"Slow"
                ~params:[ ("n", V.Int 1_000_000) ] ()
            with
-           | P.Error (P.Timeout, _) -> ()
+           | P.Error (P.Timeout, _, _) -> ()
            | P.Result _ -> Alcotest.fail "slow query beat a 30ms deadline"
            | _ -> Alcotest.fail "unexpected response");
           let elapsed = Unix.gettimeofday () -. t0 in
@@ -602,21 +603,21 @@ let test_e2e_overload_sheds () =
               { P.iv_query = "Slow";
                 iv_params = [ ("n", V.Int 1_000_000) ];
                 iv_timeout_ms = Some 8000;
-                iv_no_cache = true }
+                iv_no_cache = true; iv_tenant = None }
           in
           let fast_req =
             P.Invoke
               { P.iv_query = "CountPaths";
                 iv_params = qn_params 10;
                 iv_timeout_ms = Some 8000;
-                iv_no_cache = true }
+                iv_no_cache = true; iv_tenant = None }
           in
           let ids = Service.Client.send c slow_req :: List.init 4 (fun _ -> Service.Client.send c fast_req) in
           let responses = List.map (fun _ -> Service.Client.recv c) ids in
           let count pred = List.length (List.filter (fun (_, r) -> pred r) responses) in
           Alcotest.(check int) "all answered" (List.length ids) (List.length responses);
           Alcotest.(check bool) "some shed" true
-            (count (function P.Error (P.Overloaded, _) -> true | _ -> false) >= 1);
+            (count (function P.Error (P.Overloaded, _, _) -> true | _ -> false) >= 1);
           Alcotest.(check bool) "some served" true
             (count (function P.Result _ -> true | _ -> false) >= 1);
           (* Shedding is per-request, not per-connection: the next call works. *)

@@ -597,11 +597,11 @@ let test_service_sharded () =
         { Service.Protocol.iv_query = "reach";
           iv_params = [ ("srcName", V.Str "1") ];
           iv_timeout_ms = None;
-          iv_no_cache = true }
+          iv_no_cache = true; iv_tenant = None }
     with
     | Service.Protocol.Result { rs_result; _ } ->
       Obs.Json.pretty (Service.Protocol.result_to_json rs_result)
-    | Service.Protocol.Error (_, m) -> Alcotest.fail m
+    | Service.Protocol.Error (_, m, _) -> Alcotest.fail m
     | _ -> Alcotest.fail "unexpected response"
   in
   let mk shards =

@@ -1,0 +1,559 @@
+(* Multi-tenant serving under hostile load: the pool's deficit-round-robin
+   admission (weighted interleave, per-tenant bounds, cancel-while-queued),
+   the token-bucket quota registry (deterministic fake clock, non-monotonic
+   clamp), the tenant-targeted fault knobs, and the end-to-end contracts —
+   quota exhaustion answers [resource_limit] with a machine-readable
+   [retry_after_ms] the client honors, cached reads keep flowing for an
+   exhausted tenant, and a flooding tenant never starves a light one. *)
+
+module J = Obs.Json
+module V = Pgraph.Value
+module P = Service.Protocol
+
+let diamond n = (Pathsem.Toygraphs.diamond_chain n).Pathsem.Toygraphs.g
+
+(* Pure interpreter spin: each loop iteration is one governor step, so
+   Slow(n) consumes ~n step tokens — the unit the step quota meters. *)
+let slow_src = {|
+CREATE QUERY Slow (int n) {
+  i = 0;
+  WHILE i < n LIMIT 1000000000 DO
+    i = i + 1;
+  END;
+  RETURN i;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Pool: deficit round robin                                           *)
+
+(* One worker, blocked on a gate while the sub-queues fill: the recorded
+   completion order is exactly the dispatch order. *)
+let with_blocked_pool f =
+  let pool = Service.Pool.create ~workers:1 ~queue_capacity:64 () in
+  let gate = Atomic.make false in
+  let blocker =
+    match
+      Service.Pool.submit pool (fun () ->
+          while not (Atomic.get gate) do
+            Unix.sleepf 0.001
+          done)
+    with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "blocker refused"
+  in
+  (* The blocker must occupy the worker before anything else queues. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Service.Pool.running pool = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check int) "worker busy" 1 (Service.Pool.running pool);
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Service.Pool.shutdown pool)
+    (fun () -> f pool gate blocker)
+
+let order_recorder () =
+  let mu = Mutex.create () in
+  let order = ref [] in
+  let job lbl () =
+    Mutex.lock mu;
+    order := lbl :: !order;
+    Mutex.unlock mu
+  in
+  (job, fun () -> List.rev !order)
+
+let submit_ok pool ~tenant ~weight thunk =
+  match Service.Pool.submit ~tenant ~weight pool thunk with
+  | Ok j -> j
+  | Error _ -> Alcotest.failf "submit refused for %s" tenant
+
+let await_done j =
+  match Service.Pool.await ~timeout_ms:5_000 j with
+  | Service.Pool.Done () -> ()
+  | _ -> Alcotest.fail "job did not complete"
+
+let test_drr_weighted_order () =
+  with_blocked_pool (fun pool gate _blocker ->
+      let job, order = order_recorder () in
+      let jobs =
+        List.map
+          (fun (tenant, weight, lbl) -> submit_ok pool ~tenant ~weight (job lbl))
+          [ ("a", 2, "A1"); ("a", 2, "A2"); ("a", 2, "A3"); ("a", 2, "A4");
+            ("b", 1, "B1"); ("b", 1, "B2") ]
+      in
+      (* Both backlogged, weights 2:1 — a's visit serves two before b's one. *)
+      Alcotest.(check (list (triple string int int)))
+        "backlog per tenant" [ ("a", 4, 0); ("b", 2, 0) ]
+        (Service.Pool.tenant_stats pool);
+      Atomic.set gate true;
+      List.iter await_done jobs;
+      Alcotest.(check (list string))
+        "weighted interleave" [ "A1"; "A2"; "B1"; "A3"; "A4"; "B2" ] (order ()))
+
+let test_drr_equal_weights_interleave () =
+  with_blocked_pool (fun pool gate _blocker ->
+      let job, order = order_recorder () in
+      let jobs =
+        List.map
+          (fun (tenant, lbl) -> submit_ok pool ~tenant ~weight:1 (job lbl))
+          [ ("a", "A1"); ("a", "A2"); ("a", "A3"); ("b", "B1"); ("b", "B2"); ("b", "B3") ]
+      in
+      Atomic.set gate true;
+      List.iter await_done jobs;
+      Alcotest.(check (list string))
+        "fair interleave" [ "A1"; "B1"; "A2"; "B2"; "A3"; "B3" ] (order ()))
+
+let test_per_tenant_bound () =
+  let pool = Service.Pool.create ~workers:1 ~queue_capacity:8 ~per_tenant_capacity:2 () in
+  let gate = Atomic.make false in
+  let block () =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.001
+    done
+  in
+  (match Service.Pool.submit pool block with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "blocker refused");
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Service.Pool.running pool = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Service.Pool.shutdown pool)
+    (fun () ->
+      let submit tenant =
+        Service.Pool.submit ~tenant pool (fun () -> ())
+      in
+      (* Tenant a fills its own sub-queue at 2 and sheds its third... *)
+      (match submit "a" with Ok _ -> () | Error _ -> Alcotest.fail "a1 refused");
+      (match submit "a" with Ok _ -> () | Error _ -> Alcotest.fail "a2 refused");
+      (match submit "a" with
+       | Error `Tenant_overloaded -> ()
+       | Ok _ -> Alcotest.fail "a's third job admitted past its bound"
+       | Error _ -> Alcotest.fail "wrong refusal for a3");
+      (* ...while b still queues freely. *)
+      (match submit "b" with Ok _ -> () | Error _ -> Alcotest.fail "b starved by a's flood");
+      (match submit "b" with Ok _ -> () | Error _ -> Alcotest.fail "b2 refused");
+      (* Fill the global bound (2a + 2b + 2c + 2d = 8 queued)... *)
+      List.iter
+        (fun tenant ->
+          match (submit tenant, submit tenant) with
+          | Ok _, Ok _ -> ()
+          | _ -> Alcotest.failf "%s refused below the global bound" tenant)
+        [ "c"; "d" ];
+      (* ...and a fresh tenant now sheds globally, not per-tenant. *)
+      match submit "e" with
+      | Error `Overloaded -> ()
+      | Ok _ -> Alcotest.fail "admitted past the global bound"
+      | Error _ -> Alcotest.fail "wrong refusal at the global bound")
+
+let test_cancel_queued_under_tenant_queues () =
+  with_blocked_pool (fun pool gate _blocker ->
+      let job, order = order_recorder () in
+      let a1 = submit_ok pool ~tenant:"a" ~weight:1 (job "A1") in
+      let a2 = submit_ok pool ~tenant:"a" ~weight:1 (job "A2") in
+      let b1 = submit_ok pool ~tenant:"b" ~weight:1 (job "B1") in
+      Service.Pool.cancel a1;
+      Atomic.set gate true;
+      (match Service.Pool.await ~timeout_ms:5_000 a1 with
+       | Service.Pool.Failed msg ->
+         Alcotest.(check string) "never ran" "cancelled before start" msg
+       | _ -> Alcotest.fail "cancelled queued job should fail without running");
+      await_done a2;
+      await_done b1;
+      (* The cancelled job still consumed a's turn when popped, so the
+         rotation moved on to b — and the survivors all ran. *)
+      Alcotest.(check (list string)) "survivors ran in order" [ "B1"; "A2" ] (order ()))
+
+(* ------------------------------------------------------------------ *)
+(* Tenant registry: token buckets on a fake clock                      *)
+
+let test_bucket_refill_deterministic () =
+  let clock = ref 100.0 in
+  let t = Service.Tenant.create ~now:(fun () -> !clock) ~quota_steps:100 () in
+  (match Service.Tenant.admit t "a" with
+   | `Ok -> ()
+   | `Denied _ -> Alcotest.fail "fresh bucket denied");
+  (* Overshoot to maximum debt: level clamps at -burst, not below. *)
+  Service.Tenant.charge t "a" ~steps:1_000 ~rows:0;
+  (match Service.Tenant.admit t "a" with
+   | `Ok -> Alcotest.fail "exhausted bucket admitted"
+   | `Denied ms ->
+     (* From -100 to the min-grant floor (burst/8 = 12.5) at 100/s: 1125 ms. *)
+     Alcotest.(check int) "refill eta" 1_125 ms);
+  Alcotest.(check int) "retry_after agrees" 1_125 (Service.Tenant.retry_after_ms t "a");
+  (* 1.2 simulated seconds: +120 tokens clears the floor with 20 left. *)
+  clock := !clock +. 1.2;
+  (match Service.Tenant.admit t "a" with
+   | `Ok -> ()
+   | `Denied _ -> Alcotest.fail "refilled bucket still denied");
+  let lim = Service.Tenant.limits t "a" in
+  Alcotest.(check (option int)) "budget = remaining allowance" (Some 20)
+    lim.Interrupt.l_max_steps;
+  Alcotest.(check (option int)) "rows ungoverned" None lim.Interrupt.l_max_rows;
+  Alcotest.(check (option int)) "no deadline from quotas" None lim.Interrupt.l_timeout_ms
+
+let test_bucket_clamps_nonmonotonic_clock () =
+  let clock = ref 50.0 in
+  let t = Service.Tenant.create ~now:(fun () -> !clock) ~quota_steps:100 () in
+  ignore (Service.Tenant.admit t "a");
+  Service.Tenant.charge t "a" ~steps:60 ~rows:0;
+  let remaining () =
+    match Service.Tenant.snapshot t with
+    | [ ("a", s) ] -> Option.get s.Service.Tenant.s_steps_remaining
+    | _ -> Alcotest.fail "expected exactly tenant a"
+  in
+  Alcotest.(check int) "spent down to 40" 40 (remaining ());
+  (* A clock jumping backwards must not mint allowance... *)
+  clock := 10.0;
+  Alcotest.(check int) "backwards read mints nothing" 40 (remaining ());
+  (* ...nor destroy it, and charging under the skewed clock still lands. *)
+  Service.Tenant.charge t "a" ~steps:10 ~rows:0;
+  Alcotest.(check int) "charge applies despite skew" 30 (remaining ());
+  (* Recovery refills only for time past the high-water mark. *)
+  clock := 50.5;
+  Alcotest.(check int) "half a real second refills 50" 80 (remaining ());
+  clock := 60.0;
+  Alcotest.(check int) "caps at burst" 100 (remaining ())
+
+let test_tenant_counters_and_weights () =
+  let t =
+    Service.Tenant.create ~now:(fun () -> 0.0) ~weights:[ ("heavy", 3); ("zero", 0) ] ()
+  in
+  Alcotest.(check int) "listed weight" 3 (Service.Tenant.weight t "heavy");
+  Alcotest.(check int) "weights floor at 1" 1 (Service.Tenant.weight t "zero");
+  Alcotest.(check int) "unlisted weigh 1" 1 (Service.Tenant.weight t "other");
+  Alcotest.(check bool) "no quotas configured" false (Service.Tenant.quota_active t);
+  List.iter
+    (Service.Tenant.record t "a")
+    [ `Admitted; `Admitted; `Ready; `Shed; `Quota_denied; `Completed ];
+  match Service.Tenant.snapshot t with
+  | [ ("a", s) ] ->
+    Alcotest.(check int) "admitted" 2 s.Service.Tenant.s_admitted;
+    Alcotest.(check int) "ready" 1 s.Service.Tenant.s_ready;
+    Alcotest.(check int) "shed" 1 s.Service.Tenant.s_shed;
+    Alcotest.(check int) "quota denials" 1 s.Service.Tenant.s_quota_denials;
+    Alcotest.(check int) "completed" 1 s.Service.Tenant.s_completed;
+    Alcotest.(check (option int)) "no step quota" None s.Service.Tenant.s_steps_remaining
+  | _ -> Alcotest.fail "expected exactly tenant a"
+
+(* ------------------------------------------------------------------ *)
+(* Fault knobs                                                         *)
+
+let faults_of spec =
+  match Service.Faults.parse spec with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "parse %S failed: %s" spec msg
+
+let test_tenant_fault_knobs_roundtrip () =
+  let t = faults_of "tenant-flood=25,quota-clock-skew=100" in
+  let rendered = Service.Faults.to_string t in
+  (* Re-parsing the rendering yields the same spec: the knobs survive the
+     GSQL_FAULTS round trip CI depends on. *)
+  Alcotest.(check string) "render/reparse stable" rendered
+    (Service.Faults.to_string (faults_of rendered));
+  Alcotest.(check bool) "not none" false (Service.Faults.is_none t);
+  match Service.Faults.parse "tenant-flood=bogus" with
+  | Ok _ -> Alcotest.fail "accepted a non-numeric knob"
+  | Error _ -> ()
+
+let test_tenant_flood_targets_only_flood () =
+  let t = faults_of "tenant-flood=40" in
+  let timed tenant =
+    let t0 = Unix.gettimeofday () in
+    Service.Faults.tenant_entry t ~tenant;
+    Unix.gettimeofday () -. t0
+  in
+  Alcotest.(check bool) "flood tenant sleeps" true
+    (timed Service.Faults.flood_tenant >= 0.035);
+  Alcotest.(check bool) "other tenants untouched" true (timed "light" < 0.02)
+
+let test_quota_clock_skew_alternates () =
+  let t = faults_of "quota-clock-skew=100" in
+  let now = Service.Faults.quota_now t in
+  (* Reads alternate true/skewed deterministically: the second read lags
+     the first by ~100ms even though real time moved forward. *)
+  let r1 = now () in
+  let r2 = now () in
+  let r3 = now () in
+  Alcotest.(check bool) "second read lags" true (r1 -. r2 >= 0.05);
+  Alcotest.(check bool) "third read recovers" true (r3 >= r1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over the socket                                          *)
+
+let counter = ref 0
+
+let fresh_socket_path () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gsqltenant_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let with_server ?workers ?(queue_capacity = 32) ?(per_tenant_queue = 16) ?max_inflight
+    ?(tenant_weights = []) ?(quota_steps = 0) ?(quota_rows = 0)
+    ?(faults = Service.Faults.none) ?(sources = [ slow_src ]) f =
+  let path = fresh_socket_path () in
+  let engine = Service.Engine.create ~cache_capacity:32 ~graph:(diamond 6) () in
+  List.iter
+    (fun src ->
+      match Service.Engine.install engine src with
+      | P.Installed _ -> ()
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
+      | _ -> Alcotest.fail "install failed")
+    sources;
+  let cfg =
+    { (Service.Server.default_config (`Unix path)) with
+      Service.Server.workers;
+      queue_capacity;
+      per_tenant_queue;
+      tenant_weights;
+      quota_steps;
+      quota_rows;
+      faults }
+  in
+  let cfg =
+    match max_inflight with None -> cfg | Some m -> { cfg with Service.Server.max_inflight = m }
+  in
+  let server = Service.Server.create cfg engine in
+  let runner = Domain.spawn (fun () -> Service.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.stop server;
+      Domain.join runner;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f (`Unix path))
+
+let stats_fields c =
+  match Service.Client.stats c with
+  | P.Stats_snapshot (J.Obj fields) -> fields
+  | _ -> Alcotest.fail "stats did not answer"
+
+let geti fields k =
+  match List.assoc_opt k fields with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "stats field %s missing" k
+
+let tenant_counters fields name =
+  match List.assoc_opt "tenants" fields with
+  | Some (J.Obj tenants) ->
+    (match List.assoc_opt name tenants with
+     | Some (J.Obj tf) -> tf
+     | _ -> Alcotest.failf "tenant %s missing from stats" name)
+  | _ -> Alcotest.fail "tenants object missing from stats"
+
+(* Quota exhaustion end-to-end: a runaway execution is cut at the
+   tenant's remaining step allowance and the denial carries a
+   [retry_after_ms] the client-side retry machinery honors; cached reads
+   keep flowing throughout; the per-tenant counters account for every
+   request sent. *)
+let test_e2e_quota_exhaustion_and_recovery () =
+  with_server ~quota_steps:2_000 (fun ep ->
+      let c = Service.Client.connect ep in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () ->
+          let sent = ref 0 in
+          let call ?no_cache ?retries n =
+            let r =
+              Service.Client.invoke c ~tenant:"q" ?no_cache ?retries ~query:"Slow"
+                ~params:[ ("n", V.Int n) ] ()
+            in
+            sent := !sent + Service.Client.last_attempts c;
+            r
+          in
+          (* Warm the result cache within quota. *)
+          (match call 50 with
+           | P.Result _ -> ()
+           | _ -> Alcotest.fail "in-quota invoke failed");
+          (* A runaway burn: the budget is capped at the remaining
+             allowance, so the execution dies with [resource_limit] —
+             and because a quota is active, the server decorates it with
+             the refill ETA. *)
+          (match call ~no_cache:true 10_000_000 with
+           | P.Error (P.Resource_limit, _, Some ms) ->
+             Alcotest.(check bool) "positive eta" true (ms >= 1)
+           | P.Error (P.Resource_limit, _, None) ->
+             Alcotest.fail "quota exhaustion lost its retry_after_ms hint"
+           | P.Error (code, msg, _) ->
+             Alcotest.failf "wrong error %s: %s" (P.err_code_to_string code) msg
+           | _ -> Alcotest.fail "runaway execution not limited");
+          (* Starved bucket: denied upfront, still hinted, bounded. *)
+          (match call ~no_cache:true 50 with
+           | P.Error (P.Resource_limit, _, Some ms) ->
+             Alcotest.(check bool)
+               (Printf.sprintf "eta %d ms sane" ms)
+               true
+               (ms >= 1 && ms <= 2_000)
+           | _ -> Alcotest.fail "starved tenant not denied upfront");
+          (* Degradation: the cached read is answered inline, spends no
+             quota, and succeeds while the tenant is exhausted. *)
+          (match call 50 with
+           | P.Result { rs_cached = true; _ } -> ()
+           | P.Result _ -> Alcotest.fail "expected a cache hit"
+           | _ -> Alcotest.fail "cached read shed for an exhausted tenant");
+          (* The retry loop sleeps the server's hint, not a guess, and
+             lands once the bucket refills past the admission floor. *)
+          (match call ~no_cache:true ~retries:5 50 with
+           | P.Result _ ->
+             Alcotest.(check bool) "took at least one retry" true
+               (Service.Client.last_attempts c >= 2);
+             Alcotest.(check bool) "hint was observed" true
+               (Service.Client.last_hint_ms c <> None)
+           | _ -> Alcotest.fail "hinted retry did not recover");
+          (* Every request is accounted: admitted + ready + shed +
+             quota_denied = sent, and everything admitted completed. *)
+          let tf = tenant_counters (stats_fields c) "q" in
+          let admitted = geti tf "admitted" in
+          Alcotest.(check int) "all requests accounted" !sent
+            (admitted + geti tf "ready" + geti tf "shed" + geti tf "quota_denials");
+          Alcotest.(check int) "all admitted completed" admitted (geti tf "completed");
+          Alcotest.(check bool) "saw quota denials" true (geti tf "quota_denials" >= 1);
+          Alcotest.(check bool) "saw inline cache hits" true (geti tf "ready" >= 1)))
+
+(* A tenant-flood heavy mix next to a polite light client: the light
+   tenant is never starved (every request admitted and fast) while the
+   flooding tenant sheds its own backlog. *)
+let test_e2e_flood_does_not_starve_light () =
+  let faults =
+    match Service.Faults.parse "tenant-flood=25" with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "faults: %s" msg
+  in
+  with_server ~workers:2 ~queue_capacity:32 ~per_tenant_queue:4 ~faults (fun ep ->
+      let heavy_done = Atomic.make false in
+      let heavy =
+        Domain.spawn (fun () ->
+            let c = Service.Client.connect ep in
+            Fun.protect
+              ~finally:(fun () ->
+                Service.Client.close c;
+                Atomic.set heavy_done true)
+              (fun () ->
+                (* Pipelined flood: window of 8 invocations in flight. *)
+                let total = 40 and window = 8 in
+                let req =
+                  P.Invoke
+                    { P.iv_query = "Slow"; iv_params = [ ("n", V.Int 100) ];
+                      iv_timeout_ms = Some 10_000; iv_no_cache = true;
+                      iv_tenant = Some Service.Faults.flood_tenant }
+                in
+                let ok = ref 0 and shed = ref 0 and other = ref 0 in
+                let sent = ref 0 and recvd = ref 0 in
+                while !recvd < total do
+                  while !sent < total && !sent - !recvd < window do
+                    ignore (Service.Client.send c req);
+                    incr sent
+                  done;
+                  let _, resp = Service.Client.recv c in
+                  incr recvd;
+                  match resp with
+                  | P.Result _ -> incr ok
+                  | P.Error (P.Overloaded, _, _) -> incr shed
+                  | _ -> incr other
+                done;
+                (!ok, !shed, !other)))
+      in
+      (* The light tenant measures while the flood is live. *)
+      let c = Service.Client.connect ep in
+      let light_max = ref 0.0 in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () ->
+          for _ = 1 to 10 do
+            let t0 = Unix.gettimeofday () in
+            (match
+               Service.Client.invoke c ~tenant:"light" ~no_cache:true ~query:"Slow"
+                 ~params:[ ("n", V.Int 100) ] ()
+             with
+             | P.Result _ -> ()
+             | P.Error (code, msg, _) ->
+               Alcotest.failf "light tenant shed: %s: %s" (P.err_code_to_string code) msg
+             | _ -> Alcotest.fail "unexpected response");
+            light_max := Float.max !light_max (Unix.gettimeofday () -. t0)
+          done);
+      let heavy_ok, heavy_shed, heavy_other = Domain.join heavy in
+      Alcotest.(check int) "no unexpected heavy responses" 0 heavy_other;
+      Alcotest.(check bool) "flood makes progress" true (heavy_ok > 0);
+      Alcotest.(check bool) "flood sheds its own backlog" true (heavy_shed > 0);
+      (* Each light request waits at most a flood execution per worker
+         plus its own run: a starved tenant would sit behind ~36 queued
+         25ms floods instead. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "light max latency %.0fms bounded" (!light_max *. 1000.0))
+        true (!light_max < 1.0))
+
+(* The per-connection inflight cap counts against the pipelining
+   tenant's shed ledger, and the accounting identity holds. *)
+let test_e2e_inflight_shed_accounting () =
+  let faults =
+    match Service.Faults.parse "delay-in-worker=30" with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "faults: %s" msg
+  in
+  with_server ~workers:2 ~max_inflight:2 ~faults (fun ep ->
+      let c = Service.Client.connect ep in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () ->
+          let total = 6 in
+          let req =
+            P.Invoke
+              { P.iv_query = "Slow"; iv_params = [ ("n", V.Int 10) ];
+                iv_timeout_ms = Some 10_000; iv_no_cache = true;
+                iv_tenant = Some "pipe" }
+          in
+          for _ = 1 to total do
+            ignore (Service.Client.send c req)
+          done;
+          let ok = ref 0 and shed = ref 0 in
+          for _ = 1 to total do
+            match snd (Service.Client.recv c) with
+            | P.Result _ -> incr ok
+            | P.Error (P.Overloaded, _, _) -> incr shed
+            | P.Error (code, msg, _) ->
+              Alcotest.failf "unexpected error %s: %s" (P.err_code_to_string code) msg
+            | _ -> Alcotest.fail "unexpected response"
+          done;
+          (* Six at once against a cap of two with slow workers: the
+             overflow is refused with the retryable code. *)
+          Alcotest.(check bool) "cap sheds the overflow" true (!shed > 0);
+          Alcotest.(check int) "nothing lost" total (!ok + !shed);
+          let fields = stats_fields c in
+          Alcotest.(check bool) "inflight_shed counted" true
+            (geti fields "inflight_shed" >= !shed);
+          let tf = tenant_counters fields "pipe" in
+          Alcotest.(check int) "tenant ledger matches the wire" !shed (geti tf "shed");
+          Alcotest.(check int) "all requests accounted" total
+            (geti tf "admitted" + geti tf "ready" + geti tf "shed" + geti tf "quota_denials");
+          Alcotest.(check int) "admitted all completed" (geti tf "admitted")
+            (geti tf "completed")))
+
+let () =
+  Alcotest.run "tenants"
+    [ ( "pool-drr",
+        [ Alcotest.test_case "weighted interleave" `Quick test_drr_weighted_order;
+          Alcotest.test_case "equal weights alternate" `Quick
+            test_drr_equal_weights_interleave;
+          Alcotest.test_case "per-tenant bound" `Quick test_per_tenant_bound;
+          Alcotest.test_case "cancel queued" `Quick test_cancel_queued_under_tenant_queues ] );
+      ( "quota",
+        [ Alcotest.test_case "deterministic refill" `Quick test_bucket_refill_deterministic;
+          Alcotest.test_case "non-monotonic clamp" `Quick
+            test_bucket_clamps_nonmonotonic_clock;
+          Alcotest.test_case "counters and weights" `Quick test_tenant_counters_and_weights ] );
+      ( "faults",
+        [ Alcotest.test_case "knob round-trip" `Quick test_tenant_fault_knobs_roundtrip;
+          Alcotest.test_case "flood targets flood" `Quick test_tenant_flood_targets_only_flood;
+          Alcotest.test_case "skewed quota clock" `Quick test_quota_clock_skew_alternates ] );
+      ( "e2e",
+        [ Alcotest.test_case "quota exhaustion + recovery" `Quick
+            test_e2e_quota_exhaustion_and_recovery;
+          Alcotest.test_case "flood never starves light" `Quick
+            test_e2e_flood_does_not_starve_light;
+          Alcotest.test_case "inflight shed accounting" `Quick
+            test_e2e_inflight_shed_accounting ] ) ]
