@@ -1,0 +1,403 @@
+(* Kill-the-leader chaos harness (docs/DURABILITY.md, CI failover-smoke).
+
+   Drives two real `gsql_run serve` processes — a synchronous leader
+   (--sync-replicas 1) and a read replica (--replica-of) — through the
+   failure sequence the replication layer exists for:
+
+     1. mutating load of uniquely-named INSERTs against the leader, every
+        acknowledged commit recorded client-side;
+     2. kill -9 the leader mid-load (the in-flight write becomes
+        {e indeterminate}: no response was received, so it may appear
+        0 or 1 times — never more);
+     3. promote the follower (epoch 2) and verify {b zero acknowledged
+        commits lost, zero duplicated} by counting each name on the new
+        leader;
+     4. client failover: a ring of [dead leader; follower] endpoints must
+        land post-promotion writes on the survivor via retry/rotation;
+     5. restart the old leader from its data dir: with --sync-replicas 1
+        and no followers its "poison" write answers [repl_lag] (the
+        no-quorum fence — the commit stands locally, unacknowledged);
+     6. a Subscribe carrying epoch 2 fences it; a write now answers
+        [fenced] — any success here is a split-brain double-write;
+     7. re-point it at the new leader (Follow): its divergent tail,
+        poison included, is discarded by the snapshot bootstrap, and the
+        converged replica must again hold every acked name exactly once.
+
+   Prints a greppable verdict line and exits non-zero on any violation:
+
+     chaos: acked: N lost: 0 duplicated: 0 split_brain_writes: 0
+
+   Usage: chaos [--server PATH] [--writes N] [--dir DIR] [--keep] *)
+
+module P = Service.Protocol
+module C = Service.Client
+module V = Pgraph.Value
+
+let addv_src = {|
+CREATE QUERY AddV (string nm) {
+  INSERT INTO V (name) VALUES (nm);
+}
+|}
+
+(* Zero-step pattern: every vertex matches itself, so |R| is the number of
+   vertices carrying the name — 1 for an exactly-once write, 2+ for a
+   duplicated one. *)
+let countname_src = {|
+CREATE QUERY CountName (string nm) {
+  R = SELECT v FROM V:v -(E>*0..0)- V:w WHERE v.name = nm;
+  PRINT R[R.name];
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                           *)
+
+let server = ref "_build/default/bin/gsql_run.exe"
+let writes = ref 20
+let base_dir = ref None
+let keep = ref false
+
+let usage () =
+  prerr_endline "usage: chaos [--server PATH] [--writes N] [--dir DIR] [--keep]";
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--server" :: path :: rest -> server := path; parse rest
+    | "--writes" :: n :: rest -> writes := int_of_string n; parse rest
+    | "--dir" :: d :: rest -> base_dir := Some d; parse rest
+    | "--keep" :: rest -> keep := true; parse rest
+    | _ -> usage ()
+  in
+  (try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ());
+  if !writes < 1 then usage ()
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "chaos: FAIL: %s\n%!" msg)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Process control                                                     *)
+
+let spawn_server ~sock ~data ~log extra =
+  let argv =
+    [ !server; "serve"; "--graph"; "diamond:6"; "--socket"; sock;
+      "--data-dir"; data; "--install"; Filename.concat data "addv.gsql";
+      "--install"; Filename.concat data "countname.gsql" ]
+    @ extra
+  in
+  let logfd = Unix.openfile log [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process !server (Array.of_list argv) Unix.stdin logfd logfd
+  in
+  Unix.close logfd;
+  pid
+
+let kill9 pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+
+let term pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+
+(* Poll until the server answers a ping (bounded). *)
+let wait_ready sock =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match
+      let c = C.connect (`Unix sock) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () -> C.ping c)
+    with
+    | P.Pong -> ()
+    | _ | (exception _) ->
+      if Unix.gettimeofday () > deadline then begin
+        fail "server on %s did not come up" sock;
+        exit 1
+      end;
+      Unix.sleepf 0.1;
+      go ()
+  in
+  go ()
+
+let status_of sock =
+  let c = C.connect (`Unix sock) in
+  Fun.protect
+    ~finally:(fun () -> C.close c)
+    (fun () ->
+      match C.status c with
+      | P.Status st -> st
+      | _ -> failwith "status: unexpected response")
+
+(* Poll until [pred status] holds (bounded) — e.g. the leader sees its
+   subscriber, or the rejoined follower has converged to a version. *)
+let wait_status sock ~what pred =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match (try Some (status_of sock) with _ -> None) with
+    | Some st when pred st -> st
+    | _ ->
+      if Unix.gettimeofday () > deadline then begin
+        fail "timed out waiting for %s on %s" what sock;
+        exit 1
+      end;
+      Unix.sleepf 0.1;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Write / verify primitives                                           *)
+
+type outcome = Acked | Refused of P.err_code | Indeterminate
+
+(* One write, no client-side retry: an error response means the name is
+   definitely uncommitted-or-refused and may be reused; a transport break
+   means we cannot know, so the name is abandoned as indeterminate. *)
+let write_once c name =
+  match
+    C.invoke c ~retries:0 ~query:"AddV" ~params:[ ("nm", V.Str name) ] ()
+  with
+  | P.Result _ -> Acked
+  | P.Error (code, _, _) -> Refused code
+  | _ -> Refused P.Internal
+  | exception _ -> Indeterminate
+
+let count_name c name =
+  match
+    C.invoke c ~retries:2 ~query:"CountName" ~params:[ ("nm", V.Str name) ]
+      ~no_cache:true ()
+  with
+  | P.Result { rs_result = { P.x_vsets; _ }; _ } ->
+    (match List.assoc_opt "R" x_vsets with
+     | Some ids -> Array.length ids
+     | None -> 0)
+  | P.Error (code, msg, _) ->
+    fail "count %s: %s: %s" name (P.err_code_to_string code) msg;
+    -1
+  | _ ->
+    fail "count %s: unexpected response" name;
+    -1
+
+(* Every acked name exactly once; indeterminate names at most once. *)
+let verify_names ~where c ~acked ~indet =
+  let lost = ref 0 and dup = ref 0 in
+  List.iter
+    (fun name ->
+      match count_name c name with
+      | 0 -> incr lost; fail "%s: acked %s absent" where name
+      | 1 -> ()
+      | n when n > 1 -> incr dup; fail "%s: acked %s appears %d times" where name n
+      | _ -> incr lost)
+    acked;
+  List.iter
+    (fun name ->
+      let n = count_name c name in
+      if n > 1 then begin
+        incr dup;
+        fail "%s: indeterminate %s appears %d times" where name n
+      end)
+    indet;
+  (!lost, !dup)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let dir =
+    match !base_dir with
+    | Some d -> d
+    | None ->
+      let d = Filename.temp_file "chaos" "" in
+      Sys.remove d;
+      Unix.mkdir d 0o755;
+      d
+  in
+  let ldata = Filename.concat dir "leader" in
+  let fdata = Filename.concat dir "follower" in
+  Unix.mkdir ldata 0o755;
+  Unix.mkdir fdata 0o755;
+  List.iter
+    (fun d ->
+      let put name src =
+        let oc = open_out (Filename.concat d name) in
+        output_string oc src;
+        close_out oc
+      in
+      put "addv.gsql" addv_src;
+      put "countname.gsql" countname_src)
+    [ ldata; fdata ];
+  let lsock = Filename.concat dir "leader.sock" in
+  let fsock = Filename.concat dir "follower.sock" in
+
+  Printf.printf "chaos: dir: %s\n%!" dir;
+
+  (* 1. Leader (synchronous: 1 follower ack per commit) + follower. *)
+  let leader =
+    spawn_server ~sock:lsock ~data:ldata ~log:(Filename.concat dir "leader1.log")
+      [ "--sync-replicas"; "1"; "--sync-timeout-ms"; "2000" ]
+  in
+  wait_ready lsock;
+  let follower =
+    spawn_server ~sock:fsock ~data:fdata
+      ~log:(Filename.concat dir "follower.log")
+      [ "--replica-of"; "unix:" ^ lsock ]
+  in
+  wait_ready fsock;
+  ignore (wait_status lsock ~what:"subscriber" (fun st -> st.P.st_replicas >= 1));
+  ignore
+    (wait_status fsock ~what:"follower role" (fun st -> st.P.st_role = "follower"));
+
+  (* 2. Mutating load; a killer domain fires kill -9 partway through, so
+     the tail of the loop exercises the transport-break path. *)
+  let acked = ref [] and indet = ref [] in
+  let record name = function
+    | Acked -> acked := name :: !acked
+    | Refused _ -> ()
+    | Indeterminate -> indet := name :: !indet
+  in
+  let c = C.connect (`Unix lsock) in
+  for i = 1 to !writes do
+    let name = Printf.sprintf "w_%04d" i in
+    record name (write_once c name)
+  done;
+  if List.length !acked < !writes then
+    fail "healthy-phase writes: %d/%d acked" (List.length !acked) !writes;
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        kill9 leader)
+  in
+  (* Write until the leader's death surfaces (error response, quorum miss
+     or transport break) — bounded so a too-graceful death cannot hang. *)
+  let broke = ref false in
+  let i = ref 0 in
+  while (not !broke) && !i < 10_000 do
+    incr i;
+    let name = Printf.sprintf "k_%04d" !i in
+    (match write_once c name with
+     | Acked -> acked := name :: !acked
+     | Refused _ -> broke := true
+     | Indeterminate ->
+       indet := name :: !indet;
+       broke := true)
+  done;
+  Domain.join killer;
+  (try C.close c with _ -> ());
+  Printf.printf "chaos: load: acked: %d indeterminate: %d\n%!"
+    (List.length !acked) (List.length !indet);
+
+  (* 3. Promote the follower. *)
+  let pc = C.connect (`Unix fsock) in
+  let pm_epoch, pm_version =
+    let _ = C.send pc P.Promote in
+    match snd (C.recv pc) with
+    | P.Promoted { pm_epoch; pm_version } -> (pm_epoch, pm_version)
+    | resp ->
+      fail "promote: unexpected response";
+      ignore resp;
+      (0, 0)
+  in
+  C.close pc;
+  Printf.printf "chaos: promoted epoch: %d version: %d\n%!" pm_epoch pm_version;
+  if pm_epoch < 2 then fail "promotion did not raise the epoch (got %d)" pm_epoch;
+
+  (* 4. Client failover: the ring starts at the dead leader; rotation on
+     connection-refused must land both reads and writes on the survivor. *)
+  let fc = C.connect_any [ `Unix lsock; `Unix fsock ] in
+  let post = List.init 5 (fun i -> Printf.sprintf "p_%04d" (i + 1)) in
+  List.iter
+    (fun name ->
+      match
+        C.invoke fc ~retries:3 ~query:"AddV" ~params:[ ("nm", V.Str name) ] ()
+      with
+      | P.Result _ -> acked := name :: !acked
+      | P.Error (code, msg, _) ->
+        fail "post-promotion write %s: %s: %s" name (P.err_code_to_string code) msg
+      | _ -> fail "post-promotion write %s: unexpected response" name
+      | exception e ->
+        fail "post-promotion write %s: %s" name (Printexc.to_string e))
+    post;
+  if C.endpoint fc <> `Unix fsock then fail "client did not fail over to the survivor";
+
+  (* Zero acked commits lost, zero duplicated, on the promoted leader. *)
+  let lost_f, dup_f = verify_names ~where:"promoted" fc ~acked:!acked ~indet:!indet in
+  Printf.printf "chaos: verify promoted: lost: %d duplicated: %d\n%!" lost_f dup_f;
+
+  (* 5. Restart the old leader from its data dir.  Synchronous with zero
+     followers: the poison write must answer repl_lag (it stands locally
+     but is never acknowledged), not succeed silently. *)
+  (try Sys.remove lsock with Sys_error _ -> ());
+  let leader2 =
+    spawn_server ~sock:lsock ~data:ldata ~log:(Filename.concat dir "leader2.log")
+      [ "--sync-replicas"; "1"; "--sync-timeout-ms"; "500" ]
+  in
+  wait_ready lsock;
+  let split_brain = ref 0 in
+  let lc = C.connect (`Unix lsock) in
+  (match write_once lc "poison" with
+   | Refused P.Repl_lag -> print_endline "chaos: stale leader write: repl_lag (quorum fence)"
+   | Acked ->
+     incr split_brain;
+     fail "stale leader acknowledged a write with no follower quorum"
+   | Refused code ->
+     fail "stale leader write: expected repl_lag, got %s" (P.err_code_to_string code)
+   | Indeterminate -> fail "stale leader write: transport break");
+
+  (* 6. Epoch fencing: a subscribe carrying the new epoch stands it down;
+     a write now gets a hard [fenced] refusal. *)
+  (let sc = C.connect (`Unix lsock) in
+   let _ = C.send sc (P.Subscribe { sub_version = 0; sub_epoch = pm_epoch }) in
+   (match snd (C.recv sc) with
+    | P.Error (P.Fenced, _, _) -> ()
+    | _ -> fail "higher-epoch subscribe was not refused as fenced");
+   (try C.close sc with _ -> ()));
+  (match write_once lc "poison2" with
+   | Refused P.Fenced -> print_endline "chaos: fenced write refused"
+   | Acked ->
+     incr split_brain;
+     fail "fenced leader acknowledged a write"
+   | Refused code ->
+     fail "fenced write: expected fenced, got %s" (P.err_code_to_string code)
+   | Indeterminate -> fail "fenced write: transport break");
+
+  (* 7. Re-point it at the new leader: the snapshot bootstrap discards the
+     divergent tail (poison included) and converges. *)
+  (let _ = C.send lc (P.Follow ("unix:" ^ fsock)) in
+   match snd (C.recv lc) with
+   | P.Following _ -> ()
+   | _ -> fail "follow order refused");
+  C.close lc;
+  let target_version = (status_of fsock).P.st_version in
+  ignore
+    (wait_status lsock ~what:"rejoin convergence" (fun st ->
+         st.P.st_role = "follower" && st.P.st_epoch = pm_epoch
+         && st.P.st_version >= target_version));
+  let rc = C.connect (`Unix lsock) in
+  let lost_r, dup_r = verify_names ~where:"rejoined" rc ~acked:!acked ~indet:!indet in
+  let poison = count_name rc "poison" + count_name rc "poison2" in
+  if poison > 0 then begin
+    incr split_brain;
+    fail "poison writes survived the snapshot re-bootstrap (%d)" poison
+  end;
+  Printf.printf "chaos: verify rejoined: lost: %d duplicated: %d poison: %d\n%!"
+    lost_r dup_r poison;
+  C.close rc;
+
+  term leader2;
+  term follower;
+
+  (* The greppable verdict contract for CI's failover-smoke job. *)
+  Printf.printf "chaos: acked: %d lost: %d duplicated: %d split_brain_writes: %d\n%!"
+    (List.length !acked) (lost_f + lost_r) (dup_f + dup_r) !split_brain;
+  if (not !keep) && !failures = 0 then
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  if !failures > 0 then begin
+    Printf.eprintf "chaos: %d failure(s); artifacts kept in %s\n%!" !failures dir;
+    exit 1
+  end

@@ -61,7 +61,7 @@ let usage () =
     "usage: gsql_client [--connect SOCKET | --tcp HOST:PORT] [--clients N] \
      [--requests N] [--workers N] [--timeout-ms MS] [--retries N] \
      [--tenant NAME] [--tenants NAME:CLIENTS:WINDOW,...] \
-     [--invoke QUERY [--param k=v]...]";
+     [--invoke QUERY [--param k=v]...] [--status]";
   exit 2
 
 let target = ref Self_host
@@ -70,6 +70,10 @@ let requests = ref 50
 let workers = ref None
 let timeout_ms = ref None
 let retries = ref 0
+
+(* --status: one status round-trip instead of a load run — prints the
+   node's replication role line (CI's failover-smoke job greps it). *)
+let status_only = ref false
 
 (* --tenant stamps every invocation of the normal phases with one tenant
    identity; --tenants switches to the fairness mode: a comma-separated
@@ -135,6 +139,9 @@ let () =
       parse rest
     | "--retries" :: n :: rest ->
       retries := int_of_string n;
+      parse rest
+    | "--status" :: rest ->
+      status_only := true;
       parse rest
     | "--tenant" :: name :: rest ->
       tenant := Some name;
@@ -474,7 +481,40 @@ let fetch_server_stats ep =
   in
   settle ()
 
+(* The greppable contract for CI's failover-smoke job. *)
+let print_status ep =
+  let c = Service.Client.connect ep in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close c)
+    (fun () ->
+      match Service.Client.status c with
+      | P.Status st ->
+        Printf.printf
+          "server status: role: %s epoch: %d version: %d read_only: %s lag_ms: %s \
+           leader: %s replicas: %d\n"
+          st.P.st_role st.P.st_epoch st.P.st_version
+          (Option.value ~default:"no" st.P.st_read_only)
+          (match st.P.st_lag_ms with
+           | Some ms -> Printf.sprintf "%.0f" ms
+           | None -> "-")
+          (Option.value ~default:"-" st.P.st_leader)
+          st.P.st_replicas
+      | P.Error (code, msg, _) ->
+        Printf.eprintf "status failed: %s: %s\n" (P.err_code_to_string code) msg;
+        exit 1
+      | _ ->
+        prerr_endline "unexpected status response";
+        exit 1)
+
 let () =
+  (match (!status_only, !target) with
+   | true, Connect ep ->
+     print_status ep;
+     exit 0
+   | true, Self_host ->
+     prerr_endline "--status needs --connect or --tcp";
+     exit 2
+   | false, _ -> ());
   let self_hosted, engine_opt, ep =
     match !target with
     | Connect ep -> (None, None, ep)

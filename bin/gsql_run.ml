@@ -296,7 +296,8 @@ let parse_tenant_weights spec =
 
 let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max_steps
     max_rows max_conns semantics_name install_files trace_file data_dir compact_every
-    shards tenant_weights_spec quota_steps quota_rows tenant_queue =
+    shards tenant_weights_spec quota_steps quota_rows tenant_queue replica_of sync_replicas
+    sync_timeout_ms max_staleness_ms =
   let graph = load_graph graph_spec in
   if shards < 1 then begin
     prerr_endline "serve: --shards must be >= 1";
@@ -387,8 +388,20 @@ let serve graph_spec socket_path port workers queue_cap cache_cap timeout_ms max
       tenant_weights;
       quota_steps;
       quota_rows;
-      faults }
+      faults;
+      replica_of;
+      sync_replicas;
+      sync_timeout_ms;
+      max_staleness_ms }
   in
+  (match replica_of with
+   | Some addr -> (
+     match Service.Protocol.endpoint_of_string addr with
+     | Ok _ -> Printf.eprintf "replicating from %s\n%!" addr
+     | Error msg ->
+       prerr_endline ("serve: --replica-of: " ^ msg);
+       exit 2)
+   | None -> ());
   if not (Service.Faults.is_none cfg.Service.Server.faults) then
     Printf.eprintf "fault injection active: %s\n%!"
       (Service.Faults.to_string cfg.Service.Server.faults);
@@ -535,6 +548,33 @@ let tenant_queue_arg =
                  so a flooding tenant sheds its own backlog while others keep queuing \
                  (0 = the default of 16).")
 
+let replica_of_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replica-of" ] ~docv:"ADDR"
+           ~doc:"Start as a read replica of the leader at $(docv) (unix:/path or \
+                 tcp:host:port): subscribe to its committed-batch stream, apply it through \
+                 the single-writer lane, answer mutating invokes with a 'not_leader' \
+                 redirect. Promote with the client's 'promote' request on failover \
+                 (docs/DURABILITY.md).")
+
+let sync_replicas_arg =
+  Arg.(value & opt int 0
+       & info [ "sync-replicas" ] ~docv:"N"
+           ~doc:"Synchronous replication: acknowledge a commit only after $(docv) follower \
+                 acks. A quorum miss answers 'repl_lag' — the commit stands locally but is \
+                 not confirmed replicated (0 = asynchronous).")
+
+let sync_timeout_arg =
+  Arg.(value & opt int 1_000
+       & info [ "sync-timeout-ms" ] ~docv:"MS"
+           ~doc:"With --sync-replicas: wait at most $(docv) for the ack quorum.")
+
+let max_staleness_arg =
+  Arg.(value & opt int 0
+       & info [ "max-staleness-ms" ] ~docv:"MS"
+           ~doc:"Follower read bound: refuse reads with 'stale' when the leader has not \
+                 been heard from within $(docv) (0 = serve reads of any age).")
+
 let serve_cmd =
   let doc = "Serve installed GSQL queries to concurrent clients (docs/SERVICE.md)." in
   Cmd.v
@@ -543,7 +583,8 @@ let serve_cmd =
       const serve $ graph_arg $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
       $ timeout_arg $ max_steps_arg $ max_rows_arg $ max_conns_arg $ semantics_arg
       $ install_arg $ serve_trace_arg $ data_dir_arg $ compact_every_arg $ shards_arg
-      $ tenant_weights_arg $ quota_steps_arg $ quota_rows_arg $ tenant_queue_arg)
+      $ tenant_weights_arg $ quota_steps_arg $ quota_rows_arg $ tenant_queue_arg
+      $ replica_of_arg $ sync_replicas_arg $ sync_timeout_arg $ max_staleness_arg)
 
 let cmd =
   let doc = "Execute GSQL queries over built-in graphs (paper reproduction CLI)." in

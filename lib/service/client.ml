@@ -1,13 +1,16 @@
 (* Blocking protocol client: a connected socket, an id counter, and a
-   reorder buffer for pipelined use.  The endpoint is retained so the
-   retry path can reconnect after a transport failure. *)
+   reorder buffer for pipelined use.  The endpoint {e list} is retained so
+   the retry path can reconnect after a transport failure — and fail over
+   to a sibling replica when the current node refuses service
+   (connection refused, [read_only], [not_leader], [fenced], [stale]). *)
 
 module P = Protocol
 
 exception Error of string
 
 type t = {
-  ep : Server.endpoint;
+  mutable eps : Server.endpoint list;  (* known replicas; never empty *)
+  mutable ep_idx : int;                (* index of the connected endpoint *)
   recv_timeout_ms : int option;
   mutable fd : Unix.file_descr;
   mutable next_id : int;
@@ -17,6 +20,8 @@ type t = {
   mutable last_attempts : int;
   mutable last_hint_ms : int option;  (* retry_after_ms from the last error *)
 }
+
+let endpoint t = List.nth t.eps t.ep_idx
 
 let connect_fd (ep : Server.endpoint) =
   let domain, addr =
@@ -31,12 +36,31 @@ let connect_fd (ep : Server.endpoint) =
      raise e);
   fd
 
-let connect ?recv_timeout_ms (ep : Server.endpoint) =
+(* Dial the endpoints in order starting at [start]; the first one that
+   answers wins.  Raises the last [Unix.Unix_error] when all refuse. *)
+let connect_around eps start =
+  let n = List.length eps in
+  let rec try_at k last_exn =
+    if k >= n then raise last_exn
+    else
+      let idx = (start + k) mod n in
+      match connect_fd (List.nth eps idx) with
+      | fd -> (idx, fd)
+      | exception (Unix.Unix_error _ as e) -> try_at (k + 1) e
+  in
+  try_at 0 (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "no endpoints"))
+
+let connect_any ?recv_timeout_ms (eps : Server.endpoint list) =
+  if eps = [] then invalid_arg "Client.connect_any: empty endpoint list";
   (* Writes to a server that vanished mid-call must raise EPIPE (mapped
      to {!Error} below, retryable) rather than kill the process. *)
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  { ep; recv_timeout_ms; fd = connect_fd ep; next_id = 1; stash = []; open_ = true;
+  let ep_idx, fd = connect_around eps 0 in
+  { eps; ep_idx; recv_timeout_ms; fd; next_id = 1; stash = []; open_ = true;
     rng = 0x2545F49; last_attempts = 0; last_hint_ms = None }
+
+let connect ?recv_timeout_ms (ep : Server.endpoint) =
+  connect_any ?recv_timeout_ms [ ep ]
 
 let close t =
   if t.open_ then begin
@@ -44,16 +68,36 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-(* Drop the broken socket and dial the endpoint again.  In-flight
-   correlation state dies with the old connection; ids keep increasing so
-   stale frames (there can be none — the fd is closed) never collide. *)
-let reconnect t =
+(* Drop the broken socket and dial again, starting from endpoint [from]
+   and rotating through the rest.  In-flight correlation state dies with
+   the old connection; ids keep increasing so stale frames (there can be
+   none — the fd is closed) never collide. *)
+let reconnect_from t from =
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   t.stash <- [];
   t.open_ <- false;
-  let fd = connect_fd t.ep in
+  let idx, fd = connect_around t.eps from in
+  t.ep_idx <- idx;
   t.fd <- fd;
   t.open_ <- true
+
+(* Move to the next endpoint in the ring: the current node answered but
+   refused service (read-only, not the leader, fenced, stale replica). *)
+let rotate t = reconnect_from t ((t.ep_idx + 1) mod List.length t.eps)
+
+(* A [not_leader] redirect names the leader's endpoint: adopt it (adding
+   it to the ring if new) and reconnect there directly. *)
+let adopt_leader t addr =
+  match P.endpoint_of_string addr with
+  | Result.Error _ -> rotate t
+  | Ok ep ->
+    let rec index i = function
+      | [] ->
+        t.eps <- t.eps @ [ ep ];
+        List.length t.eps - 1
+      | e :: rest -> if e = ep then i else index (i + 1) rest
+    in
+    reconnect_from t (index 0 t.eps)
 
 let send t req =
   if not t.open_ then raise (Error "client closed");
@@ -147,12 +191,14 @@ let invoke t ?timeout_ms ?(no_cache = false) ?tenant ?(retries = 0) ?(backoff_ms
          burn the same budget again and is final.  Timeouts and exec
          errors are never retried. *)
       match call t req with
-      | P.Error (P.Overloaded, _, hint) as resp ->
-        t.last_hint_ms <- hint;
-        `Transient (resp, hint)
-      | P.Error (P.Resource_limit, _, (Some _ as hint)) as resp ->
-        t.last_hint_ms <- hint;
-        `Transient (resp, hint)
+      | P.Error (P.Overloaded, _, h) as resp ->
+        t.last_hint_ms <- h.P.h_retry_ms;
+        `Transient (resp, h.P.h_retry_ms)
+      | P.Error (P.Resource_limit, _, h) as resp when h.P.h_retry_ms <> None ->
+        t.last_hint_ms <- h.P.h_retry_ms;
+        `Transient (resp, h.P.h_retry_ms)
+      | P.Error ((P.Read_only | P.Not_leader | P.Fenced | P.Stale), _, h) as resp ->
+        `Failover (resp, h.P.h_leader)
       | resp -> `Final resp
       | exception Error msg -> `Broken msg
     in
@@ -167,13 +213,29 @@ let invoke t ?timeout_ms ?(no_cache = false) ?tenant ?(retries = 0) ?(backoff_ms
          | _ -> Unix.sleepf (backoff_of attempt));
         go (attempt + 1)
       end
+    | `Failover (resp, leader) ->
+      (* This node is up but cannot serve the request: a sibling replica
+         (or the leader it named) may.  Migrate the connection and retry
+         there.  With a single known endpoint and no redirect there is
+         nowhere to go — return the refusal as-is. *)
+      if attempt >= retries || (leader = None && List.length t.eps < 2)
+      then resp
+      else begin
+        (try match leader with
+           | Some addr -> adopt_leader t addr
+           | None -> rotate t
+         with _ -> ());
+        Unix.sleepf (backoff_of attempt);
+        go (attempt + 1)
+      end
     | `Broken msg ->
       if attempt >= retries then raise (Error msg)
       else begin
         Unix.sleepf (backoff_of attempt);
         (* Endpoint may still be down: leave the client closed and let
-           the next attempt reconnect again from the Broken branch. *)
-        (try reconnect t with _ -> ());
+           the next attempt reconnect again from the Broken branch —
+           rotation there also covers a leader that died outright. *)
+        (try rotate t with _ -> ());
         go (attempt + 1)
       end
   in
@@ -181,4 +243,5 @@ let invoke t ?timeout_ms ?(no_cache = false) ?tenant ?(retries = 0) ?(backoff_ms
 
 let stats t = call t P.Stats
 let ping t = call t P.Ping
+let status t = call t P.Status_req
 let shutdown t = call t P.Shutdown

@@ -31,6 +31,17 @@ val connect : ?recv_timeout_ms:int -> Server.endpoint -> t
     (raising {!Error}[ "receive timeout"]) — without it a lost response
     frame blocks forever. *)
 
+val connect_any : ?recv_timeout_ms:int -> Server.endpoint list -> t
+(** Replica-set client: dials the endpoints in order and connects to the
+    first that answers (raising the last [Unix.Unix_error] when all
+    refuse).  {!invoke} retries rotate through the ring on transport
+    failure and on [read_only]/[not_leader]/[fenced]/[stale] refusals; a
+    [not_leader] redirect that names an endpoint not in the ring adds
+    it. *)
+
+val endpoint : t -> Server.endpoint
+(** The endpoint currently connected (moves on failover). *)
+
 val close : t -> unit
 
 val call : t -> Protocol.request -> Protocol.response
@@ -70,4 +81,8 @@ val last_hint_ms : t -> int option
 
 val stats : t -> Protocol.response
 val ping : t -> Protocol.response
+
+val status : t -> Protocol.response
+(** Health check: a [Protocol.Status] with role/epoch/version/lag. *)
+
 val shutdown : t -> Protocol.response

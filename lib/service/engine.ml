@@ -10,6 +10,15 @@
 module J = Obs.Json
 module P = Protocol
 
+(* Replication role (docs/DURABILITY.md).  [`Leader] accepts writes and
+   (when a publisher hook is set) streams committed batches to followers.
+   [`Follower addr] applies the leader's stream via {!apply_batch} and
+   refuses client mutations with a redirect to [addr].  [`Fenced e] is a
+   deposed leader: it observed epoch [e] above its own and stood down —
+   writes are refused until an operator re-points it ([Follow]) or
+   promotes it afresh. *)
+type role = [ `Leader | `Follower of string | `Fenced of int ]
+
 type t = {
   catalog : Gsql.Catalog.t;
   cache : P.exec_result Cache.t;
@@ -38,6 +47,12 @@ type t = {
   mutable graph : Pgraph.Graph.t;
   mutable version : int;
   mutable read_only : string option;  (* Some reason => mutations refused *)
+  mutable role : role;
+  mutable publisher : (Store.Codec.batch -> [ `Acked | `Lagging of string ]) option;
+  (* Replication hook: called under the write lock after every committed
+     batch is published locally.  [`Lagging msg] means the synchronous-
+     replication quorum did not confirm — the commit stands locally but
+     the client is answered [Repl_lag] instead of success. *)
   mutable n_invocations : int;
   mutable n_executed : int;
   mutable n_errors : int;
@@ -71,6 +86,8 @@ let create ?(cache_capacity = 128) ?semantics ?(limits = Interrupt.no_limits) ?p
     graph;
     version;
     read_only = None;
+    role = `Leader;
+    publisher = None;
     n_invocations = 0;
     n_executed = 0;
     n_errors = 0;
@@ -84,12 +101,38 @@ let locked t f =
 
 let graph t = locked t (fun () -> t.graph)
 let graph_version t = locked t (fun () -> t.version)
+let published t = locked t (fun () -> (t.graph, t.version))
 let read_only t = locked t (fun () -> t.read_only)
 let persistent t = t.persist <> None
 
 let set_interp t b = locked t (fun () -> t.interp <- b)
 let use_interp t = locked t (fun () -> t.interp)
 let shard_count t = t.shards
+
+let role t = locked t (fun () -> t.role)
+let set_role t r = locked t (fun () -> t.role <- r)
+let set_publisher t f = locked t (fun () -> t.publisher <- f)
+let persist_dir t = Option.map Store.Persist.dir t.persist
+
+(* Replication catch-up straight off the durable WAL: [None] when there
+   is no store or the log no longer reaches back to [version] (the
+   snapshot advanced past it) — the caller ships a full snapshot. *)
+let batches_for_catchup t ~version =
+  match t.persist with
+  | None -> None
+  | Some p -> Store.Persist.batches_since p ~version
+
+(* Machine-readable refusal for a mutation arriving at a non-leader. *)
+let role_refusal = function
+  | `Leader -> None
+  | `Follower addr ->
+    Some (P.Error (P.Not_leader, "not the leader; redirect to " ^ addr, P.leader_hint addr))
+  | `Fenced e ->
+    Some
+      (P.Error
+         ( P.Fenced,
+           Printf.sprintf "stood down: observed epoch %d above this node's; writes here would split-brain" e,
+           P.no_hint ))
 
 (* The partition of the published graph, memoized per version.  Built
    outside the engine lock (the underlying CSR memo has its own
@@ -161,7 +204,7 @@ let install t source =
      results become unreachable the instant the swap lands (the eager
      invalidation afterwards is memory hygiene, not correctness). *)
   match Gsql.Parser.parse_program source with
-  | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg, None)
+  | exception Gsql.Parser.Error msg -> P.Error (P.Exec_error, msg, P.no_hint)
   | queries ->
     let schema = Pgraph.Graph.schema (graph t) in
     (match
@@ -173,16 +216,16 @@ let install t source =
            q.Gsql.Ast.q_name)
          queries
      with
-     | [] -> P.Error (P.Exec_error, "no CREATE QUERY definitions in source", None)
+     | [] -> P.Error (P.Exec_error, "no CREATE QUERY definitions in source", P.no_hint)
      | names -> P.Installed names
-     | exception Gsql.Catalog.Error msg -> P.Error (P.Exec_error, msg, None))
+     | exception Gsql.Catalog.Error msg -> P.Error (P.Exec_error, msg, P.no_hint))
 
 let list_queries t = P.Queries (List.map (info_of t) (Gsql.Catalog.names t.catalog))
 
 let describe t name =
   if Gsql.Catalog.mem t.catalog name then
     P.Described (info_of t name, Gsql.Catalog.source_of t.catalog name)
-  else P.Error (P.Unknown_query, "not installed: " ^ name, None)
+  else P.Error (P.Unknown_query, "not installed: " ^ name, P.no_hint)
 
 let drop t name =
   if Gsql.Catalog.mem t.catalog name then begin
@@ -190,7 +233,7 @@ let drop t name =
     Cache.invalidate_query t.cache name;
     P.Dropped name
   end
-  else P.Error (P.Unknown_query, "not installed: " ^ name, None)
+  else P.Error (P.Unknown_query, "not installed: " ^ name, P.no_hint)
 
 (* Parameter names must match the declared signature exactly; shape/type
    errors inside the values surface from the evaluator as Exec_error. *)
@@ -210,8 +253,8 @@ let interrupted_response t ~query reason =
     Printf.sprintf "%s interrupted (%s)" query (Interrupt.reason_to_string reason)
   in
   match reason with
-  | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg, None)
-  | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg, None)
+  | Interrupt.Cancelled | Interrupt.Deadline -> P.Error (P.Timeout, msg, P.no_hint)
+  | Interrupt.Steps | Interrupt.Rows -> P.Error (P.Resource_limit, msg, P.no_hint)
 
 (* The write path: runs on a worker under the single-writer mutex.
    Commit protocol (docs/DURABILITY.md):
@@ -231,10 +274,18 @@ let mutate t (iv : P.invoke) entry budget () =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.write_lock)
     (fun () ->
+      (* Re-check role and read-only under the write lock: both can flip
+         between prepare and execution (a higher epoch fenced us, a
+         concurrent commit broke the WAL). *)
+      match role_refusal (locked t (fun () -> t.role)) with
+      | Some refusal ->
+        locked t (fun () -> t.n_errors <- t.n_errors + 1);
+        refusal
+      | None ->
       match locked t (fun () -> t.read_only) with
       | Some why ->
         locked t (fun () -> t.n_errors <- t.n_errors + 1);
-        P.Error (P.Read_only, "server is read-only: " ^ why, None)
+        P.Error (P.Read_only, "server is read-only: " ^ why, P.no_hint)
       | None ->
         let base, version = locked t (fun () -> (t.graph, t.version)) in
         let next = Pgraph.Graph.snapshot base in
@@ -277,7 +328,17 @@ let mutate t (iv : P.invoke) entry budget () =
                   aware either way — this is eager memory hygiene, not a
                   correctness requirement; see lib/graph/csr.mli.) *)
                Pgraph.Csr.invalidate base;
-               P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+               (* Stream the batch to subscribed followers.  Under sync
+                  replication a quorum miss downgrades the answer to
+                  [Repl_lag]: the commit stands locally (it is in the WAL
+                  and published) but was NOT confirmed replicated, so the
+                  client must not count on it surviving a failover. *)
+               (match locked t (fun () -> t.publisher) with
+                | None -> P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+                | Some publish ->
+                  (match publish { Store.Codec.b_version = commit_version; b_ops = ops } with
+                   | `Acked -> P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
+                   | `Lagging msg -> P.Error (P.Repl_lag, msg, P.no_hint)))
              | exception Store.Wal.Io_error msg ->
                (* The clone is discarded: the published graph never saw the
                   batch, matching the WAL (which truncated or poisoned it). *)
@@ -288,13 +349,87 @@ let mutate t (iv : P.invoke) entry budget () =
                P.Error
                  ( P.Read_only,
                    Printf.sprintf "commit failed (%s); server is now read-only" msg,
-                   None )
+                   P.no_hint )
            end
          | exception Gsql.Eval.Runtime_error msg ->
            locked t (fun () -> t.n_errors <- t.n_errors + 1);
-           P.Error (P.Exec_error, msg, None)
+           P.Error (P.Exec_error, msg, P.no_hint)
          | exception Interrupt.Interrupted reason ->
            interrupted_response t ~query:iv.P.iv_query reason))
+
+(* The follower's write path: apply one leader batch through the same
+   single-writer lane client mutations use, so replication and local
+   reads never race.  Versions are the idempotency key: a batch at or
+   below the published version is a duplicate (safe to drop — redelivery
+   after a resubscribe), one that skips ahead is a gap (the caller must
+   re-bootstrap, e.g. request a snapshot).  A WAL failure while logging
+   the batch degrades durability (sticky read-only) but the in-memory
+   replica keeps following — serving slightly-stale reads beats dropping
+   off the replica set. *)
+let apply_batch t (batch : Store.Codec.batch) =
+  Mutex.lock t.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_lock)
+    (fun () ->
+      let base, version = locked t (fun () -> (t.graph, t.version)) in
+      if batch.Store.Codec.b_version <= version then `Dup
+      else if batch.Store.Codec.b_version <> version + 1 then `Gap version
+      else
+        let next = Pgraph.Graph.snapshot base in
+        match List.iter (Pgraph.Graph.apply_mutation next) batch.Store.Codec.b_ops with
+        | exception Invalid_argument _ ->
+          (* Checksum-valid but inapplicable: the replica diverged from
+             the leader's base.  Treat as a gap — re-bootstrapping from a
+             snapshot is the only safe continuation. *)
+          `Gap version
+        | () ->
+          (match t.persist with
+           | Some p ->
+             (try
+                Store.Persist.commit p next ~version:batch.Store.Codec.b_version
+                  ~ops:batch.Store.Codec.b_ops
+              with Store.Wal.Io_error msg ->
+                locked t (fun () ->
+                    t.n_wal_errors <- t.n_wal_errors + 1;
+                    t.read_only <- Some msg))
+           | None -> ());
+          locked t (fun () ->
+              t.graph <- next;
+              t.version <- batch.Store.Codec.b_version;
+              t.partition <- None;
+              t.n_commits <- t.n_commits + 1);
+          Cache.clear t.cache;
+          Pgraph.Csr.invalidate base;
+          `Applied)
+
+(* Full-state bootstrap: replace the replica wholesale with the leader's
+   shipped snapshot at an explicit version (unlike {!reload}, which bumps).
+   Discards any divergent local tail — exactly the point when a deposed
+   leader rejoins — and compacts the local store so the on-disk state
+   matches what is being served. *)
+let install_snapshot t g ~version =
+  Mutex.lock t.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_lock)
+    (fun () ->
+      let old = locked t (fun () ->
+          let old = t.graph in
+          t.graph <- g;
+          t.version <- version;
+          t.partition <- None;
+          old)
+      in
+      Gsql.Catalog.recompile ~schema:(Pgraph.Graph.schema g) t.catalog;
+      Cache.clear t.cache;
+      Pgraph.Csr.invalidate old;
+      match t.persist with
+      | Some p ->
+        (try Store.Persist.compact p g ~version
+         with Store.Wal.Io_error msg ->
+           locked t (fun () ->
+               t.n_wal_errors <- t.n_wal_errors + 1;
+               t.read_only <- Some msg))
+      | None -> ())
 
 let prepare_invoke ?tenant_limits t (iv : P.invoke) =
   locked t (fun () -> t.n_invocations <- t.n_invocations + 1);
@@ -304,13 +439,13 @@ let prepare_invoke ?tenant_limits t (iv : P.invoke) =
   match Gsql.Catalog.lookup t.catalog iv.P.iv_query with
   | None ->
     locked t (fun () -> t.n_errors <- t.n_errors + 1);
-    `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query, None))
+    `Ready (P.Error (P.Unknown_query, "not installed: " ^ iv.P.iv_query, P.no_hint))
   | Some entry ->
     let q = entry.Gsql.Catalog.i_query in
     (match check_params q iv.P.iv_params with
      | Error msg ->
        locked t (fun () -> t.n_errors <- t.n_errors + 1);
-       `Ready (P.Error (P.Bad_params, msg, None))
+       `Ready (P.Error (P.Bad_params, msg, P.no_hint))
      | Ok () ->
        let mutating = entry.Gsql.Catalog.i_info.Gsql.Analyze.mutating in
        (* Governor budget for this execution: the per-invoke timeout
@@ -335,10 +470,15 @@ let prepare_invoke ?tenant_limits t (iv : P.invoke) =
          | Some tl -> Interrupt.min_limits budget_limits tl
        in
        if mutating then begin
+         match role_refusal (locked t (fun () -> t.role)) with
+         | Some refusal ->
+           locked t (fun () -> t.n_errors <- t.n_errors + 1);
+           `Ready refusal
+         | None ->
          match locked t (fun () -> t.read_only) with
          | Some why ->
            locked t (fun () -> t.n_errors <- t.n_errors + 1);
-           `Ready (P.Error (P.Read_only, "server is read-only: " ^ why, None))
+           `Ready (P.Error (P.Read_only, "server is read-only: " ^ why, P.no_hint))
          | None ->
            let budget = Interrupt.of_limits budget_limits in
            `Run { pr_budget = budget; pr_mutating = true; pr_thunk = mutate t iv entry budget }
@@ -371,7 +511,7 @@ let prepare_invoke ?tenant_limits t (iv : P.invoke) =
                P.Result { rs_cached = false; rs_ms = ms; rs_result = r }
              | exception Gsql.Eval.Runtime_error msg ->
                locked t (fun () -> t.n_errors <- t.n_errors + 1);
-               P.Error (P.Exec_error, msg, None)
+               P.Error (P.Exec_error, msg, P.no_hint)
              | exception Interrupt.Interrupted reason ->
                (* Nothing is cached: the execution's private store and its
                   uncommitted phases die with the unwind. *)
@@ -428,6 +568,12 @@ let stats t ~extra =
           ("commits", J.Int commits);
           ("wal_errors", J.Int wal_errors);
           ("persistent", J.Bool (t.persist <> None));
+          ( "role",
+            J.Str
+              (match role t with
+               | `Leader -> "leader"
+               | `Follower _ -> "follower"
+               | `Fenced _ -> "fenced") );
           ( "read_only",
             match read_only with None -> J.Bool false | Some why -> J.Str why );
           ("cache", Cache.stats t.cache);

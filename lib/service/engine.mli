@@ -46,11 +46,61 @@ val create :
 val graph : t -> Pgraph.Graph.t
 val graph_version : t -> int
 
+val published : t -> Pgraph.Graph.t * int
+(** The published graph and its version as one consistent read (a
+    concurrent commit cannot tear the pair). *)
+
 val read_only : t -> string option
 (** [Some reason] once a WAL I/O failure has degraded the engine: mutating
     invocations are refused with [Error (Read_only, _)]; reads still flow. *)
 
 val persistent : t -> bool
+
+val persist_dir : t -> string option
+(** The attached durability layer's data directory, when persistent. *)
+
+(** {1 Replication hooks}
+
+    The engine stays below {!Repl} in the module graph: replication
+    drives it through a role, a publisher callback, and two apply
+    entry points (docs/DURABILITY.md). *)
+
+type role = [ `Leader | `Follower of string | `Fenced of int ]
+(** [`Leader] accepts writes; [`Follower addr] refuses them with
+    [Error (Not_leader, _, leader_hint addr)]; [`Fenced e] refuses them
+    with [Error (Fenced, _)] — this node observed epoch [e] above its own
+    and stood down. *)
+
+val role : t -> role
+val set_role : t -> role -> unit
+
+val set_publisher :
+  t -> (Store.Codec.batch -> [ `Acked | `Lagging of string ]) option -> unit
+(** Called under the write lock after each committed batch is published
+    locally.  [`Lagging msg] downgrades the client's answer to
+    [Error (Repl_lag, msg, _)]: the commit stands locally but the
+    synchronous-replication quorum did not confirm it. *)
+
+val apply_batch :
+  t -> Store.Codec.batch -> [ `Applied | `Dup | `Gap of int ]
+(** Follower write path: applies one leader batch through the
+    single-writer lane, WAL-logging it when persistent (a WAL failure
+    degrades to sticky read-only but keeps following in memory) and
+    publishing atomically.  [`Dup] = at or below the published version
+    (idempotent redelivery, dropped); [`Gap v] = skips ahead of local
+    version [v], or is inapplicable to the local base — the replica must
+    re-bootstrap from a snapshot. *)
+
+val batches_for_catchup : t -> version:int -> Store.Codec.batch list option
+(** {!Store.Persist.batches_since} through the attached store: the
+    committed batches above [version], or [None] when there is no store
+    or the log no longer reaches back that far. *)
+
+val install_snapshot : t -> Pgraph.Graph.t -> version:int -> unit
+(** Full-state bootstrap from a shipped snapshot at an explicit version:
+    replaces the graph (discarding any divergent local tail), recompiles
+    the catalog, clears the cache, and compacts the local store when
+    persistent. *)
 
 val set_interp : t -> bool -> unit
 (** Routes subsequent executions through the {!Gsql.Eval} interpreter

@@ -15,17 +15,22 @@ type t = {
   fsync_fail_every : int;  (* 0 = off; else every Nth WAL fsync fails *)
   tenant_flood_ms : int;  (* 0 = off; else tenant "flood" executions sleep MS *)
   quota_skew_ms : int;  (* 0 = off; else alternate quota-clock reads lag MS *)
+  repl_drop_every : int;  (* 0 = off; else every Nth replication send is dropped *)
+  repl_partition_from : int;  (* 0 = off; else sends >= N all drop (partition) *)
+  follower_stall_ms : int;  (* 0 = off; else the follower stalls MS per batch *)
   n_worker : int Atomic.t;  (* worker executions seen (crash counter) *)
   n_frames : int Atomic.t;  (* outbound frames seen (drop counter) *)
   n_short : int Atomic.t;  (* WAL appends seen (short-write counter) *)
   n_torn : int Atomic.t;  (* WAL appends seen (torn-record counter) *)
   n_fsync : int Atomic.t;  (* WAL appends seen (fsync-fail counter) *)
   n_skew : int Atomic.t;  (* quota-clock reads seen (skew alternator) *)
+  n_repl : int Atomic.t;  (* replication sends seen (drop + partition counter) *)
 }
 
 let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slow_read_ms = 0)
     ?(short_write_every = 0) ?(torn_record_every = 0) ?(fsync_fail_every = 0)
-    ?(tenant_flood_ms = 0) ?(quota_skew_ms = 0) () =
+    ?(tenant_flood_ms = 0) ?(quota_skew_ms = 0) ?(repl_drop_every = 0)
+    ?(repl_partition_from = 0) ?(follower_stall_ms = 0) () =
   { delay_worker_ms;
     crash_every;
     drop_frame_every;
@@ -35,19 +40,24 @@ let make ?(delay_worker_ms = 0) ?(crash_every = 0) ?(drop_frame_every = 0) ?(slo
     fsync_fail_every;
     tenant_flood_ms;
     quota_skew_ms;
+    repl_drop_every;
+    repl_partition_from;
+    follower_stall_ms;
     n_worker = Atomic.make 0;
     n_frames = Atomic.make 0;
     n_short = Atomic.make 0;
     n_torn = Atomic.make 0;
     n_fsync = Atomic.make 0;
-    n_skew = Atomic.make 0 }
+    n_skew = Atomic.make 0;
+    n_repl = Atomic.make 0 }
 
 let none = make ()
 
 let is_none t =
   t.delay_worker_ms = 0 && t.crash_every = 0 && t.drop_frame_every = 0 && t.slow_read_ms = 0
   && t.short_write_every = 0 && t.torn_record_every = 0 && t.fsync_fail_every = 0
-  && t.tenant_flood_ms = 0 && t.quota_skew_ms = 0
+  && t.tenant_flood_ms = 0 && t.quota_skew_ms = 0 && t.repl_drop_every = 0
+  && t.repl_partition_from = 0 && t.follower_stall_ms = 0
 
 let to_string t =
   let knobs =
@@ -61,7 +71,10 @@ let to_string t =
         ("torn-record", t.torn_record_every);
         ("fsync-fail", t.fsync_fail_every);
         ("tenant-flood", t.tenant_flood_ms);
-        ("quota-clock-skew", t.quota_skew_ms) ]
+        ("quota-clock-skew", t.quota_skew_ms);
+        ("repl-drop-batch", t.repl_drop_every);
+        ("repl-partition", t.repl_partition_from);
+        ("follower-stall", t.follower_stall_ms) ]
   in
   String.concat "," knobs
 
@@ -90,6 +103,9 @@ let parse spec =
             | "fsync-fail" -> go { acc with fsync_fail_every = n } rest
             | "tenant-flood" -> go { acc with tenant_flood_ms = n } rest
             | "quota-clock-skew" -> go { acc with quota_skew_ms = n } rest
+            | "repl-drop-batch" -> go { acc with repl_drop_every = n } rest
+            | "repl-partition" -> go { acc with repl_partition_from = n } rest
+            | "follower-stall" -> go { acc with follower_stall_ms = n } rest
             | _ -> Error (Printf.sprintf "unknown fault knob %S" k))
           | _ ->
             Error (Printf.sprintf "fault knob %S: value must be a non-negative integer" part)))
@@ -136,6 +152,29 @@ let quota_now t () =
 
 let before_read t =
   if t.slow_read_ms > 0 then Unix.sleepf (float_of_int t.slow_read_ms /. 1000.0)
+
+(* Replication-path faults share one send counter so a spec like
+   repl-drop-batch=3,repl-partition=10 drops sends 3,6,9 and then
+   everything from the 10th on — a lossy link that finally partitions.
+   The drop is on the leader's side: the follower sees a gap and
+   recovers by resubscribing (catch-up), which is exactly the path
+   under test. *)
+let repl_send_dropped ?(stream = false) t =
+  if t.repl_drop_every = 0 && t.repl_partition_from = 0 then false
+  else if stream then
+    let n = Atomic.fetch_and_add t.n_repl 1 + 1 in
+    (t.repl_partition_from > 0 && n >= t.repl_partition_from)
+    || (t.repl_drop_every > 0 && n mod t.repl_drop_every = 0)
+  else
+    (* Handshake, catch-up and heartbeat sends only fall to the
+       partition: if the Nth-drop knob also hit the recovery machinery,
+       a deterministic drop cycle could lock step with the resubscribe
+       loop and never converge — the fault would test nothing but
+       itself. *)
+    t.repl_partition_from > 0 && Atomic.get t.n_repl + 1 >= t.repl_partition_from
+
+let follower_stall t =
+  if t.follower_stall_ms > 0 then Unix.sleepf (float_of_int t.follower_stall_ms /. 1000.0)
 
 (* The store stays independent of this module: disk faults travel as a
    [Store.Wal.hooks] record built from the spec's counters.  Each counter

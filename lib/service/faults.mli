@@ -34,7 +34,15 @@
     - [quota-clock-skew=MS] — every other read of the quota clock lags
       MS behind real time (a deterministic non-monotonic clock), so the
       token-bucket refill path must clamp negative deltas instead of
-      minting or destroying allowance.
+      minting or destroying allowance;
+    - [repl-drop-batch=N] — every Nth replication send (batch, snapshot
+      or heartbeat frame to a subscribed follower) is silently dropped:
+      the follower sees a version gap and must resubscribe for catch-up;
+    - [repl-partition=N] — replication sends from the Nth on all drop: a
+      network partition between leader and followers (staleness bounds
+      and sync-replication quorum misses take over);
+    - [follower-stall=MS] — the follower sleeps MS before applying each
+      replicated batch, building deterministic replication lag.
 
     All three disk faults fail the commit — the client sees an error,
     nothing is applied, and the server degrades to read-only mode
@@ -92,3 +100,16 @@ val before_read : t -> unit
 val wal_hooks : t -> Store.Wal.hooks
 (** Disk-fault hooks for the write-ahead log, driven by the
     [short-write]/[torn-record]/[fsync-fail] knobs. *)
+
+val repl_send_dropped : ?stream:bool -> t -> bool
+(** True when this replication send must be dropped.  [stream = true]
+    (the publisher's steady-state batch path) advances the shared send
+    counter and is a victim of both [repl-drop-batch] and
+    [repl-partition]; handshake/catch-up/heartbeat sends ([stream =
+    false], the default) only drop under an active partition, so the
+    recovery machinery the drop knob exists to exercise stays
+    drivable. *)
+
+val follower_stall : t -> unit
+(** Applies [follower-stall] before a follower applies one replicated
+    batch. *)

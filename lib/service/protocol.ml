@@ -23,6 +23,11 @@ type request =
   | Stats
   | Ping
   | Shutdown
+  | Subscribe of { sub_version : int; sub_epoch : int }
+  | Rep_ack of int
+  | Promote
+  | Follow of string
+  | Status_req
 
 type query_info = {
   qi_name : string;
@@ -47,6 +52,29 @@ type err_code =
   | Read_only
   | Shutting_down
   | Internal
+  | Not_leader
+  | Fenced
+  | Stale
+  | Repl_lag
+
+(* Machine-readable hints riding on error responses: [h_retry_ms] is the
+   quota/backlog refill ETA (wait exactly that long), [h_leader] the
+   rendered endpoint a [Not_leader] redirect points at. *)
+type hint = { h_retry_ms : int option; h_leader : string option }
+
+let no_hint = { h_retry_ms = None; h_leader = None }
+let retry_hint ms = { no_hint with h_retry_ms = Some ms }
+let leader_hint addr = { no_hint with h_leader = Some addr }
+
+type status = {
+  st_role : string;  (* "leader" | "follower" | "fenced" *)
+  st_epoch : int;
+  st_version : int;
+  st_read_only : string option;
+  st_lag_ms : float option;  (* follower: ms since last leader contact *)
+  st_leader : string option;  (* follower: the leader endpoint followed *)
+  st_replicas : int;  (* leader: connected subscribers *)
+}
 
 type response =
   | Installed of string list
@@ -57,8 +85,15 @@ type response =
   | Stats_snapshot of J.t
   | Pong
   | Bye
-  | Error of err_code * string * int option
-      (* code, message, retry_after_ms hint (quota refill ETA) *)
+  | Error of err_code * string * hint
+      (* code, message, machine-readable hints (retry ETA, leader redirect) *)
+  | Sub_ok of { so_epoch : int; so_version : int; so_ack : bool }
+  | Rep_snapshot of { sn_epoch : int; sn_version : int; sn_graph : J.t }
+  | Rep_batch of { rb_epoch : int; rb_batch : Store.Codec.batch }
+  | Rep_heartbeat of { hb_epoch : int; hb_version : int }
+  | Promoted of { pm_epoch : int; pm_version : int }
+  | Following of string
+  | Status of status
 
 let err_code_to_string = function
   | Bad_request -> "bad_request"
@@ -71,6 +106,10 @@ let err_code_to_string = function
   | Read_only -> "read_only"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Not_leader -> "not_leader"
+  | Fenced -> "fenced"
+  | Stale -> "stale"
+  | Repl_lag -> "repl_lag"
 
 let err_code_of_string = function
   | "bad_request" -> Some Bad_request
@@ -83,7 +122,41 @@ let err_code_of_string = function
   | "read_only" -> Some Read_only
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
+  | "not_leader" -> Some Not_leader
+  | "fenced" -> Some Fenced
+  | "stale" -> Some Stale
+  | "repl_lag" -> Some Repl_lag
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                           *)
+
+(* Rendered endpoint addresses travel in [Follow] requests, [--replica-of]
+   flags and [h_leader] redirect hints.  Accepted spellings:
+   "unix:/path", "tcp:host:port", a bare "/path" (unix) or "host:port". *)
+let endpoint_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let endpoint_of_string s : ([ `Unix of string | `Tcp of string * int ], string) result =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | Some i ->
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      (match int_of_string_opt port with
+       | Some p when p >= 0 && host <> "" -> Ok (`Tcp (host, p))
+       | _ -> Error (Printf.sprintf "bad endpoint %S: expected host:port" s))
+    | None -> Error (Printf.sprintf "bad endpoint %S: expected host:port" s)
+  in
+  let s = String.trim s in
+  if s = "" then Error "empty endpoint"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (`Unix (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if s.[0] = '/' then Ok (`Unix s)
+  else tcp s
 
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)
@@ -301,6 +374,12 @@ let request_to_json ~id (req : request) : J.t =
     | Stats -> [ ("op", J.Str "stats") ]
     | Ping -> [ ("op", J.Str "ping") ]
     | Shutdown -> [ ("op", J.Str "shutdown") ]
+    | Subscribe { sub_version; sub_epoch } ->
+      [ ("op", J.Str "subscribe"); ("version", J.Int sub_version); ("epoch", J.Int sub_epoch) ]
+    | Rep_ack version -> [ ("op", J.Str "rep-ack"); ("version", J.Int version) ]
+    | Promote -> [ ("op", J.Str "promote") ]
+    | Follow addr -> [ ("op", J.Str "follow"); ("leader", J.Str addr) ]
+    | Status_req -> [ ("op", J.Str "status") ]
   in
   J.Obj (("id", J.Int id) :: fields)
 
@@ -354,6 +433,20 @@ let request_of_json (j : J.t) : (int * request, string) result =
     | Some (J.Str "stats") -> Ok Stats
     | Some (J.Str "ping") -> Ok Ping
     | Some (J.Str "shutdown") -> Ok Shutdown
+    | Some (J.Str "subscribe") ->
+      (match (J.member "version" j, J.member "epoch" j) with
+       | Some (J.Int v), Some (J.Int e) -> Ok (Subscribe { sub_version = v; sub_epoch = e })
+       | _ -> Error "subscribe without version/epoch")
+    | Some (J.Str "rep-ack") ->
+      (match J.member "version" j with
+       | Some (J.Int v) -> Ok (Rep_ack v)
+       | _ -> Error "rep-ack without version")
+    | Some (J.Str "promote") -> Ok Promote
+    | Some (J.Str "follow") ->
+      (match J.member "leader" j with
+       | Some (J.Str addr) -> Ok (Follow addr)
+       | _ -> Error "follow without leader")
+    | Some (J.Str "status") -> Ok Status_req
     | Some (J.Str op) -> Error ("unknown op: " ^ op)
     | _ -> Error "envelope without op"
   in
@@ -410,15 +503,137 @@ let response_to_json ~id (resp : response) : J.t =
     | Stats_snapshot stats -> [ ("ok", J.Bool true); ("stats", stats) ]
     | Pong -> [ ("ok", J.Bool true); ("pong", J.Bool true) ]
     | Bye -> [ ("ok", J.Bool true); ("bye", J.Bool true) ]
-    | Error (code, msg, retry_after_ms) ->
+    | Error (code, msg, hint) ->
       [ ("ok", J.Bool false);
         ("code", J.Str (err_code_to_string code));
         ("error", J.Str msg) ]
-      @ (match retry_after_ms with
+      @ (match hint.h_retry_ms with
          | None -> []
          | Some ms -> [ ("retry_after_ms", J.Int ms) ])
+      @ (match hint.h_leader with
+         | None -> []
+         | Some addr -> [ ("leader", J.Str addr) ])
+    | Sub_ok { so_epoch; so_version; so_ack } ->
+      [ ("ok", J.Bool true);
+        ( "sub",
+          J.Obj
+            [ ("epoch", J.Int so_epoch); ("version", J.Int so_version);
+              ("ack", J.Bool so_ack) ] ) ]
+    | Rep_snapshot { sn_epoch; sn_version; sn_graph } ->
+      [ ("ok", J.Bool true);
+        ( "snapshot",
+          J.Obj
+            [ ("epoch", J.Int sn_epoch); ("version", J.Int sn_version);
+              ("graph", sn_graph) ] ) ]
+    | Rep_batch { rb_epoch; rb_batch } ->
+      [ ("ok", J.Bool true);
+        ( "batch",
+          J.Obj [ ("epoch", J.Int rb_epoch); ("data", Store.Codec.batch_to_json rb_batch) ] ) ]
+    | Rep_heartbeat { hb_epoch; hb_version } ->
+      [ ("ok", J.Bool true);
+        ("heartbeat", J.Obj [ ("epoch", J.Int hb_epoch); ("version", J.Int hb_version) ]) ]
+    | Promoted { pm_epoch; pm_version } ->
+      [ ("ok", J.Bool true);
+        ("promoted", J.Obj [ ("epoch", J.Int pm_epoch); ("version", J.Int pm_version) ]) ]
+    | Following addr -> [ ("ok", J.Bool true); ("following", J.Str addr) ]
+    | Status st ->
+      [ ("ok", J.Bool true);
+        ( "status",
+          J.Obj
+            ([ ("role", J.Str st.st_role);
+               ("epoch", J.Int st.st_epoch);
+               ("version", J.Int st.st_version);
+               ( "read_only",
+                 match st.st_read_only with None -> J.Bool false | Some why -> J.Str why );
+               ("replicas", J.Int st.st_replicas) ]
+            @ (match st.st_lag_ms with None -> [] | Some ms -> [ ("lag_ms", J.Float ms) ])
+            @ (match st.st_leader with None -> [] | Some a -> [ ("leader", J.Str a) ])) ) ]
   in
   J.Obj (("id", J.Int id) :: fields)
+
+(* The replication and health-check member shapes, tried after the classic
+   members so the hot request/response path stays first-match. *)
+let repl_response_of_json (j : J.t) : (response, string) result =
+  let int_member what obj name =
+    match J.member name obj with
+    | Some (J.Int n) -> Ok n
+    | _ -> Result.Error (Printf.sprintf "bad %s: missing %s" what name)
+  in
+  match J.member "sub" j with
+  | Some sj ->
+    let* e = int_member "sub" sj "epoch" in
+    let* v = int_member "sub" sj "version" in
+    let ack = match J.member "ack" sj with Some (J.Bool b) -> b | _ -> false in
+    Ok (Sub_ok { so_epoch = e; so_version = v; so_ack = ack })
+  | None ->
+    (match J.member "snapshot" j with
+     | Some sj ->
+       let* e = int_member "snapshot" sj "epoch" in
+       let* v = int_member "snapshot" sj "version" in
+       (match J.member "graph" sj with
+        | Some g -> Ok (Rep_snapshot { sn_epoch = e; sn_version = v; sn_graph = g })
+        | None -> Result.Error "bad snapshot: missing graph")
+     | None ->
+       (match J.member "batch" j with
+        | Some bj ->
+          let* e = int_member "batch" bj "epoch" in
+          (match J.member "data" bj with
+           | Some dj ->
+             let* b = Store.Codec.batch_of_json dj in
+             Ok (Rep_batch { rb_epoch = e; rb_batch = b })
+           | None -> Result.Error "bad batch: missing data")
+        | None ->
+          (match J.member "heartbeat" j with
+           | Some hj ->
+             let* e = int_member "heartbeat" hj "epoch" in
+             let* v = int_member "heartbeat" hj "version" in
+             Ok (Rep_heartbeat { hb_epoch = e; hb_version = v })
+           | None ->
+             (match J.member "promoted" j with
+              | Some pj ->
+                let* e = int_member "promoted" pj "epoch" in
+                let* v = int_member "promoted" pj "version" in
+                Ok (Promoted { pm_epoch = e; pm_version = v })
+              | None ->
+                (match J.member "following" j with
+                 | Some (J.Str addr) -> Ok (Following addr)
+                 | Some _ -> Result.Error "bad following"
+                 | None ->
+                   (match J.member "status" j with
+                    | Some sj ->
+                      let* e = int_member "status" sj "epoch" in
+                      let* v = int_member "status" sj "version" in
+                      let* role =
+                        match J.member "role" sj with
+                        | Some (J.Str r) -> Ok r
+                        | _ -> Result.Error "bad status: missing role"
+                      in
+                      let read_only =
+                        match J.member "read_only" sj with
+                        | Some (J.Str why) -> Some why
+                        | _ -> None
+                      in
+                      let lag_ms =
+                        match J.member "lag_ms" sj with
+                        | Some m -> J.to_float_opt m
+                        | None -> None
+                      in
+                      let leader =
+                        match J.member "leader" sj with Some (J.Str a) -> Some a | _ -> None
+                      in
+                      let replicas =
+                        match J.member "replicas" sj with Some (J.Int n) -> n | _ -> 0
+                      in
+                      Ok
+                        (Status
+                           { st_role = role; st_epoch = e; st_version = v;
+                             st_read_only = read_only; st_lag_ms = lag_ms;
+                             st_leader = leader; st_replicas = replicas })
+                    | None ->
+                      (match (J.member "pong" j, J.member "bye" j) with
+                       | Some (J.Bool true), _ -> Ok Pong
+                       | _, Some (J.Bool true) -> Ok Bye
+                       | _ -> Result.Error "unrecognized response")))))))
 
 let response_of_json (j : J.t) : (int * response, string) result =
   let* id = envelope_id j in
@@ -427,12 +642,15 @@ let response_of_json (j : J.t) : (int * response, string) result =
     | Some (J.Bool false) ->
       (match (J.member "code" j, J.member "error" j) with
        | Some (J.Str code), Some (J.Str msg) ->
-         let retry =
-           match J.member "retry_after_ms" j with Some (J.Int ms) -> Some ms | _ -> None
+         let hint =
+           { h_retry_ms =
+               (match J.member "retry_after_ms" j with Some (J.Int ms) -> Some ms | _ -> None);
+             h_leader =
+               (match J.member "leader" j with Some (J.Str a) -> Some a | _ -> None) }
          in
          (match err_code_of_string code with
-          | Some c -> Ok (Error (c, msg, retry))
-          | None -> Ok (Error (Internal, code ^ ": " ^ msg, retry)))
+          | Some c -> Ok (Error (c, msg, hint))
+          | None -> Ok (Error (Internal, code ^ ": " ^ msg, hint)))
        | _ -> Result.Error "error response without code/error")
     | Some (J.Bool true) ->
       (match J.member "installed" j with
@@ -476,11 +694,7 @@ let response_of_json (j : J.t) : (int * response, string) result =
                    | None ->
                      (match J.member "stats" j with
                       | Some stats -> Ok (Stats_snapshot stats)
-                      | None ->
-                        (match (J.member "pong" j, J.member "bye" j) with
-                         | Some (J.Bool true), _ -> Ok Pong
-                         | _, Some (J.Bool true) -> Ok Bye
-                         | _ -> Result.Error "unrecognized response")))))))
+                      | None -> repl_response_of_json j))))))
     | _ -> Result.Error "response without ok"
   in
   Ok (id, resp)

@@ -32,6 +32,20 @@ type request =
   | Stats
   | Ping
   | Shutdown                   (** graceful server stop *)
+  | Subscribe of { sub_version : int; sub_epoch : int }
+      (** a follower registers for the replication stream: it already holds
+          the graph at [sub_version] and last followed epoch [sub_epoch].
+          The server answers {!Sub_ok} and then streams unsolicited (id 0)
+          {!Rep_snapshot}/{!Rep_batch}/{!Rep_heartbeat} frames on the same
+          connection *)
+  | Rep_ack of int             (** follower -> leader on a subscribed
+                                   connection: applied through this version *)
+  | Promote                    (** operator order: follower becomes leader in
+                                   a fresh, higher epoch *)
+  | Follow of string           (** operator order: (re)attach as a follower of
+                                   the given endpoint (see
+                                   {!endpoint_of_string}) *)
+  | Status_req                 (** health check: role, epoch, version, lag *)
 
 (** {1 Responses} *)
 
@@ -60,6 +74,38 @@ type err_code =
                         server degraded to read-only mode *)
   | Shutting_down
   | Internal
+  | Not_leader      (** mutation refused: this node is a follower; the hint
+                        carries the leader's endpoint *)
+  | Fenced          (** refused: this node observed a higher epoch and stood
+                        down as leader; writes here would split-brain *)
+  | Stale           (** read refused: follower's replica is older than the
+                        configured staleness bound *)
+  | Repl_lag        (** commit applied locally but the synchronous-replication
+                        quorum did not acknowledge in time; the write is {e
+                        not} guaranteed on a failover target *)
+
+(** Machine-readable recovery hints attached to {!Error}. *)
+type hint = {
+  h_retry_ms : int option;  (** wait this long before retrying (quota
+                                exhaustion, tenant backlog sheds) *)
+  h_leader : string option; (** redirect: endpoint of the current leader,
+                                in {!endpoint_to_string} form *)
+}
+
+val no_hint : hint
+val retry_hint : int -> hint
+val leader_hint : string -> hint
+
+(** Payload of the {!Status} health-check response. *)
+type status = {
+  st_role : string;              (** ["leader"], ["follower"] or ["fenced"] *)
+  st_epoch : int;
+  st_version : int;              (** current graph version *)
+  st_read_only : string option;  (** why mutations are refused, if they are *)
+  st_lag_ms : float option;      (** follower: ms since last leader contact *)
+  st_leader : string option;     (** follower/fenced: leader endpoint *)
+  st_replicas : int;             (** leader: live subscriber count *)
+}
 
 type response =
   | Installed of string list
@@ -70,14 +116,36 @@ type response =
   | Stats_snapshot of Obs.Json.t
   | Pong
   | Bye
-  | Error of err_code * string * int option
-      (** code, message, and an optional machine-readable
-          [retry_after_ms] hint: when present (quota exhaustion, tenant
-          backlog sheds) the client should wait that long before
-          retrying instead of blind exponential backoff *)
+  | Error of err_code * string * hint
+      (** code, message, and machine-readable recovery hints ({!no_hint}
+          when there are none) *)
+  | Sub_ok of { so_epoch : int; so_version : int; so_ack : bool }
+      (** subscription accepted; [so_ack] tells the follower whether the
+          leader wants {!Rep_ack} frames (synchronous replication) *)
+  | Rep_snapshot of { sn_epoch : int; sn_version : int; sn_graph : Obs.Json.t }
+      (** full-state bootstrap: a {!Store.Codec} graph document the follower
+          installs wholesale, replacing any divergent local tail *)
+  | Rep_batch of { rb_epoch : int; rb_batch : Store.Codec.batch }
+      (** one committed WAL batch, streamed in commit order *)
+  | Rep_heartbeat of { hb_epoch : int; hb_version : int }
+      (** keep-alive carrying the leader's current version, so an idle
+          follower can measure staleness *)
+  | Promoted of { pm_epoch : int; pm_version : int }
+  | Following of string
+  | Status of status
 
 val err_code_to_string : err_code -> string
 val err_code_of_string : string -> err_code option
+
+(** {1 Endpoints} *)
+
+val endpoint_to_string : [ `Unix of string | `Tcp of string * int ] -> string
+(** [unix:/path] or [tcp:host:port]. *)
+
+val endpoint_of_string :
+  string -> ([ `Unix of string | `Tcp of string * int ], string) result
+(** Accepts [unix:/path], [tcp:host:port], a bare [/path] (unix) and a bare
+    [host:port] (tcp). *)
 
 (** {1 Value and result serialization} *)
 

@@ -1,0 +1,74 @@
+(** WAL-streaming replication: the leader and follower halves of the
+    read-replica protocol (docs/DURABILITY.md).
+
+    The leader streams every committed batch — in commit order, via the
+    engine's publisher hook — to subscribers whose sockets the server
+    detaches and hands over at [Subscribe] time, catching each one up
+    first from the durable WAL (or a full snapshot when the log no
+    longer reaches back, or the subscriber's history belongs to an older
+    epoch).  With [sync_replicas > 0] a commit is only acknowledged to
+    the client after that many follower acks; a quorum miss downgrades
+    the answer to [repl_lag].
+
+    The follower half runs on its own domain: dial, subscribe, apply
+    batches through the engine's single-writer lane, redial on gaps,
+    divergence or silence.
+
+    Epoch fencing: a [Subscribe] carrying an epoch above everything this
+    node has seen makes a leader stand down ([`Fenced]) instead of
+    accepting it; a deposed leader rejoining as a follower subscribes
+    with its old history epoch and is therefore re-bootstrapped by
+    snapshot, discarding its divergent tail.  {!promote} starts a fresh,
+    strictly higher epoch (persisted in [<dir>/epoch] when durable). *)
+
+type t
+
+val create :
+  engine:Engine.t -> faults:Faults.t -> ?replica_of:string option ->
+  ?sync_replicas:int -> ?sync_timeout_ms:int -> ?max_staleness_ms:int ->
+  unit -> t
+(** Installs the publisher hook on [engine]; [replica_of = Some addr]
+    additionally starts the follower domain (role [`Follower addr]).
+    [sync_replicas] (default 0 = async) is the follower-ack quorum per
+    commit, awaited up to [sync_timeout_ms] (default 1000).
+    [max_staleness_ms] (default 0 = serve any age) bounds follower
+    reads via {!stale_for_reads}. *)
+
+val epoch : t -> int
+(** The history epoch of the local state. *)
+
+val handle_subscribe :
+  t -> fd:Unix.file_descr -> id:int -> version:int -> epoch:int ->
+  [ `Subscribed | `Fenced of int | `Not_leader of string ]
+(** The server hands over a detached connection whose [Subscribe]
+    carried [version]/[epoch].  [`Subscribed]: the hub now owns [fd] (it
+    has sent [Sub_ok] + catch-up and will stream).  [`Fenced e]: this
+    node cannot serve the stream — and if the subscriber's epoch was
+    news, the node just stood down; the caller still owns [fd] and
+    should answer an error.  [`Not_leader addr] likewise. *)
+
+val promote : t -> int * int
+(** Operator promotion: stop following, start epoch [seen + 1], take the
+    leader role.  Returns (new epoch, current version). *)
+
+val follow : t -> string -> (unit, string) result
+(** Operator re-point: become a follower of the given endpoint (drops
+    any local subscribers — they belong to a leadership no longer
+    held).  [Error] when the endpoint string does not parse. *)
+
+val status : t -> Protocol.status
+
+val lag_ms : t -> float option
+(** Follower: milliseconds since the last leader frame. *)
+
+val stale_for_reads : t -> bool
+(** True when this node is a follower, a staleness bound is configured,
+    and {!lag_ms} exceeds it — the server refuses reads with [stale]. *)
+
+val tick : t -> unit
+(** Called from the server's event loop: heartbeats subscribers (rate-
+    limited internally) and prunes dead ones. *)
+
+val stop : t -> unit
+(** Uninstalls the publisher hook, stops the follower domain, closes
+    subscriber sockets. *)

@@ -36,13 +36,18 @@ type config = {
   quota_steps : int;  (* per-tenant step tokens per second; 0 = off *)
   quota_rows : int;  (* per-tenant row tokens per second; 0 = off *)
   faults : Faults.t;
+  replica_of : string option;  (* follow this leader endpoint from boot *)
+  sync_replicas : int;  (* follower acks required per commit; 0 = async *)
+  sync_timeout_ms : int;  (* quorum wait bound before answering repl_lag *)
+  max_staleness_ms : int;  (* follower read bound; 0 = serve any age *)
 }
 
 let default_config listen =
   { listen; workers = None; queue_capacity = 64; per_tenant_queue = 16;
     default_timeout_ms = 30_000; max_connections = 64; max_inflight = 32;
     max_frame_bytes = P.max_frame_bytes; tenant_weights = []; quota_steps = 0;
-    quota_rows = 0; faults = Faults.from_env () }
+    quota_rows = 0; faults = Faults.from_env (); replica_of = None;
+    sync_replicas = 0; sync_timeout_ms = 1_000; max_staleness_ms = 0 }
 
 (* Instrument handles are registered once; recording is a no-op unless the
    caller (serve --trace, BENCH_JSON) enabled the registry. *)
@@ -125,6 +130,7 @@ type reclaiming = {
 type t = {
   engine : Engine.t;
   cfg : config;
+  repl : Repl.t;
   pool : P.response Pool.t;
   tenants : Tenant.t;
   listen_fd : Unix.file_descr;
@@ -175,7 +181,12 @@ let create cfg engine =
     Tenant.create ~now:(Faults.quota_now cfg.faults) ~weights:cfg.tenant_weights
       ~quota_steps:cfg.quota_steps ~quota_rows:cfg.quota_rows ()
   in
-  { engine; cfg; pool; tenants; listen_fd = fd; bound; stop_flag = Atomic.make false;
+  let repl =
+    Repl.create ~engine ~faults:cfg.faults ~replica_of:cfg.replica_of
+      ~sync_replicas:cfg.sync_replicas ~sync_timeout_ms:cfg.sync_timeout_ms
+      ~max_staleness_ms:cfg.max_staleness_ms ()
+  in
+  { engine; cfg; repl; pool; tenants; listen_fd = fd; bound; stop_flag = Atomic.make false;
     anon_seq = 0; conns = []; pending = []; reclaiming = []; writer_busy = false;
     writer_waiting = []; n_timeouts = 0; n_overloaded = 0;
     n_cancellations = 0; n_reclaimed = 0; n_quota_denied = 0; n_inflight_shed = 0 }
@@ -201,8 +212,8 @@ let charge_budget t ~tenant budget =
    the charge, so the ETA reflects the spend that triggered it. *)
 let decorate_quota t ~tenant resp =
   match resp with
-  | P.Error (P.Resource_limit, msg, None) when Tenant.quota_active t.tenants ->
-    P.Error (P.Resource_limit, msg, Some (Tenant.retry_after_ms t.tenants tenant))
+  | P.Error (P.Resource_limit, msg, h) when h.P.h_retry_ms = None && Tenant.quota_active t.tenants ->
+    P.Error (P.Resource_limit, msg, P.retry_hint (Tenant.retry_after_ms t.tenants tenant))
   | r -> r
 
 let send t conn ~id resp =
@@ -218,7 +229,7 @@ let send t conn ~id resp =
         (try
            P.write_frame conn.fd
              (P.response_to_json ~id
-                (P.Error (P.Internal, "response exceeds the frame size limit", None)))
+                (P.Error (P.Internal, "response exceeds the frame size limit", P.no_hint)))
          with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
 
 (* Cancel an in-flight job and track it until its worker unwinds — the
@@ -374,7 +385,7 @@ let submit_job t conn ~id ~query ~tenant ~via_lane ~(prepared : Engine.prepared)
         p_budget = prepared.Engine.pr_budget; p_deadline = deadline;
         p_start = start; p_mutating = prepared.Engine.pr_mutating }
       :: t.pending
-  | Error `Overloaded -> refuse (P.Error (P.Overloaded, "admission queue full", None))
+  | Error `Overloaded -> refuse (P.Error (P.Overloaded, "admission queue full", P.no_hint))
   | Error `Tenant_overloaded ->
     (* The flooding tenant sheds its own backlog; other tenants' queues
        are untouched. *)
@@ -382,10 +393,10 @@ let submit_job t conn ~id ~query ~tenant ~via_lane ~(prepared : Engine.prepared)
       (P.Error
          ( P.Overloaded,
            Printf.sprintf "tenant %s queue full (%d)" tenant t.cfg.per_tenant_queue,
-           None ))
+           P.no_hint ))
   | Error `Shutdown ->
     Tenant.record t.tenants tenant (if via_lane then `Completed else `Shed);
-    send t conn ~id (P.Error (P.Shutting_down, "server stopping", None))
+    send t conn ~id (P.Error (P.Shutting_down, "server stopping", P.no_hint))
 
 (* Pop the writer lane after the in-flight writer retires.  Dead or
    already-expired waiters are answered/dropped without consuming the
@@ -408,7 +419,7 @@ let rec pump_writers t =
           P.Error
             ( P.Timeout,
               Printf.sprintf "%s exceeded its deadline in the writer queue" w.w_query,
-              None )
+              P.no_hint )
         in
         record_outcome ~query:w.w_query ~ms:((tick_now -. w.w_start) *. 1000.0) resp;
         send t w.w_conn ~id:w.w_id resp;
@@ -422,9 +433,50 @@ let rec pump_writers t =
         pump_writers t
       end
 
+(* A follower's [Subscribe]: the hub takes the socket over.  Detach from
+   the event loop first — [alive <- false] stops the frame-drain loop,
+   [closed <- true] keeps the loop's close path off the fd — so that ack
+   frames arriving on it are read by the hub, never by [on_readable].
+   The fd goes back to blocking: the hub writes whole frames. *)
+let handle_subscribe t conn ~id ~sub_version ~sub_epoch =
+  conn.alive <- false;
+  conn.closed <- true;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  (try Unix.clear_nonblock conn.fd with Unix.Unix_error _ -> ());
+  let refuse resp =
+    (try P.write_frame conn.fd (P.response_to_json ~id resp)
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  match
+    Repl.handle_subscribe t.repl ~fd:conn.fd ~id ~version:sub_version ~epoch:sub_epoch
+  with
+  | `Subscribed -> ()
+  | `Fenced e ->
+    refuse
+      (P.Error
+         ( P.Fenced,
+           Printf.sprintf "cannot serve the stream: this node stood down at epoch %d" e,
+           P.no_hint ))
+  | `Not_leader addr ->
+    refuse (P.Error (P.Not_leader, "not the leader; subscribe to " ^ addr, P.leader_hint addr))
+
 let handle_request t conn ~id (req : P.request) =
   match req with
   | P.Ping -> send t conn ~id P.Pong
+  | P.Status_req -> send t conn ~id (P.Status (Repl.status t.repl))
+  | P.Subscribe { sub_version; sub_epoch } -> handle_subscribe t conn ~id ~sub_version ~sub_epoch
+  | P.Rep_ack _ ->
+    (* Only meaningful on a subscribed (detached) connection, where the
+       hub reads it — here it is a protocol misuse. *)
+    send t conn ~id (P.Error (P.Bad_request, "rep-ack outside a subscription", P.no_hint))
+  | P.Promote ->
+    let ep, v = Repl.promote t.repl in
+    send t conn ~id (P.Promoted { pm_epoch = ep; pm_version = v })
+  | P.Follow addr -> (
+    match Repl.follow t.repl addr with
+    | Ok () -> send t conn ~id (P.Following addr)
+    | Error msg -> send t conn ~id (P.Error (P.Bad_request, "follow: " ^ msg, P.no_hint)))
   | P.Install source -> send t conn ~id (Engine.install t.engine source)
   | P.List_queries -> send t conn ~id (Engine.list_queries t.engine)
   | P.Describe name -> send t conn ~id (Engine.describe t.engine name)
@@ -452,7 +504,7 @@ let handle_request t conn ~id (req : P.request) =
           ( P.Overloaded,
             Printf.sprintf "per-connection in-flight cap reached (%d)"
               t.cfg.max_inflight,
-            None )
+            P.no_hint )
       in
       record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
       send t conn ~id resp
@@ -463,12 +515,35 @@ let handle_request t conn ~id (req : P.request) =
         if Tenant.quota_active t.tenants then Some (Tenant.limits t.tenants tenant)
         else None
       in
+      (* Staleness bound: a follower that has not heard from its leader
+         within [max_staleness_ms] refuses reads with [stale] — a
+         machine-readable cue the client's failover rotates on — rather
+         than serve data of unknowable age.  Mutations are not gated
+         here; they already get the [not_leader] redirect. *)
+      let stale = Repl.stale_for_reads t.repl in
+      let stale_resp () =
+        P.Error
+          ( P.Stale,
+            Printf.sprintf "replica is stale: no leader contact within %dms"
+              t.cfg.max_staleness_ms,
+            P.no_hint )
+      in
       match Engine.prepare_invoke ?tenant_limits t.engine iv with
+      | `Ready (P.Result _) when stale ->
+        let resp = stale_resp () in
+        Tenant.record t.tenants tenant `Ready;
+        record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
+        send t conn ~id resp
       | `Ready resp ->
         (* Cache hits and immediate errors are answered inline: they never
            queue and never spend quota.  This is the degradation order —
            cheap reads keep flowing for a saturated or quota-exhausted
            tenant while its expensive executions shed. *)
+        Tenant.record t.tenants tenant `Ready;
+        record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
+        send t conn ~id resp
+      | `Run prepared when (not prepared.Engine.pr_mutating) && stale ->
+        let resp = stale_resp () in
         Tenant.record t.tenants tenant `Ready;
         record_outcome ~query:iv.P.iv_query ~ms:((now () -. t0) *. 1000.0) resp;
         send t conn ~id resp
@@ -482,7 +557,7 @@ let handle_request t conn ~id (req : P.request) =
             P.Error
               ( P.Resource_limit,
                 Printf.sprintf "tenant %s quota exhausted" tenant,
-                Some retry_ms )
+                P.retry_hint retry_ms )
           in
           record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
           send t conn ~id resp
@@ -500,7 +575,7 @@ let handle_request t conn ~id (req : P.request) =
             if List.length t.writer_waiting >= t.cfg.queue_capacity then begin
               t.n_overloaded <- t.n_overloaded + 1;
               Tenant.record t.tenants tenant `Shed;
-              let resp = P.Error (P.Overloaded, "writer queue full", None) in
+              let resp = P.Error (P.Overloaded, "writer queue full", P.no_hint) in
               record_outcome ~query:iv.P.iv_query ~ms:0.0 resp;
               send t conn ~id resp
             end
@@ -523,14 +598,14 @@ let handle_frame t conn = function
     (* A frame-level error — oversized length header or undecodable
        payload — leaves the stream unsynchronized (the next frame boundary
        cannot be trusted), so answer with a protocol error and close. *)
-    send t conn ~id:0 (P.Error (P.Bad_request, msg, None));
+    send t conn ~id:0 (P.Error (P.Bad_request, msg, P.no_hint));
     close_conn t conn
   | Ok payload ->
     (match P.request_of_json payload with
      | Result.Error msg ->
        (* Bad envelope inside a well-delimited frame: the stream is still
           framed correctly, so the connection survives. *)
-       send t conn ~id:0 (P.Error (P.Bad_request, msg, None))
+       send t conn ~id:0 (P.Error (P.Bad_request, msg, P.no_hint))
      | Ok (id, req) -> handle_request t conn ~id req)
 
 let drain_conn_buffer t conn =
@@ -567,7 +642,7 @@ let accept_ready t =
         (* Shed the connection with an explanation rather than a raw close. *)
         (try
            P.write_frame fd
-             (P.response_to_json ~id:0 (P.Error (P.Overloaded, "connection limit", None)))
+             (P.response_to_json ~id:0 (P.Error (P.Overloaded, "connection limit", P.no_hint)))
          with Unix.Unix_error _ | Sys_error _ -> ());
         try Unix.close fd with Unix.Unix_error _ -> ()
       end
@@ -613,7 +688,7 @@ let sweep_pending t =
             retire_pending t p resp ~at:tick_now;
             false
           | Pool.Failed msg ->
-            retire_pending t p (P.Error (P.Internal, msg, None)) ~at:tick_now;
+            retire_pending t p (P.Error (P.Internal, msg, P.no_hint)) ~at:tick_now;
             false
           | Pool.Queued | Pool.Running ->
             if tick_now >= p.p_deadline then begin
@@ -621,7 +696,7 @@ let sweep_pending t =
               Tenant.record t.tenants p.p_tenant `Completed;
               let resp =
                 P.Error
-                  (P.Timeout, Printf.sprintf "%s exceeded its deadline" p.p_query, None)
+                  (P.Timeout, Printf.sprintf "%s exceeded its deadline" p.p_query, P.no_hint)
               in
               record_outcome ~query:p.p_query ~ms:((tick_now -. p.p_start) *. 1000.0) resp;
               send t p.p_conn ~id:p.p_id resp;
@@ -675,7 +750,8 @@ let run t =
       t.conns;
     sweep_pending t;
     pump_writers t;
-    sweep_reclaiming t
+    sweep_reclaiming t;
+    Repl.tick t.repl
   done;
   (* Drain: stop accepting, answer what the pool still finishes quickly,
      fail the rest, then join the workers. *)
@@ -687,7 +763,7 @@ let run t =
   List.iter
     (fun w ->
       Tenant.record t.tenants w.w_tenant `Completed;
-      send t w.w_conn ~id:w.w_id (P.Error (P.Shutting_down, "server stopping", None)))
+      send t w.w_conn ~id:w.w_id (P.Error (P.Shutting_down, "server stopping", P.no_hint)))
     t.writer_waiting;
   t.writer_waiting <- [];
   List.iter
@@ -696,7 +772,7 @@ let run t =
       match Pool.state p.p_job with
       | Pool.Done resp -> send t p.p_conn ~id:p.p_id resp
       | _ ->
-        send t p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping", None));
+        send t p.p_conn ~id:p.p_id (P.Error (P.Shutting_down, "server stopping", P.no_hint));
         (* Cancel so Pool.shutdown's worker join is bounded by one
            checkpoint interval, not by the query's natural runtime. *)
         Interrupt.cancel p.p_budget)
@@ -704,4 +780,5 @@ let run t =
   t.pending <- [];
   List.iter (fun c -> close_conn t c) t.conns;
   t.conns <- [];
+  Repl.stop t.repl;
   Pool.shutdown ~drain:false t.pool

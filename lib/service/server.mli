@@ -74,13 +74,30 @@ type config = {
   quota_rows : int;            (** per-tenant row tokens per second; 0 = no
                                    row quota *)
   faults : Faults.t;           (** injection knobs; {!Faults.none} in production *)
+  replica_of : string option;  (** follow this leader endpoint from boot
+                                   ({!Protocol.endpoint_of_string} form):
+                                   the node starts as a read replica and
+                                   redirects mutations with [not_leader] *)
+  sync_replicas : int;         (** follower acks required before a commit is
+                                   acknowledged; 0 = asynchronous replication.
+                                   A quorum miss (timeout, or no live
+                                   followers at all — e.g. a restarted stale
+                                   leader) answers [repl_lag]: the commit
+                                   stands locally but is not confirmed
+                                   replicated *)
+  sync_timeout_ms : int;       (** quorum wait bound (default 1000) *)
+  max_staleness_ms : int;      (** follower read bound: reads are refused
+                                   with [stale] when the leader has not been
+                                   heard from within this window; 0 = serve
+                                   any age *)
 }
 
 val default_config : endpoint -> config
 (** workers = cores, queue 64 (16 per tenant), timeout 30s, 64
     connections, 32 in-flight per connection, frames up to
     {!Protocol.max_frame_bytes}, no weights, no quotas, faults from
-    [GSQL_FAULTS] (none when unset). *)
+    [GSQL_FAULTS] (none when unset), no replication (standalone
+    leader, async, no staleness bound). *)
 
 type t
 

@@ -20,26 +20,48 @@ type t = {
   compact_every : int;  (* compact after this many batches; 0 = never *)
   wal : Wal.t;
   mutable batches_since_snapshot : int;
+  mutable snap_version : int;  (* version covered by snapshot.json; 0 = none *)
 }
 
 let wal_path dir = Filename.concat dir "wal.log"
 let snapshot_path dir = Filename.concat dir "snapshot.json"
+let epoch_path dir = Filename.concat dir "epoch"
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Unix.mkdir dir 0o755
     with Unix.Unix_error (e, _, _) -> raise (Wal.Io_error (Unix.error_message e))
 
+(* The snapshot carries a trailing checksum footer so a compaction artifact
+   corrupted after the rename (bit rot, partial overwrite) is detected at
+   open instead of deserialized silently.  Footer-less files are accepted
+   as-is: they predate the footer. *)
+let crc_footer text = Printf.sprintf "\n#crc32:%08x\n" (Crc32.string text)
+let crc_footer_len = String.length (crc_footer "")
+
+let split_crc_footer whole =
+  let n = String.length whole in
+  if n < crc_footer_len then `Legacy whole
+  else
+    let foot = String.sub whole (n - crc_footer_len) crc_footer_len in
+    if String.length foot >= 8 && String.sub foot 0 8 = "\n#crc32:" then
+      let body = String.sub whole 0 (n - crc_footer_len) in
+      if foot = crc_footer body then `Ok body else `Corrupt
+    else `Legacy whole
+
 let load_snapshot path =
-  let text =
+  let whole =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  match Obs.Json.parse text with
-  | Error msg -> Error ("snapshot parse: " ^ msg)
-  | Ok j -> Codec.graph_of_json j
+  match split_crc_footer whole with
+  | `Corrupt -> Error "checksum mismatch"
+  | `Ok text | `Legacy text ->
+    (match Obs.Json.parse text with
+     | Error msg -> Error ("snapshot parse: " ^ msg)
+     | Ok j -> Codec.graph_of_json j)
 
 type recovery = {
   r_graph : G.t;
@@ -80,7 +102,7 @@ let open_dir ?(hooks = Wal.no_hooks) ?(compact_every = 0) dir ~base =
   let keep = !good_bytes in
   let truncated = had_file && keep < file_size (wal_path dir) in
   let wal = Wal.open_append ~hooks ~valid_bytes:keep (wal_path dir) in
-  ( { dir; compact_every; wal; batches_since_snapshot = List.length batches },
+  ( { dir; compact_every; wal; batches_since_snapshot = List.length batches; snap_version },
     { r_graph = graph; r_version = !version; r_replayed = !replayed; r_truncated = truncated } )
 
 (* Atomic snapshot publication: tmp + fsync + rename, then the WAL is
@@ -93,7 +115,7 @@ let compact t graph ~version =
        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
        (fun () ->
          let text = Obs.Json.to_string (Codec.graph_to_json ~version graph) in
-         let buf = Bytes.of_string text in
+         let buf = Bytes.of_string (text ^ crc_footer text) in
          let n = Bytes.length buf in
          let written = ref 0 in
          while !written < n do
@@ -105,7 +127,8 @@ let compact t graph ~version =
    | Unix.Unix_error (e, _, _) -> raise (Wal.Io_error (Unix.error_message e))
    | Sys_error msg -> raise (Wal.Io_error msg));
   Wal.reset t.wal;
-  t.batches_since_snapshot <- 0
+  t.batches_since_snapshot <- 0;
+  t.snap_version <- version
 
 let commit t graph ~version ~ops =
   Wal.append t.wal { Codec.b_version = version; b_ops = ops };
@@ -115,3 +138,55 @@ let commit t graph ~version ~ops =
 
 let is_open t = Wal.is_open t.wal
 let close t = Wal.close t.wal
+
+let dir t = t.dir
+let snapshot_version t = t.snap_version
+
+(* Replication catch-up: the committed batches with versions above
+   [version], straight off the on-disk WAL's valid prefix.  [None] when
+   the log no longer reaches back that far (the snapshot advanced past
+   the follower) — the caller must ship a full snapshot instead. *)
+let batches_since t ~version =
+  if t.snap_version > version then None
+  else
+    let batches, _ = Wal.scan (wal_path t.dir) in
+    Some
+      (List.filter_map
+         (fun ((b : Codec.batch), _off) ->
+           if b.Codec.b_version > version then Some b else None)
+         batches)
+
+(* Epoch persistence: a tiny [<dir>/epoch] file so a rebooted node cannot
+   resurrect an epoch it already stood down from.  Written atomically
+   (tmp + rename); absent means epoch 1 (never promoted/fenced). *)
+let read_epoch dir =
+  let path = epoch_path dir in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match int_of_string_opt (String.trim (really_input_string ic (in_channel_length ic))) with
+        | Some e when e >= 1 -> Some e
+        | _ -> None)
+
+let write_epoch dir epoch =
+  ensure_dir dir;
+  let tmp = epoch_path dir ^ ".tmp" in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         let buf = Bytes.of_string (string_of_int epoch ^ "\n") in
+         let n = Bytes.length buf in
+         let written = ref 0 in
+         while !written < n do
+           written := !written + Unix.write fd buf !written (n - !written)
+         done;
+         Unix.fsync fd);
+     Unix.rename tmp (epoch_path dir)
+   with
+   | Unix.Unix_error (e, _, _) -> raise (Wal.Io_error (Unix.error_message e))
+   | Sys_error msg -> raise (Wal.Io_error msg))

@@ -34,7 +34,31 @@ val commit : t -> Pgraph.Graph.t -> version:int -> ops:Pgraph.Graph.mutation lis
     poisoned (the service layer degrades to read-only). *)
 
 val compact : t -> Pgraph.Graph.t -> version:int -> unit
-(** Forces a snapshot rewrite now (atomic tmp+rename) and empties the WAL. *)
+(** Forces a snapshot rewrite now (atomic tmp+rename, with a trailing
+    CRC-32 footer that {!open_dir} verifies) and empties the WAL. *)
 
 val is_open : t -> bool
 val close : t -> unit
+
+val dir : t -> string
+
+val snapshot_version : t -> int
+(** Version covered by [snapshot.json]; [0] before the first compaction. *)
+
+val batches_since : t -> version:int -> Codec.batch list option
+(** The committed batches with versions above [version], re-scanned from
+    the on-disk WAL (replication catch-up).  [None] when the snapshot has
+    advanced past [version] — the log no longer reaches back that far and
+    the caller must ship a full snapshot instead. *)
+
+(** {1 Epoch fencing}
+
+    A one-line [<dir>/epoch] file records the highest replication epoch
+    this node has served or observed, so a rebooted stale leader cannot
+    resurrect an epoch it already stood down from. *)
+
+val read_epoch : string -> int option
+(** [read_epoch dir]; [None] when absent/unreadable (treat as epoch 1). *)
+
+val write_epoch : string -> int -> unit
+(** Atomic (tmp + rename + fsync).  Raises {!Wal.Io_error} on failure. *)

@@ -1,0 +1,519 @@
+(* WAL-streaming replication (docs/DURABILITY.md): the new protocol
+   frames, the engine's replication hooks, and leader/follower server
+   pairs end-to-end — streaming, catch-up, redirect, client failover,
+   promotion, epoch fencing, the synchronous-replication quorum,
+   follower staleness bounds, and gap recovery under injected batch
+   drops. *)
+
+module J = Obs.Json
+module V = Pgraph.Value
+module G = Pgraph.Graph
+module P = Service.Protocol
+module C = Service.Client
+
+let addv_src = {|
+CREATE QUERY AddV (string nm) {
+  INSERT INTO V (name) VALUES (nm);
+}
+|}
+
+(* |R| = number of vertices carrying the name (see bench/chaos.ml). *)
+let countname_src = {|
+CREATE QUERY CountName (string nm) {
+  R = SELECT v FROM V:v -(E>*0..0)- V:w WHERE v.name = nm;
+  PRINT R[R.name];
+}
+|}
+
+let diamond n = (Pathsem.Toygraphs.diamond_chain n).Pathsem.Toygraphs.g
+
+let fresh_socket_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gsqlrepl_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let mk_engine () =
+  let engine = Service.Engine.create ~cache_capacity:32 ~graph:(diamond 6) () in
+  List.iter
+    (fun src ->
+      match Service.Engine.install engine src with
+      | P.Installed _ -> ()
+      | P.Error (_, msg, _) -> Alcotest.failf "install failed: %s" msg
+      | _ -> Alcotest.fail "install failed")
+    [ addv_src; countname_src ];
+  engine
+
+type node = {
+  nd_path : string;
+  nd_server : Service.Server.t;
+  nd_engine : Service.Engine.t;
+  nd_runner : unit Domain.t;
+}
+
+let start_node ?(faults = Service.Faults.none) ?replica_of ?(sync_replicas = 0)
+    ?(sync_timeout_ms = 500) ?(max_staleness_ms = 0) () =
+  let path = fresh_socket_path () in
+  let engine = mk_engine () in
+  let cfg =
+    { (Service.Server.default_config (`Unix path)) with
+      Service.Server.faults;
+      replica_of;
+      sync_replicas;
+      sync_timeout_ms;
+      max_staleness_ms }
+  in
+  let server = Service.Server.create cfg engine in
+  let runner = Domain.spawn (fun () -> Service.Server.run server) in
+  { nd_path = path; nd_server = server; nd_engine = engine; nd_runner = runner }
+
+let stop_node nd =
+  Service.Server.stop nd.nd_server;
+  Domain.join nd.nd_runner;
+  if Sys.file_exists nd.nd_path then Sys.remove nd.nd_path
+
+let with_nodes specs f =
+  let nodes = List.map (fun spec -> spec ()) specs in
+  Fun.protect ~finally:(fun () -> List.iter stop_node nodes) (fun () -> f nodes)
+
+let status_of path =
+  let c = C.connect (`Unix path) in
+  Fun.protect
+    ~finally:(fun () -> C.close c)
+    (fun () ->
+      match C.status c with
+      | P.Status st -> st
+      | _ -> Alcotest.fail "expected a status response")
+
+let wait_until ?(timeout = 10.0) ~what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let add c ?(retries = 0) name =
+  C.invoke c ~retries ~query:"AddV" ~params:[ ("nm", V.Str name) ] ()
+
+let count c name =
+  match
+    C.invoke c ~retries:2 ~no_cache:true ~query:"CountName"
+      ~params:[ ("nm", V.Str name) ] ()
+  with
+  | P.Result { rs_result = { P.x_vsets; _ }; _ } ->
+    (match List.assoc_opt "R" x_vsets with
+     | Some ids -> Array.length ids
+     | None -> 0)
+  | P.Error (code, msg, _) -> Alcotest.failf "count: %s: %s" (P.err_code_to_string code) msg
+  | _ -> Alcotest.fail "count: unexpected response"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol frames                                                     *)
+
+let req_roundtrip req =
+  match P.request_of_json (P.request_to_json ~id:7 req) with
+  | Ok (7, r) -> r
+  | Ok (id, _) -> Alcotest.failf "id mangled: %d" id
+  | Error msg -> Alcotest.failf "request did not parse back: %s" msg
+
+let resp_roundtrip resp =
+  match P.response_of_json (P.response_to_json ~id:9 resp) with
+  | Ok (9, r) -> r
+  | Ok (id, _) -> Alcotest.failf "id mangled: %d" id
+  | Error msg -> Alcotest.failf "response did not parse back: %s" msg
+
+let test_protocol_roundtrips () =
+  (match req_roundtrip (P.Subscribe { sub_version = 41; sub_epoch = 3 }) with
+   | P.Subscribe { sub_version = 41; sub_epoch = 3 } -> ()
+   | _ -> Alcotest.fail "subscribe");
+  (match req_roundtrip (P.Rep_ack 12) with
+   | P.Rep_ack 12 -> ()
+   | _ -> Alcotest.fail "rep_ack");
+  (match req_roundtrip P.Promote with P.Promote -> () | _ -> Alcotest.fail "promote");
+  (match req_roundtrip (P.Follow "unix:/tmp/x.sock") with
+   | P.Follow "unix:/tmp/x.sock" -> ()
+   | _ -> Alcotest.fail "follow");
+  (match req_roundtrip P.Status_req with
+   | P.Status_req -> ()
+   | _ -> Alcotest.fail "status_req");
+  (match resp_roundtrip (P.Sub_ok { so_epoch = 2; so_version = 10; so_ack = true }) with
+   | P.Sub_ok { so_epoch = 2; so_version = 10; so_ack = true } -> ()
+   | _ -> Alcotest.fail "sub_ok");
+  (match resp_roundtrip (P.Rep_heartbeat { hb_epoch = 2; hb_version = 10 }) with
+   | P.Rep_heartbeat { hb_epoch = 2; hb_version = 10 } -> ()
+   | _ -> Alcotest.fail "heartbeat");
+  (match resp_roundtrip (P.Promoted { pm_epoch = 4; pm_version = 17 }) with
+   | P.Promoted { pm_epoch = 4; pm_version = 17 } -> ()
+   | _ -> Alcotest.fail "promoted");
+  (match resp_roundtrip (P.Following "unix:/tmp/y.sock") with
+   | P.Following "unix:/tmp/y.sock" -> ()
+   | _ -> Alcotest.fail "following");
+  let batch =
+    { Store.Codec.b_version = 5;
+      b_ops = [ G.M_set_vertex_attr (0, "name", V.Str "x") ] }
+  in
+  (match resp_roundtrip (P.Rep_batch { rb_epoch = 2; rb_batch = batch }) with
+   | P.Rep_batch { rb_epoch = 2; rb_batch = { Store.Codec.b_version = 5; b_ops = [ _ ] } }
+     -> ()
+   | _ -> Alcotest.fail "rep_batch");
+  let st =
+    { P.st_role = "follower"; st_epoch = 2; st_version = 33;
+      st_read_only = None; st_lag_ms = Some 12.5;
+      st_leader = Some "unix:/tmp/l.sock"; st_replicas = 0 }
+  in
+  (match resp_roundtrip (P.Status st) with
+   | P.Status got ->
+     Alcotest.(check string) "role" "follower" got.P.st_role;
+     Alcotest.(check int) "epoch" 2 got.P.st_epoch;
+     Alcotest.(check int) "version" 33 got.P.st_version;
+     Alcotest.(check bool) "lag" true (got.P.st_lag_ms <> None);
+     Alcotest.(check bool) "leader" true (got.P.st_leader = Some "unix:/tmp/l.sock")
+   | _ -> Alcotest.fail "status");
+  (* Errors carry machine-readable hints both ways. *)
+  (match resp_roundtrip (P.Error (P.Not_leader, "go away", P.leader_hint "unix:/l")) with
+   | P.Error (P.Not_leader, _, { P.h_leader = Some "unix:/l"; _ }) -> ()
+   | _ -> Alcotest.fail "not_leader hint");
+  match resp_roundtrip (P.Error (P.Repl_lag, "no quorum", P.no_hint)) with
+  | P.Error (P.Repl_lag, _, { P.h_leader = None; h_retry_ms = None }) -> ()
+  | _ -> Alcotest.fail "repl_lag"
+
+let test_endpoint_strings () =
+  let ok s = function
+    | expected ->
+      (match P.endpoint_of_string s with
+       | Ok ep -> Alcotest.(check bool) s true (ep = expected)
+       | Error msg -> Alcotest.failf "%s: %s" s msg)
+  in
+  ok "unix:/tmp/a.sock" (`Unix "/tmp/a.sock");
+  ok "/tmp/a.sock" (`Unix "/tmp/a.sock");
+  ok "tcp:localhost:8080" (`Tcp ("localhost", 8080));
+  ok "localhost:8080" (`Tcp ("localhost", 8080));
+  (match P.endpoint_of_string "" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty endpoint accepted");
+  Alcotest.(check string) "render unix" "unix:/tmp/a.sock"
+    (P.endpoint_to_string (`Unix "/tmp/a.sock"));
+  Alcotest.(check string) "render tcp" "tcp:h:1"
+    (P.endpoint_to_string (`Tcp ("h", 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine hooks                                                        *)
+
+let test_engine_role_refusal () =
+  let engine = mk_engine () in
+  let inv =
+    { P.iv_query = "AddV"; iv_params = [ ("nm", V.Str "x") ];
+      iv_timeout_ms = None; iv_no_cache = false; iv_tenant = None }
+  in
+  Service.Engine.set_role engine (`Follower "unix:/tmp/l.sock");
+  (match Service.Engine.invoke engine inv with
+   | P.Error (P.Not_leader, _, { P.h_leader = Some "unix:/tmp/l.sock"; _ }) -> ()
+   | _ -> Alcotest.fail "follower did not redirect the mutation");
+  (* Reads keep flowing on a follower. *)
+  (match
+     Service.Engine.invoke engine
+       { inv with P.iv_query = "CountName"; iv_params = [ ("nm", V.Str "v0") ] }
+   with
+   | P.Result _ -> ()
+   | _ -> Alcotest.fail "follower refused a read");
+  Service.Engine.set_role engine (`Fenced 5);
+  (match Service.Engine.invoke engine inv with
+   | P.Error (P.Fenced, _, _) -> ()
+   | _ -> Alcotest.fail "fenced node accepted a write");
+  Service.Engine.set_role engine `Leader;
+  match Service.Engine.invoke engine inv with
+  | P.Result _ -> ()
+  | _ -> Alcotest.fail "restored leader refused a write"
+
+let test_engine_apply_batch () =
+  (* Capture a real committed batch on one engine, replay it on another. *)
+  let src = mk_engine () in
+  let inv name =
+    { P.iv_query = "AddV"; iv_params = [ ("nm", V.Str name) ];
+      iv_timeout_ms = None; iv_no_cache = false; iv_tenant = None }
+  in
+  let captured = ref [] in
+  Service.Engine.set_publisher src
+    (Some
+       (fun b ->
+         captured := b :: !captured;
+         `Acked));
+  (match Service.Engine.invoke src (inv "a") with
+   | P.Result _ -> ()
+   | _ -> Alcotest.fail "source write failed");
+  (match Service.Engine.invoke src (inv "b") with
+   | P.Result _ -> ()
+   | _ -> Alcotest.fail "source write failed");
+  let b1, b2 =
+    match List.rev !captured with [ x; y ] -> (x, y) | _ -> Alcotest.fail "capture"
+  in
+  let dst = mk_engine () in
+  Alcotest.(check bool) "applied 1" true (Service.Engine.apply_batch dst b1 = `Applied);
+  Alcotest.(check bool) "applied 2" true (Service.Engine.apply_batch dst b2 = `Applied);
+  Alcotest.(check int) "version follows" 2 (Service.Engine.graph_version dst);
+  (* Idempotent redelivery. *)
+  Alcotest.(check bool) "dup dropped" true (Service.Engine.apply_batch dst b2 = `Dup);
+  Alcotest.(check int) "dup did not bump" 2 (Service.Engine.graph_version dst);
+  (* A skip is a gap: the replica must resync. *)
+  let ahead = { b2 with Store.Codec.b_version = 9 } in
+  (match Service.Engine.apply_batch dst ahead with
+   | `Gap v -> Alcotest.(check int) "gap reports local version" 2 v
+   | _ -> Alcotest.fail "expected a gap")
+
+let test_engine_install_snapshot () =
+  let src = mk_engine () in
+  let inv name =
+    { P.iv_query = "AddV"; iv_params = [ ("nm", V.Str name) ];
+      iv_timeout_ms = None; iv_no_cache = false; iv_tenant = None }
+  in
+  (match Service.Engine.invoke src (inv "snapped") with
+   | P.Result _ -> ()
+   | _ -> Alcotest.fail "source write failed");
+  let g, v = Service.Engine.published src in
+  let dst = mk_engine () in
+  Service.Engine.install_snapshot dst (G.snapshot g) ~version:v;
+  Alcotest.(check int) "version adopted" v (Service.Engine.graph_version dst);
+  (* The catalog survived the graph swap: queries still run. *)
+  match
+    Service.Engine.invoke dst
+      { P.iv_query = "CountName"; iv_params = [ ("nm", V.Str "snapped") ];
+        iv_timeout_ms = None; iv_no_cache = true; iv_tenant = None }
+  with
+  | P.Result { rs_result = { P.x_vsets; _ }; _ } ->
+    Alcotest.(check int) "snapshot state visible" 1
+      (match List.assoc_opt "R" x_vsets with Some ids -> Array.length ids | None -> 0)
+  | _ -> Alcotest.fail "read after snapshot failed"
+
+(* ------------------------------------------------------------------ *)
+(* Leader/follower pairs end-to-end                                    *)
+
+let converged leader follower =
+  let lv = (status_of leader.nd_path).P.st_version in
+  fun () -> (status_of follower.nd_path).P.st_version >= lv
+
+let test_e2e_stream_and_redirect () =
+  with_nodes [ (fun () -> start_node ()) ] (fun nodes ->
+      let leader = List.nth nodes 0 in
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          let c = C.connect (`Unix leader.nd_path) in
+          for i = 1 to 5 do
+            match add c (Printf.sprintf "r_%d" i) with
+            | P.Result _ -> ()
+            | _ -> Alcotest.fail "leader write failed"
+          done;
+          C.close c;
+          wait_until ~what:"replication" (converged leader follower);
+          (* The follower serves the replicated state... *)
+          let fc = C.connect (`Unix follower.nd_path) in
+          Alcotest.(check int) "replicated row" 1 (count fc "r_3");
+          (* ...redirects mutations with a machine-readable hint... *)
+          (match add fc "nope" with
+           | P.Error (P.Not_leader, _, { P.h_leader = Some addr; _ }) ->
+             Alcotest.(check string) "hint names the leader"
+               ("unix:" ^ leader.nd_path) addr
+           | _ -> Alcotest.fail "follower accepted a write");
+          C.close fc;
+          (* ...and its status frame reports the follower role. *)
+          let st = status_of follower.nd_path in
+          Alcotest.(check string) "role" "follower" st.P.st_role;
+          Alcotest.(check bool) "leader named" true
+            (st.P.st_leader = Some ("unix:" ^ leader.nd_path))))
+
+let test_e2e_client_failover () =
+  with_nodes [ (fun () -> start_node ()) ] (fun nodes ->
+      let leader = List.nth nodes 0 in
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          (* The ring starts at the follower: a write must chase the
+             not_leader redirect to the leader and succeed there. *)
+          let c = C.connect_any [ `Unix follower.nd_path; `Unix leader.nd_path ] in
+          (match add c ~retries:3 "chased" with
+           | P.Result _ -> ()
+           | P.Error (code, msg, _) ->
+             Alcotest.failf "failover write: %s: %s" (P.err_code_to_string code) msg
+           | _ -> Alcotest.fail "failover write: unexpected response");
+          Alcotest.(check bool) "client migrated to the leader" true
+            (C.endpoint c = `Unix leader.nd_path);
+          C.close c))
+
+let test_e2e_promote_and_fence () =
+  with_nodes [ (fun () -> start_node ()) ] (fun nodes ->
+      let leader = List.nth nodes 0 in
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          let c = C.connect (`Unix leader.nd_path) in
+          (match add c "before" with
+           | P.Result _ -> ()
+           | _ -> Alcotest.fail "leader write failed");
+          C.close c;
+          wait_until ~what:"replication" (converged leader follower);
+          (* Promote the follower into a fresh epoch. *)
+          let pc = C.connect (`Unix follower.nd_path) in
+          let epoch =
+            let _ = C.send pc P.Promote in
+            match snd (C.recv pc) with
+            | P.Promoted { pm_epoch; _ } -> pm_epoch
+            | _ -> Alcotest.fail "promote refused"
+          in
+          Alcotest.(check bool) "epoch advanced" true (epoch >= 2);
+          (match add pc "after" with
+           | P.Result _ -> ()
+           | _ -> Alcotest.fail "promoted leader refused a write");
+          C.close pc;
+          Alcotest.(check string) "promoted role" "leader"
+            (status_of follower.nd_path).P.st_role;
+          (* The old leader learns the new epoch from a subscribe and
+             stands down; its writes are now split-brain and refused. *)
+          let sc = C.connect (`Unix leader.nd_path) in
+          let _ = C.send sc (P.Subscribe { sub_version = 0; sub_epoch = epoch }) in
+          (match snd (C.recv sc) with
+           | P.Error (P.Fenced, _, _) -> ()
+           | _ -> Alcotest.fail "higher-epoch subscribe not fenced");
+          (try C.close sc with _ -> ());
+          let oc = C.connect (`Unix leader.nd_path) in
+          (match add oc "split-brain" with
+           | P.Error (P.Fenced, _, _) -> ()
+           | _ -> Alcotest.fail "fenced leader accepted a write");
+          C.close oc;
+          Alcotest.(check string) "fenced role" "fenced"
+            (status_of leader.nd_path).P.st_role))
+
+let test_e2e_sync_quorum () =
+  with_nodes
+    [ (fun () -> start_node ~sync_replicas:1 ~sync_timeout_ms:300 ()) ]
+    (fun nodes ->
+      let leader = List.nth nodes 0 in
+      (* No follower: the quorum cannot be met — this is the fence that
+         stops a restarted stale leader from acking writes on its own. *)
+      let c = C.connect (`Unix leader.nd_path) in
+      (match add c "lonely" with
+       | P.Error (P.Repl_lag, _, _) -> ()
+       | P.Result _ -> Alcotest.fail "no-quorum write was acknowledged"
+       | _ -> Alcotest.fail "unexpected no-quorum response");
+      (* With a live follower the same write is acknowledged. *)
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          (match add c "quorate" with
+           | P.Result _ -> ()
+           | P.Error (code, msg, _) ->
+             Alcotest.failf "quorate write: %s: %s" (P.err_code_to_string code) msg
+           | _ -> Alcotest.fail "quorate write: unexpected response");
+          C.close c;
+          wait_until ~what:"replication" (converged leader follower);
+          let fc = C.connect (`Unix follower.nd_path) in
+          Alcotest.(check int) "acked write on follower" 1 (count fc "quorate");
+          C.close fc))
+
+let test_e2e_staleness_bound () =
+  with_nodes [ (fun () -> start_node ()) ] (fun nodes ->
+      let leader = List.nth nodes 0 in
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path)
+          ~max_staleness_ms:100 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          (* Heartbeats keep the bound satisfied while the leader lives. *)
+          let fc = C.connect (`Unix follower.nd_path) in
+          Alcotest.(check int) "fresh read served" 1 (count fc "v0");
+          (* Kill the leader: contact stops, the bound trips. *)
+          stop_node leader;
+          wait_until ~what:"staleness refusal" (fun () ->
+              match
+                C.invoke fc ~no_cache:true ~query:"CountName"
+                  ~params:[ ("nm", V.Str "v0") ] ()
+              with
+              | P.Error (P.Stale, _, _) -> true
+              | _ -> false);
+          C.close fc))
+
+let test_e2e_drop_batch_recovery () =
+  let faults =
+    match Service.Faults.parse "repl-drop-batch=2" with
+    | Ok f -> f
+    | Error msg -> Alcotest.failf "faults spec: %s" msg
+  in
+  with_nodes [ (fun () -> start_node ~faults ()) ] (fun nodes ->
+      let leader = List.nth nodes 0 in
+      let follower =
+        start_node ~replica_of:("unix:" ^ leader.nd_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_node follower)
+        (fun () ->
+          wait_until ~what:"subscription" (fun () ->
+              (status_of leader.nd_path).P.st_replicas >= 1);
+          (* Every second stream send is dropped on the floor: the
+             follower must detect the gaps and resubscribe for catch-up
+             until it holds every commit anyway. *)
+          let c = C.connect (`Unix leader.nd_path) in
+          for i = 1 to 6 do
+            match add c (Printf.sprintf "d_%d" i) with
+            | P.Result _ -> ()
+            | _ -> Alcotest.fail "leader write failed"
+          done;
+          C.close c;
+          wait_until ~timeout:20.0 ~what:"gap recovery" (converged leader follower);
+          let fc = C.connect (`Unix follower.nd_path) in
+          for i = 1 to 6 do
+            Alcotest.(check int)
+              (Printf.sprintf "d_%d exactly once" i)
+              1
+              (count fc (Printf.sprintf "d_%d" i))
+          done;
+          C.close fc))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "repl"
+    [ ( "protocol",
+        [ Alcotest.test_case "frame roundtrips" `Quick test_protocol_roundtrips;
+          Alcotest.test_case "endpoint strings" `Quick test_endpoint_strings ] );
+      ( "engine",
+        [ Alcotest.test_case "role refusal" `Quick test_engine_role_refusal;
+          Alcotest.test_case "apply_batch" `Quick test_engine_apply_batch;
+          Alcotest.test_case "install_snapshot" `Quick test_engine_install_snapshot ] );
+      ( "e2e",
+        [ Alcotest.test_case "stream + redirect" `Quick test_e2e_stream_and_redirect;
+          Alcotest.test_case "client failover" `Quick test_e2e_client_failover;
+          Alcotest.test_case "promote + fence" `Quick test_e2e_promote_and_fence;
+          Alcotest.test_case "sync quorum" `Quick test_e2e_sync_quorum;
+          Alcotest.test_case "staleness bound" `Quick test_e2e_staleness_bound;
+          Alcotest.test_case "drop-batch recovery" `Quick test_e2e_drop_batch_recovery ] ) ]

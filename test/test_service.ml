@@ -95,8 +95,8 @@ let sample_responses =
     P.Stats_snapshot (J.Obj [ ("requests", J.Int 3) ]);
     P.Pong;
     P.Bye;
-    P.Error (P.Timeout, "q exceeded its deadline", None);
-    P.Error (P.Resource_limit, "tenant a quota exhausted", Some 125) ]
+    P.Error (P.Timeout, "q exceeded its deadline", P.no_hint);
+    P.Error (P.Resource_limit, "tenant a quota exhausted", P.retry_hint 125) ]
 
 let response_equal a b =
   match (a, b) with

@@ -336,6 +336,138 @@ let test_persist_faulted_commit_not_recovered () =
     [ `Short_write; `Torn_record; `Fsync_fail ]
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot CRC footer and epoch file                                  *)
+
+let commit_n p g ~from ~count =
+  for v = from to from + count - 1 do
+    let ops = ref [] in
+    G.set_journal g (Some (fun m -> ops := m :: !ops));
+    G.set_vertex_attr g 0 "a" (V.Int (v * 10));
+    G.set_journal g None;
+    Store.Persist.commit p g ~version:v ~ops:(List.rev !ops)
+  done
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_snapshot_crc_detects_corruption () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  let g = r.Store.Persist.r_graph in
+  commit_n p g ~from:1 ~count:2;
+  Store.Persist.compact p g ~version:2;
+  Store.Persist.close p;
+  let snap = Filename.concat dir "snapshot.json" in
+  (* A verified footer round-trips... *)
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "clean reopen" 2 r2.Store.Persist.r_version;
+  Store.Persist.close p2;
+  (* ...and a single flipped byte in the body is caught at open. *)
+  let text = read_file snap in
+  let bad = Bytes.of_string text in
+  let mid = Bytes.length bad / 2 in
+  Bytes.set bad mid (if Bytes.get bad mid = 'x' then 'y' else 'x');
+  write_file snap (Bytes.to_string bad);
+  expect_io_error (fun () -> ignore (Store.Persist.open_dir dir ~base))
+
+let test_snapshot_legacy_footerless () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  let g = r.Store.Persist.r_graph in
+  commit_n p g ~from:1 ~count:1;
+  Store.Persist.compact p g ~version:1;
+  Store.Persist.close p;
+  (* Strip the footer: a pre-CRC snapshot must still open. *)
+  let snap = Filename.concat dir "snapshot.json" in
+  let text = read_file snap in
+  (match String.rindex_opt text '#' with
+   | Some i -> write_file snap (String.sub text 0 (i - 1))
+   | None -> Alcotest.fail "no CRC footer written");
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "legacy snapshot accepted" 1 r2.Store.Persist.r_version;
+  Store.Persist.close p2
+
+let test_batches_since () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  let g = r.Store.Persist.r_graph in
+  commit_n p g ~from:1 ~count:3;
+  let versions_of = function
+    | None -> Alcotest.fail "expected Some batches"
+    | Some bs -> List.map (fun b -> b.Store.Codec.b_version) bs
+  in
+  Alcotest.(check (list int)) "all from 0" [ 1; 2; 3 ]
+    (versions_of (Store.Persist.batches_since p ~version:0));
+  Alcotest.(check (list int)) "tail from 2" [ 3 ]
+    (versions_of (Store.Persist.batches_since p ~version:2));
+  Alcotest.(check (list int)) "caught up" []
+    (versions_of (Store.Persist.batches_since p ~version:3));
+  (* Compaction advances the snapshot past old versions: the log no
+     longer reaches back and the caller must ship a snapshot. *)
+  Store.Persist.compact p g ~version:3;
+  Alcotest.(check bool) "snapshot passed it" true
+    (Store.Persist.batches_since p ~version:1 = None);
+  Alcotest.(check (list int)) "still serves the frontier" []
+    (versions_of (Store.Persist.batches_since p ~version:3));
+  Store.Persist.close p
+
+let test_epoch_file () =
+  let dir = tmp_dir () in
+  Alcotest.(check bool) "absent" true (Store.Persist.read_epoch dir = None);
+  Store.Persist.write_epoch dir 3;
+  Alcotest.(check bool) "roundtrip" true (Store.Persist.read_epoch dir = Some 3);
+  Store.Persist.write_epoch dir 4;
+  Alcotest.(check bool) "overwrite" true (Store.Persist.read_epoch dir = Some 4);
+  (* Garbage is treated as absent, not fatal. *)
+  write_file (Filename.concat dir "epoch") "banana";
+  Alcotest.(check bool) "garbage ignored" true (Store.Persist.read_epoch dir = None)
+
+(* The compaction crash window: a crash after the snapshot's tmp+rename
+   but before the WAL reset leaves a full snapshot AND a full log on
+   disk.  Recovery must not double-apply the overlap, and a commit on
+   top of the recovered state must land exactly once. *)
+let test_compaction_crash_window () =
+  let dir = tmp_dir () in
+  let base () = mk_graph () in
+  let p, r = Store.Persist.open_dir dir ~base in
+  let g = r.Store.Persist.r_graph in
+  commit_n p g ~from:1 ~count:3;
+  let wal = Filename.concat dir "wal.log" in
+  let pre_compact_log = read_file wal in
+  Store.Persist.compact p g ~version:3;
+  Store.Persist.close p;
+  (* Reconstruct the crash image: snapshot at 3, stale log 1..3. *)
+  write_file wal pre_compact_log;
+  let p2, r2 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "no double-apply: version" 3 r2.Store.Persist.r_version;
+  Alcotest.(check int) "no double-apply: replayed" 0 r2.Store.Persist.r_replayed;
+  Alcotest.(check bool) "state intact" true
+    (V.equal (V.Int 30) (G.vertex_attr r2.Store.Persist.r_graph 0 "a"));
+  (* New commits append to the recovered handle... *)
+  let g2 = r2.Store.Persist.r_graph in
+  commit_n p2 g2 ~from:4 ~count:1;
+  Store.Persist.close p2;
+  (* ...and the next recovery replays exactly that one batch. *)
+  let p3, r3 = Store.Persist.open_dir dir ~base in
+  Alcotest.(check int) "post-crash commit recovered" 4 r3.Store.Persist.r_version;
+  Alcotest.(check int) "exactly one replayed" 1 r3.Store.Persist.r_replayed;
+  Alcotest.(check bool) "no lost batch" true
+    (V.equal (V.Int 40) (G.vertex_attr r3.Store.Persist.r_graph 0 "a"));
+  Store.Persist.close p3
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "store"
@@ -355,4 +487,9 @@ let () =
         [ Alcotest.test_case "commit/recover" `Quick test_persist_lifecycle;
           Alcotest.test_case "compaction" `Quick test_persist_compaction;
           Alcotest.test_case "torn-tail recovery" `Quick test_persist_recovers_torn_tail;
-          Alcotest.test_case "failed commit invisible" `Quick test_persist_faulted_commit_not_recovered ] ) ]
+          Alcotest.test_case "failed commit invisible" `Quick test_persist_faulted_commit_not_recovered;
+          Alcotest.test_case "snapshot CRC corruption" `Quick test_snapshot_crc_detects_corruption;
+          Alcotest.test_case "legacy footer-less snapshot" `Quick test_snapshot_legacy_footerless;
+          Alcotest.test_case "batches_since" `Quick test_batches_since;
+          Alcotest.test_case "epoch file" `Quick test_epoch_file;
+          Alcotest.test_case "compaction crash window" `Quick test_compaction_crash_window ] ) ]

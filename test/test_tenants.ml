@@ -375,16 +375,16 @@ let test_e2e_quota_exhaustion_and_recovery () =
              and because a quota is active, the server decorates it with
              the refill ETA. *)
           (match call ~no_cache:true 10_000_000 with
-           | P.Error (P.Resource_limit, _, Some ms) ->
+           | P.Error (P.Resource_limit, _, { P.h_retry_ms = Some ms; _ }) ->
              Alcotest.(check bool) "positive eta" true (ms >= 1)
-           | P.Error (P.Resource_limit, _, None) ->
+           | P.Error (P.Resource_limit, _, { P.h_retry_ms = None; _ }) ->
              Alcotest.fail "quota exhaustion lost its retry_after_ms hint"
            | P.Error (code, msg, _) ->
              Alcotest.failf "wrong error %s: %s" (P.err_code_to_string code) msg
            | _ -> Alcotest.fail "runaway execution not limited");
           (* Starved bucket: denied upfront, still hinted, bounded. *)
           (match call ~no_cache:true 50 with
-           | P.Error (P.Resource_limit, _, Some ms) ->
+           | P.Error (P.Resource_limit, _, { P.h_retry_ms = Some ms; _ }) ->
              Alcotest.(check bool)
                (Printf.sprintf "eta %d ms sane" ms)
                true
